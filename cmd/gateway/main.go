@@ -1,0 +1,67 @@
+// Command gateway runs a PDAgent gateway: the middle-tier bridge that
+// accepts Packed Information from handhelds, creates and dispatches
+// mobile agents on the local MAS, and stores returned results.
+//
+// Usage:
+//
+//	gateway -listen :8080 -addr localhost:8080 -flavour aglets -peers gw2:8080
+//
+// The standard example applications (e-banking, food search, mobile
+// office, echo) are published in the subscription catalogue.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"pdagent/internal/core"
+	"pdagent/internal/gateway"
+	"pdagent/internal/pisec"
+	"pdagent/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	addr := flag.String("addr", "", "public address other components use to reach this gateway (default: listen address)")
+	flavour := flag.String("flavour", "aglets", "embedded MAS codec flavour (aglets|voyager)")
+	peers := flag.String("peers", "", "comma-separated peer gateway addresses for /pdagent/gateways")
+	keyBits := flag.Int("key-bits", pisec.DefaultKeyBits, "RSA key size")
+	flag.Parse()
+
+	public := *addr
+	if public == "" {
+		public = *listen
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			peerList = append(peerList, strings.TrimSpace(p))
+		}
+	}
+
+	kp, err := pisec.GenerateKeyPair(*keyBits)
+	if err != nil {
+		log.Fatalf("gateway: generating key pair: %v", err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Addr:      public,
+		KeyPair:   kp,
+		Transport: &transport.HTTPClient{},
+		Flavour:   *flavour,
+		Peers:     peerList,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	if err := core.RegisterStandardApps(gw); err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	log.Printf("gateway %s: %s flavour, key %s, listening on %s",
+		public, *flavour, kp.Public().Fingerprint(), *listen)
+	if err := http.ListenAndServe(*listen, transport.NewHTTPHandler(gw.Handler())); err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+}

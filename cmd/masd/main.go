@@ -1,0 +1,76 @@
+// Command masd runs a mobile-agent-server host: a network site that
+// receives visiting agents and offers them resident service agents.
+//
+// Usage:
+//
+//	masd -listen :9001 -addr localhost:9001 -flavour voyager -services bank,food,docs
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"pdagent/internal/atp"
+	"pdagent/internal/mas"
+	"pdagent/internal/services"
+	"pdagent/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":9001", "listen address")
+	addr := flag.String("addr", "", "public address agents use to reach this host (default: listen address)")
+	flavour := flag.String("flavour", "aglets", "MAS codec flavour (aglets|voyager)")
+	svcList := flag.String("services", "bank", "comma-separated services to host: bank,food,docs")
+	flag.Parse()
+
+	public := *addr
+	if public == "" {
+		public = *listen
+	}
+	codec, err := atp.ByName(*flavour)
+	if err != nil {
+		log.Fatalf("masd: %v", err)
+	}
+
+	reg := services.NewRegistry()
+	for _, s := range strings.Split(*svcList, ",") {
+		switch strings.TrimSpace(s) {
+		case "bank":
+			bank := services.NewBank(public, map[string]int64{"alice": 10_000, "bob": 5_000})
+			reg.Register(bank.Services()...)
+		case "food":
+			guide := services.NewFoodGuide(public, []services.Restaurant{
+				{Name: "Dim Sum Palace", Cuisine: "cantonese", District: "central", Price: 80, Rating: 4},
+				{Name: "Noodle Bar", Cuisine: "cantonese", District: "mongkok", Price: 40, Rating: 3},
+				{Name: "Curry House", Cuisine: "indian", District: "central", Price: 60, Rating: 5},
+			})
+			reg.Register(guide.Services()...)
+		case "docs":
+			store := services.NewDocStore(public, map[string]string{
+				"welcome.txt": "Documents served by " + public,
+			})
+			reg.Register(store.Services()...)
+		case "":
+		default:
+			log.Fatalf("masd: unknown service %q (want bank, food or docs)", s)
+		}
+	}
+
+	srv, err := mas.NewServer(mas.Config{
+		Addr:      public,
+		Codec:     codec,
+		Transport: &transport.HTTPClient{},
+		Services:  reg,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("masd: %v", err)
+	}
+	log.Printf("masd %s: %s flavour, services %v, listening on %s",
+		public, *flavour, reg.Names(), *listen)
+	if err := http.ListenAndServe(*listen, transport.NewHTTPHandler(srv.Handler())); err != nil {
+		log.Fatalf("masd: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+
+	"pdagent/internal/mavm"
+)
+
+func TestParseValueScalarsAndLists(t *testing.T) {
+	if v := parseValue("42"); v.Kind() != mavm.KindInt || v.AsInt() != 42 {
+		t.Fatalf("int: %v", v)
+	}
+	if v := parseValue("hello"); v.Kind() != mavm.KindStr || v.AsStr() != "hello" {
+		t.Fatalf("str: %v", v)
+	}
+	v := parseValue("a,b,3")
+	items := v.ListItems()
+	if len(items) != 3 || items[0].AsStr() != "a" || items[2].AsInt() != 3 {
+		t.Fatalf("list: %v", v)
+	}
+}
+
+func TestParseJSONishTransactions(t *testing.T) {
+	v := parseValue(`[{"from":"alice","to":"bob","amount":100},{"from":"bob","to":"alice","amount":-5}]`)
+	items := v.ListItems()
+	if len(items) != 2 {
+		t.Fatalf("items = %v", v)
+	}
+	first := items[0].MapEntries()
+	if first["from"].AsStr() != "alice" || first["amount"].AsInt() != 100 {
+		t.Fatalf("first = %v", items[0])
+	}
+	if items[1].MapEntries()["amount"].AsInt() != -5 {
+		t.Fatalf("second = %v", items[1])
+	}
+}
+
+func TestParseJSONishNested(t *testing.T) {
+	v := parseValue(`["x", 1, {"inner": ["y"]}]`)
+	items := v.ListItems()
+	if len(items) != 3 {
+		t.Fatalf("items = %v", v)
+	}
+	inner := items[2].MapEntries()["inner"].ListItems()
+	if len(inner) != 1 || inner[0].AsStr() != "y" {
+		t.Fatalf("inner = %v", items[2])
+	}
+}
+
+func TestParseJSONishErrorsFallBack(t *testing.T) {
+	// Broken JSON-ish degrades to a plain string/list, never panics.
+	v := parseValue(`[{"unterminated`)
+	if v.Kind() != mavm.KindStr {
+		t.Fatalf("fallback = %v (%v)", v, v.Kind())
+	}
+}
+
+func TestParamFlags(t *testing.T) {
+	var p paramFlags
+	if err := p.Set("banks=host1,host2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("amount=10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("no-equals-sign"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if len(p.values["banks"].ListItems()) != 2 || p.values["amount"].AsInt() != 10 {
+		t.Fatalf("values = %v", p.values)
+	}
+}

@@ -1,0 +1,9 @@
+// Package pdagent is a from-scratch Go reproduction of "PDAgent: A
+// Platform for Developing and Deploying Mobile Agent-enabled
+// Applications for Wireless Devices" (Cao, Tse, Chan — ICPP 2004).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); internal/core is the assembly facade, and
+// bench_test.go regenerates every figure and claim of the paper's
+// evaluation. Start with README.md.
+package pdagent

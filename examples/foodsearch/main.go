@@ -1,0 +1,87 @@
+// Food Search Engine: the paper's second example application.
+//
+// Three directory sites host restaurant guides behind different MAS
+// brands. The user's agent sweeps all three, queries each resident
+// guide, merges the matches, sorts them by price on the way home and
+// delivers one consolidated list — all while the handheld is offline.
+//
+// Run with: go run ./examples/foodsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdagent/internal/core"
+	"pdagent/internal/mavm"
+	"pdagent/internal/services"
+)
+
+func guide(site string, rs ...services.Restaurant) core.HostSpec {
+	flavours := map[string]string{"food-hk": "aglets", "food-kln": "voyager", "food-nt": "aglets"}
+	return core.HostSpec{
+		Flavour: flavours[site],
+		Install: func(reg *services.Registry) {
+			reg.Register(services.NewFoodGuide(site, rs).Services()...)
+		},
+	}
+}
+
+func main() {
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed: 33,
+		Hosts: map[string]core.HostSpec{
+			"food-hk": guide("food-hk",
+				services.Restaurant{Name: "Dim Sum Palace", Cuisine: "cantonese", District: "central", Price: 80, Rating: 4},
+				services.Restaurant{Name: "Harbour Grill", Cuisine: "western", District: "wanchai", Price: 220, Rating: 5},
+			),
+			"food-kln": guide("food-kln",
+				services.Restaurant{Name: "Noodle Bar", Cuisine: "cantonese", District: "mongkok", Price: 40, Rating: 3},
+				services.Restaurant{Name: "Curry House", Cuisine: "indian", District: "tsimshatsui", Price: 60, Rating: 5},
+			),
+			"food-nt": guide("food-nt",
+				services.Restaurant{Name: "Seafood Pier", Cuisine: "cantonese", District: "saikung", Price: 150, Rating: 4},
+				services.Restaurant{Name: "Tea Garden", Cuisine: "cantonese", District: "shatin", Price: 35, Rating: 3},
+			),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := world.NewDevice("foodie-pda")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, _ := world.NewJourney()
+	if err := dev.Subscribe(ctx, "gw-0", core.AppFoodSearch); err != nil {
+		log.Fatal(err)
+	}
+
+	params := map[string]mavm.Value{
+		"sites":    mavm.NewList(mavm.Str("food-hk"), mavm.Str("food-kln"), mavm.Str("food-nt")),
+		"query":    mavm.Str("cantonese"),
+		"maxprice": mavm.Int(160),
+	}
+	agentID, err := dev.Dispatch(ctx, core.AppFoodSearch, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world.Run()
+
+	rd, err := dev.Collect(ctx, agentID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rd.OK() {
+		log.Fatalf("journey failed: %s", rd.Error)
+	}
+	count, _ := rd.Get("count")
+	fmt.Printf("cantonese places under 160/head across 3 sites: %s\n", count)
+	matches, _ := rd.Get("matches")
+	fmt.Printf("%-16s %-10s %-12s %5s  %s\n", "name", "site", "district", "price", "rating")
+	for _, m := range matches.ListItems() {
+		e := m.MapEntries()
+		fmt.Printf("%-16s %-10s %-12s %5s  %s\n",
+			e["name"], e["site"], e["district"], e["price"], e["rating"])
+	}
+}

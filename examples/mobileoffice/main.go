@@ -1,0 +1,102 @@
+// Mobile Office: the paper's §1 motivating scenario, plus the §3.6
+// agent-management operations.
+//
+// Two office sites hold document repositories. The user dispatches a
+// collection agent for the quarterly reports, and separately
+// demonstrates management: a second journey is disposed before it
+// starts (plans changed), and a status query locates the first agent.
+//
+// Run with: go run ./examples/mobileoffice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdagent/internal/core"
+	"pdagent/internal/mavm"
+	"pdagent/internal/services"
+)
+
+func office(site, flavour string, docs map[string]string) core.HostSpec {
+	return core.HostSpec{
+		Flavour: flavour,
+		Install: func(reg *services.Registry) {
+			reg.Register(services.NewDocStore(site, docs).Services()...)
+		},
+	}
+}
+
+func main() {
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed: 44,
+		Hosts: map[string]core.HostSpec{
+			"office-hq": office("office-hq", "aglets", map[string]string{
+				"q1-report.txt":  "HQ Q1: revenue up 4%",
+				"q2-report.txt":  "HQ Q2: revenue up 6%",
+				"lunch-menu.txt": "Tuesday: noodles",
+			}),
+			"office-lab": office("office-lab", "voyager", map[string]string{
+				"q2-report.txt": "Lab Q2: three prototypes shipped",
+				"roadmap.txt":   "Lab roadmap draft",
+			}),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := world.NewDevice("office-pda")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, _ := world.NewJourney()
+	if err := dev.Subscribe(ctx, "gw-0", core.AppMobileOffice); err != nil {
+		log.Fatal(err)
+	}
+
+	params := map[string]mavm.Value{
+		"offices": mavm.NewList(mavm.Str("office-hq"), mavm.Str("office-lab")),
+		"filter":  mavm.Str("report"),
+		"note":    mavm.Str("collected while travelling"),
+	}
+	collector, err := dev.Dispatch(ctx, core.AppMobileOffice, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A second journey, immediately regretted: dispose it before it
+	// leaves the gateway (§3.6 "disposing a mobile agent").
+	regretted, err := dev.Dispatch(ctx, core.AppMobileOffice, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.Dispose(ctx, regretted); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("disposed second journey %s before it started\n", regretted)
+
+	// Locate the first agent (§3.6 "view agent status").
+	state, _, err := dev.AgentStatus(ctx, collector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collector %s is %s\n", collector, state)
+
+	world.Run()
+
+	rd, err := dev.Collect(ctx, collector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rd.OK() {
+		log.Fatalf("journey failed: %s", rd.Error)
+	}
+	docs, _ := rd.Get("documents")
+	fmt.Printf("\ncollected %d report(s):\n", len(docs.ListItems()))
+	for _, d := range docs.ListItems() {
+		e := d.MapEntries()
+		fmt.Printf("  [%s] %s: %s\n", e["site"], e["name"], e["body"])
+	}
+	// The status notes the agent left behind are visible at the sites.
+	fmt.Println("\npending journeys after collection:", len(dev.Pending()))
+}

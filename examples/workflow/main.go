@@ -1,0 +1,85 @@
+// Mobile Workflow: the paper's §5 future work ("mobile workflow
+// management"), implemented as an extension.
+//
+// A purchase request is routed by a mobile agent through a chain of
+// approval authorities — team lead, department head, CFO — each at its
+// own site. A rejection short-circuits the chain. The user submits the
+// request offline and later collects the full approval trail; two
+// requests demonstrate both outcomes.
+//
+// Run with: go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdagent/internal/core"
+	"pdagent/internal/mavm"
+	"pdagent/internal/services"
+)
+
+func approver(site, name string, limit int64) core.HostSpec {
+	return core.HostSpec{
+		Flavour: "aglets",
+		Install: func(reg *services.Registry) {
+			reg.Register(services.NewApprover(site, name, limit, "purchase").Services()...)
+		},
+	}
+}
+
+func main() {
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed: 66,
+		Hosts: map[string]core.HostSpec{
+			"approve-team": approver("approve-team", "team-lead", 500),
+			"approve-dept": approver("approve-dept", "dept-head", 5000),
+			"approve-cfo":  approver("approve-cfo", "cfo", 50000),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := world.NewDevice("workflow-pda")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, _ := world.NewJourney()
+	if err := dev.Subscribe(ctx, "gw-0", core.AppWorkflow); err != nil {
+		log.Fatal(err)
+	}
+
+	submit := func(subject string, amount int64) {
+		params := map[string]mavm.Value{
+			"chain":   mavm.NewList(mavm.Str("approve-team"), mavm.Str("approve-dept"), mavm.Str("approve-cfo")),
+			"kind":    mavm.Str("purchase"),
+			"subject": mavm.Str(subject),
+			"amount":  mavm.Int(amount),
+		}
+		id, err := dev.Dispatch(ctx, core.AppWorkflow, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		world.Run()
+		rd, err := dev.Collect(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rd.OK() {
+			log.Fatalf("journey failed: %s", rd.Error)
+		}
+		outcome, _ := rd.Get("outcome")
+		fmt.Printf("\n%q for %d: %s\n", subject, amount, outcome)
+		approvals, _ := rd.Get("approvals")
+		for _, a := range approvals.ListItems() {
+			e := a.MapEntries()
+			fmt.Printf("  %-12s %-10s %s — %s\n", e["site"], e["approver"], e["decision"], e["comment"])
+		}
+		if stopped, ok := rd.Get("stoppedAt"); ok {
+			fmt.Printf("  chain stopped at %s; later approvers never contacted\n", stopped)
+		}
+	}
+
+	submit("ergonomic keyboard", 450)   // approved by all three
+	submit("quantum workstation", 9000) // rejected at the team lead
+}

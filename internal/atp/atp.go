@@ -1,0 +1,225 @@
+// Package atp implements the Agent Transfer Protocol: the wire format
+// a mobile agent travels in between mobile-agent servers (and between
+// the gateway and MAS hosts).
+//
+// The paper's claim (i) is that PDAgent "supports the adoption of any
+// kind of mobile agent system at network hosts" — the gateway wraps the
+// user's MA code "into a mobile agent in a form supported by the
+// network sites". To exercise that adapter machinery this package
+// provides two interchangeable codec flavours:
+//
+//   - "aglets": a compact binary envelope in the spirit of IBM Aglets'
+//     ATP (the MAS brand the paper's prototype used);
+//   - "voyager": an XML envelope in the spirit of ObjectSpace Voyager's
+//     text-first formats.
+//
+// A host speaks exactly one flavour; senders discover it via the
+// /atp/hello handshake and encode accordingly, which is the same
+// adaptation the paper's Agent Creator performs.
+package atp
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+
+	"pdagent/internal/kxml"
+)
+
+// Image is a complete mobile agent in transit: its identity plus the
+// serialised program and VM state.
+type Image struct {
+	// AgentID is the globally unique agent identifier.
+	AgentID string
+	// Home is the gateway address the agent returns results to.
+	Home string
+	// CodeID is the subscription code-package id the agent was built
+	// from (paper §3.1).
+	CodeID string
+	// Owner identifies the dispatching device/user.
+	Owner string
+	// Program is the mavm.MarshalProgram encoding of the agent's code.
+	Program []byte
+	// State is the mavm.MarshalState encoding of the agent's execution
+	// state.
+	State []byte
+}
+
+// Validate checks the identity fields and payload presence.
+func (im *Image) Validate() error {
+	if im.AgentID == "" {
+		return fmt.Errorf("atp: image missing agent id")
+	}
+	if im.Home == "" {
+		return fmt.Errorf("atp: image %s missing home", im.AgentID)
+	}
+	if len(im.Program) == 0 {
+		return fmt.Errorf("atp: image %s missing program", im.AgentID)
+	}
+	if len(im.State) == 0 {
+		return fmt.Errorf("atp: image %s missing state", im.AgentID)
+	}
+	return nil
+}
+
+// Codec converts agent images to and from one MAS flavour's wire form.
+type Codec interface {
+	// Name is the flavour identifier used in the /atp/hello handshake.
+	Name() string
+	// Encode serialises an image.
+	Encode(im *Image) ([]byte, error)
+	// Decode parses an image and validates it.
+	Decode(data []byte) (*Image, error)
+}
+
+// ByName returns the codec for a flavour name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "aglets":
+		return AgletsCodec{}, nil
+	case "voyager":
+		return VoyagerCodec{}, nil
+	default:
+		return nil, fmt.Errorf("atp: unknown MAS flavour %q", name)
+	}
+}
+
+// Flavours lists the supported codec names.
+func Flavours() []string { return []string{"aglets", "voyager"} }
+
+// MaxImageSize bounds decode input.
+const MaxImageSize = 16 << 20
+
+// --- aglets flavour: binary --------------------------------------------
+
+// AgletsCodec is the binary flavour.
+type AgletsCodec struct{}
+
+var agletsMagic = []byte("ATPA1")
+
+// Name implements Codec.
+func (AgletsCodec) Name() string { return "aglets" }
+
+// Encode implements Codec.
+func (AgletsCodec) Encode(im *Image) ([]byte, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.Write(agletsMagic)
+	for _, s := range []string{im.AgentID, im.Home, im.CodeID, im.Owner} {
+		writeLenPrefixed(&b, []byte(s))
+	}
+	writeLenPrefixed(&b, im.Program)
+	writeLenPrefixed(&b, im.State)
+	return b.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (AgletsCodec) Decode(data []byte) (*Image, error) {
+	if len(data) > MaxImageSize {
+		return nil, fmt.Errorf("atp: image of %d bytes exceeds limit", len(data))
+	}
+	if len(data) < len(agletsMagic) || !bytes.Equal(data[:len(agletsMagic)], agletsMagic) {
+		return nil, fmt.Errorf("atp: bad aglets envelope magic")
+	}
+	rest := data[len(agletsMagic):]
+	fields := make([][]byte, 6)
+	for i := range fields {
+		var f []byte
+		var err error
+		f, rest, err = readLenPrefixed(rest)
+		if err != nil {
+			return nil, fmt.Errorf("atp: aglets envelope field %d: %w", i, err)
+		}
+		fields[i] = f
+	}
+	im := &Image{
+		AgentID: string(fields[0]),
+		Home:    string(fields[1]),
+		CodeID:  string(fields[2]),
+		Owner:   string(fields[3]),
+		Program: fields[4],
+		State:   fields[5],
+	}
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+func writeLenPrefixed(b *bytes.Buffer, data []byte) {
+	var hdr [4]byte
+	hdr[0] = byte(len(data) >> 24)
+	hdr[1] = byte(len(data) >> 16)
+	hdr[2] = byte(len(data) >> 8)
+	hdr[3] = byte(len(data))
+	b.Write(hdr[:])
+	b.Write(data)
+}
+
+func readLenPrefixed(data []byte) (field, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("truncated length")
+	}
+	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if n < 0 || n > len(data)-4 {
+		return nil, nil, fmt.Errorf("field length %d out of range", n)
+	}
+	out := make([]byte, n)
+	copy(out, data[4:4+n])
+	return out, data[4+n:], nil
+}
+
+// --- voyager flavour: XML ----------------------------------------------
+
+// VoyagerCodec is the XML flavour.
+type VoyagerCodec struct{}
+
+// Name implements Codec.
+func (VoyagerCodec) Name() string { return "voyager" }
+
+// Encode implements Codec.
+func (VoyagerCodec) Encode(im *Image) ([]byte, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	root := kxml.NewElement("voyager-agent")
+	root.SetAttr("id", im.AgentID)
+	root.SetAttr("home", im.Home)
+	root.SetAttr("code-id", im.CodeID)
+	root.SetAttr("owner", im.Owner)
+	root.AddElement("program").AddText(base64.StdEncoding.EncodeToString(im.Program))
+	root.AddElement("state").AddText(base64.StdEncoding.EncodeToString(im.State))
+	return root.EncodeDocument(), nil
+}
+
+// Decode implements Codec.
+func (VoyagerCodec) Decode(data []byte) (*Image, error) {
+	if len(data) > MaxImageSize {
+		return nil, fmt.Errorf("atp: image of %d bytes exceeds limit", len(data))
+	}
+	root, err := kxml.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("atp: voyager envelope: %w", err)
+	}
+	if root.Name != "voyager-agent" {
+		return nil, fmt.Errorf("atp: voyager envelope has root <%s>", root.Name)
+	}
+	im := &Image{
+		AgentID: root.AttrDefault("id", ""),
+		Home:    root.AttrDefault("home", ""),
+		CodeID:  root.AttrDefault("code-id", ""),
+		Owner:   root.AttrDefault("owner", ""),
+	}
+	if im.Program, err = base64.StdEncoding.DecodeString(root.ChildText("program")); err != nil {
+		return nil, fmt.Errorf("atp: voyager program payload: %w", err)
+	}
+	if im.State, err = base64.StdEncoding.DecodeString(root.ChildText("state")); err != nil {
+		return nil, fmt.Errorf("atp: voyager state payload: %w", err)
+	}
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	return im, nil
+}

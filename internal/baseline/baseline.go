@@ -1,0 +1,236 @@
+// Package baseline implements the two comparison approaches of the
+// paper's evaluation (Figure 1, Figure 12):
+//
+//   - the Client-Server model, where the mobile client "has to keep
+//     the connection with the wired network until the service is
+//     completed": every transaction is a request/response pair over
+//     the wireless link against a bank-facing web server;
+//   - the Web-based approach, "accessing Internet services through a
+//     web browser": each transaction additionally fetches form and
+//     confirmation pages, so the per-transaction payload is two HTML
+//     pages rather than a compact request.
+//
+// Both share the same bank service state as the mobile-agent path, so
+// every approach performs identical work — only the communication
+// pattern differs, which is exactly what Figures 12 and 13 measure.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/services"
+	"pdagent/internal/transport"
+)
+
+// Server is the bank-facing web server of the baseline approaches
+// (one per bank site, alongside the MAS).
+type Server struct {
+	bank *services.Bank
+	mux  *transport.Mux
+}
+
+// htmlPadding approximates the markup overhead of a browser page
+// versus a compact client-server response. 2004-era banking pages ran
+// a few kilobytes.
+const htmlPadding = 4096
+
+// NewServer wraps a bank with client-server and web endpoints.
+func NewServer(bank *services.Bank) *Server {
+	s := &Server{bank: bank}
+	m := transport.NewMux()
+	m.HandleFunc("/cs/login", s.handleLogin)
+	m.HandleFunc("/cs/transfer", s.handleTransfer)
+	m.HandleFunc("/cs/balance", s.handleBalance)
+	m.HandleFunc("/web/login", s.handleWebLogin)
+	m.HandleFunc("/web/form", s.handleForm)
+	m.HandleFunc("/web/transfer", s.handleWebTransfer)
+	s.mux = m
+	return s
+}
+
+// handleLogin establishes a session (the paper's Figure 11a login
+// screen); the compact variant for the client-server model.
+func (s *Server) handleLogin(_ context.Context, req *transport.Request) *transport.Response {
+	user := req.GetHeader("user")
+	if user == "" {
+		return transport.Errorf(transport.StatusUnauthorized, "missing user")
+	}
+	out := kxml.NewElement("session").SetAttr("token", "sess-"+user)
+	return transport.OK(out.EncodeDocument())
+}
+
+// handleWebLogin serves the browser login page.
+func (s *Server) handleWebLogin(_ context.Context, _ *transport.Request) *transport.Response {
+	page := "<html><body><form action=\"/web/login\">" +
+		strings.Repeat("<!-- login page boilerplate -->", htmlPadding/32) +
+		"</form></body></html>"
+	return transport.OK([]byte(page))
+}
+
+// Handler returns the transport handler for this server.
+func (s *Server) Handler() transport.Handler { return s.mux }
+
+// parseTransfer reads the compact XML request body.
+func parseTransfer(body []byte) (from, to string, amount int64, err error) {
+	root, err := kxml.ParseBytes(body)
+	if err != nil {
+		return "", "", 0, err
+	}
+	if root.Name != "transfer" {
+		return "", "", 0, fmt.Errorf("baseline: unexpected root <%s>", root.Name)
+	}
+	from = root.AttrDefault("from", "")
+	to = root.AttrDefault("to", "")
+	var amt int64
+	if _, err := fmt.Sscanf(root.AttrDefault("amount", ""), "%d", &amt); err != nil {
+		return "", "", 0, fmt.Errorf("baseline: bad amount: %w", err)
+	}
+	return from, to, amt, nil
+}
+
+func (s *Server) handleTransfer(_ context.Context, req *transport.Request) *transport.Response {
+	from, to, amount, err := parseTransfer(req.Body)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "%v", err)
+	}
+	txid, err := s.bank.Transfer(from, to, amount)
+	if err != nil {
+		return transport.Errorf(transport.StatusConflict, "%v", err)
+	}
+	out := kxml.NewElement("receipt").SetAttr("txid", txid)
+	return transport.OK(out.EncodeDocument())
+}
+
+func (s *Server) handleBalance(_ context.Context, req *transport.Request) *transport.Response {
+	account := req.GetHeader("account")
+	bal, ok := s.bank.Balance(account)
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "no account %q", account)
+	}
+	out := kxml.NewElement("balance").SetAttr("amount", fmt.Sprint(bal))
+	return transport.OK(out.EncodeDocument())
+}
+
+// handleForm serves the transaction form page the browser must load
+// before each submission.
+func (s *Server) handleForm(_ context.Context, _ *transport.Request) *transport.Response {
+	page := "<html><body><form action=\"/web/transfer\">" +
+		strings.Repeat("<!-- styling and boilerplate -->", htmlPadding/32) +
+		"</form></body></html>"
+	return transport.OK([]byte(page))
+}
+
+// handleWebTransfer executes the transaction and returns a full
+// confirmation page.
+func (s *Server) handleWebTransfer(_ context.Context, req *transport.Request) *transport.Response {
+	from, to, amount, err := parseTransfer(req.Body)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "%v", err)
+	}
+	txid, err := s.bank.Transfer(from, to, amount)
+	if err != nil {
+		return transport.Errorf(transport.StatusConflict, "%v", err)
+	}
+	page := "<html><body><h1>Transaction complete</h1><p>" + txid + "</p>" +
+		strings.Repeat("<!-- confirmation boilerplate -->", htmlPadding/32) +
+		"</body></html>"
+	return transport.OK([]byte(page))
+}
+
+// Transaction describes one transfer request in a baseline session.
+type Transaction struct {
+	Bank   string // bank server address
+	From   string
+	To     string
+	Amount int64
+}
+
+func transferBody(t Transaction) []byte {
+	n := kxml.NewElement("transfer")
+	n.SetAttr("from", t.From)
+	n.SetAttr("to", t.To)
+	n.SetAttr("amount", fmt.Sprint(t.Amount))
+	return n.EncodeDocument()
+}
+
+// Client drives baseline sessions from the device side.
+type Client struct {
+	// Transport is the wireless-side round-tripper.
+	Transport transport.RoundTripper
+}
+
+// RunClientServer performs the Client-Server session: the device stays
+// online for the whole loop — a login exchange, then one
+// request/response per transaction. It returns the transaction ids.
+func (c *Client) RunClientServer(ctx context.Context, txns []Transaction) ([]string, error) {
+	ids := make([]string, 0, len(txns))
+	if len(txns) > 0 {
+		login := &transport.Request{Path: "/cs/login"}
+		login.SetHeader("user", txns[0].From)
+		resp, err := c.Transport.RoundTrip(ctx, txns[0].Bank, login)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: login: %w", err)
+		}
+		if !resp.IsOK() {
+			return nil, fmt.Errorf("baseline: login: %w", resp.Err())
+		}
+	}
+	for i, t := range txns {
+		resp, err := c.Transport.RoundTrip(ctx, t.Bank, &transport.Request{
+			Path: "/cs/transfer",
+			Body: transferBody(t),
+		})
+		if err != nil {
+			return ids, fmt.Errorf("baseline: transaction %d: %w", i, err)
+		}
+		if !resp.IsOK() {
+			return ids, fmt.Errorf("baseline: transaction %d: %w", i, resp.Err())
+		}
+		root, err := kxml.ParseBytes(resp.Body)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, root.AttrDefault("txid", ""))
+	}
+	return ids, nil
+}
+
+// RunWebBased performs the browser session: the browser loads the
+// login page, then for each transaction loads the form page, submits
+// it and receives the confirmation page.
+func (c *Client) RunWebBased(ctx context.Context, txns []Transaction) ([]string, error) {
+	ids := make([]string, 0, len(txns))
+	if len(txns) > 0 {
+		if _, err := c.Transport.RoundTrip(ctx, txns[0].Bank, &transport.Request{Path: "/web/login"}); err != nil {
+			return nil, fmt.Errorf("baseline: login page: %w", err)
+		}
+	}
+	for i, t := range txns {
+		if _, err := c.Transport.RoundTrip(ctx, t.Bank, &transport.Request{Path: "/web/form"}); err != nil {
+			return ids, fmt.Errorf("baseline: form load %d: %w", i, err)
+		}
+		resp, err := c.Transport.RoundTrip(ctx, t.Bank, &transport.Request{
+			Path: "/web/transfer",
+			Body: transferBody(t),
+		})
+		if err != nil {
+			return ids, fmt.Errorf("baseline: transaction %d: %w", i, err)
+		}
+		if !resp.IsOK() {
+			return ids, fmt.Errorf("baseline: transaction %d: %w", i, resp.Err())
+		}
+		// Extract the txid from the confirmation page.
+		body := resp.Text()
+		start := strings.Index(body, "<p>")
+		end := strings.Index(body, "</p>")
+		if start >= 0 && end > start {
+			ids = append(ids, body[start+3:end])
+		} else {
+			ids = append(ids, "")
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pdagent/internal/netsim"
+	"pdagent/internal/services"
+	"pdagent/internal/transport"
+)
+
+func setup(t *testing.T) (*netsim.Network, *services.Bank) {
+	t.Helper()
+	net := netsim.New(9)
+	net.SetLinkBoth(netsim.ZoneWireless, netsim.ZoneWired, netsim.Link{Latency: 100 * time.Millisecond})
+	bank := services.NewBank("bank-a", map[string]int64{"alice": 1000, "bob": 0})
+	net.AddHost("web-bank-a", netsim.ZoneWired, NewServer(bank).Handler())
+	return net, bank
+}
+
+func txns(n int) []Transaction {
+	out := make([]Transaction, n)
+	for i := range out {
+		out[i] = Transaction{Bank: "web-bank-a", From: "alice", To: "bob", Amount: 10}
+	}
+	return out
+}
+
+func TestClientServerSession(t *testing.T) {
+	net, bank := setup(t)
+	client := &Client{Transport: net.Transport(netsim.ZoneWireless)}
+	clock := netsim.NewClock()
+	ctx := netsim.WithClock(context.Background(), clock)
+
+	ids, err := client.RunClientServer(ctx, txns(5))
+	if err != nil {
+		t.Fatalf("RunClientServer: %v", err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		if !strings.HasPrefix(id, "bank-a-tx-") {
+			t.Fatalf("txid = %q", id)
+		}
+	}
+	if bal, _ := bank.Balance("bob"); bal != 50 {
+		t.Fatalf("bob = %d", bal)
+	}
+	// Login + 5 round trips at 200 ms each.
+	if clock.Now() != 6*200*time.Millisecond {
+		t.Fatalf("online time = %v", clock.Now())
+	}
+}
+
+func TestWebBasedSessionCostsMore(t *testing.T) {
+	netCS, _ := setup(t)
+	clockCS := netsim.NewClock()
+	client := &Client{Transport: netCS.Transport(netsim.ZoneWireless)}
+	if _, err := client.RunClientServer(netsim.WithClock(context.Background(), clockCS), txns(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	netWeb, bank := setup(t)
+	clockWeb := netsim.NewClock()
+	clientWeb := &Client{Transport: netWeb.Transport(netsim.ZoneWireless)}
+	ids, err := clientWeb.RunWebBased(netsim.WithClock(context.Background(), clockWeb), txns(3))
+	if err != nil {
+		t.Fatalf("RunWebBased: %v", err)
+	}
+	if len(ids) != 3 || ids[0] == "" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if bal, _ := bank.Balance("bob"); bal != 30 {
+		t.Fatalf("bob = %d", bal)
+	}
+	// Web adds page loads: strictly more online time for the same work.
+	if clockWeb.Now() <= clockCS.Now() {
+		t.Fatalf("web %v <= client-server %v", clockWeb.Now(), clockCS.Now())
+	}
+}
+
+func TestOnlineTimeGrowsLinearly(t *testing.T) {
+	measure := func(n int) time.Duration {
+		net, _ := setup(t)
+		clock := netsim.NewClock()
+		client := &Client{Transport: net.Transport(netsim.ZoneWireless)}
+		if _, err := client.RunClientServer(netsim.WithClock(context.Background(), clock), txns(n)); err != nil {
+			t.Fatal(err)
+		}
+		return clock.Now()
+	}
+	t2, t4, t8 := measure(2), measure(4), measure(8)
+	// Slope: doubling transactions roughly doubles the marginal time.
+	if t4 <= t2 || t8 <= t4 {
+		t.Fatalf("not increasing: %v %v %v", t2, t4, t8)
+	}
+	if (t8-t4)-(t4-t2) > (t4-t2)/2+(t4-t2) { // allow slack, but must be ~linear
+		t.Fatalf("not linear: %v %v %v", t2, t4, t8)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	net, _ := setup(t)
+	client := &Client{Transport: net.Transport(netsim.ZoneWireless)}
+	ctx := context.Background()
+
+	// Insufficient funds propagates as an error mid-session.
+	bad := []Transaction{{Bank: "web-bank-a", From: "alice", To: "bob", Amount: 99999}}
+	if _, err := client.RunClientServer(ctx, bad); err == nil {
+		t.Fatal("overdraft session succeeded")
+	}
+	// Unknown host.
+	ghost := []Transaction{{Bank: "nowhere", From: "alice", To: "bob", Amount: 1}}
+	if _, err := client.RunClientServer(ctx, ghost); err == nil {
+		t.Fatal("unknown host session succeeded")
+	}
+	if _, err := client.RunWebBased(ctx, ghost); err == nil {
+		t.Fatal("unknown host web session succeeded")
+	}
+	// Empty session is a no-op.
+	ids, err := client.RunClientServer(ctx, nil)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty session: %v %v", ids, err)
+	}
+}
+
+func TestHandlerValidation(t *testing.T) {
+	net, _ := setup(t)
+	tr := net.Transport(netsim.ZoneWireless)
+	ctx := context.Background()
+
+	resp, err := tr.RoundTrip(ctx, "web-bank-a", &transport.Request{Path: "/cs/transfer", Body: []byte("junk")})
+	if err != nil || resp.Status != transport.StatusBadRequest {
+		t.Fatalf("junk body: %v %v", resp, err)
+	}
+	resp, err = tr.RoundTrip(ctx, "web-bank-a", &transport.Request{Path: "/cs/login"})
+	if err != nil || resp.Status != transport.StatusUnauthorized {
+		t.Fatalf("login without user: %v %v", resp, err)
+	}
+	req := &transport.Request{Path: "/cs/balance"}
+	req.SetHeader("account", "alice")
+	resp, err = tr.RoundTrip(ctx, "web-bank-a", req)
+	if err != nil || !resp.IsOK() || !strings.Contains(resp.Text(), "1000") {
+		t.Fatalf("balance: %v %v", resp, err)
+	}
+	req2 := &transport.Request{Path: "/cs/balance"}
+	req2.SetHeader("account", "ghost")
+	resp, _ = tr.RoundTrip(ctx, "web-bank-a", req2)
+	if resp.Status != transport.StatusNotFound {
+		t.Fatalf("ghost balance: %d", resp.Status)
+	}
+}

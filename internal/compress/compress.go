@@ -1,0 +1,174 @@
+// Package compress provides the on-device payload compression the
+// PDAgent paper applies to mobile-agent code and Packed Information
+// before wireless transfer ("using simple text compression algorithms,
+// the compression process requires only small amount of CPU time").
+//
+// Three codecs share a self-describing frame so either side can decode
+// without prior negotiation:
+//
+//   - None: identity passthrough (ablation baseline);
+//   - LZSS: a dictionary coder with a 4 KiB window — the "simple text
+//     compression" of the paper, implemented here from scratch;
+//   - Flate: stdlib DEFLATE as a stronger reference point.
+//
+// Frame format: magic 'Z', codec id byte, uvarint decoded length,
+// payload. Decode dispatches on the codec id.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec identifies a compression algorithm.
+type Codec byte
+
+// Supported codecs.
+const (
+	None Codec = iota
+	LZSS
+	Flate
+)
+
+func (c Codec) String() string {
+	switch c {
+	case None:
+		return "none"
+	case LZSS:
+		return "lzss"
+	case Flate:
+		return "flate"
+	default:
+		return fmt.Sprintf("Codec(%d)", byte(c))
+	}
+}
+
+// ParseCodec maps a codec name to its id.
+func ParseCodec(name string) (Codec, error) {
+	switch name {
+	case "none", "":
+		return None, nil
+	case "lzss":
+		return LZSS, nil
+	case "flate":
+		return Flate, nil
+	default:
+		return None, fmt.Errorf("compress: unknown codec %q", name)
+	}
+}
+
+const frameMagic = 'Z'
+
+// MaxDecodedSize bounds the decoded length a frame may declare, so a
+// corrupt header cannot trigger an enormous allocation.
+const MaxDecodedSize = 64 << 20
+
+// ErrCorrupt is returned when a frame fails structural validation.
+var ErrCorrupt = errors.New("compress: corrupt frame")
+
+// Encode compresses data with the chosen codec and wraps it in a frame.
+func Encode(codec Codec, data []byte) ([]byte, error) {
+	var payload []byte
+	switch codec {
+	case None:
+		payload = data
+	case LZSS:
+		payload = lzssCompress(data)
+	case Flate:
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestCompression)
+		if err != nil {
+			return nil, fmt.Errorf("compress: flate init: %w", err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			return nil, fmt.Errorf("compress: flate write: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return nil, fmt.Errorf("compress: flate close: %w", err)
+		}
+		payload = buf.Bytes()
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %d", codec)
+	}
+	head := make([]byte, 2, 2+binary.MaxVarintLen64+len(payload))
+	head[0] = frameMagic
+	head[1] = byte(codec)
+	head = binary.AppendUvarint(head, uint64(len(data)))
+	return append(head, payload...), nil
+}
+
+// Decode unwraps a frame produced by Encode and returns the original
+// bytes.
+func Decode(frame []byte) ([]byte, error) {
+	codec, size, payload, err := parseFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	switch codec {
+	case None:
+		if len(payload) != size {
+			return nil, fmt.Errorf("%w: identity length mismatch", ErrCorrupt)
+		}
+		out := make([]byte, size)
+		copy(out, payload)
+		return out, nil
+	case LZSS:
+		out, err := lzssDecompress(payload, size)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	case Flate:
+		fr := flate.NewReader(bytes.NewReader(payload))
+		defer fr.Close()
+		out := make([]byte, 0, size)
+		buf := bytes.NewBuffer(out)
+		if _, err := io.Copy(buf, io.LimitReader(fr, int64(size)+1)); err != nil {
+			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		}
+		if buf.Len() != size {
+			return nil, fmt.Errorf("%w: flate length %d, header said %d", ErrCorrupt, buf.Len(), size)
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
+	}
+}
+
+// FrameCodec returns the codec id recorded in a frame without decoding.
+func FrameCodec(frame []byte) (Codec, error) {
+	codec, _, _, err := parseFrame(frame)
+	return codec, err
+}
+
+func parseFrame(frame []byte) (Codec, int, []byte, error) {
+	if len(frame) < 3 || frame[0] != frameMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	codec := Codec(frame[1])
+	size, n := binary.Uvarint(frame[2:])
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: bad length varint", ErrCorrupt)
+	}
+	if size > MaxDecodedSize {
+		return 0, 0, nil, fmt.Errorf("%w: declared size %d exceeds limit", ErrCorrupt, size)
+	}
+	return codec, int(size), frame[2+n:], nil
+}
+
+// Ratio returns compressed/original size for reporting; 1.0 means no
+// gain. Empty input reports 1.0.
+func Ratio(codec Codec, data []byte) float64 {
+	if len(data) == 0 {
+		return 1.0
+	}
+	enc, err := Encode(codec, data)
+	if err != nil {
+		return 1.0
+	}
+	return float64(len(enc)) / float64(len(data))
+}

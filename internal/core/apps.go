@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"pdagent/internal/gateway"
+	"pdagent/internal/wire"
+)
+
+// Standard application code ids, published in every gateway catalogue
+// by RegisterStandardApps.
+const (
+	// AppEBanking is the paper's §4 evaluation application.
+	AppEBanking = "app.ebanking"
+	// AppFoodSearch is the paper's "Food Search Engine" example.
+	AppFoodSearch = "app.foodsearch"
+	// AppMobileOffice is the §1 "mobile office" scenario.
+	AppMobileOffice = "app.mobileoffice"
+	// AppEcho is a trivial diagnostic application.
+	AppEcho = "app.echo"
+	// AppWorkflow is the §5 future-work "mobile workflow management"
+	// application, implemented as an extension.
+	AppWorkflow = "app.workflow"
+	// AppMCommerce is the §5 future-work "m-commerce" application: a
+	// shopping tour that buys at the cheapest vendor.
+	AppMCommerce = "app.mcommerce"
+)
+
+// EBankingSource is the MAScript for the paper's e-banking evaluation:
+// the client's agent visits each bank site, executes the submitted
+// transactions with the resident Service Agent, and brings all
+// transaction details back to the gateway (Figure 10).
+//
+// Parameters:
+//
+//	banks        list of bank host addresses to visit
+//	transactions list of {"from", "to", "amount"} maps; a transaction
+//	             is executed at every bank on the itinerary
+const EBankingSource = `// e-banking: execute transactions at each bank site (ICPP'04 §4)
+let receipts = [];
+let failures = [];
+for bank in param("banks") {
+    migrate(bank);
+    for t in param("transactions") {
+        let r = service("bank.transfer", t["from"], t["to"], t["amount"]);
+        if r["ok"] {
+            push(receipts, {"bank": here(), "txid": r["txid"], "amount": t["amount"]});
+        } else {
+            push(failures, {"bank": here(), "error": r["error"]});
+        }
+    }
+    log("executed " + str(len(param("transactions"))) + " transaction(s) at " + here());
+}
+migrate(home());
+deliver("receipts", receipts);
+deliver("failures", failures);
+deliver("banksVisited", hops() - 1);
+`
+
+// FoodSearchSource is the MAScript for the Food Search Engine: the
+// agent sweeps the directory sites, querying each resident guide, and
+// returns the merged, price-sorted matches.
+//
+// Parameters:
+//
+//	sites     list of directory host addresses
+//	query     free-text query (name, cuisine or district)
+//	maxprice  optional price ceiling (int, 0 = unlimited)
+const FoodSearchSource = `// food search engine: sweep directory sites and merge matches
+let all = [];
+let maxprice = param("maxprice", 0);
+for site in param("sites") {
+    migrate(site);
+    let r = nil;
+    if maxprice > 0 {
+        r = service("food.search_max", param("query"), maxprice);
+    } else {
+        r = service("food.search", param("query"));
+    }
+    if r["ok"] {
+        for m in r["matches"] { push(all, m); }
+    }
+}
+migrate(home());
+
+// order by price, cheapest first (selection sort keeps the code tiny)
+let n = len(all);
+let i = 0;
+while i < n {
+    let best = i;
+    let j = i + 1;
+    while j < n {
+        if all[j]["price"] < all[best]["price"] { best = j; }
+        j = j + 1;
+    }
+    let tmp = all[i];
+    all[i] = all[best];
+    all[best] = tmp;
+    i = i + 1;
+}
+deliver("matches", all);
+deliver("count", len(all));
+`
+
+// MobileOfficeSource is the MAScript for the mobile-office scenario:
+// the agent visits office sites, collects the documents matching a
+// name filter, and leaves a status note at each site.
+//
+// Parameters:
+//
+//	offices  list of office host addresses
+//	filter   substring a document name must contain ("" = all)
+//	note     status note posted at each site (optional)
+const MobileOfficeSource = `// mobile office: collect matching documents from office sites
+let collected = [];
+for office in param("offices") {
+    migrate(office);
+    let listing = service("docs.list");
+    if listing["ok"] {
+        for name in listing["names"] {
+            if param("filter", "") == "" || has(name, param("filter")) {
+                let doc = service("docs.fetch", name);
+                if doc["ok"] {
+                    push(collected, {"site": here(), "name": name, "body": doc["body"]});
+                }
+            }
+        }
+    }
+    if param("note", "") != "" {
+        service("docs.put", "note-from-" + agentid() + ".txt", param("note"));
+    }
+}
+migrate(home());
+deliver("documents", collected);
+deliver("count", len(collected));
+`
+
+// EchoSource is a minimal diagnostic agent: it echoes its parameters
+// without leaving the gateway.
+const EchoSource = `// echo: return parameters without travelling
+deliver("echo", params());
+deliver("steps", 1);
+`
+
+// WorkflowSource is the MAScript for the paper's §5 future-work
+// "mobile workflow management": the agent routes an approval request
+// through a chain of authority sites in order; a rejection
+// short-circuits the chain and the agent returns immediately with the
+// reason, so later approvers are never bothered.
+//
+// Parameters:
+//
+//	chain    list of approval site addresses, in routing order
+//	kind     request kind (e.g. "purchase", "leave")
+//	subject  what is being requested
+//	amount   the requested amount (int)
+const WorkflowSource = `// mobile workflow: route an approval chain (paper §5 future work)
+let approvals = [];
+let outcome = "approved";
+let stoppedAt = "";
+for site in param("chain") {
+    migrate(site);
+    let r = service("approve.review", param("kind"), param("subject"), param("amount"));
+    push(approvals, {
+        "site": here(),
+        "approver": r["approver"],
+        "decision": r["decision"],
+        "comment": r["comment"]
+    });
+    if r["decision"] != "approved" {
+        outcome = "rejected";
+        stoppedAt = here();
+        break;
+    }
+}
+migrate(home());
+deliver("outcome", outcome);
+deliver("approvals", approvals);
+if outcome == "rejected" {
+    deliver("stoppedAt", stoppedAt);
+}
+`
+
+// MCommerceSource is the MAScript for the §5 future-work "m-commerce"
+// application: the agent tours the vendor sites collecting quotes,
+// autonomously picks the cheapest in-stock offer within budget,
+// travels back to that vendor and completes the purchase — the classic
+// mobile-agent shopping tour, executed entirely while the user is
+// offline.
+//
+// Parameters:
+//
+//	vendors  list of shop site addresses
+//	item     the item to buy
+//	budget   maximum acceptable price (int)
+const MCommerceSource = `// m-commerce: quote everywhere, buy at the cheapest vendor (§5)
+let quotes = [];
+let bestSite = "";
+let bestPrice = 0;
+for v in param("vendors") {
+    migrate(v);
+    let q = service("shop.quote", param("item"));
+    if q["ok"] {
+        push(quotes, {"site": here(), "price": q["price"], "stock": q["stock"]});
+        if q["stock"] > 0 && q["price"] <= param("budget") {
+            if bestSite == "" || q["price"] < bestPrice {
+                bestSite = here();
+                bestPrice = q["price"];
+            }
+        }
+    }
+}
+if bestSite == "" {
+    migrate(home());
+    deliver("bought", false);
+    deliver("reason", "no vendor within budget " + str(param("budget")));
+    deliver("quotes", quotes);
+} else {
+    migrate(bestSite);
+    let receipt = service("shop.buy", param("item"), param("budget"));
+    migrate(home());
+    deliver("bought", receipt["ok"]);
+    if receipt["ok"] {
+        deliver("order", receipt["order"]);
+        deliver("price", receipt["price"]);
+        deliver("vendor", receipt["site"]);
+    } else {
+        deliver("reason", receipt["error"]);
+    }
+    deliver("quotes", quotes);
+}
+`
+
+// StandardApps returns the built-in code packages.
+func StandardApps() []*wire.CodePackage {
+	return []*wire.CodePackage{
+		{
+			CodeID: AppEBanking, Name: "E-Banking", Version: "1.0",
+			Description: "Execute bank transactions across bank sites (paper §4).",
+			Source:      EBankingSource,
+		},
+		{
+			CodeID: AppFoodSearch, Name: "Food Search Engine", Version: "1.0",
+			Description: "Search restaurant directories across sites and merge results.",
+			Source:      FoodSearchSource,
+		},
+		{
+			CodeID: AppMobileOffice, Name: "Mobile Office", Version: "1.0",
+			Description: "Collect documents from office sites while offline.",
+			Source:      MobileOfficeSource,
+		},
+		{
+			CodeID: AppEcho, Name: "Echo", Version: "1.0",
+			Description: "Diagnostic echo of parameters.",
+			Source:      EchoSource,
+		},
+		{
+			CodeID: AppWorkflow, Name: "Mobile Workflow", Version: "1.0",
+			Description: "Route an approval request through a chain of authority sites (paper §5).",
+			Source:      WorkflowSource,
+		},
+		{
+			CodeID: AppMCommerce, Name: "M-Commerce Shopper", Version: "1.0",
+			Description: "Quote every vendor, buy at the cheapest within budget (paper §5).",
+			Source:      MCommerceSource,
+		},
+	}
+}
+
+// RegisterStandardApps publishes the built-in applications in a
+// gateway's catalogue.
+func RegisterStandardApps(gw *gateway.Gateway) error {
+	for _, cp := range StandardApps() {
+		if err := gw.AddCodePackage(cp); err != nil {
+			return fmt.Errorf("core: registering %s: %w", cp.CodeID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pdagent/internal/mascript"
+	"pdagent/internal/mavm"
+	"pdagent/internal/services"
+	"pdagent/internal/wire"
+)
+
+// TestStandardAppsCompile guards the catalogue: every shipped source
+// must compile, carry a unique id, and stay inside the paper's code
+// size band.
+func TestStandardAppsCompile(t *testing.T) {
+	seen := map[string]bool{}
+	for _, cp := range StandardApps() {
+		if seen[cp.CodeID] {
+			t.Errorf("duplicate code id %q", cp.CodeID)
+		}
+		seen[cp.CodeID] = true
+		prog, err := mascript.Compile(cp.Source)
+		if err != nil {
+			t.Errorf("%s does not compile: %v", cp.CodeID, err)
+			continue
+		}
+		if prog.Digest() == "" {
+			t.Errorf("%s: empty digest", cp.CodeID)
+		}
+		if len(cp.Source) > 8192 {
+			t.Errorf("%s: source %d bytes exceeds the paper's 8KB band", cp.CodeID, len(cp.Source))
+		}
+	}
+	if len(seen) < 6 {
+		t.Fatalf("expected at least 6 standard apps, got %d", len(seen))
+	}
+}
+
+func workflowWorld(t *testing.T) *SimWorld {
+	t.Helper()
+	mk := func(site, name string, limit int64, kinds ...string) HostSpec {
+		return HostSpec{
+			Flavour: "aglets",
+			Install: func(reg *services.Registry) {
+				reg.Register(services.NewApprover(site, name, limit, kinds...).Services()...)
+			},
+		}
+	}
+	w, err := NewSimWorld(SimConfig{
+		Seed:    51,
+		KeyBits: 1024,
+		Hosts: map[string]HostSpec{
+			"approve-team": mk("approve-team", "team-lead", 500, "purchase"),
+			"approve-dept": mk("approve-dept", "dept-head", 5000, "purchase"),
+			"approve-cfo":  mk("approve-cfo", "cfo", 50000, "purchase"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func runApp(t *testing.T, w *SimWorld, app string, params map[string]mavm.Value) map[string]mavm.Value {
+	t.Helper()
+	dev, err := w.NewDevice("apps-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := w.NewJourney()
+	if err := dev.Subscribe(ctx, "gw-0", app); err != nil {
+		t.Fatal(err)
+	}
+	id, err := dev.Dispatch(ctx, app, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	rd, err := dev.Collect(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.OK() {
+		t.Fatalf("journey failed: %s", rd.Error)
+	}
+	out := map[string]mavm.Value{}
+	for _, r := range rd.Results {
+		out[r.Key] = r.Value
+	}
+	return out
+}
+
+func strList(ss ...string) mavm.Value {
+	items := make([]mavm.Value, len(ss))
+	for i, s := range ss {
+		items[i] = mavm.Str(s)
+	}
+	return mavm.NewList(items...)
+}
+
+func TestWorkflowApprovalChain(t *testing.T) {
+	w := workflowWorld(t)
+	res := runApp(t, w, AppWorkflow, map[string]mavm.Value{
+		"chain":   strList("approve-team", "approve-dept", "approve-cfo"),
+		"kind":    mavm.Str("purchase"),
+		"subject": mavm.Str("test rig"),
+		"amount":  mavm.Int(450),
+	})
+	if res["outcome"].AsStr() != "approved" {
+		t.Fatalf("outcome = %v", res["outcome"])
+	}
+	approvals := res["approvals"].ListItems()
+	if len(approvals) != 3 {
+		t.Fatalf("approvals = %v", res["approvals"])
+	}
+	for _, a := range approvals {
+		if a.MapEntries()["decision"].AsStr() != "approved" {
+			t.Fatalf("approval = %v", a)
+		}
+	}
+}
+
+func TestWorkflowRejectionShortCircuits(t *testing.T) {
+	w := workflowWorld(t)
+	res := runApp(t, w, AppWorkflow, map[string]mavm.Value{
+		"chain":   strList("approve-team", "approve-dept", "approve-cfo"),
+		"kind":    mavm.Str("purchase"),
+		"subject": mavm.Str("mainframe"),
+		"amount":  mavm.Int(2000), // over the team lead's 500 limit
+	})
+	if res["outcome"].AsStr() != "rejected" {
+		t.Fatalf("outcome = %v", res["outcome"])
+	}
+	if res["stoppedAt"].AsStr() != "approve-team" {
+		t.Fatalf("stoppedAt = %v", res["stoppedAt"])
+	}
+	// Exactly one review happened: the chain short-circuited.
+	if got := len(res["approvals"].ListItems()); got != 1 {
+		t.Fatalf("approvals = %d, want 1", got)
+	}
+}
+
+func mcommerceWorld(t *testing.T) (*SimWorld, map[string]*services.Vendor) {
+	t.Helper()
+	vendors := map[string]*services.Vendor{
+		"shop-1": services.NewVendor("shop-1", map[string]int64{"widget": 180}, map[string]int64{"widget": 5}),
+		"shop-2": services.NewVendor("shop-2", map[string]int64{"widget": 120}, map[string]int64{"widget": 1}),
+		"shop-3": services.NewVendor("shop-3", map[string]int64{"widget": 90}, map[string]int64{"widget": 0}), // cheapest but sold out
+	}
+	hosts := map[string]HostSpec{}
+	flavours := []string{"aglets", "voyager", "aglets"}
+	i := 0
+	for site, v := range vendors {
+		v := v
+		hosts[site] = HostSpec{
+			Flavour: flavours[i%len(flavours)],
+			Install: func(reg *services.Registry) { reg.Register(v.Services()...) },
+		}
+		i++
+	}
+	w, err := NewSimWorld(SimConfig{Seed: 52, KeyBits: 1024, Hosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, vendors
+}
+
+func TestMCommerceBuysCheapestInStock(t *testing.T) {
+	w, vendors := mcommerceWorld(t)
+	res := runApp(t, w, AppMCommerce, map[string]mavm.Value{
+		"vendors": strList("shop-1", "shop-2", "shop-3"),
+		"item":    mavm.Str("widget"),
+		"budget":  mavm.Int(150),
+	})
+	if !res["bought"].AsBool() {
+		t.Fatalf("not bought: %v", res["reason"])
+	}
+	// shop-3 is cheapest but out of stock; shop-2 (120) wins over
+	// shop-1 (180, also over budget).
+	if res["vendor"].AsStr() != "shop-2" || res["price"].AsInt() != 120 {
+		t.Fatalf("bought at %v for %v", res["vendor"], res["price"])
+	}
+	if !strings.HasPrefix(res["order"].AsStr(), "shop-2-order-") {
+		t.Fatalf("order = %v", res["order"])
+	}
+	if vendors["shop-2"].Stock("widget") != 0 {
+		t.Fatalf("stock not decremented: %d", vendors["shop-2"].Stock("widget"))
+	}
+	if got := len(res["quotes"].ListItems()); got != 3 {
+		t.Fatalf("quotes = %d", got)
+	}
+}
+
+// TestCooperatingAgentsViaMailbox exercises the paper's §1 claim that
+// agents "cooperate with each other by sharing and exchanging
+// information and partial results": a producer agent posts partial
+// results to a mailbox host; a separately dispatched consumer agent
+// collects and merges them.
+func TestCooperatingAgentsViaMailbox(t *testing.T) {
+	w, err := NewSimWorld(SimConfig{
+		Seed:    53,
+		KeyBits: 1024,
+		Hosts: map[string]HostSpec{
+			"hub": {
+				Flavour: "aglets",
+				Install: func(reg *services.Registry) {
+					reg.Register(services.NewMailbox("hub").Services()...)
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	producerSrc := `
+		migrate("hub");
+		for part in param("parts") {
+			service("mail.post", param("topic"), part);
+		}
+		migrate(home());
+		deliver("posted", len(param("parts")));
+	`
+	consumerSrc := `
+		migrate("hub");
+		let r = service("mail.fetch", param("topic"));
+		migrate(home());
+		let total = 0;
+		for m in r["messages"] { total = total + m; }
+		deliver("sum", total);
+		deliver("count", len(r["messages"]));
+	`
+	for id, src := range map[string]string{"coop.producer": producerSrc, "coop.consumer": consumerSrc} {
+		pkg := wirePkg(id, src)
+		if err := w.Gateways[0].AddCodePackage(&pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dev, err := w.NewDevice("coop-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := w.NewJourney()
+	for _, id := range []string{"coop.producer", "coop.consumer"} {
+		if err := dev.Subscribe(ctx, "gw-0", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prodID, err := dev.Dispatch(ctx, "coop.producer", map[string]mavm.Value{
+		"topic": mavm.Str("partials"),
+		"parts": mavm.NewList(mavm.Int(10), mavm.Int(20), mavm.Int(12)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consID, err := dev.Dispatch(ctx, "coop.consumer", map[string]mavm.Value{
+		"topic": mavm.Str("partials"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+
+	prod, err := dev.Collect(ctx, prodID)
+	if err != nil || !prod.OK() {
+		t.Fatalf("producer: %v / %+v", err, prod)
+	}
+	cons, err := dev.Collect(ctx, consID)
+	if err != nil || !cons.OK() {
+		t.Fatalf("consumer: %v / %+v", err, cons)
+	}
+	sum, _ := cons.Get("sum")
+	count, _ := cons.Get("count")
+	if sum.AsInt() != 42 || count.AsInt() != 3 {
+		t.Fatalf("consumer merged sum=%v count=%v", sum, count)
+	}
+}
+
+// wirePkg builds a code package literal for cooperation tests.
+func wirePkg(id, src string) wire.CodePackage {
+	return wire.CodePackage{CodeID: id, Name: id, Version: "1", Source: src}
+}
+
+func TestMCommerceNoVendorWithinBudget(t *testing.T) {
+	w, _ := mcommerceWorld(t)
+	res := runApp(t, w, AppMCommerce, map[string]mavm.Value{
+		"vendors": strList("shop-1", "shop-2"),
+		"item":    mavm.Str("widget"),
+		"budget":  mavm.Int(50),
+	})
+	if res["bought"].AsBool() {
+		t.Fatal("bought despite budget")
+	}
+	if !strings.Contains(res["reason"].AsStr(), "budget") {
+		t.Fatalf("reason = %v", res["reason"])
+	}
+}

@@ -1,0 +1,248 @@
+// Package core is the public face of the PDAgent reproduction: it
+// assembles complete deployments — gateways with embedded home MAS,
+// network hosts running service agents, a central directory, and
+// handheld platforms — over either the deterministic simulated network
+// (experiments, examples) or real HTTP (the cmd/ daemons).
+//
+// A SimWorld is the whole Figure 3 environment in one process:
+//
+//	world, _ := core.NewSimWorld(core.SimConfig{Seed: 1})
+//	dev, _ := world.NewDevice("alice")
+//	ctx, clock := world.NewJourney()
+//	dev.Subscribe(ctx, world.GatewayAddrs()[0], core.AppEBanking)
+//	id, _ := dev.Dispatch(ctx, core.AppEBanking, params)
+//	world.Run()                  // the agent journey, in virtual time
+//	result, _ := dev.Collect(ctx, id)
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pdagent/internal/atp"
+	"pdagent/internal/compress"
+	"pdagent/internal/device"
+	"pdagent/internal/gateway"
+	"pdagent/internal/mas"
+	"pdagent/internal/netsim"
+	"pdagent/internal/pisec"
+	"pdagent/internal/services"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// HostSpec describes one network site in a SimWorld.
+type HostSpec struct {
+	// Flavour is the MAS codec flavour at this site ("aglets" or
+	// "voyager").
+	Flavour string
+	// Bank, when set, is registered at the site and exposed through
+	// SimWorld.Banks for assertions and baselines.
+	Bank *services.Bank
+	// Install registers any further service agents.
+	Install func(reg *services.Registry)
+}
+
+// SimConfig configures a simulated world.
+type SimConfig struct {
+	// Seed drives all simulated randomness (jitter, loss).
+	Seed int64
+	// GatewayAddrs lists the gateways to create (default: ["gw-0"]).
+	GatewayAddrs []string
+	// Hosts maps site addresses to their spec (default: two banks,
+	// "bank-a" aglets and "bank-b" voyager, as in the paper's
+	// e-banking evaluation).
+	Hosts map[string]HostSpec
+	// Wireless and Wired override the link models (defaults:
+	// netsim.DefaultWirelessLink / DefaultWiredLink).
+	Wireless, Wired *netsim.Link
+	// KeyBits sizes gateway RSA keys (default pisec.DefaultKeyBits;
+	// tests use 1024 for speed).
+	KeyBits int
+	// SkipStandardApps leaves gateway catalogues empty.
+	SkipStandardApps bool
+}
+
+// SimWorld is a fully wired simulated deployment.
+type SimWorld struct {
+	Net       *netsim.Network
+	Queue     *netsim.Queue
+	Gateways  []*gateway.Gateway
+	Hosts     map[string]*mas.Server
+	Directory *gateway.Directory
+	// Banks indexes the bank service state by host address (when the
+	// default hosts are used), for assertions and baselines.
+	Banks map[string]*services.Bank
+
+	keyBits int
+}
+
+// CentralAddr is the simulated central server's address.
+const CentralAddr = "central-0"
+
+// NewSimWorld assembles a simulated deployment.
+func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
+	if len(cfg.GatewayAddrs) == 0 {
+		cfg.GatewayAddrs = []string{"gw-0"}
+	}
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = pisec.DefaultKeyBits
+	}
+	w := &SimWorld{
+		Net:     netsim.New(cfg.Seed),
+		Queue:   &netsim.Queue{},
+		Hosts:   map[string]*mas.Server{},
+		Banks:   map[string]*services.Bank{},
+		keyBits: cfg.KeyBits,
+	}
+	wireless := netsim.DefaultWirelessLink()
+	if cfg.Wireless != nil {
+		wireless = *cfg.Wireless
+	}
+	wired := netsim.DefaultWiredLink()
+	if cfg.Wired != nil {
+		wired = *cfg.Wired
+	}
+	w.Net.SetLinkBoth(netsim.ZoneWireless, netsim.ZoneWired, wireless)
+	w.Net.SetLinkBoth(netsim.ZoneWired, netsim.ZoneWired, wired)
+
+	// Central directory.
+	w.Directory = gateway.NewDirectory(cfg.GatewayAddrs...)
+	w.Net.AddHost(CentralAddr, netsim.ZoneWired, w.Directory.Handler())
+
+	// Gateways.
+	for i, addr := range cfg.GatewayAddrs {
+		kp, err := pisec.GenerateKeyPair(cfg.KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		var peers []string
+		for j, a := range cfg.GatewayAddrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		gw, err := gateway.New(gateway.Config{
+			Addr:      addr,
+			KeyPair:   kp,
+			Transport: w.Net.Transport(netsim.ZoneWired),
+			Spawn:     w.Queue.Go,
+			Peers:     peers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.SkipStandardApps {
+			if err := RegisterStandardApps(gw); err != nil {
+				return nil, err
+			}
+		}
+		w.Net.AddHost(addr, netsim.ZoneWired, gw.Handler())
+		w.Gateways = append(w.Gateways, gw)
+	}
+
+	// Network hosts.
+	hosts := cfg.Hosts
+	if hosts == nil {
+		hosts = DefaultHosts()
+	}
+	for addr, spec := range hosts {
+		reg := services.NewRegistry()
+		if spec.Bank != nil {
+			reg.Register(spec.Bank.Services()...)
+			w.Banks[addr] = spec.Bank
+		}
+		if spec.Install != nil {
+			spec.Install(reg)
+		}
+		codec, err := atp.ByName(spec.Flavour)
+		if err != nil {
+			return nil, fmt.Errorf("core: host %s: %w", addr, err)
+		}
+		srv, err := mas.NewServer(mas.Config{
+			Addr:      addr,
+			Codec:     codec,
+			Transport: w.Net.Transport(netsim.ZoneWired),
+			Services:  reg,
+			Spawn:     w.Queue.Go,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Net.AddHost(addr, netsim.ZoneWired, srv.Handler())
+		w.Hosts[addr] = srv
+	}
+	return w, nil
+}
+
+// DefaultHosts returns the paper's evaluation topology: two bank sites
+// on different MAS brands.
+func DefaultHosts() map[string]HostSpec {
+	mk := func(addr string) *services.Bank {
+		return services.NewBank(addr, map[string]int64{"alice": 10_000, "bob": 5_000})
+	}
+	return map[string]HostSpec{
+		"bank-a": {Flavour: "aglets", Bank: mk("bank-a")},
+		"bank-b": {Flavour: "voyager", Bank: mk("bank-b")},
+	}
+}
+
+// GatewayAddrs lists the world's gateway addresses.
+func (w *SimWorld) GatewayAddrs() []string {
+	out := make([]string, len(w.Gateways))
+	for i, g := range w.Gateways {
+		out[i] = g.Addr()
+	}
+	return out
+}
+
+// NewDevice creates a handheld platform attached to the wireless side
+// of the world, preloaded with the gateway list.
+func (w *SimWorld) NewDevice(owner string) (*device.Platform, error) {
+	p, err := device.NewPlatform(device.Config{
+		Owner:     owner,
+		Transport: w.Net.Transport(netsim.ZoneWireless),
+		Codec:     compress.LZSS,
+		Secure:    true,
+		Central:   CentralAddr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.SetGateways(w.GatewayAddrs()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewJourney returns a context carrying a fresh virtual clock, plus
+// the clock for reading elapsed online time.
+func (w *SimWorld) NewJourney() (context.Context, *netsim.Clock) {
+	clock := netsim.NewClock()
+	return netsim.WithClock(context.Background(), clock), clock
+}
+
+// Run drains the world's task queue — every dispatched agent runs its
+// journey to completion (or stranding) in deterministic order. It
+// returns the number of tasks executed.
+func (w *SimWorld) Run() int { return w.Queue.Drain() }
+
+// RunUntilResult runs the world and collects the result for an agent,
+// a convenience wrapper for the common dispatch→run→collect pattern.
+func (w *SimWorld) RunUntilResult(ctx context.Context, dev *device.Platform, agentID string) (*wire.ResultDocument, error) {
+	w.Run()
+	return dev.Collect(ctx, agentID)
+}
+
+// WirelessRTT estimates the configured base wireless round-trip time,
+// useful for calibrating experiment thresholds.
+func WirelessRTT(l netsim.Link) time.Duration {
+	return 2 * l.Latency
+}
+
+// Transport exposes a zone-bound round-tripper (for baselines and
+// tests).
+func (w *SimWorld) Transport(zone string) transport.RoundTripper {
+	return w.Net.Transport(zone)
+}

@@ -1,0 +1,463 @@
+// Package device implements the PDAgent Platform that runs on the
+// wireless handheld (Figure 4, left side): the System API beneath the
+// UI. It provides the paper's §3.1–3.6 functions:
+//
+//   - service subscription: download MA code from a trusted gateway and
+//     store it (compressed) in the on-device RMS database;
+//   - service execution: collect parameters offline, derive the
+//     dispatch key, build the Packed Information (XML → compress →
+//     encrypt), and upload it through the Network Manager;
+//   - service result collection: download and parse the XML result
+//     document on reconnection;
+//   - high-performance service management: download the gateway address
+//     list and pick the nearest gateway by RTT probing (Figure 8),
+//     refreshing the list when the best RTT exceeds the threshold;
+//   - mobile agent management: status, clone, retract, dispose (§3.6).
+//
+// The platform is UI-less; cmd/pdagent layers a CLI on top and the
+// examples drive it programmatically.
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pdagent/internal/compress"
+	"pdagent/internal/kxml"
+	"pdagent/internal/netsim"
+	"pdagent/internal/pisec"
+	"pdagent/internal/rms"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// Errors reported by platform operations.
+var (
+	// ErrNotSubscribed means Dispatch was called for a code id with no
+	// stored subscription.
+	ErrNotSubscribed = errors.New("device: not subscribed to this code package")
+	// ErrNotReady means the agent has not returned to the gateway yet.
+	ErrNotReady = errors.New("device: result not ready")
+	// ErrNoGateways means no gateway list is available.
+	ErrNoGateways = errors.New("device: gateway list empty")
+	// ErrAllGatewaysFar means every probed gateway exceeded the RTT
+	// threshold and no central server was configured to refresh from.
+	ErrAllGatewaysFar = errors.New("device: all gateways beyond RTT threshold")
+)
+
+// Config configures a Platform.
+type Config struct {
+	// Owner identifies this device/user to gateways.
+	Owner string
+	// Transport is the wireless-side round-tripper.
+	Transport transport.RoundTripper
+	// Store is the on-device RMS database (default: in-memory).
+	Store rms.Store
+	// Codec compresses stored code and outgoing PIs (default LZSS, the
+	// paper's "simple text compression").
+	Codec compress.Codec
+	// Secure seals PIs to the gateway key per Figure 7 (default true;
+	// the ablation benches switch it off).
+	Secure bool
+	// RTTThreshold triggers a gateway-list refresh when the best probe
+	// exceeds it (default 2 s, in journey-clock time for simulations).
+	RTTThreshold time.Duration
+	// Central is the central server address for gateway-list refreshes
+	// (optional).
+	Central string
+	// Retries bounds network attempts per operation (default 3).
+	Retries int
+	// Logf, when set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// subscription is the in-memory form of a stored subscription.
+type subscription struct {
+	sub   *wire.Subscription
+	key   *pisec.PublicKey
+	recID int // backing record
+}
+
+// Platform is the PDAgent platform instance on one device.
+type Platform struct {
+	cfg Config
+
+	mu       sync.Mutex
+	gateways []string
+	subs     map[string]*subscription // code id -> subscription
+	pending  map[string]pendingInfo   // agent id -> info
+	pendIDs  map[string]int           // agent id -> record id
+	listRec  int                      // record id of the gateway list, 0 = none
+}
+
+type pendingInfo struct {
+	Gateway string
+	CodeID  string
+}
+
+// NewPlatform creates a platform, replaying any state already in the
+// store (the device database survives restarts).
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.Owner == "" {
+		return nil, errors.New("device: config missing Owner")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("device: config missing Transport")
+	}
+	if cfg.Store == nil {
+		cfg.Store = rms.NewMemStore("pdagent-db", 0)
+	}
+	if cfg.RTTThreshold == 0 {
+		cfg.RTTThreshold = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	p := &Platform{
+		cfg:     cfg,
+		subs:    map[string]*subscription{},
+		pending: map[string]pendingInfo{},
+		pendIDs: map[string]int{},
+	}
+	if err := p.load(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Platform) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// --- persistence ---------------------------------------------------------
+
+// Records are XML documents compressed with the platform codec; the
+// root element name identifies the record type (subscription, pending,
+// gateway-list). The paper stores agent code compressed in the RMS
+// database; we compress every record the same way.
+
+func (p *Platform) putRecord(doc []byte) (int, error) {
+	framed, err := compress.Encode(p.cfg.Codec, doc)
+	if err != nil {
+		return 0, err
+	}
+	return p.cfg.Store.Add(framed)
+}
+
+func (p *Platform) load() error {
+	ids, err := p.cfg.Store.IDs()
+	if err != nil {
+		return fmt.Errorf("device: reading store: %w", err)
+	}
+	for _, id := range ids {
+		framed, err := p.cfg.Store.Get(id)
+		if err != nil {
+			return fmt.Errorf("device: record %d: %w", id, err)
+		}
+		doc, err := compress.Decode(framed)
+		if err != nil {
+			p.logf("device %s: dropping corrupt record %d: %v", p.cfg.Owner, id, err)
+			continue
+		}
+		root, err := kxml.ParseBytes(doc)
+		if err != nil {
+			p.logf("device %s: dropping unparseable record %d: %v", p.cfg.Owner, id, err)
+			continue
+		}
+		switch root.Name {
+		case "subscription":
+			sub, err := wire.ParseSubscription(doc)
+			if err != nil {
+				p.logf("device %s: bad subscription record %d: %v", p.cfg.Owner, id, err)
+				continue
+			}
+			entry := &subscription{sub: sub, recID: id}
+			if sub.GatewayKey != "" {
+				if key, err := pisec.ParsePublicKey(sub.GatewayKey); err == nil {
+					entry.key = key
+				}
+			}
+			p.subs[sub.Package.CodeID] = entry
+		case "pending":
+			agent := root.AttrDefault("agent", "")
+			if agent == "" {
+				continue
+			}
+			p.pending[agent] = pendingInfo{
+				Gateway: root.AttrDefault("gateway", ""),
+				CodeID:  root.AttrDefault("code-id", ""),
+			}
+			p.pendIDs[agent] = id
+		case "gateway-list":
+			if gl, err := wire.ParseGatewayList(doc); err == nil {
+				p.gateways = gl.Addresses
+				p.listRec = id
+			}
+		default:
+			p.logf("device %s: unknown record type %q", p.cfg.Owner, root.Name)
+		}
+	}
+	return nil
+}
+
+// Footprint returns the on-device database size in bytes (compressed
+// records), the quantity behind the paper's 120 KB claim.
+func (p *Platform) Footprint() (int, error) { return p.cfg.Store.Size() }
+
+// --- network manager ------------------------------------------------------
+
+// roundTrip sends with bounded retries; lost messages (netsim.ErrLost)
+// and transient transport failures are retried, each attempt costing
+// journey-clock time.
+func (p *Platform) roundTrip(ctx context.Context, addr string, req *transport.Request) (*transport.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.Retries; attempt++ {
+		resp, err := p.cfg.Transport.RoundTrip(ctx, addr, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, netsim.ErrLost) && attempt+1 >= p.cfg.Retries {
+			break
+		}
+	}
+	return nil, fmt.Errorf("device: %s%s after %d attempt(s): %w", addr, req.Path, p.cfg.Retries, lastErr)
+}
+
+// --- gateway list and RTT selection (Figure 8) ----------------------------
+
+// SetGateways installs a gateway list directly (tests, manual config).
+func (p *Platform) SetGateways(addrs []string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.storeGatewaysLocked(addrs)
+}
+
+func (p *Platform) storeGatewaysLocked(addrs []string) error {
+	p.gateways = append([]string(nil), addrs...)
+	doc := (&wire.GatewayList{Addresses: p.gateways}).EncodeXML()
+	framed, err := compress.Encode(p.cfg.Codec, doc)
+	if err != nil {
+		return err
+	}
+	if p.listRec != 0 {
+		return p.cfg.Store.Set(p.listRec, framed)
+	}
+	id, err := p.cfg.Store.Add(framed)
+	if err != nil {
+		return err
+	}
+	p.listRec = id
+	return nil
+}
+
+// Gateways returns the current gateway list.
+func (p *Platform) Gateways() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.gateways...)
+}
+
+// RefreshGateways downloads the address list from the central server
+// (or any gateway serving /pdagent/gateways).
+func (p *Platform) RefreshGateways(ctx context.Context, from string) error {
+	resp, err := p.roundTrip(ctx, from, &transport.Request{Path: "/pdagent/gateways"})
+	if err != nil {
+		return err
+	}
+	if !resp.IsOK() {
+		return fmt.Errorf("device: gateway list from %s: %w", from, resp.Err())
+	}
+	gl, err := wire.ParseGatewayList(resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(gl.Addresses) == 0 {
+		return ErrNoGateways
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.storeGatewaysLocked(gl.Addresses)
+}
+
+// ProbeResult is one gateway's measured round-trip time.
+type ProbeResult struct {
+	Addr string
+	RTT  time.Duration
+	Err  error
+}
+
+// ProbeGateways sends the Figure 8 one-byte probe to every gateway on
+// the list and reports each RTT (journey-clock time in simulations).
+func (p *Platform) ProbeGateways(ctx context.Context) ([]ProbeResult, error) {
+	addrs := p.Gateways()
+	if len(addrs) == 0 {
+		return nil, ErrNoGateways
+	}
+	results := make([]ProbeResult, 0, len(addrs))
+	for _, addr := range addrs {
+		rtt, err := p.probeOne(ctx, addr)
+		results = append(results, ProbeResult{Addr: addr, RTT: rtt, Err: err})
+	}
+	return results, nil
+}
+
+func (p *Platform) probeOne(ctx context.Context, addr string) (time.Duration, error) {
+	clock := netsim.ClockFrom(ctx)
+	var start time.Duration
+	var wallStart time.Time
+	if clock != nil {
+		start = clock.Now()
+	} else {
+		wallStart = time.Now()
+	}
+	_, err := p.cfg.Transport.RoundTrip(ctx, addr, &transport.Request{Path: "/pdagent/ping"})
+	if err != nil {
+		return 0, err
+	}
+	if clock != nil {
+		return clock.Now() - start, nil
+	}
+	return time.Since(wallStart), nil
+}
+
+// SelectGateway probes all gateways and returns the nearest one. If
+// the best RTT exceeds the threshold it refreshes the list from the
+// central server (when configured) and probes once more — the §3.5
+// policy.
+func (p *Platform) SelectGateway(ctx context.Context) (string, time.Duration, error) {
+	best, rtt, err := p.selectOnce(ctx)
+	if err != nil {
+		return "", 0, err
+	}
+	if rtt <= p.cfg.RTTThreshold {
+		return best, rtt, nil
+	}
+	if p.cfg.Central == "" {
+		return "", 0, fmt.Errorf("%w (best %v from %s)", ErrAllGatewaysFar, rtt, best)
+	}
+	p.logf("device %s: best RTT %v over threshold %v, refreshing list", p.cfg.Owner, rtt, p.cfg.RTTThreshold)
+	if err := p.RefreshGateways(ctx, p.cfg.Central); err != nil {
+		return "", 0, err
+	}
+	return p.selectOnce(ctx)
+}
+
+func (p *Platform) selectOnce(ctx context.Context) (string, time.Duration, error) {
+	probes, err := p.ProbeGateways(ctx)
+	if err != nil {
+		return "", 0, err
+	}
+	best := ""
+	bestRTT := time.Duration(0)
+	for _, pr := range probes {
+		if pr.Err != nil {
+			continue
+		}
+		if best == "" || pr.RTT < bestRTT {
+			best, bestRTT = pr.Addr, pr.RTT
+		}
+	}
+	if best == "" {
+		return "", 0, fmt.Errorf("device: every gateway probe failed")
+	}
+	return best, bestRTT, nil
+}
+
+// --- service subscription (§3.1) -------------------------------------------
+
+// Catalogue downloads a gateway's application catalogue.
+func (p *Platform) Catalogue(ctx context.Context, gw string) ([]wire.CatalogueEntry, error) {
+	resp, err := p.roundTrip(ctx, gw, &transport.Request{Path: "/pdagent/catalog"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.IsOK() {
+		return nil, resp.Err()
+	}
+	_, entries, err := wire.ParseCatalogue(resp.Body)
+	return entries, err
+}
+
+// Subscribe downloads a code package from a gateway and stores it in
+// the device database. Resubscribing replaces the stored entry.
+func (p *Platform) Subscribe(ctx context.Context, gw, codeID string) error {
+	req := &transport.Request{Path: "/pdagent/subscribe"}
+	req.SetHeader("code-id", codeID)
+	req.SetHeader("owner", p.cfg.Owner)
+	resp, err := p.roundTrip(ctx, gw, req)
+	if err != nil {
+		return err
+	}
+	if !resp.IsOK() {
+		return fmt.Errorf("device: subscribing to %q at %s: %w", codeID, gw, resp.Err())
+	}
+	sub, err := wire.ParseSubscription(resp.Body)
+	if err != nil {
+		return err
+	}
+	var key *pisec.PublicKey
+	if sub.GatewayKey != "" {
+		if key, err = pisec.ParsePublicKey(sub.GatewayKey); err != nil {
+			return fmt.Errorf("device: gateway key in subscription: %w", err)
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	doc, err := sub.EncodeXML()
+	if err != nil {
+		return err
+	}
+	if old, exists := p.subs[codeID]; exists {
+		framed, err := compress.Encode(p.cfg.Codec, doc)
+		if err != nil {
+			return err
+		}
+		if err := p.cfg.Store.Set(old.recID, framed); err != nil {
+			return err
+		}
+		p.subs[codeID] = &subscription{sub: sub, key: key, recID: old.recID}
+		return nil
+	}
+	recID, err := p.putRecord(doc)
+	if err != nil {
+		return err
+	}
+	p.subs[codeID] = &subscription{sub: sub, key: key, recID: recID}
+	p.logf("device %s: subscribed to %q at %s", p.cfg.Owner, codeID, gw)
+	return nil
+}
+
+// Subscriptions lists stored code ids, sorted.
+func (p *Platform) Subscriptions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.subs))
+	for id := range p.subs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unsubscribe removes a stored code package.
+func (p *Platform) Unsubscribe(codeID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry, ok := p.subs[codeID]
+	if !ok {
+		return ErrNotSubscribed
+	}
+	if err := p.cfg.Store.Delete(entry.recID); err != nil {
+		return err
+	}
+	delete(p.subs, codeID)
+	return nil
+}

@@ -1,0 +1,236 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+	"pdagent/internal/pisec"
+	"pdagent/internal/rms"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// Dispatch performs §3.2 service execution: it builds the Packed
+// Information from the stored code package and the user's parameters
+// (collected offline), derives the dispatch key, packs (compress +
+// seal) and uploads it to the subscription's gateway. It returns the
+// agent id assigned by the gateway. This is the only online step of a
+// service invocation besides result collection.
+func (p *Platform) Dispatch(ctx context.Context, codeID string, params map[string]mavm.Value) (string, error) {
+	p.mu.Lock()
+	entry, ok := p.subs[codeID]
+	p.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotSubscribed, codeID)
+	}
+	nonce, err := wire.NewNonce()
+	if err != nil {
+		return "", err
+	}
+	pi := &wire.PackedInformation{
+		CodeID:      codeID,
+		DispatchKey: pisec.DispatchKey(codeID, entry.sub.Secret),
+		Owner:       p.cfg.Owner,
+		Nonce:       nonce,
+		Source:      entry.sub.Package.Source,
+		Params:      params,
+	}
+	var key *pisec.PublicKey
+	if p.cfg.Secure {
+		if entry.key == nil {
+			return "", fmt.Errorf("device: subscription %q has no gateway key for sealing", codeID)
+		}
+		key = entry.key
+	}
+	body, err := wire.Pack(pi, p.cfg.Codec, key)
+	if err != nil {
+		return "", err
+	}
+	gw := entry.sub.Gateway
+	resp, err := p.roundTrip(ctx, gw, &transport.Request{Path: "/pdagent/dispatch", Body: body})
+	if err != nil {
+		return "", err
+	}
+	if !resp.IsOK() {
+		return "", fmt.Errorf("device: dispatching %q: %w", codeID, resp.Err())
+	}
+	agentID := resp.Text()
+	if agentID == "" {
+		return "", fmt.Errorf("device: gateway returned empty agent id")
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec := kxml.NewElement("pending")
+	rec.SetAttr("agent", agentID)
+	rec.SetAttr("gateway", gw)
+	rec.SetAttr("code-id", codeID)
+	recID, err := p.putRecord(rec.EncodeDocument())
+	if err != nil {
+		return "", fmt.Errorf("device: recording dispatch: %w", err)
+	}
+	p.pending[agentID] = pendingInfo{Gateway: gw, CodeID: codeID}
+	p.pendIDs[agentID] = recID
+	p.logf("device %s: dispatched %q as agent %s via %s", p.cfg.Owner, codeID, agentID, gw)
+	return agentID, nil
+}
+
+// Pending lists agent ids dispatched but not yet collected.
+func (p *Platform) Pending() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.pending))
+	for id := range p.pending {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (p *Platform) pendingGateway(agentID string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info, ok := p.pending[agentID]
+	if !ok {
+		return "", fmt.Errorf("device: unknown agent %q", agentID)
+	}
+	return info.Gateway, nil
+}
+
+// Collect performs §3.3 result collection: it downloads the XML result
+// document from the gateway. ErrNotReady is returned while the agent
+// is still travelling; on success the pending record is removed.
+func (p *Platform) Collect(ctx context.Context, agentID string) (*wire.ResultDocument, error) {
+	gw, err := p.pendingGateway(agentID)
+	if err != nil {
+		return nil, err
+	}
+	req := &transport.Request{Path: "/pdagent/result"}
+	req.SetHeader("agent", agentID)
+	resp, err := p.roundTrip(ctx, gw, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == transport.StatusConflict {
+		return nil, fmt.Errorf("%w: agent %s", ErrNotReady, agentID)
+	}
+	if !resp.IsOK() {
+		return nil, fmt.Errorf("device: collecting %s: %w", agentID, resp.Err())
+	}
+	rd, err := wire.ParseResultDocument(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if recID, ok := p.pendIDs[agentID]; ok {
+		if err := p.cfg.Store.Delete(recID); err != nil && !errors.Is(err, rms.ErrNotFound) {
+			p.logf("device %s: dropping pending record for %s: %v", p.cfg.Owner, agentID, err)
+		}
+		delete(p.pendIDs, agentID)
+	}
+	delete(p.pending, agentID)
+	return rd, nil
+}
+
+// AgentStatus asks the gateway where the agent is and how it is doing
+// (§3.6 "view agent status"). The first return is "complete" or
+// "travelling"; the second carries the MAS status document when
+// travelling.
+func (p *Platform) AgentStatus(ctx context.Context, agentID string) (string, []byte, error) {
+	gw, err := p.pendingGateway(agentID)
+	if err != nil {
+		return "", nil, err
+	}
+	req := &transport.Request{Path: "/pdagent/status"}
+	req.SetHeader("agent", agentID)
+	resp, err := p.roundTrip(ctx, gw, req)
+	if err != nil {
+		return "", nil, err
+	}
+	if !resp.IsOK() {
+		return "", nil, resp.Err()
+	}
+	return resp.GetHeader("agent-state"), resp.Body, nil
+}
+
+// manage invokes a §3.6 management verb through the gateway.
+func (p *Platform) manage(ctx context.Context, agentID, verb string) (*transport.Response, error) {
+	gw, err := p.pendingGateway(agentID)
+	if err != nil {
+		return nil, err
+	}
+	req := &transport.Request{Path: "/pdagent/manage/" + verb}
+	req.SetHeader("agent", agentID)
+	resp, err := p.roundTrip(ctx, gw, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Retract asks the platform to pull the agent back to its gateway; the
+// partial results become collectable once it arrives (status
+// "retracted").
+func (p *Platform) Retract(ctx context.Context, agentID string) error {
+	resp, err := p.manage(ctx, agentID, "retract")
+	if err != nil {
+		return err
+	}
+	if !resp.IsOK() {
+		return fmt.Errorf("device: retracting %s: %w", agentID, resp.Err())
+	}
+	return nil
+}
+
+// Dispose terminates the agent wherever it is; no result will arrive.
+func (p *Platform) Dispose(ctx context.Context, agentID string) error {
+	resp, err := p.manage(ctx, agentID, "dispose")
+	if err != nil {
+		return err
+	}
+	if !resp.IsOK() {
+		return fmt.Errorf("device: disposing %s: %w", agentID, resp.Err())
+	}
+	// The journey will never produce a result; forget it locally.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if recID, ok := p.pendIDs[agentID]; ok {
+		_ = p.cfg.Store.Delete(recID)
+		delete(p.pendIDs, agentID)
+	}
+	delete(p.pending, agentID)
+	return nil
+}
+
+// Clone duplicates a travelling agent and returns the clone's id; the
+// clone's results are collectable like any dispatch.
+func (p *Platform) Clone(ctx context.Context, agentID string) (string, error) {
+	resp, err := p.manage(ctx, agentID, "clone")
+	if err != nil {
+		return "", err
+	}
+	if !resp.IsOK() {
+		return "", fmt.Errorf("device: cloning %s: %w", agentID, resp.Err())
+	}
+	cloneID := resp.Text()
+	gw, err := p.pendingGateway(agentID)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec := kxml.NewElement("pending")
+	rec.SetAttr("agent", cloneID)
+	rec.SetAttr("gateway", gw)
+	rec.SetAttr("code-id", p.pending[agentID].CodeID)
+	recID, err := p.putRecord(rec.EncodeDocument())
+	if err != nil {
+		return "", err
+	}
+	p.pending[cloneID] = pendingInfo{Gateway: gw, CodeID: p.pending[agentID].CodeID}
+	p.pendIDs[cloneID] = recID
+	return cloneID, nil
+}

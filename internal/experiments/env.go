@@ -1,0 +1,186 @@
+// Package experiments regenerates every quantitative artefact of the
+// paper's evaluation (§4): Figure 12 (Internet connection time for
+// PDAgent vs. client-server vs. web-based), Figure 13 a/b (transaction
+// completion-time variance over four trials), the prose claims about
+// on-device footprint and MA code size, the Figure 8 gateway-selection
+// behaviour, and ablations over the design choices (compression codec,
+// encryption, MAS flavour, selection policy).
+//
+// Every experiment builds a fresh simulated world per measurement from
+// an explicit seed, so all series replay exactly. Times are virtual
+// (journey-clock) seconds — the whole suite runs in well under a
+// second of wall time.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pdagent/internal/baseline"
+	"pdagent/internal/core"
+	"pdagent/internal/device"
+	"pdagent/internal/mavm"
+	"pdagent/internal/netsim"
+)
+
+// Evaluation link profile: a 2004-era handheld link (GPRS/early WLAN
+// class) and a wired Internet path. All figure series derive from
+// these two links plus payload sizes.
+func experimentLinks() (wireless, wired netsim.Link) {
+	wireless = netsim.Link{
+		Latency:   500 * time.Millisecond,
+		Jitter:    350 * time.Millisecond,
+		Bandwidth: 18_000, // ~144 kbit/s
+	}
+	wired = netsim.Link{
+		Latency:   15 * time.Millisecond,
+		Jitter:    10 * time.Millisecond,
+		Bandwidth: 2_000_000,
+	}
+	return wireless, wired
+}
+
+// Env is one ready-to-measure deployment: the simulated world, a
+// handheld, and baseline web servers wrapping the same banks.
+type Env struct {
+	World  *core.SimWorld
+	Device *device.Platform
+	// WebBanks are the baseline servers' addresses, index-aligned with
+	// BankHosts.
+	WebBanks  []string
+	BankHosts []string
+}
+
+// NewEnv builds the standard two-bank evaluation environment.
+func NewEnv(seed int64) (*Env, error) {
+	wireless, wired := experimentLinks()
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed:     seed,
+		Wireless: &wireless,
+		Wired:    &wired,
+		KeyBits:  1024, // small keys keep the sweep fast; size is ablated separately
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{World: world, BankHosts: []string{"bank-a", "bank-b"}}
+	for _, bank := range env.BankHosts {
+		web := "web-" + bank
+		world.Net.AddHost(web, netsim.ZoneWired, baseline.NewServer(world.Banks[bank]).Handler())
+		env.WebBanks = append(env.WebBanks, web)
+	}
+	dev, err := world.NewDevice("bench-device")
+	if err != nil {
+		return nil, err
+	}
+	env.Device = dev
+	return env, nil
+}
+
+// workload: "n transactions" means n transfer requests, each executed
+// at both bank sites (the paper's one-bank-to-another scenario), i.e.
+// 2n transfers total for every approach.
+
+// ebankingParams builds the PDAgent parameters for n transactions.
+func ebankingParams(banks []string, n int) map[string]mavm.Value {
+	bankVals := make([]mavm.Value, len(banks))
+	for i, b := range banks {
+		bankVals[i] = mavm.Str(b)
+	}
+	txns := make([]mavm.Value, n)
+	for i := range txns {
+		m := mavm.NewMap()
+		m.MapEntries()["from"] = mavm.Str("alice")
+		m.MapEntries()["to"] = mavm.Str("bob")
+		m.MapEntries()["amount"] = mavm.Int(5)
+		txns[i] = m
+	}
+	return map[string]mavm.Value{
+		"banks":        mavm.NewList(bankVals...),
+		"transactions": mavm.NewList(txns...),
+	}
+}
+
+// baselineTxns builds the equivalent baseline workload: 2n transfers
+// alternating between the two web banks.
+func (env *Env) baselineTxns(n int) []baseline.Transaction {
+	out := make([]baseline.Transaction, 0, 2*n)
+	for i := 0; i < 2*n; i++ {
+		out = append(out, baseline.Transaction{
+			Bank:   env.WebBanks[i%len(env.WebBanks)],
+			From:   "alice",
+			To:     "bob",
+			Amount: 5,
+		})
+	}
+	return out
+}
+
+// MeasurePDAgent runs the PDAgent flow for n transactions and returns
+// the paper's metric: online time for PI upload plus online time for
+// result download. Subscription is excluded (it happens once, before
+// the measured session, like installing the MIDlet in the paper).
+func MeasurePDAgent(seed int64, n int) (time.Duration, error) {
+	env, err := NewEnv(seed)
+	if err != nil {
+		return 0, err
+	}
+	ctx, clock := env.World.NewJourney()
+	if err := env.Device.Subscribe(ctx, "gw-0", core.AppEBanking); err != nil {
+		return 0, err
+	}
+
+	t0 := clock.Now()
+	agentID, err := env.Device.Dispatch(ctx, core.AppEBanking, ebankingParams(env.BankHosts, n))
+	if err != nil {
+		return 0, err
+	}
+	upload := clock.Now() - t0
+
+	// The user is offline while the agent travels.
+	env.World.Run()
+
+	t1 := clock.Now()
+	rd, err := env.Device.Collect(ctx, agentID)
+	if err != nil {
+		return 0, err
+	}
+	if !rd.OK() {
+		return 0, fmt.Errorf("experiments: journey failed: %s", rd.Error)
+	}
+	download := clock.Now() - t1
+	return upload + download, nil
+}
+
+// MeasureClientServer runs the client-server session for n
+// transactions and returns its online time (the whole session: the
+// client must stay connected until the service completes).
+func MeasureClientServer(seed int64, n int) (time.Duration, error) {
+	env, err := NewEnv(seed)
+	if err != nil {
+		return 0, err
+	}
+	ctx, clock := env.World.NewJourney()
+	client := &baseline.Client{Transport: env.World.Transport(netsim.ZoneWireless)}
+	t0 := clock.Now()
+	if _, err := client.RunClientServer(ctx, env.baselineTxns(n)); err != nil {
+		return 0, err
+	}
+	return clock.Now() - t0, nil
+}
+
+// MeasureWebBased runs the browser session for n transactions and
+// returns its online time.
+func MeasureWebBased(seed int64, n int) (time.Duration, error) {
+	env, err := NewEnv(seed)
+	if err != nil {
+		return 0, err
+	}
+	ctx, clock := env.World.NewJourney()
+	client := &baseline.Client{Transport: env.World.Transport(netsim.ZoneWireless)}
+	t0 := clock.Now()
+	if _, err := client.RunWebBased(ctx, env.baselineTxns(n)); err != nil {
+		return 0, err
+	}
+	return clock.Now() - t0, nil
+}

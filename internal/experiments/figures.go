@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultMaxN matches the paper's x-axis: 1..10 transactions.
+const DefaultMaxN = 10
+
+// DefaultTrialSeeds reproduce the paper's four Figure 13 trials.
+var DefaultTrialSeeds = []int64{101, 202, 303, 404}
+
+// Fig12Row is one x-axis point of Figure 12.
+type Fig12Row struct {
+	N            int
+	PDAgent      time.Duration
+	ClientServer time.Duration
+	WebBased     time.Duration
+}
+
+// Fig12 regenerates Figure 12: Internet connection time vs. number of
+// transactions for the three approaches.
+func Fig12(seed int64, maxN int) ([]Fig12Row, error) {
+	rows := make([]Fig12Row, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		pda, err := MeasurePDAgent(seed, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 n=%d pdagent: %w", n, err)
+		}
+		cs, err := MeasureClientServer(seed, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 n=%d client-server: %w", n, err)
+		}
+		web, err := MeasureWebBased(seed, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 n=%d web: %w", n, err)
+		}
+		rows = append(rows, Fig12Row{N: n, PDAgent: pda, ClientServer: cs, WebBased: web})
+	}
+	return rows, nil
+}
+
+// Fig12Table renders Figure 12 as a table.
+func Fig12Table(rows []Fig12Row) *Table {
+	t := &Table{
+		Title:   "Figure 12 — Internet connection time (virtual seconds)",
+		Columns: []string{"transactions", "pdagent", "client-server", "web-based"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.N), secs(r.PDAgent), secs(r.ClientServer), secs(r.WebBased))
+	}
+	return t
+}
+
+// Fig13Row is one x-axis point of a Figure 13 panel: the completion
+// time per trial.
+type Fig13Row struct {
+	N      int
+	Trials []time.Duration
+}
+
+// measureFn is one approach's completion-time measurement.
+type measureFn func(seed int64, n int) (time.Duration, error)
+
+func fig13(measure measureFn, seeds []int64, maxN int) ([]Fig13Row, error) {
+	rows := make([]Fig13Row, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		row := Fig13Row{N: n}
+		for _, seed := range seeds {
+			d, err := measure(seed, n)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 n=%d seed=%d: %w", n, seed, err)
+			}
+			row.Trials = append(row.Trials, d)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig13ClientServer regenerates Figure 13 (left panel): client-server
+// transaction completion times over the trial seeds. Completion time
+// for the client-server platform is offline submission (free) plus the
+// online request/response session — the paper's formula.
+func Fig13ClientServer(seeds []int64, maxN int) ([]Fig13Row, error) {
+	return fig13(MeasureClientServer, seeds, maxN)
+}
+
+// Fig13PDAgent regenerates Figure 13 (right panel): PDAgent completion
+// times. Per the paper, completion time is "time for sending 'Packed
+// information' (online) + time for downloading result (online)".
+func Fig13PDAgent(seeds []int64, maxN int) ([]Fig13Row, error) {
+	return fig13(MeasurePDAgent, seeds, maxN)
+}
+
+// Fig13Table renders one Figure 13 panel.
+func Fig13Table(title string, rows []Fig13Row) *Table {
+	cols := []string{"transactions"}
+	if len(rows) > 0 {
+		for i := range rows[0].Trials {
+			cols = append(cols, fmt.Sprintf("trial-%d", i+1))
+		}
+		cols = append(cols, "spread")
+	}
+	t := &Table{Title: title, Columns: cols}
+	for _, r := range rows {
+		cells := []string{fmt.Sprint(r.N)}
+		min, max := r.Trials[0], r.Trials[0]
+		for _, d := range r.Trials {
+			cells = append(cells, secs(d))
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		cells = append(cells, secs(max-min))
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Spread returns max-min across a row's trials (the variance measure
+// the paper eyeballs in Figure 13).
+func (r Fig13Row) Spread() time.Duration {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	min, max := r.Trials[0], r.Trials[0]
+	for _, d := range r.Trials {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max - min
+}
+
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}

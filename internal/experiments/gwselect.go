@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pdagent/internal/core"
+	"pdagent/internal/device"
+	"pdagent/internal/netsim"
+)
+
+// SelectReport is the E6 (Figure 8) result: the probe sweep, the
+// chosen gateway, and what the probing itself cost in online time.
+type SelectReport struct {
+	Probes    []device.ProbeResult
+	Chosen    string
+	ChosenRTT time.Duration
+	ProbeCost time.Duration
+	// Refreshed reports whether the §3.5 threshold policy triggered a
+	// list refresh from the central server in the stale-list scenario.
+	Refreshed bool
+}
+
+// gatewayZoneLatencies places five gateways at increasing distances.
+var gatewayZoneLatencies = []time.Duration{
+	120 * time.Millisecond,
+	250 * time.Millisecond,
+	480 * time.Millisecond,
+	800 * time.Millisecond,
+	1400 * time.Millisecond,
+}
+
+// GatewaySelection builds a five-gateway world with heterogeneous
+// latencies and runs the Figure 8 nearest-gateway selection.
+func GatewaySelection(seed int64) (*SelectReport, error) {
+	addrs := make([]string, len(gatewayZoneLatencies))
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("gw-%d", i)
+	}
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed:         seed,
+		GatewayAddrs: addrs,
+		KeyBits:      1024,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Re-home each gateway into its own latency zone.
+	for i, gw := range world.Gateways {
+		zone := fmt.Sprintf("ring-%d", i)
+		world.Net.AddHost(gw.Addr(), zone, gw.Handler())
+		world.Net.SetLinkBoth(netsim.ZoneWireless, zone, netsim.Link{
+			Latency: gatewayZoneLatencies[i],
+			Jitter:  40 * time.Millisecond,
+		})
+		world.Net.SetLinkBoth(netsim.ZoneWired, zone, netsim.Link{Latency: 15 * time.Millisecond})
+	}
+	dev, err := world.NewDevice("probe-device")
+	if err != nil {
+		return nil, err
+	}
+	ctx, clock := world.NewJourney()
+
+	t0 := clock.Now()
+	probes, err := dev.ProbeGateways(ctx)
+	if err != nil {
+		return nil, err
+	}
+	probeCost := clock.Now() - t0
+
+	chosen, rtt, err := dev.SelectGateway(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectReport{
+		Probes:    probes,
+		Chosen:    chosen,
+		ChosenRTT: rtt,
+		ProbeCost: probeCost,
+	}, nil
+}
+
+// GatewaySelectionWithStaleList runs the threshold-breach scenario:
+// the device's list holds only far gateways, so selection must refresh
+// from the central server before settling on a near one.
+func GatewaySelectionWithStaleList(seed int64) (*SelectReport, error) {
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed:         seed,
+		GatewayAddrs: []string{"gw-near", "gw-far"},
+		KeyBits:      1024,
+	})
+	if err != nil {
+		return nil, err
+	}
+	world.Net.AddHost("gw-far", "far-ring", world.Gateways[1].Handler())
+	world.Net.SetLinkBoth(netsim.ZoneWireless, "far-ring", netsim.Link{Latency: 3 * time.Second})
+	world.Net.SetLinkBoth(netsim.ZoneWired, "far-ring", netsim.Link{Latency: 15 * time.Millisecond})
+
+	dev, err := world.NewDevice("probe-device")
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.SetGateways([]string{"gw-far"}); err != nil {
+		return nil, err
+	}
+	ctx, _ := world.NewJourney()
+	chosen, rtt, err := dev.SelectGateway(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectReport{
+		Chosen:    chosen,
+		ChosenRTT: rtt,
+		Refreshed: chosen != "gw-far",
+	}, nil
+}
+
+// SelectTable renders the E6 report.
+func SelectTable(r *SelectReport) *Table {
+	t := &Table{
+		Title:   "E6 / Figure 8 — nearest-gateway selection by RTT probe",
+		Columns: []string{"gateway", "rtt", "chosen"},
+	}
+	for _, p := range r.Probes {
+		mark := ""
+		if p.Addr == r.Chosen {
+			mark = "<=="
+		}
+		if p.Err != nil {
+			t.AddRow(p.Addr, "unreachable", mark)
+			continue
+		}
+		t.AddRow(p.Addr, secs(p.RTT), mark)
+	}
+	t.AddRow("probe cost", secs(r.ProbeCost), "")
+	return t
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pdagent/internal/baseline"
+	"pdagent/internal/core"
+	"pdagent/internal/netsim"
+)
+
+// SensitivityRow is one point of the A5 link-sensitivity sweep: the
+// three approaches' connection times at a given wireless latency, for
+// small and large workloads.
+type SensitivityRow struct {
+	WirelessLatency time.Duration
+	PDAgentN1       time.Duration
+	ClientServerN1  time.Duration
+	PDAgentN10      time.Duration
+	ClientServerN10 time.Duration
+}
+
+// sensitivityLatencies sweeps from LAN-class to satellite-class links.
+var sensitivityLatencies = []time.Duration{
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	150 * time.Millisecond,
+	500 * time.Millisecond,
+	1500 * time.Millisecond,
+}
+
+// measureWithLink runs one approach under a custom wireless link.
+func measureWithLink(seed int64, n int, wireless netsim.Link, pdagent bool) (time.Duration, error) {
+	_, wired := experimentLinks()
+	world, err := core.NewSimWorld(core.SimConfig{
+		Seed:     seed,
+		Wireless: &wireless,
+		Wired:    &wired,
+		KeyBits:  1024,
+	})
+	if err != nil {
+		return 0, err
+	}
+	env := &Env{World: world, BankHosts: []string{"bank-a", "bank-b"}}
+	for _, bank := range env.BankHosts {
+		web := "web-" + bank
+		world.Net.AddHost(web, netsim.ZoneWired, baseline.NewServer(world.Banks[bank]).Handler())
+		env.WebBanks = append(env.WebBanks, web)
+	}
+	ctx, clock := world.NewJourney()
+
+	if !pdagent {
+		client := &baseline.Client{Transport: world.Transport(netsim.ZoneWireless)}
+		t0 := clock.Now()
+		if _, err := client.RunClientServer(ctx, env.baselineTxns(n)); err != nil {
+			return 0, err
+		}
+		return clock.Now() - t0, nil
+	}
+
+	dev, err := world.NewDevice("sweep-device")
+	if err != nil {
+		return 0, err
+	}
+	env.Device = dev
+	if err := dev.Subscribe(ctx, "gw-0", core.AppEBanking); err != nil {
+		return 0, err
+	}
+	t0 := clock.Now()
+	agentID, err := dev.Dispatch(ctx, core.AppEBanking, ebankingParams(env.BankHosts, n))
+	if err != nil {
+		return 0, err
+	}
+	upload := clock.Now() - t0
+	world.Run()
+	t1 := clock.Now()
+	rd, err := dev.Collect(ctx, agentID)
+	if err != nil {
+		return 0, err
+	}
+	if !rd.OK() {
+		return 0, fmt.Errorf("experiments: sweep journey failed: %s", rd.Error)
+	}
+	return upload + (clock.Now() - t1), nil
+}
+
+// LinkSensitivity regenerates the A5 sweep: how the PDAgent advantage
+// depends on the wireless link quality. The paper argues the approach
+// exists because handheld links are slow; the sweep quantifies the
+// crossover — on fast links the two extra messages PDAgent pays per
+// session make the baseline competitive at n=1, while on slow links
+// PDAgent dominates everywhere.
+func LinkSensitivity(seed int64) ([]SensitivityRow, error) {
+	var rows []SensitivityRow
+	for _, lat := range sensitivityLatencies {
+		link := netsim.Link{
+			Latency:   lat,
+			Jitter:    lat / 2,
+			Bandwidth: 18_000,
+		}
+		row := SensitivityRow{WirelessLatency: lat}
+		var err error
+		if row.PDAgentN1, err = measureWithLink(seed, 1, link, true); err != nil {
+			return nil, err
+		}
+		if row.ClientServerN1, err = measureWithLink(seed, 1, link, false); err != nil {
+			return nil, err
+		}
+		if row.PDAgentN10, err = measureWithLink(seed, 10, link, true); err != nil {
+			return nil, err
+		}
+		if row.ClientServerN10, err = measureWithLink(seed, 10, link, false); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SensitivityTable renders A5.
+func SensitivityTable(rows []SensitivityRow) *Table {
+	t := &Table{
+		Title:   "A5 — link sensitivity: connection time vs. wireless latency",
+		Columns: []string{"latency", "pda n=1", "cs n=1", "pda n=10", "cs n=10", "winner n=1"},
+	}
+	for _, r := range rows {
+		winner := "pdagent"
+		if r.ClientServerN1 < r.PDAgentN1 {
+			winner = "client-server"
+		}
+		t.AddRow(
+			fmt.Sprintf("%v", r.WirelessLatency),
+			secs(r.PDAgentN1), secs(r.ClientServerN1),
+			secs(r.PDAgentN10), secs(r.ClientServerN10),
+			winner,
+		)
+	}
+	return t
+}

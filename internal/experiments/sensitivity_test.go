@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLinkSensitivityShape pins the A5 crossover analysis: on very
+// fast links the baseline is competitive at n=1 (PDAgent pays two
+// extra fixed messages), while at high latency PDAgent wins even the
+// single-transaction case; at n=10 PDAgent wins across the sweep.
+func TestLinkSensitivityShape(t *testing.T) {
+	rows, err := LinkSensitivity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fastest, slowest := rows[0], rows[len(rows)-1]
+	if fastest.WirelessLatency >= slowest.WirelessLatency {
+		t.Fatal("sweep not ordered")
+	}
+	// n=10: PDAgent wins at every latency.
+	for _, r := range rows {
+		if r.PDAgentN10 >= r.ClientServerN10 {
+			t.Errorf("lat %v: pda n=10 %v >= cs %v", r.WirelessLatency, r.PDAgentN10, r.ClientServerN10)
+		}
+	}
+	// The advantage at n=10 grows with latency.
+	gapFast := fastest.ClientServerN10 - fastest.PDAgentN10
+	gapSlow := slowest.ClientServerN10 - slowest.PDAgentN10
+	if gapSlow <= gapFast {
+		t.Errorf("n=10 gap did not grow with latency: %v -> %v", gapFast, gapSlow)
+	}
+	// At the slowest link PDAgent also wins the single-transaction case
+	// by a clear margin.
+	if slowest.PDAgentN1 >= slowest.ClientServerN1 {
+		t.Errorf("slow link n=1: pda %v >= cs %v", slowest.PDAgentN1, slowest.ClientServerN1)
+	}
+	// Everything stays sub-minute: sanity bound against unit mistakes.
+	for _, r := range rows {
+		if r.ClientServerN10 > 5*time.Minute {
+			t.Errorf("cs n=10 at %v = %v, implausible", r.WirelessLatency, r.ClientServerN10)
+		}
+	}
+}

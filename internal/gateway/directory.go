@@ -1,0 +1,57 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// Directory is the paper's §3.5 central server: it serves the gateway
+// address list that devices download before RTT-probing for the
+// nearest gateway. Run it standalone (cmd/central) or embed it.
+type Directory struct {
+	mu    sync.RWMutex
+	addrs []string
+}
+
+// NewDirectory creates a directory with an initial gateway list.
+func NewDirectory(addrs ...string) *Directory {
+	return &Directory{addrs: append([]string(nil), addrs...)}
+}
+
+// Set replaces the gateway list.
+func (d *Directory) Set(addrs []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs = append([]string(nil), addrs...)
+}
+
+// Add appends a gateway address if not present.
+func (d *Directory) Add(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, a := range d.addrs {
+		if a == addr {
+			return
+		}
+	}
+	d.addrs = append(d.addrs, addr)
+}
+
+// Handler serves /pdagent/gateways (and /pdagent/ping so devices can
+// probe the directory itself).
+func (d *Directory) Handler() transport.Handler {
+	m := transport.NewMux()
+	m.HandleFunc("/pdagent/gateways", func(_ context.Context, _ *transport.Request) *transport.Response {
+		d.mu.RLock()
+		list := &wire.GatewayList{Addresses: append([]string(nil), d.addrs...)}
+		d.mu.RUnlock()
+		return transport.OK(list.EncodeXML())
+	})
+	m.HandleFunc("/pdagent/ping", func(_ context.Context, _ *transport.Request) *transport.Response {
+		return transport.OK([]byte("p"))
+	})
+	return m
+}

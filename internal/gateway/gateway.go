@@ -1,0 +1,555 @@
+// Package gateway implements the PDAgent Gateway: the middle-tier
+// "communication and operation bridge" of the paper (Figures 4–6).
+//
+// The gateway exposes the handheld-facing endpoints (all under
+// /pdagent/) and embeds a home mobile-agent server that creates,
+// dispatches and receives agents. Its internal components follow the
+// paper's architecture:
+//
+//   - Agent Dispatch Handler — receives the Packed Information,
+//     verifies the MD5 digest and decrypts it (Figure 7), and splits it
+//     into modules;
+//   - XML Writer — parses the XML document and extracts the user
+//     requirement parameters;
+//   - Agent Creator — validates the dispatch key against the
+//     subscription secret and "generates mobile agent classes", i.e.
+//     compiles the MAScript source for the local MAS flavour;
+//   - Document Creator / File Directory — materialises request and
+//     result documents in an allocated storage space (an rms.Store);
+//   - Subscription service — serves the catalogue and issues code
+//     packages with per-subscription secrets (§3.1);
+//   - Directory service — serves the gateway address list (§3.5).
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pdagent/internal/atp"
+	"pdagent/internal/kxml"
+	"pdagent/internal/mas"
+	"pdagent/internal/mascript"
+	"pdagent/internal/mavm"
+	"pdagent/internal/pisec"
+	"pdagent/internal/rms"
+	"pdagent/internal/services"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Addr is the gateway's address on the transport fabric.
+	Addr string
+	// KeyPair is the gateway's RSA identity (Figure 7). Required.
+	KeyPair *pisec.KeyPair
+	// Transport reaches MAS hosts and peer gateways.
+	Transport transport.RoundTripper
+	// Flavour is the embedded home MAS codec flavour (default
+	// "aglets", the paper's choice).
+	Flavour string
+	// Spawn runs agent loops asynchronously (default `go fn()`; the
+	// simulated world passes a serial queue).
+	Spawn func(fn func())
+	// Peers are other gateway addresses served from /pdagent/gateways
+	// (the directory of §3.5). The gateway's own address is always
+	// included.
+	Peers []string
+	// Documents is the File Directory backing store (default: an
+	// in-memory rms store).
+	Documents rms.Store
+	// Services are service agents resident at the gateway itself
+	// (usually none — services live at network hosts).
+	Services *services.Registry
+	// FuelSlice overrides the MAS execution slice.
+	FuelSlice uint64
+	// Logf, when set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// agentMeta tracks one dispatched agent for status and result lookup.
+type agentMeta struct {
+	codeID  string
+	owner   string
+	done    bool
+	docID   int // record id of the result document in Documents
+	lastWhy string
+}
+
+// Gateway is one gateway instance.
+type Gateway struct {
+	cfg Config
+	mas *mas.Server
+	mux *transport.Mux
+
+	mu       sync.Mutex
+	catalog  map[string]*wire.CodePackage // code id -> package
+	secrets  map[string][]byte            // code id + "\x00" + owner -> subscription secret
+	dispatch map[string]*agentMeta        // agent id -> meta
+	replay   map[string]*nonceWindow      // subscription -> recent dispatch nonces
+	agentSeq int
+}
+
+// nonceWindow remembers the most recent dispatch nonces of one
+// subscription so a captured PI cannot be replayed. Bounded FIFO.
+type nonceWindow struct {
+	seen  map[string]bool
+	order []string
+}
+
+// nonceWindowSize bounds each subscription's replay memory.
+const nonceWindowSize = 1024
+
+// remember records a nonce, reporting false if it was already seen.
+func (w *nonceWindow) remember(nonce string) bool {
+	if w.seen[nonce] {
+		return false
+	}
+	w.seen[nonce] = true
+	w.order = append(w.order, nonce)
+	if len(w.order) > nonceWindowSize {
+		delete(w.seen, w.order[0])
+		w.order = w.order[1:]
+	}
+	return true
+}
+
+// New creates a gateway and its embedded home MAS.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("gateway: config missing Addr")
+	}
+	if cfg.KeyPair == nil {
+		return nil, fmt.Errorf("gateway: config missing KeyPair")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("gateway: config missing Transport")
+	}
+	if cfg.Flavour == "" {
+		cfg.Flavour = "aglets"
+	}
+	if cfg.Documents == nil {
+		cfg.Documents = rms.NewMemStore("gateway-docs", 0)
+	}
+	if cfg.Services == nil {
+		cfg.Services = services.NewRegistry()
+	}
+	codec, err := atp.ByName(cfg.Flavour)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Gateway{
+		cfg:      cfg,
+		catalog:  map[string]*wire.CodePackage{},
+		secrets:  map[string][]byte{},
+		dispatch: map[string]*agentMeta{},
+		replay:   map[string]*nonceWindow{},
+	}
+	masSrv, err := mas.NewServer(mas.Config{
+		Addr:        cfg.Addr,
+		Codec:       codec,
+		Transport:   cfg.Transport,
+		Services:    cfg.Services,
+		Spawn:       cfg.Spawn,
+		FuelSlice:   cfg.FuelSlice,
+		OnAgentHome: g.onAgentHome,
+		Logf:        cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.mas = masSrv
+
+	m := transport.NewMux()
+	// The embedded MAS handles agent transfers addressed to this
+	// gateway.
+	m.Handle("/atp/", masSrv.Handler())
+	m.HandleFunc("/pdagent/ping", g.handlePing)
+	m.HandleFunc("/pdagent/catalog", g.handleCatalog)
+	m.HandleFunc("/pdagent/subscribe", g.handleSubscribe)
+	m.HandleFunc("/pdagent/dispatch", g.handleDispatch)
+	m.HandleFunc("/pdagent/result", g.handleResult)
+	m.HandleFunc("/pdagent/status", g.handleStatus)
+	m.HandleFunc("/pdagent/gateways", g.handleGateways)
+	m.HandleFunc("/pdagent/manage/retract", g.handleRetract)
+	m.HandleFunc("/pdagent/manage/dispose", g.handleDispose)
+	m.HandleFunc("/pdagent/manage/clone", g.handleClone)
+	g.mux = m
+	return g, nil
+}
+
+// Addr returns the gateway's address.
+func (g *Gateway) Addr() string { return g.cfg.Addr }
+
+// Handler returns the transport handler for the gateway host.
+func (g *Gateway) Handler() transport.Handler { return g.mux }
+
+// MAS exposes the embedded home mobile-agent server (tests, tooling).
+func (g *Gateway) MAS() *mas.Server { return g.mas }
+
+// PublicKey returns the gateway's public key.
+func (g *Gateway) PublicKey() *pisec.PublicKey { return g.cfg.KeyPair.Public() }
+
+// AddCodePackage publishes an application in the subscription
+// catalogue.
+func (g *Gateway) AddCodePackage(cp *wire.CodePackage) error {
+	if cp.CodeID == "" || cp.Source == "" {
+		return fmt.Errorf("gateway: code package needs id and source")
+	}
+	// Reject packages that do not compile: a broken catalogue entry
+	// would otherwise surface only at dispatch time.
+	if _, err := mascript.Compile(cp.Source); err != nil {
+		return fmt.Errorf("gateway: package %q does not compile: %w", cp.CodeID, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.catalog[cp.CodeID] = cp
+	return nil
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// --- result intake (the agent coming home, §3.3) -----------------------
+
+func (g *Gateway) onAgentHome(_ context.Context, a *mas.Arrival) {
+	status := "done"
+	switch a.Kind {
+	case mas.KindFailed:
+		status = "failed"
+	case mas.KindRetracted:
+		status = "retracted"
+	}
+	rd := &wire.ResultDocument{
+		AgentID: a.VM.AgentID,
+		CodeID:  a.Image.CodeID,
+		Owner:   a.Image.Owner,
+		Status:  status,
+		Error:   a.VM.FailMsg(),
+		Hops:    a.VM.Hops,
+		Steps:   a.VM.Steps,
+		Results: a.VM.Results,
+	}
+	doc, err := rd.EncodeXML()
+	if err != nil {
+		g.logf("gateway %s: encoding result for %s: %v", g.cfg.Addr, rd.AgentID, err)
+		return
+	}
+	// The File Directory allocates a space for the result document.
+	docID, err := g.cfg.Documents.Add(doc)
+	if err != nil {
+		g.logf("gateway %s: storing result for %s: %v", g.cfg.Addr, rd.AgentID, err)
+		return
+	}
+	g.mu.Lock()
+	meta, ok := g.dispatch[rd.AgentID]
+	if !ok {
+		// Unknown agent (e.g. a clone created remotely): adopt it so the
+		// owner can still collect.
+		meta = &agentMeta{codeID: rd.CodeID, owner: rd.Owner}
+		g.dispatch[rd.AgentID] = meta
+	}
+	meta.done = true
+	meta.docID = docID
+	meta.lastWhy = rd.Error
+	g.mu.Unlock()
+	g.logf("gateway %s: result ready for agent %s (%s)", g.cfg.Addr, rd.AgentID, status)
+}
+
+// --- handheld-facing handlers -------------------------------------------
+
+func (g *Gateway) handlePing(_ context.Context, _ *transport.Request) *transport.Response {
+	return transport.OK([]byte("p"))
+}
+
+func (g *Gateway) handleCatalog(_ context.Context, _ *transport.Request) *transport.Response {
+	g.mu.Lock()
+	cat := &wire.Catalogue{Gateway: g.cfg.Addr}
+	for _, cp := range g.catalog {
+		cat.Packages = append(cat.Packages, cp)
+	}
+	g.mu.Unlock()
+	return transport.OK(cat.EncodeXML())
+}
+
+func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *transport.Response {
+	codeID := req.GetHeader("code-id")
+	owner := req.GetHeader("owner")
+	if codeID == "" || owner == "" {
+		return transport.Errorf(transport.StatusBadRequest, "subscribe needs code-id and owner headers")
+	}
+	g.mu.Lock()
+	cp, ok := g.catalog[codeID]
+	g.mu.Unlock()
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "no code package %q", codeID)
+	}
+	secret, err := pisec.NewSubscriptionSecret()
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "issuing secret: %v", err)
+	}
+	g.mu.Lock()
+	g.secrets[subKey(codeID, owner)] = secret
+	g.mu.Unlock()
+
+	pubKey, err := g.cfg.KeyPair.Public().Marshal()
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "marshalling key: %v", err)
+	}
+	sub := &wire.Subscription{Package: cp, Secret: secret, GatewayKey: pubKey, Gateway: g.cfg.Addr}
+	doc, err := sub.EncodeXML()
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "encoding subscription: %v", err)
+	}
+	return transport.OK(doc)
+}
+
+func subKey(codeID, owner string) string { return codeID + "\x00" + owner }
+
+// handleDispatch is the Agent Dispatch Handler of Figure 6.
+func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *transport.Response {
+	// Step 1-2: security check and decryption (Figure 7), then
+	// decompression and XML parsing (the XML Writer).
+	pi, err := wire.Unpack(req.Body, g.cfg.KeyPair)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "unpacking packed information: %v", err)
+	}
+
+	// Step 3: the Agent Creator validates the supplied unique key.
+	g.mu.Lock()
+	secret, subscribed := g.secrets[subKey(pi.CodeID, pi.Owner)]
+	g.mu.Unlock()
+	if !subscribed {
+		return transport.Errorf(transport.StatusUnauthorized,
+			"no subscription for code %q by %q", pi.CodeID, pi.Owner)
+	}
+	if !pisec.VerifyDispatchKey(pi.CodeID, secret, pi.DispatchKey) {
+		return transport.Errorf(transport.StatusUnauthorized,
+			"invalid dispatch key for code %q", pi.CodeID)
+	}
+	// Replay protection (extension beyond the paper's Figure 7): every
+	// PI must carry a fresh nonce; a captured upload replayed verbatim
+	// is refused instead of re-dispatching the agent.
+	if pi.Nonce == "" {
+		return transport.Errorf(transport.StatusBadRequest,
+			"packed information missing dispatch nonce")
+	}
+	g.mu.Lock()
+	win := g.replay[subKey(pi.CodeID, pi.Owner)]
+	if win == nil {
+		win = &nonceWindow{seen: map[string]bool{}}
+		g.replay[subKey(pi.CodeID, pi.Owner)] = win
+	}
+	fresh := win.remember(pi.Nonce)
+	g.mu.Unlock()
+	if !fresh {
+		return transport.Errorf(transport.StatusConflict,
+			"replayed packed information (nonce already used)")
+	}
+
+	// Step 4: "generate mobile agent classes from the information" —
+	// compile the shipped source.
+	prog, err := mascript.Compile(pi.Source)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "agent code: %v", err)
+	}
+
+	// Step 5: the Document Creator materialises the request document
+	// and the File Directory allocates space for it.
+	g.mu.Lock()
+	g.agentSeq++
+	agentID := fmt.Sprintf("ag-%s-%d", g.cfg.Addr, g.agentSeq)
+	g.mu.Unlock()
+	reqDoc, err := pi.EncodeXML()
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "request document: %v", err)
+	}
+	if _, err := g.cfg.Documents.Add(reqDoc); err != nil {
+		return transport.Errorf(transport.StatusServerError, "storing request document: %v", err)
+	}
+
+	// Step 6: signal the MAS to create and dispatch the agent.
+	vm, err := mavm.New(prog, agentID, pi.Params)
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "creating agent: %v", err)
+	}
+	g.mu.Lock()
+	g.dispatch[agentID] = &agentMeta{codeID: pi.CodeID, owner: pi.Owner}
+	g.mu.Unlock()
+	if err := g.mas.AdmitAgent(ctx, vm, pi.CodeID, pi.Owner, g.cfg.Addr); err != nil {
+		return transport.Errorf(transport.StatusServerError, "admitting agent: %v", err)
+	}
+	g.logf("gateway %s: dispatched agent %s (code %s, owner %s)", g.cfg.Addr, agentID, pi.CodeID, pi.Owner)
+
+	resp := transport.OKText(agentID)
+	resp.SetHeader("agent", agentID)
+	return resp
+}
+
+func (g *Gateway) handleResult(_ context.Context, req *transport.Request) *transport.Response {
+	agentID := req.GetHeader("agent")
+	g.mu.Lock()
+	meta, ok := g.dispatch[agentID]
+	if !ok {
+		g.mu.Unlock()
+		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
+	}
+	if !meta.done {
+		g.mu.Unlock()
+		return transport.Errorf(transport.StatusConflict, "agent %q still travelling", agentID)
+	}
+	docID := meta.docID
+	g.mu.Unlock()
+	doc, err := g.cfg.Documents.Get(docID)
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "loading result: %v", err)
+	}
+	return transport.OK(doc)
+}
+
+// handleStatus reports an agent's progress, chasing forwarding
+// pointers across MAS hosts when the agent has moved on.
+func (g *Gateway) handleStatus(ctx context.Context, req *transport.Request) *transport.Response {
+	agentID := req.GetHeader("agent")
+	g.mu.Lock()
+	meta, ok := g.dispatch[agentID]
+	done := ok && meta.done
+	g.mu.Unlock()
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
+	}
+	if done {
+		resp := transport.OKText("complete")
+		resp.SetHeader("agent-state", "complete")
+		return resp
+	}
+	addr, body, err := g.chase(ctx, agentID)
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
+	}
+	resp := transport.OK(body)
+	resp.SetHeader("agent-state", "travelling")
+	resp.SetHeader("agent-host", addr)
+	return resp
+}
+
+// chase follows moved-to pointers from the home MAS until it finds the
+// host currently holding the agent; it returns that host's status
+// document.
+func (g *Gateway) chase(ctx context.Context, agentID string) (addr string, status []byte, err error) {
+	const maxHops = 16
+	addr = g.cfg.Addr
+	var lastBody []byte
+	for i := 0; i < maxHops; i++ {
+		sreq := &transport.Request{Path: "/atp/status"}
+		sreq.SetHeader("agent", agentID)
+		resp, rerr := g.cfg.Transport.RoundTrip(ctx, addr, sreq)
+		if rerr != nil {
+			return addr, nil, rerr
+		}
+		if !resp.IsOK() {
+			return addr, nil, fmt.Errorf("status at %s: %s", addr, resp.Text())
+		}
+		root, perr := parseStatus(resp.Body)
+		if perr != nil {
+			return addr, nil, perr
+		}
+		lastBody = resp.Body
+		if root.state == string(mas.StateDeparted) && root.movedTo != "" && root.movedTo != addr {
+			addr = root.movedTo
+			continue
+		}
+		return addr, lastBody, nil
+	}
+	return addr, lastBody, fmt.Errorf("forwarding chain longer than %d", maxHops)
+}
+
+// manage runs a management verb at the host currently holding the
+// agent (§3.6: clone, retract, dispose).
+func (g *Gateway) manage(ctx context.Context, agentID, verb string, extra map[string]string) *transport.Response {
+	g.mu.Lock()
+	_, known := g.dispatch[agentID]
+	g.mu.Unlock()
+	if !known {
+		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
+	}
+	addr, _, err := g.chase(ctx, agentID)
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
+	}
+	mreq := &transport.Request{Path: "/atp/" + verb}
+	mreq.SetHeader("agent", agentID)
+	for k, v := range extra {
+		mreq.SetHeader(k, v)
+	}
+	resp, err := g.cfg.Transport.RoundTrip(ctx, addr, mreq)
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "%s at %s: %v", verb, addr, err)
+	}
+	return resp
+}
+
+func (g *Gateway) handleRetract(ctx context.Context, req *transport.Request) *transport.Response {
+	return g.manage(ctx, req.GetHeader("agent"), "retract", map[string]string{"to": g.cfg.Addr})
+}
+
+func (g *Gateway) handleDispose(ctx context.Context, req *transport.Request) *transport.Response {
+	agentID := req.GetHeader("agent")
+	resp := g.manage(ctx, agentID, "dispose", nil)
+	if resp.IsOK() {
+		g.mu.Lock()
+		if meta, ok := g.dispatch[agentID]; ok {
+			meta.lastWhy = "disposed by owner"
+		}
+		g.mu.Unlock()
+	}
+	return resp
+}
+
+func (g *Gateway) handleClone(ctx context.Context, req *transport.Request) *transport.Response {
+	agentID := req.GetHeader("agent")
+	resp := g.manage(ctx, agentID, "clone", nil)
+	if resp.IsOK() {
+		cloneID := resp.Text()
+		g.mu.Lock()
+		if meta, ok := g.dispatch[agentID]; ok {
+			// Track the clone like our own dispatch so its results are
+			// collectable.
+			g.dispatch[cloneID] = &agentMeta{codeID: meta.codeID, owner: meta.owner}
+		}
+		g.mu.Unlock()
+	}
+	return resp
+}
+
+func (g *Gateway) handleGateways(_ context.Context, _ *transport.Request) *transport.Response {
+	list := &wire.GatewayList{Addresses: append([]string{g.cfg.Addr}, g.cfg.Peers...)}
+	return transport.OK(list.EncodeXML())
+}
+
+// statusFields is the subset of the MAS status document the gateway
+// needs for chasing.
+type statusFields struct {
+	state   string
+	movedTo string
+}
+
+func parseStatus(body []byte) (*statusFields, error) {
+	root, err := parseXML(body)
+	if err != nil {
+		return nil, err
+	}
+	return &statusFields{
+		state:   root.AttrDefault("state", ""),
+		movedTo: root.AttrDefault("moved-to", ""),
+	}, nil
+}
+
+func parseXML(body []byte) (*kxml.Node, error) {
+	return kxml.ParseBytes(body)
+}

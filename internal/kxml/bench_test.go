@@ -1,0 +1,51 @@
+package kxml
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchDoc approximates a 10-transaction result document.
+func benchDoc() []byte {
+	root := NewElement("result-document").SetAttr("agent", "ag-1").SetAttr("status", "done")
+	for i := 0; i < 20; i++ {
+		r := root.AddElement("result").SetAttr("key", "receipts")
+		v := r.AddElement("value").SetAttr("type", "map")
+		v.AddElement("entry").SetAttr("key", "bank").AddElement("value").SetAttr("type", "str").AddText("bank-a")
+		v.AddElement("entry").SetAttr("key", "txid").AddElement("value").SetAttr("type", "str").AddText("bank-a-tx-1")
+		v.AddElement("entry").SetAttr("key", "amount").AddElement("value").SetAttr("type", "int").AddText("100")
+	}
+	return root.EncodeDocument()
+}
+
+func BenchmarkParse(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseBytes(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	root, err := ParseBytes(benchDoc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(root.Encode()) == 0 {
+			b.Fatal("empty encode")
+		}
+	}
+}
+
+func BenchmarkEscapeText(b *testing.B) {
+	s := strings.Repeat("plain text with <some> &escapes& mixed in ", 50)
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		EscapeText(s)
+	}
+}

@@ -1,0 +1,755 @@
+// Package mas implements the Mobile Agent Server: the runtime that
+// hosts mobile agents at network sites (the IBM Aglets role in the
+// paper's prototype) and inside the gateway.
+//
+// A Server owns the agents currently resident at its address. Each
+// agent executes in fuel slices (mavm.Run); between slices the server
+// honours management requests — the paper's §3.6 operations: clone an
+// agent, retract an agent, dispose a mobile agent, and view agent
+// status. When an agent suspends at migrate(host), the server encodes
+// it with the destination's codec flavour (discovered via the
+// /atp/hello handshake) and transfers it; when an agent completes or
+// fails away from home it is automatically shipped back to its home
+// gateway so results are never stranded.
+//
+// Endpoints (all under /atp/):
+//
+//	/atp/hello     flavour + resident services (handshake)
+//	/atp/ping      1-byte probe for the paper's Figure 8 RTT selection
+//	/atp/transfer  receive an agent image (kind: migrate|done|failed|retracted)
+//	/atp/status    agent status by id
+//	/atp/clone     clone a resident agent, returns the new id
+//	/atp/retract   ship a resident agent to the requester's address
+//	/atp/dispose   terminate and drop a resident agent
+//	/atp/agents    list resident/known agents
+//	/atp/logs      agent log lines
+package mas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pdagent/internal/atp"
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+	"pdagent/internal/services"
+	"pdagent/internal/transport"
+)
+
+// Transfer kinds carried in the "kind" header of /atp/transfer.
+const (
+	KindMigrate   = "migrate"
+	KindDone      = "done"
+	KindFailed    = "failed"
+	KindRetracted = "retracted"
+)
+
+// AgentState is a resident agent's bookkeeping state.
+type AgentState string
+
+// Agent bookkeeping states.
+const (
+	StateRunning   AgentState = "running"   // executing or awaiting a slice
+	StateDeparted  AgentState = "departed"  // migrated away; MovedTo set
+	StateDelivered AgentState = "delivered" // arrived home, results handed over
+	StateDisposed  AgentState = "disposed"  // dropped on request
+	StateStranded  AgentState = "stranded"  // cannot move or return; LastErr set
+)
+
+// Arrival describes an agent coming home, passed to OnAgentHome.
+type Arrival struct {
+	// Kind is the transfer kind (done, failed, retracted).
+	Kind string
+	// Image is the raw transferred image.
+	Image *atp.Image
+	// VM is the reconstructed agent state (results, status, hops).
+	VM *mavm.VM
+}
+
+// Config configures a Server.
+type Config struct {
+	// Addr is this host's address on the transport fabric.
+	Addr string
+	// Codec is the flavour this MAS speaks (its native wire format).
+	Codec atp.Codec
+	// Transport sends agents to other hosts.
+	Transport transport.RoundTripper
+	// Services are the resident service agents.
+	Services *services.Registry
+	// Spawn runs an agent loop asynchronously. Defaults to `go fn()`.
+	// The simulated world passes a serial queue for determinism.
+	Spawn func(fn func())
+	// FuelSlice is the op budget per execution slice (default
+	// mavm.DefaultFuel).
+	FuelSlice uint64
+	// TransferAttempts is how many times a transfer is retried before
+	// the agent is considered stuck (default 3).
+	TransferAttempts int
+	// MaxHops bounds an agent's lifetime migrations; an arriving agent
+	// beyond the bound is failed home instead of admitted, which stops
+	// runaway itineraries from bouncing between hosts forever
+	// (default 64).
+	MaxHops int
+	// OnAgentHome is invoked when an agent arrives at its home server
+	// (the gateway sets this to collect results).
+	OnAgentHome func(ctx context.Context, a *Arrival)
+	// Logf, when set, receives server diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// record tracks one agent known to this server.
+type record struct {
+	id      string
+	home    string
+	codeID  string
+	owner   string
+	vm      *mavm.VM
+	state   AgentState
+	movedTo string
+	lastErr string
+
+	// control flags, read at slice boundaries.
+	disposeReq bool
+	retractTo  string
+
+	// execMu serialises VM execution with clone/status access.
+	execMu sync.Mutex
+}
+
+// Server is one mobile agent server instance.
+type Server struct {
+	cfg Config
+	mux *transport.Mux
+
+	mu       sync.Mutex
+	agents   map[string]*record
+	flavours map[string]atp.Codec // destination addr -> codec cache
+	cloneSeq int
+	logs     []string // ring of recent agent log lines
+}
+
+// maxLogLines bounds the per-server agent log ring.
+const maxLogLines = 512
+
+// NewServer creates a MAS from a config.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("mas: config missing Addr")
+	}
+	if cfg.Codec == nil {
+		return nil, errors.New("mas: config missing Codec")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("mas: config missing Transport")
+	}
+	if cfg.Services == nil {
+		cfg.Services = services.NewRegistry()
+	}
+	if cfg.Spawn == nil {
+		cfg.Spawn = func(fn func()) { go fn() }
+	}
+	if cfg.FuelSlice == 0 {
+		cfg.FuelSlice = mavm.DefaultFuel
+	}
+	if cfg.TransferAttempts == 0 {
+		cfg.TransferAttempts = 3
+	}
+	if cfg.MaxHops == 0 {
+		cfg.MaxHops = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		agents:   make(map[string]*record),
+		flavours: make(map[string]atp.Codec),
+	}
+	m := transport.NewMux()
+	m.HandleFunc("/atp/hello", s.handleHello)
+	m.HandleFunc("/atp/ping", s.handlePing)
+	m.HandleFunc("/atp/transfer", s.handleTransfer)
+	m.HandleFunc("/atp/status", s.handleStatus)
+	m.HandleFunc("/atp/clone", s.handleClone)
+	m.HandleFunc("/atp/retract", s.handleRetract)
+	m.HandleFunc("/atp/dispose", s.handleDispose)
+	m.HandleFunc("/atp/agents", s.handleAgents)
+	m.HandleFunc("/atp/logs", s.handleLogs)
+	s.mux = m
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Flavour returns the server's native codec name.
+func (s *Server) Flavour() string { return s.cfg.Codec.Name() }
+
+// Handler returns the transport handler for this server (mount it on a
+// network host or HTTP listener).
+func (s *Server) Handler() transport.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- mavm.Host adapter --------------------------------------------------
+
+// hostAPI binds one agent record to the mavm.Host interface.
+type hostAPI struct {
+	s   *Server
+	rec *record
+}
+
+func (h hostAPI) HostName() string { return h.s.cfg.Addr }
+func (h hostAPI) HomeAddr() string { return h.rec.home }
+func (h hostAPI) CallService(name string, args []mavm.Value) (mavm.Value, error) {
+	return h.s.cfg.Services.Call(name, args)
+}
+func (h hostAPI) Log(agentID, msg string) {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	line := fmt.Sprintf("[%s@%s] %s", agentID, h.s.cfg.Addr, msg)
+	h.s.logs = append(h.s.logs, line)
+	if len(h.s.logs) > maxLogLines {
+		h.s.logs = h.s.logs[len(h.s.logs)-maxLogLines:]
+	}
+}
+
+// --- agent admission and execution ---------------------------------------
+
+// AdmitAgent registers a fresh agent (created locally, e.g. by the
+// gateway's Agent Creator) and starts executing it. ctx carries the
+// journey clock in simulated worlds.
+func (s *Server) AdmitAgent(ctx context.Context, vm *mavm.VM, codeID, owner, home string) error {
+	rec := &record{
+		id:     vm.AgentID,
+		home:   home,
+		codeID: codeID,
+		owner:  owner,
+		vm:     vm,
+		state:  StateRunning,
+	}
+	s.mu.Lock()
+	if _, exists := s.agents[rec.id]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("mas: agent %s already known at %s", rec.id, s.cfg.Addr)
+	}
+	s.agents[rec.id] = rec
+	s.mu.Unlock()
+	s.startLoop(ctx, rec)
+	return nil
+}
+
+func (s *Server) startLoop(ctx context.Context, rec *record) {
+	// Detach cancellation: the agent outlives the request that
+	// delivered it, but the journey clock must travel along.
+	loopCtx := context.WithoutCancel(ctx)
+	s.cfg.Spawn(func() { s.agentLoop(loopCtx, rec) })
+}
+
+// agentLoop drives one agent until it leaves this server (migrates,
+// returns home, is disposed or retracted) or strands.
+func (s *Server) agentLoop(ctx context.Context, rec *record) {
+	for {
+		// Control flags first: dispose and retract win over execution.
+		s.mu.Lock()
+		dispose, retractTo := rec.disposeReq, rec.retractTo
+		s.mu.Unlock()
+		if dispose {
+			s.setState(rec, StateDisposed, "")
+			s.logf("mas %s: disposed agent %s", s.cfg.Addr, rec.id)
+			return
+		}
+		if retractTo != "" {
+			s.shipAgent(ctx, rec, retractTo, KindRetracted)
+			return
+		}
+
+		rec.execMu.Lock()
+		st, err := rec.vm.Run(hostAPI{s, rec}, s.cfg.FuelSlice)
+		rec.execMu.Unlock()
+
+		switch {
+		case errors.Is(err, mavm.ErrOutOfFuel):
+			continue
+		case st == mavm.StatusMigrating:
+			s.shipAgent(ctx, rec, rec.vm.MigrateTarget(), KindMigrate)
+			return
+		case st == mavm.StatusDone:
+			s.finishAgent(ctx, rec, KindDone)
+			return
+		case st == mavm.StatusFailed:
+			s.logf("mas %s: agent %s failed: %v", s.cfg.Addr, rec.id, err)
+			s.setErr(rec, rec.vm.FailMsg())
+			s.finishAgent(ctx, rec, KindFailed)
+			return
+		default:
+			// Run refused (e.g. already done): treat as internal error.
+			s.setErr(rec, fmt.Sprintf("unexpected run state %v: %v", st, err))
+			s.setState(rec, StateStranded, "")
+			return
+		}
+	}
+}
+
+// finishAgent routes a completed/failed agent's results: locally if
+// this server is its home, otherwise shipped home.
+func (s *Server) finishAgent(ctx context.Context, rec *record, kind string) {
+	if rec.home == s.cfg.Addr {
+		s.deliverLocal(ctx, rec, kind)
+		return
+	}
+	s.shipAgent(ctx, rec, rec.home, kind)
+}
+
+func (s *Server) deliverLocal(ctx context.Context, rec *record, kind string) {
+	if s.cfg.OnAgentHome != nil {
+		im, err := s.encodeImage(rec)
+		if err != nil {
+			s.setErr(rec, "encoding for local delivery: "+err.Error())
+			s.setState(rec, StateStranded, "")
+			return
+		}
+		s.cfg.OnAgentHome(ctx, &Arrival{Kind: kind, Image: im, VM: rec.vm})
+	}
+	s.setState(rec, StateDelivered, "")
+}
+
+func (s *Server) encodeImage(rec *record) (*atp.Image, error) {
+	prog, err := mavm.MarshalProgram(rec.vm.Program())
+	if err != nil {
+		return nil, err
+	}
+	state, err := mavm.MarshalState(rec.vm)
+	if err != nil {
+		return nil, err
+	}
+	return &atp.Image{
+		AgentID: rec.id,
+		Home:    rec.home,
+		CodeID:  rec.codeID,
+		Owner:   rec.owner,
+		Program: prog,
+		State:   state,
+	}, nil
+}
+
+// shipAgent encodes the agent for the destination's flavour and
+// transfers it, with retries. On persistent failure during a migration
+// the agent is failed and sent home; if even home is unreachable the
+// record strands.
+func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string) {
+	im, err := s.encodeImage(rec)
+	if err != nil {
+		s.setErr(rec, "encoding agent: "+err.Error())
+		s.setState(rec, StateStranded, "")
+		return
+	}
+	if err := s.transferImage(ctx, im, target, kind); err != nil {
+		s.logf("mas %s: transfer of %s to %s failed: %v", s.cfg.Addr, rec.id, target, err)
+		s.setErr(rec, fmt.Sprintf("transfer to %s: %v", target, err))
+		if kind == KindMigrate && rec.home != s.cfg.Addr && target != rec.home {
+			// Return the failed journey home so the user learns about it.
+			if err2 := s.transferImage(ctx, im, rec.home, KindFailed); err2 == nil {
+				s.setState(rec, StateDeparted, rec.home)
+				return
+			}
+		}
+		if (kind == KindFailed || kind == KindDone || kind == KindMigrate) && rec.home == s.cfg.Addr {
+			// Home is here: deliver what we have instead of stranding.
+			s.deliverLocal(ctx, rec, KindFailed)
+			return
+		}
+		s.setState(rec, StateStranded, "")
+		return
+	}
+	s.setState(rec, StateDeparted, target)
+	s.logf("mas %s: agent %s %s -> %s", s.cfg.Addr, rec.id, kind, target)
+}
+
+// transferImage sends an encoded image to target with flavour
+// adaptation and bounded retries.
+func (s *Server) transferImage(ctx context.Context, im *atp.Image, target, kind string) error {
+	codec, err := s.codecFor(ctx, target)
+	if err != nil {
+		return err
+	}
+	body, err := codec.Encode(im)
+	if err != nil {
+		return err
+	}
+	req := &transport.Request{Path: "/atp/transfer", Body: body}
+	req.SetHeader("kind", kind)
+	req.SetHeader("agent", im.AgentID)
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.TransferAttempts; attempt++ {
+		resp, err := s.cfg.Transport.RoundTrip(ctx, target, req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.IsOK() {
+			return nil
+		}
+		lastErr = resp.Err()
+		// Conflict (duplicate id) and client errors will not improve
+		// with retries.
+		if resp.Status != transport.StatusUnavailable {
+			break
+		}
+	}
+	return lastErr
+}
+
+// codecFor resolves the codec flavour spoken at addr, caching the
+// /atp/hello handshake (the gateway-side "adapt to any MAS" mechanism).
+func (s *Server) codecFor(ctx context.Context, addr string) (atp.Codec, error) {
+	if addr == s.cfg.Addr {
+		return s.cfg.Codec, nil
+	}
+	s.mu.Lock()
+	c, ok := s.flavours[addr]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	resp, err := s.cfg.Transport.RoundTrip(ctx, addr, &transport.Request{Path: "/atp/hello"})
+	if err != nil {
+		return nil, fmt.Errorf("mas: hello to %s: %w", addr, err)
+	}
+	if !resp.IsOK() {
+		return nil, fmt.Errorf("mas: hello to %s: %w", addr, resp.Err())
+	}
+	name := resp.GetHeader("flavour")
+	if name == "" {
+		// Fall back to parsing the XML body.
+		if root, perr := kxml.ParseBytes(resp.Body); perr == nil {
+			name = root.AttrDefault("flavour", "")
+		}
+	}
+	codec, err := atp.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("mas: %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.flavours[addr] = codec
+	s.mu.Unlock()
+	return codec, nil
+}
+
+func (s *Server) setState(rec *record, st AgentState, movedTo string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.state = st
+	if movedTo != "" {
+		rec.movedTo = movedTo
+	}
+}
+
+func (s *Server) setErr(rec *record, msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.lastErr = msg
+}
+
+func (s *Server) lookup(id string) (*record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.agents[id]
+	return rec, ok
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) handleHello(_ context.Context, _ *transport.Request) *transport.Response {
+	root := kxml.NewElement("mas")
+	root.SetAttr("addr", s.cfg.Addr)
+	root.SetAttr("flavour", s.cfg.Codec.Name())
+	for _, svc := range s.cfg.Services.Names() {
+		root.AddElement("service").SetAttr("name", svc)
+	}
+	resp := transport.OK(root.EncodeDocument())
+	resp.SetHeader("flavour", s.cfg.Codec.Name())
+	return resp
+}
+
+func (s *Server) handlePing(_ context.Context, _ *transport.Request) *transport.Response {
+	// The paper's Figure 8 sends "1-bit data"; one byte is our floor.
+	return transport.OK([]byte("p"))
+}
+
+func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *transport.Response {
+	im, err := s.cfg.Codec.Decode(req.Body)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "decoding agent (flavour %s): %v", s.cfg.Codec.Name(), err)
+	}
+	prog, err := mavm.UnmarshalProgram(im.Program)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "agent program: %v", err)
+	}
+	vm, err := mavm.UnmarshalState(prog, im.State)
+	if err != nil {
+		return transport.Errorf(transport.StatusBadRequest, "agent state: %v", err)
+	}
+	if vm.AgentID != im.AgentID {
+		return transport.Errorf(transport.StatusBadRequest,
+			"agent id mismatch: envelope %q, state %q", im.AgentID, vm.AgentID)
+	}
+	kind := req.GetHeader("kind")
+	if kind == "" {
+		kind = KindMigrate
+	}
+	switch kind {
+	case KindMigrate:
+		if vm.Status() != mavm.StatusMigrating {
+			return transport.Errorf(transport.StatusBadRequest, "migrate transfer with %v agent", vm.Status())
+		}
+		if vm.MigrateTarget() != s.cfg.Addr {
+			return transport.Errorf(transport.StatusBadRequest,
+				"agent targeted %q, arrived at %q", vm.MigrateTarget(), s.cfg.Addr)
+		}
+		if vm.Hops >= s.cfg.MaxHops {
+			// Runaway itinerary: accept the image but terminate the
+			// journey, sending the evidence home instead of admitting
+			// the agent for another lap.
+			s.logf("mas %s: agent %s exceeded %d hops, failing home", s.cfg.Addr, im.AgentID, s.cfg.MaxHops)
+			vm.ForceFail(fmt.Sprintf("mas: hop limit %d exceeded at %s", s.cfg.MaxHops, s.cfg.Addr))
+			rec := &record{
+				id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
+				vm: vm, state: StateRunning,
+				lastErr: vm.FailMsg(),
+			}
+			s.mu.Lock()
+			s.agents[rec.id] = rec
+			s.mu.Unlock()
+			s.cfg.Spawn(func() {
+				ctx := context.WithoutCancel(ctx)
+				if rec.home == s.cfg.Addr {
+					s.deliverLocal(ctx, rec, KindFailed)
+					return
+				}
+				s.shipAgent(ctx, rec, rec.home, KindFailed)
+			})
+			return transport.OKText("hop limit exceeded; journey terminated")
+		}
+		vm.ClearMigration()
+		rec := &record{
+			id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
+			vm: vm, state: StateRunning,
+		}
+		s.mu.Lock()
+		if old, exists := s.agents[rec.id]; exists && old.state == StateRunning {
+			s.mu.Unlock()
+			return transport.Errorf(transport.StatusConflict, "agent %s already running here", rec.id)
+		}
+		s.agents[rec.id] = rec
+		s.mu.Unlock()
+		s.startLoop(ctx, rec)
+		return transport.OKText("accepted " + rec.id)
+
+	case KindDone, KindFailed, KindRetracted:
+		if im.Home != s.cfg.Addr {
+			return transport.Errorf(transport.StatusBadRequest,
+				"%s delivery for home %q arrived at %q", kind, im.Home, s.cfg.Addr)
+		}
+		rec := &record{
+			id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
+			vm: vm, state: StateDelivered, lastErr: vm.FailMsg(),
+		}
+		s.mu.Lock()
+		s.agents[rec.id] = rec
+		s.mu.Unlock()
+		if s.cfg.OnAgentHome != nil {
+			s.cfg.OnAgentHome(ctx, &Arrival{Kind: kind, Image: im, VM: vm})
+		}
+		return transport.OKText("delivered " + rec.id)
+
+	default:
+		return transport.Errorf(transport.StatusBadRequest, "unknown transfer kind %q", kind)
+	}
+}
+
+func (s *Server) handleStatus(_ context.Context, req *transport.Request) *transport.Response {
+	id := req.GetHeader("agent")
+	rec, ok := s.lookup(id)
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "no agent %q at %s", id, s.cfg.Addr)
+	}
+	return transport.OK(s.statusXML(rec).EncodeDocument())
+}
+
+func (s *Server) statusXML(rec *record) *kxml.Node {
+	// Lock order: never hold s.mu while taking execMu — the agent loop
+	// acquires them in the opposite order (execMu during Run, then s.mu
+	// inside hostAPI.Log).
+	s.mu.Lock()
+	state, movedTo, lastErr, codeID := rec.state, rec.movedTo, rec.lastErr, rec.codeID
+	s.mu.Unlock()
+	rec.execMu.Lock()
+	vmStatus := rec.vm.Status().String()
+	hops, steps := rec.vm.Hops, rec.vm.Steps
+	rec.execMu.Unlock()
+
+	n := kxml.NewElement("agent-status")
+	n.SetAttr("id", rec.id)
+	n.SetAttr("host", s.cfg.Addr)
+	n.SetAttr("state", string(state))
+	n.SetAttr("vm-status", vmStatus)
+	n.SetAttr("hops", strconv.Itoa(hops))
+	n.SetAttr("steps", strconv.FormatUint(steps, 10))
+	n.SetAttr("code-id", codeID)
+	if movedTo != "" {
+		n.SetAttr("moved-to", movedTo)
+	}
+	if lastErr != "" {
+		n.SetAttr("error", lastErr)
+	}
+	return n
+}
+
+func (s *Server) handleClone(ctx context.Context, req *transport.Request) *transport.Response {
+	id := req.GetHeader("agent")
+	rec, ok := s.lookup(id)
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "no agent %q at %s", id, s.cfg.Addr)
+	}
+	s.mu.Lock()
+	if rec.state != StateRunning {
+		state := rec.state
+		moved := rec.movedTo
+		s.mu.Unlock()
+		resp := transport.Errorf(transport.StatusConflict, "agent %q is %s, cannot clone", id, state)
+		if moved != "" {
+			resp.SetHeader("moved-to", moved)
+		}
+		return resp
+	}
+	s.cloneSeq++
+	newID := fmt.Sprintf("%s.c%d", id, s.cloneSeq)
+	s.mu.Unlock()
+
+	rec.execMu.Lock()
+	cloneVM, err := rec.vm.Clone(newID)
+	rec.execMu.Unlock()
+	if err != nil {
+		return transport.Errorf(transport.StatusServerError, "cloning %q: %v", id, err)
+	}
+	cloneRec := &record{
+		id: newID, home: rec.home, codeID: rec.codeID, owner: rec.owner,
+		vm: cloneVM, state: StateRunning,
+	}
+	s.mu.Lock()
+	s.agents[newID] = cloneRec
+	s.mu.Unlock()
+	// A clone of a migrating agent continues its journey; a running
+	// clone starts executing here.
+	if cloneVM.Status() == mavm.StatusMigrating {
+		s.cfg.Spawn(func() { s.shipAgent(context.WithoutCancel(ctx), cloneRec, cloneVM.MigrateTarget(), KindMigrate) })
+	} else {
+		s.startLoop(ctx, cloneRec)
+	}
+	resp := transport.OKText(newID)
+	resp.SetHeader("agent", newID)
+	return resp
+}
+
+func (s *Server) handleRetract(_ context.Context, req *transport.Request) *transport.Response {
+	id := req.GetHeader("agent")
+	to := req.GetHeader("to")
+	if to == "" {
+		return transport.Errorf(transport.StatusBadRequest, "retract needs a 'to' address")
+	}
+	rec, ok := s.lookup(id)
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "no agent %q at %s", id, s.cfg.Addr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.state {
+	case StateRunning:
+		rec.retractTo = to
+		return transport.OKText("retract scheduled")
+	case StateDeparted:
+		resp := transport.Errorf(transport.StatusGone, "agent %q moved to %s", id, rec.movedTo)
+		resp.SetHeader("moved-to", rec.movedTo)
+		return resp
+	default:
+		return transport.Errorf(transport.StatusConflict, "agent %q is %s", id, rec.state)
+	}
+}
+
+func (s *Server) handleDispose(_ context.Context, req *transport.Request) *transport.Response {
+	id := req.GetHeader("agent")
+	rec, ok := s.lookup(id)
+	if !ok {
+		return transport.Errorf(transport.StatusNotFound, "no agent %q at %s", id, s.cfg.Addr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.state {
+	case StateRunning:
+		rec.disposeReq = true
+		return transport.OKText("dispose scheduled")
+	case StateDeparted:
+		resp := transport.Errorf(transport.StatusGone, "agent %q moved to %s", id, rec.movedTo)
+		resp.SetHeader("moved-to", rec.movedTo)
+		return resp
+	case StateDelivered, StateDisposed, StateStranded:
+		// Dropping bookkeeping for a finished agent is idempotent.
+		rec.state = StateDisposed
+		return transport.OKText("disposed")
+	default:
+		return transport.Errorf(transport.StatusConflict, "agent %q is %s", id, rec.state)
+	}
+}
+
+func (s *Server) handleAgents(_ context.Context, _ *transport.Request) *transport.Response {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.agents))
+	for id := range s.agents {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	root := kxml.NewElement("agents")
+	root.SetAttr("host", s.cfg.Addr)
+	for _, id := range ids {
+		rec, _ := s.lookup(id)
+		if rec != nil {
+			root.Add(s.statusXML(rec))
+		}
+	}
+	return transport.OK(root.EncodeDocument())
+}
+
+func (s *Server) handleLogs(_ context.Context, req *transport.Request) *transport.Response {
+	filter := req.GetHeader("agent")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root := kxml.NewElement("logs")
+	root.SetAttr("host", s.cfg.Addr)
+	for _, line := range s.logs {
+		if filter == "" || containsAgent(line, filter) {
+			root.AddElement("line").AddText(line)
+		}
+	}
+	return transport.OK(root.EncodeDocument())
+}
+
+func containsAgent(line, id string) bool {
+	return len(line) > len(id) && line[1:1+len(id)] == id
+}
+
+// AgentStates returns a snapshot of known agent ids to states, for
+// tests and debugging.
+func (s *Server) AgentStates() map[string]AgentState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]AgentState, len(s.agents))
+	for id, rec := range s.agents {
+		out[id] = rec.state
+	}
+	return out
+}

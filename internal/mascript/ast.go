@@ -1,0 +1,204 @@
+package mascript
+
+// AST node definitions. Every node records the source line of its
+// leading token so the compiler can attach positions to bytecode.
+
+// Node is the common interface of statements and expressions.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// --- Statements -------------------------------------------------------
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+	Stmts []Stmt // top-level statements, in order
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// FuncDecl is a top-level function declaration.
+type FuncDecl struct {
+	pos
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Block is a braced statement list with its own lexical scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+// LetStmt declares and initialises a variable.
+type LetStmt struct {
+	pos
+	Name string
+	Init Expr
+}
+
+// AssignStmt assigns to a variable or an index expression.
+type AssignStmt struct {
+	pos
+	// Target is either *Ident or *IndexExpr.
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is if/else; Else may be nil, a *Block, or another *IfStmt.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is for-in over a list, map (keys) or string.
+type ForStmt struct {
+	pos
+	Var  string
+	Seq  Expr
+	Body *Block
+}
+
+// ReturnStmt returns from the enclosing function (nil Value = nil).
+type ReturnStmt struct {
+	pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ pos }
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+func (*Block) stmtNode()        {}
+func (*LetStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// --- Expressions ------------------------------------------------------
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	pos
+	Value float64
+}
+
+// StrLit is a string literal (already unescaped).
+type StrLit struct {
+	pos
+	Value string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	pos
+	Value bool
+}
+
+// NilLit is nil.
+type NilLit struct{ pos }
+
+// Ident is a variable reference.
+type Ident struct {
+	pos
+	Name string
+}
+
+// ListLit is [a, b, c].
+type ListLit struct {
+	pos
+	Items []Expr
+}
+
+// MapLit is {"k": v, ...}.
+type MapLit struct {
+	pos
+	Keys   []string
+	Values []Expr
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	pos
+	Op TokenType // tokBang or tokMinus
+	X  Expr
+}
+
+// BinaryExpr is a binary operation including && and ||.
+type BinaryExpr struct {
+	pos
+	Op   TokenType
+	L, R Expr
+}
+
+// CallExpr is name(args...); Name resolves to a user function or a
+// builtin at compile time.
+type CallExpr struct {
+	pos
+	Name string
+	Args []Expr
+}
+
+// IndexExpr is container[index].
+type IndexExpr struct {
+	pos
+	X     Expr
+	Index Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*NilLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*ListLit) exprNode()    {}
+func (*MapLit) exprNode()     {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}

@@ -1,0 +1,249 @@
+package mascript
+
+import (
+	"strings"
+)
+
+// lexer scans MAScript source into tokens.
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *lexer) peek() byte { return l.src[l.pos] }
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 < len(l.src) {
+		return l.src[l.pos+1]
+	}
+	return 0
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace, // line comments and
+// /* block */ comments.
+func (l *lexer) skipSpaceAndComments() error {
+	for !l.eof() {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for !l.eof() && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for !l.eof() {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.eof() {
+		return Token{Type: tokEOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for !l.eof() && isIdentChar(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Type: kw, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Type: tokIdent, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c):
+		start := l.pos
+		isFloat := false
+		for !l.eof() && isDigit(l.peek()) {
+			l.advance()
+		}
+		if !l.eof() && l.peek() == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			isFloat = true
+			l.advance()
+			for !l.eof() && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			return Token{Type: tokFloat, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Type: tokInt, Text: text, Line: line, Col: col}, nil
+
+	case c == '"':
+		return l.lexString(line, col)
+	}
+
+	l.advance()
+	simple := func(t TokenType) (Token, error) {
+		return Token{Type: t, Text: l.src[l.pos-1 : l.pos], Line: line, Col: col}, nil
+	}
+	pair := func(second byte, both, single TokenType) (Token, error) {
+		if !l.eof() && l.peek() == second {
+			l.advance()
+			return Token{Type: both, Line: line, Col: col}, nil
+		}
+		return Token{Type: single, Line: line, Col: col}, nil
+	}
+	switch c {
+	case '(':
+		return simple(tokLParen)
+	case ')':
+		return simple(tokRParen)
+	case '{':
+		return simple(tokLBrace)
+	case '}':
+		return simple(tokRBrace)
+	case '[':
+		return simple(tokLBracket)
+	case ']':
+		return simple(tokRBracket)
+	case ',':
+		return simple(tokComma)
+	case ';':
+		return simple(tokSemicolon)
+	case ':':
+		return simple(tokColon)
+	case '+':
+		return simple(tokPlus)
+	case '-':
+		return simple(tokMinus)
+	case '*':
+		return simple(tokStar)
+	case '/':
+		return simple(tokSlash)
+	case '%':
+		return simple(tokPercent)
+	case '=':
+		return pair('=', tokEq, tokAssign)
+	case '!':
+		return pair('=', tokNe, tokBang)
+	case '<':
+		return pair('=', tokLe, tokLt)
+	case '>':
+		return pair('=', tokGe, tokGt)
+	case '&':
+		if !l.eof() && l.peek() == '&' {
+			l.advance()
+			return Token{Type: tokAndAnd, Line: line, Col: col}, nil
+		}
+		return Token{}, errAt(line, col, "unexpected '&' (use '&&')")
+	case '|':
+		if !l.eof() && l.peek() == '|' {
+			l.advance()
+			return Token{Type: tokOrOr, Line: line, Col: col}, nil
+		}
+		return Token{}, errAt(line, col, "unexpected '|' (use '||')")
+	default:
+		return Token{}, errAt(line, col, "unexpected character %q", string(c))
+	}
+}
+
+func (l *lexer) lexString(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.eof() {
+			return Token{}, errAt(line, col, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Type: tokStr, Text: b.String(), Line: line, Col: col}, nil
+		case '\n':
+			return Token{}, errAt(line, col, "newline in string literal")
+		case '\\':
+			if l.eof() {
+				return Token{}, errAt(line, col, "unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return Token{}, errAt(l.line, l.col, "unknown escape \\%s", string(e))
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// lexAll tokenises an entire source string (the EOF token included).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Type == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,735 @@
+package mascript
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pdagent/internal/mavm"
+)
+
+// runHost is a scriptable mavm.Host for language tests.
+type runHost struct {
+	name     string
+	services map[string]func(args []mavm.Value) (mavm.Value, error)
+	logs     []string
+}
+
+func newRunHost(name string) *runHost {
+	return &runHost{name: name, services: map[string]func([]mavm.Value) (mavm.Value, error){}}
+}
+
+func (h *runHost) HostName() string { return h.name }
+func (h *runHost) HomeAddr() string { return "gw-0" }
+func (h *runHost) CallService(name string, args []mavm.Value) (mavm.Value, error) {
+	if fn, ok := h.services[name]; ok {
+		return fn(args)
+	}
+	return mavm.Nil(), fmt.Errorf("no service %q", name)
+}
+func (h *runHost) Log(agentID, msg string) { h.logs = append(h.logs, msg) }
+
+// run compiles src, executes it to completion on a single host, and
+// returns the delivered results as a map.
+func run(t *testing.T, src string, params map[string]mavm.Value) map[string]mavm.Value {
+	t.Helper()
+	vm, host := startVM(t, src, params)
+	st, err := vm.Run(host, mavm.DefaultFuel)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st != mavm.StatusDone {
+		t.Fatalf("status = %v", st)
+	}
+	out := map[string]mavm.Value{}
+	for _, r := range vm.Results {
+		out[r.Key] = r.Value
+	}
+	return out
+}
+
+func startVM(t *testing.T, src string, params map[string]mavm.Value) (*mavm.VM, *runHost) {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v\nsource:\n%s", err, src)
+	}
+	vm, err := mavm.New(prog, "test-agent", params)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return vm, newRunHost("host-a")
+}
+
+func wantInt(t *testing.T, res map[string]mavm.Value, key string, want int64) {
+	t.Helper()
+	v, ok := res[key]
+	if !ok {
+		t.Fatalf("result %q missing (have %v)", key, res)
+	}
+	if v.Kind() != mavm.KindInt || v.AsInt() != want {
+		t.Fatalf("result %q = %v, want %d", key, v, want)
+	}
+}
+
+func wantStr(t *testing.T, res map[string]mavm.Value, key, want string) {
+	t.Helper()
+	v, ok := res[key]
+	if !ok {
+		t.Fatalf("result %q missing (have %v)", key, res)
+	}
+	if v.Kind() != mavm.KindStr || v.AsStr() != want {
+		t.Fatalf("result %q = %v, want %q", key, v, want)
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	res := run(t, `
+		deliver("a", 2 + 3 * 4);
+		deliver("b", (2 + 3) * 4);
+		deliver("c", 10 / 3);
+		deliver("d", 10 % 3);
+		deliver("e", -5 + 2);
+		deliver("f", 7 - 2 - 1);
+	`, nil)
+	wantInt(t, res, "a", 14)
+	wantInt(t, res, "b", 20)
+	wantInt(t, res, "c", 3)
+	wantInt(t, res, "d", 1)
+	wantInt(t, res, "e", -3)
+	wantInt(t, res, "f", 4)
+}
+
+func TestFloatsAndMixedArithmetic(t *testing.T) {
+	res := run(t, `
+		deliver("a", 1.5 + 2);
+		deliver("b", 7 / 2.0);
+		deliver("c", floor(3.9));
+	`, nil)
+	if res["a"].AsFloat() != 3.5 {
+		t.Fatalf("a = %v", res["a"])
+	}
+	if res["b"].AsFloat() != 3.5 {
+		t.Fatalf("b = %v", res["b"])
+	}
+	wantInt(t, res, "c", 3)
+}
+
+func TestStringsAndBuiltins(t *testing.T) {
+	res := run(t, `
+		let s = "hello" + " " + "world";
+		deliver("s", s);
+		deliver("up", upper(s));
+		deliver("len", len(s));
+		deliver("sub", substr(s, 0, 5));
+		deliver("idx", find(s, "world"));
+		deliver("join", join(split("a,b,c", ","), "-"));
+		deliver("trim", trim("  x  "));
+		deliver("ch", s[4]);
+	`, nil)
+	wantStr(t, res, "s", "hello world")
+	wantStr(t, res, "up", "HELLO WORLD")
+	wantInt(t, res, "len", 11)
+	wantStr(t, res, "sub", "hello")
+	wantInt(t, res, "idx", 6)
+	wantStr(t, res, "join", "a-b-c")
+	wantStr(t, res, "trim", "x")
+	wantStr(t, res, "ch", "o")
+}
+
+func TestListsAndMaps(t *testing.T) {
+	res := run(t, `
+		let l = [1, 2, 3];
+		push(l, 4);
+		l[0] = 10;
+		deliver("sum0", l[0] + l[3]);
+		deliver("len", len(l));
+		deliver("cat", len([1] + [2, 3]));
+
+		let m = {"x": 1, "y": 2};
+		m["z"] = 3;
+		del(m, "x");
+		deliver("keys", join(keys(m), ","));
+		deliver("hasY", has(m, "y"));
+		deliver("missing", m["x"]);
+		deliver("popped", pop(l));
+	`, nil)
+	wantInt(t, res, "sum0", 14)
+	wantInt(t, res, "len", 4)
+	wantInt(t, res, "cat", 3)
+	wantStr(t, res, "keys", "y,z")
+	if !res["hasY"].AsBool() {
+		t.Fatal("hasY false")
+	}
+	if !res["missing"].IsNil() {
+		t.Fatalf("missing = %v", res["missing"])
+	}
+	wantInt(t, res, "popped", 4)
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+		let n = 0;
+		let i = 0;
+		while i < 10 {
+			i = i + 1;
+			if i % 2 == 0 { continue; }
+			if i > 7 { break; }
+			n = n + i;
+		}
+		deliver("n", n); // 1+3+5+7 = 16
+
+		if n > 20 { deliver("cls", "big"); }
+		else if n > 10 { deliver("cls", "mid"); }
+		else { deliver("cls", "small"); }
+	`, nil)
+	wantInt(t, res, "n", 16)
+	wantStr(t, res, "cls", "mid")
+}
+
+func TestForInLoops(t *testing.T) {
+	res := run(t, `
+		let total = 0;
+		for x in [10, 20, 30] { total = total + x; }
+		deliver("list", total);
+
+		let ks = "";
+		for k in {"b": 2, "a": 1} { ks = ks + k; }
+		deliver("mapKeys", ks); // sorted: "ab"
+
+		let chars = 0;
+		for c in "abc" { chars = chars + 1; }
+		deliver("str", chars);
+
+		let nested = 0;
+		for i in range(3) {
+			for j in range(3) {
+				if j == 2 { continue; }
+				nested = nested + 1;
+			}
+		}
+		deliver("nested", nested);
+
+		let upTo = 0;
+		for v in range(2, 5) { upTo = upTo + v; }
+		deliver("rng2", upTo); // 2+3+4
+	`, nil)
+	wantInt(t, res, "list", 60)
+	wantStr(t, res, "mapKeys", "ab")
+	wantInt(t, res, "str", 3)
+	wantInt(t, res, "nested", 6)
+	wantInt(t, res, "rng2", 9)
+}
+
+func TestForLoopMutationSafe(t *testing.T) {
+	// Pushing inside the loop must not extend the iteration (iter copies).
+	res := run(t, `
+		let l = [1, 2, 3];
+		let seen = 0;
+		for x in l { push(l, x); seen = seen + 1; }
+		deliver("seen", seen);
+		deliver("final", len(l));
+	`, nil)
+	wantInt(t, res, "seen", 3)
+	wantInt(t, res, "final", 6)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := run(t, `
+		func fib(n) {
+			if n < 2 { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func apply_twice(x) { return double(double(x)); }
+		func double(x) { return x * 2; }
+		deliver("fib10", fib(10));
+		deliver("quad", apply_twice(3));
+
+		func noReturn() { let x = 1; }
+		deliver("nil", noReturn());
+	`, nil)
+	wantInt(t, res, "fib10", 55)
+	wantInt(t, res, "quad", 12)
+	if !res["nil"].IsNil() {
+		t.Fatalf("nil = %v", res["nil"])
+	}
+}
+
+func TestGlobalsVisibleInFunctions(t *testing.T) {
+	res := run(t, `
+		let counter = 0;
+		func bump() { counter = counter + 1; return counter; }
+		bump(); bump();
+		deliver("n", bump());
+	`, nil)
+	wantInt(t, res, "n", 3)
+}
+
+func TestShortCircuit(t *testing.T) {
+	res := run(t, `
+		let calls = 0;
+		func side(v) { calls = calls + 1; return v; }
+		let a = false && side(true);
+		let b = true || side(true);
+		deliver("calls", calls);
+		deliver("and", side(true) && 42);
+		deliver("or", nil || "fallback");
+	`, nil)
+	wantInt(t, res, "calls", 0) // both short-circuits skipped side()
+	wantInt(t, res, "and", 42)
+	wantStr(t, res, "or", "fallback")
+}
+
+func TestComparisons(t *testing.T) {
+	res := run(t, `
+		deliver("a", 1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3);
+		deliver("b", "abc" < "abd");
+		deliver("c", 1 == 1.0);
+		deliver("d", [1, 2] == [1, 2]);
+		deliver("e", {"k": 1} == {"k": 1});
+		deliver("f", 1 != "1");
+		deliver("g", !false);
+	`, nil)
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		if !res[k].AsBool() {
+			t.Errorf("%s = %v, want true", k, res[k])
+		}
+	}
+}
+
+func TestParamsAndScoping(t *testing.T) {
+	params := map[string]mavm.Value{
+		"from":   mavm.Str("bank-a"),
+		"amount": mavm.Int(100),
+	}
+	res := run(t, `
+		deliver("from", param("from"));
+		deliver("missing", param("nope", "default"));
+		deliver("nilMissing", param("nope"));
+		let p = params();
+		deliver("count", len(p));
+
+		let x = 1;
+		{
+			let x = 2;
+			deliver("inner", x);
+		}
+		deliver("outer", x);
+	`, params)
+	wantStr(t, res, "from", "bank-a")
+	wantStr(t, res, "missing", "default")
+	if !res["nilMissing"].IsNil() {
+		t.Fatal("nilMissing not nil")
+	}
+	wantInt(t, res, "count", 2)
+	wantInt(t, res, "inner", 2)
+	wantInt(t, res, "outer", 1)
+}
+
+func TestServiceCalls(t *testing.T) {
+	vm, host := startVM(t, `
+		let r = service("bank.balance", "acct-1");
+		deliver("balance", r["amount"]);
+		log("checked " + str(r["amount"]));
+	`, nil)
+	host.services["bank.balance"] = func(args []mavm.Value) (mavm.Value, error) {
+		if len(args) != 1 || args[0].AsStr() != "acct-1" {
+			return mavm.Nil(), fmt.Errorf("bad args")
+		}
+		m := mavm.NewMap()
+		m.MapEntries()["amount"] = mavm.Int(250)
+		return m, nil
+	}
+	if _, err := vm.Run(host, mavm.DefaultFuel); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Results[0].Value.AsInt() != 250 {
+		t.Fatalf("balance = %v", vm.Results[0].Value)
+	}
+	if len(host.logs) != 1 || host.logs[0] != "checked 250" {
+		t.Fatalf("logs = %v", host.logs)
+	}
+}
+
+func TestServiceFailureFailsAgent(t *testing.T) {
+	vm, host := startVM(t, `service("ghost.service");`, nil)
+	st, err := vm.Run(host, mavm.DefaultFuel)
+	if st != mavm.StatusFailed || err == nil {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if !strings.Contains(err.Error(), "ghost.service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSortAndTypeBuiltins(t *testing.T) {
+	res := run(t, `
+		deliver("nums", join(sort([3, 1, 2]), ","));
+		deliver("strs", join(sort(["b", "a"]), ","));
+		deliver("ty", type([]) + "," + type({}) + "," + type(1) + "," + type(1.5) + "," + type("s") + "," + type(nil) + "," + type(true));
+		deliver("minmax", min(3, 1) + max(2, 5));
+		deliver("abs", abs(-7));
+	`, nil)
+	wantStr(t, res, "nums", "1,2,3")
+	wantStr(t, res, "strs", "a,b")
+	wantStr(t, res, "ty", "list,map,int,float,str,nil,bool")
+	wantInt(t, res, "minmax", 6)
+	wantInt(t, res, "abs", 7)
+}
+
+func TestConversionBuiltins(t *testing.T) {
+	res := run(t, `
+		deliver("i", int("42") + int(3.9) + int(true));
+		deliver("f", float("2.5") + float(1));
+		deliver("s", str(12) + str(true) + str(nil));
+	`, nil)
+	wantInt(t, res, "i", 46)
+	if res["f"].AsFloat() != 3.5 {
+		t.Fatalf("f = %v", res["f"])
+	}
+	wantStr(t, res, "s", "12truenil")
+}
+
+func TestRuntimeErrorsHaveLines(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"div by zero", "let x = 1;\nlet y = 0;\nlet z = x / y;", ":3:"},
+		{"bad index", `let l = [1];` + "\n" + `let v = l[5];`, ":2:"},
+		{"type error", "let a = 1 + \"s\";", ":1:"},
+		{"undefined svc arg", `let m = {}; let x = m[1];`, "map key"},
+		{"int parse", `int("zebra");`, "zebra"},
+		{"neg string", `-"s";`, "negate"},
+		{"order mixed", `1 < "s";`, "order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vm, host := startVM(t, tc.src, nil)
+			st, err := vm.Run(host, mavm.DefaultFuel)
+			if st != mavm.StatusFailed || err == nil {
+				t.Fatalf("st=%v err=%v, want failure", st, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined var", "x = 1;", "undeclared"},
+		{"undefined read", "let y = x;", "undefined"},
+		{"undefined func", "nope();", "undefined function"},
+		{"dup global", "let x = 1; let x = 2;", "duplicate global"},
+		{"dup local scope", "func f() { let a = 1; let a = 2; } f();", "already declared"},
+		{"dup func", "func f() {} func f() {}", "duplicate function"},
+		{"builtin clash", "func len(x) {}", "conflicts with a builtin"},
+		{"bad argc user", "func f(a, b) {} f(1);", "expects 2"},
+		{"break outside", "break;", "break outside loop"},
+		{"continue outside", "continue;", "continue outside"},
+		{"nested func", "func f() { func g() {} }", "top level"},
+		{"assign to call", "len(1) = 2;", "assignment target"},
+		{"call non-ident", "(1)(2);", "named functions"},
+		{"missing semi", "let x = 1", "expected"},
+		{"unterminated block", "if true {", "unterminated"},
+		{"bad string", `let s = "abc`, "unterminated string"},
+		{"bad escape", `let s = "a\q";`, "unknown escape"},
+		{"bad comment", "/* never closed", "unterminated block comment"},
+		{"stray amp", "let x = 1 & 2;", "use '&&'"},
+		{"var not func", "let v = 1; v();", "not a function"},
+		{"dup param", "func f(a, a) {}", "duplicate parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCompileErrorPositions(t *testing.T) {
+	_, err := Compile("let a = 1;\nlet b = ;\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ce, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ce.Line != 2 {
+		t.Fatalf("line = %d, want 2", ce.Line)
+	}
+}
+
+func TestComments(t *testing.T) {
+	res := run(t, `
+		// line comment
+		let x = 1; // trailing
+		/* block
+		   comment */
+		deliver("x", x /* inline */ + 1);
+	`, nil)
+	wantInt(t, res, "x", 2)
+}
+
+func TestMigrationAcrossHosts(t *testing.T) {
+	prog, err := Compile(`
+		let visited = [];
+		for h in param("route") {
+			migrate(h);
+			push(visited, here());
+		}
+		migrate(home());
+		deliver("visited", visited);
+		deliver("hops", hops());
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := mavm.NewList(mavm.Str("host-b"), mavm.Str("host-c"))
+	vm, err := mavm.New(prog, "traveller", map[string]mavm.Value{"route": route})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the MAS transfer loop: run, snapshot, move, resume.
+	current := "host-a"
+	for i := 0; i < 10; i++ {
+		st, err := vm.Run(newRunHost(current), mavm.DefaultFuel)
+		if err != nil {
+			t.Fatalf("run at %s: %v", current, err)
+		}
+		if st == mavm.StatusDone {
+			break
+		}
+		if st != mavm.StatusMigrating {
+			t.Fatalf("status %v", st)
+		}
+		target := vm.MigrateTarget()
+		snap, err := mavm.MarshalState(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err = mavm.UnmarshalState(prog, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.ClearMigration()
+		current = target
+	}
+	if vm.Status() != mavm.StatusDone {
+		t.Fatalf("final status %v", vm.Status())
+	}
+	res := map[string]mavm.Value{}
+	for _, r := range vm.Results {
+		res[r.Key] = r.Value
+	}
+	visited := res["visited"].ListItems()
+	if len(visited) != 2 || visited[0].AsStr() != "host-b" || visited[1].AsStr() != "host-c" {
+		t.Fatalf("visited = %v", res["visited"])
+	}
+	wantInt(t, res, "hops", 3) // b, c, home
+}
+
+// TestMigrateInsideFunction pins suspension with a multi-frame call
+// stack: migrate() three frames deep must resume mid-call-chain at the
+// destination with locals intact.
+func TestMigrateInsideFunction(t *testing.T) {
+	prog, err := Compile(`
+		func hopAndTag(host, tag) {
+			let local = tag + "-before";
+			migrate(host);
+			return local + "|" + here() + "|" + tag;
+		}
+		func outer(host) {
+			return hopAndTag(host, "deep");
+		}
+		deliver("r", outer("host-b"));
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := mavm.New(prog, "fn-migrate", nil)
+	st, err := vm.Run(newRunHost("host-a"), mavm.DefaultFuel)
+	if err != nil || st != mavm.StatusMigrating {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	snap, err := mavm.MarshalState(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := mavm.UnmarshalState(prog, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2.ClearMigration()
+	if _, err := vm2.Run(newRunHost("host-b"), mavm.DefaultFuel); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm2.Results[0].Value.AsStr(); got != "deep-before|host-b|deep" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+// TestSnapshotResumeEquivalence is the core mobility property: running
+// a program with arbitrary snapshot/resume interruptions produces
+// exactly the results of an uninterrupted run.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	src := `
+		func work(n) {
+			let acc = 0;
+			for i in range(n) {
+				acc = acc + i * i % 7;
+			}
+			return acc;
+		}
+		let out = [];
+		for round in range(6) {
+			push(out, work(20 + round));
+			if round % 2 == 0 {
+				push(out, "mark" + str(round));
+			}
+		}
+		deliver("out", join(out, "|"));
+		deliver("steps", len(out));
+	`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run.
+	ref, _ := mavm.New(prog, "ref", nil)
+	if _, err := ref.Run(newRunHost("h"), mavm.DefaultFuel); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Results[0].Value.AsStr()
+
+	// Interrupted runs at several fuel slice sizes, snapshotting at
+	// every pause.
+	for _, slice := range []uint64{1, 3, 7, 50, 1000} {
+		vm, _ := mavm.New(prog, "sliced", nil)
+		host := newRunHost("h")
+		for i := 0; ; i++ {
+			if i > 1_000_000 {
+				t.Fatalf("slice %d: did not terminate", slice)
+			}
+			st, err := vm.Run(host, slice)
+			if st == mavm.StatusDone {
+				break
+			}
+			if err != mavm.ErrOutOfFuel {
+				t.Fatalf("slice %d: %v (%v)", slice, err, st)
+			}
+			snap, err := mavm.MarshalState(vm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, err = mavm.UnmarshalState(prog, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := vm.Results[0].Value.AsStr()
+		if got != want {
+			t.Fatalf("slice %d: result %q != reference %q", slice, got, want)
+		}
+	}
+}
+
+// TestAliasingSurvivesSnapshot pins the object-graph property of the
+// snapshot codec: two variables referencing one list still alias after
+// a snapshot/resume cycle.
+func TestAliasingSurvivesSnapshot(t *testing.T) {
+	src := `
+		let a = [1];
+		let b = a;           // alias
+		let cyc = [];
+		push(cyc, cyc);      // self-referential
+		migrate("elsewhere");
+		push(a, 2);
+		deliver("bLen", len(b));       // must see the push through a
+		deliver("cycOK", len(cyc[0]) == len(cyc));
+	`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := mavm.New(prog, "alias", nil)
+	st, err := vm.Run(newRunHost("h1"), mavm.DefaultFuel)
+	if err != nil || st != mavm.StatusMigrating {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	snap, err := mavm.MarshalState(vm)
+	if err != nil {
+		t.Fatalf("MarshalState with cycle: %v", err)
+	}
+	vm2, err := mavm.UnmarshalState(prog, snap)
+	if err != nil {
+		t.Fatalf("UnmarshalState: %v", err)
+	}
+	vm2.ClearMigration()
+	if _, err := vm2.Run(newRunHost("h2"), mavm.DefaultFuel); err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]mavm.Value{}
+	for _, r := range vm2.Results {
+		res[r.Key] = r.Value
+	}
+	wantInt(t, res, "bLen", 2)
+	if !res["cycOK"].AsBool() {
+		t.Fatal("cycle broken by snapshot")
+	}
+}
+
+func TestProgramSourceRetained(t *testing.T) {
+	src := `deliver("x", 1);`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Source != src {
+		t.Fatalf("Source = %q", prog.Source)
+	}
+	if prog.Digest() == "" {
+		t.Fatal("empty digest")
+	}
+}
+
+func TestDeepRecursionFailsCleanly(t *testing.T) {
+	vm, host := startVM(t, `
+		func f(n) { return f(n + 1); }
+		f(0);
+	`, nil)
+	st, err := vm.Run(host, mavm.DefaultFuel)
+	if st != mavm.StatusFailed || err == nil || !strings.Contains(err.Error(), "call stack overflow") {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	res := run(t, "", nil)
+	if len(res) != 0 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+func TestReturnAtTopLevelEndsProgram(t *testing.T) {
+	res := run(t, `
+		deliver("before", 1);
+		return;
+		deliver("after", 2);
+	`, nil)
+	if _, ok := res["after"]; ok {
+		t.Fatal("statement after top-level return executed")
+	}
+	wantInt(t, res, "before", 1)
+}

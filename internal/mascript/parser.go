@@ -1,0 +1,523 @@
+package mascript
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses MAScript source into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		if p.at(tokFunc) {
+			fd, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fd)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token          { return p.toks[p.pos] }
+func (p *parser) at(t TokenType) bool { return p.cur().Type == t }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Type != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(t TokenType) (Token, error) {
+	if !p.at(t) {
+		c := p.cur()
+		return Token{}, errAt(c.Line, c.Col, "expected %v, found %v", t, c.Type)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) posOf(t Token) pos { return pos{line: t.Line, col: t.Col} }
+
+// --- declarations and statements --------------------------------------
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw := p.advance() // 'func'
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	seen := map[string]bool{}
+	for !p.at(tokRParen) {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if seen[id.Text] {
+			return nil, errAt(id.Line, id.Col, "duplicate parameter %q", id.Text)
+		}
+		seen[id.Text] = true
+		params = append(params, id.Text)
+		if !p.at(tokComma) {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{pos: p.posOf(kw), Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(tokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{pos: p.posOf(open)}
+	for !p.at(tokRBrace) {
+		if p.at(tokEOF) {
+			return nil, errAt(open.Line, open.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Type {
+	case tokLet:
+		return p.letStmt()
+	case tokIf:
+		return p.ifStmt()
+	case tokWhile:
+		return p.whileStmt()
+	case tokFor:
+		return p.forStmt()
+	case tokReturn:
+		return p.returnStmt()
+	case tokBreak:
+		t := p.advance()
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{pos: p.posOf(t)}, nil
+	case tokContinue:
+		t := p.advance()
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{pos: p.posOf(t)}, nil
+	case tokLBrace:
+		return p.block()
+	case tokFunc:
+		c := p.cur()
+		return nil, errAt(c.Line, c.Col, "functions may only be declared at top level")
+	default:
+		return p.exprOrAssign()
+	}
+}
+
+func (p *parser) letStmt() (Stmt, error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	return &LetStmt{pos: p.posOf(kw), Name: name.Text, Init: init}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.advance()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{pos: p.posOf(kw), Cond: cond, Then: then}
+	if p.at(tokElse) {
+		p.advance()
+		if p.at(tokIf) {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw := p.advance()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{pos: p.posOf(kw), Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIn); err != nil {
+		return nil, err
+	}
+	seq, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{pos: p.posOf(kw), Var: name.Text, Seq: seq, Body: body}, nil
+}
+
+func (p *parser) returnStmt() (Stmt, error) {
+	kw := p.advance()
+	st := &ReturnStmt{pos: p.posOf(kw)}
+	if !p.at(tokSemicolon) {
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = v
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) exprOrAssign() (Stmt, error) {
+	start := p.cur()
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokAssign) {
+		eq := p.advance()
+		switch x.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			return nil, errAt(eq.Line, eq.Col, "invalid assignment target")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos: p.posOf(start), Target: x, Value: v}, nil
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{pos: p.posOf(start), X: x}, nil
+}
+
+// --- expressions (precedence climbing) ---------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOrOr) {
+		op := p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: p.posOf(op), Op: tokOrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokAndAnd) {
+		op := p.advance()
+		r, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: p.posOf(op), Op: tokAndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokEq) || p.at(tokNe) {
+		op := p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: p.posOf(op), Op: op.Type, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokLt) || p.at(tokLe) || p.at(tokGt) || p.at(tokGe) {
+		op := p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: p.posOf(op), Op: op.Type, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		op := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: p.posOf(op), Op: op.Type, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) || p.at(tokSlash) || p.at(tokPercent) {
+		op := p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{pos: p.posOf(op), Op: op.Type, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(tokBang) || p.at(tokMinus) {
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: p.posOf(op), Op: op.Type, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokLBracket):
+			open := p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{pos: p.posOf(open), X: x, Index: idx}
+		case p.at(tokLParen):
+			id, ok := x.(*Ident)
+			if !ok {
+				c := p.cur()
+				return nil, errAt(c.Line, c.Col, "only named functions can be called")
+			}
+			p.advance() // '('
+			var args []Expr
+			for !p.at(tokRParen) {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.at(tokComma) {
+					break
+				}
+				p.advance()
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			x = &CallExpr{pos: pos{id.line, id.col}, Name: id.Name, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Type {
+	case tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "integer %q out of range", t.Text)
+		}
+		return &IntLit{pos: p.posOf(t), Value: v}, nil
+	case tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "bad float %q", t.Text)
+		}
+		return &FloatLit{pos: p.posOf(t), Value: v}, nil
+	case tokStr:
+		p.advance()
+		return &StrLit{pos: p.posOf(t), Value: t.Text}, nil
+	case tokTrue:
+		p.advance()
+		return &BoolLit{pos: p.posOf(t), Value: true}, nil
+	case tokFalse:
+		p.advance()
+		return &BoolLit{pos: p.posOf(t), Value: false}, nil
+	case tokNil:
+		p.advance()
+		return &NilLit{pos: p.posOf(t)}, nil
+	case tokIdent:
+		p.advance()
+		return &Ident{pos: p.posOf(t), Name: t.Text}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokLBracket:
+		p.advance()
+		lit := &ListLit{pos: p.posOf(t)}
+		for !p.at(tokRBracket) {
+			item, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Items = append(lit.Items, item)
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case tokLBrace:
+		p.advance()
+		lit := &MapLit{pos: p.posOf(t)}
+		for !p.at(tokRBrace) {
+			k, err := p.expect(tokStr)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Keys = append(lit.Keys, k.Text)
+			lit.Values = append(lit.Values, v)
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "unexpected %v in expression", t.Type)
+	}
+}

@@ -1,0 +1,112 @@
+package mascript
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// corpus is a set of valid programs whose mutations must never panic
+// the front end.
+var corpus = []string{
+	`let x = 1; deliver("x", x);`,
+	`func f(a, b) { return a + b; } deliver("s", f(1, 2));`,
+	`for i in range(10) { if i % 2 == 0 { continue; } }`,
+	`let m = {"k": [1, 2.5, "s", nil, true]}; m["k"][0] = 9;`,
+	`while true { break; }`,
+	`let s = "esc \n \t \" \\ done"; log(s);`,
+	`migrate("host"); deliver("r", service("svc", 1, 2));`,
+}
+
+// TestMutatedSourceNeverPanics drives the lexer/parser/compiler with
+// thousands of randomly mutated programs: every outcome must be a
+// clean (program, nil) or (nil, error) — never a panic.
+func TestMutatedSourceNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	mutations := []func([]byte) []byte{
+		func(b []byte) []byte { // flip a byte
+			if len(b) == 0 {
+				return b
+			}
+			b[r.Intn(len(b))] ^= byte(1 << r.Intn(8))
+			return b
+		},
+		func(b []byte) []byte { // delete a span
+			if len(b) < 2 {
+				return b
+			}
+			i := r.Intn(len(b) - 1)
+			j := i + 1 + r.Intn(len(b)-i-1)
+			return append(b[:i], b[j:]...)
+		},
+		func(b []byte) []byte { // duplicate a span
+			if len(b) < 2 {
+				return b
+			}
+			i := r.Intn(len(b) - 1)
+			j := i + 1 + r.Intn(len(b)-i-1)
+			out := append([]byte{}, b[:j]...)
+			out = append(out, b[i:j]...)
+			return append(out, b[j:]...)
+		},
+		func(b []byte) []byte { // insert random punctuation
+			punct := []byte(`{}[]();"=<>&|!+-*/%`)
+			i := r.Intn(len(b) + 1)
+			out := append([]byte{}, b[:i]...)
+			out = append(out, punct[r.Intn(len(punct))])
+			return append(out, b[i:]...)
+		},
+	}
+	for iter := 0; iter < 3000; iter++ {
+		src := []byte(corpus[r.Intn(len(corpus))])
+		for m := 0; m <= r.Intn(3); m++ {
+			src = mutations[r.Intn(len(mutations))](src)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated source %q: %v", src, p)
+				}
+			}()
+			prog, err := Compile(string(src))
+			if err == nil && prog == nil {
+				t.Fatalf("nil program with nil error for %q", src)
+			}
+		}()
+	}
+}
+
+// TestValidCorpusCompilesAndValidates pins that the corpus itself is
+// healthy and produces structurally valid programs.
+func TestValidCorpusCompilesAndValidates(t *testing.T) {
+	for _, src := range corpus {
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("corpus program failed: %v\n%s", err, src)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("compiled program invalid: %v\n%s", err, src)
+		}
+	}
+}
+
+func BenchmarkCompileEBankingSized(b *testing.B) {
+	// A program of the paper's typical MA code size.
+	src := corpus[1] + corpus[2] + corpus[3] + `
+		let receipts = [];
+		for bank in param("banks") {
+			migrate(bank);
+			for t in param("transactions") {
+				let r2 = service("bank.transfer", t["from"], t["to"], t["amount"]);
+				if r2["ok"] { push(receipts, r2["txid"]); }
+			}
+		}
+		migrate(home());
+		deliver("receipts", receipts);
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

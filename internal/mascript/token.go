@@ -1,0 +1,132 @@
+// Package mascript is the mobile-agent scripting language of this
+// PDAgent reproduction: the "MA code" that a handheld downloads at
+// subscription time, parameterises, and ships inside the Packed
+// Information. Gateways compile MAScript source to internal/mavm
+// bytecode, which any mobile-agent server flavour can execute — the
+// paper's "standard MA code format ... understood and interpreted by
+// gateways and different MA servers".
+//
+// The language is a small imperative scripting language:
+//
+//	// visit every bank in the itinerary
+//	let banks = param("banks");
+//	let done = [];
+//	for b in banks {
+//	    migrate(b);
+//	    let r = service("bank.transfer", param("from"), param("to"), param("amount"));
+//	    push(done, r);
+//	}
+//	migrate(home());
+//	deliver("transactions", done);
+//
+// Types: nil, bool, int, float, str, list, map. Control flow: if/else,
+// while, for-in, functions, break/continue/return. Builtins are listed
+// by mavm.BuiltinNames; the mobility primitives are migrate(host),
+// home(), here(), service(name, ...), deliver(key, value), log(msg).
+package mascript
+
+import "fmt"
+
+// TokenType identifies a lexical token class.
+type TokenType int
+
+// Token types.
+const (
+	tokEOF TokenType = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokStr
+
+	// Keywords.
+	tokLet
+	tokFunc
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokIn
+	tokReturn
+	tokBreak
+	tokContinue
+	tokTrue
+	tokFalse
+	tokNil
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemicolon
+	tokColon
+	tokAssign
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokBang
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+)
+
+var tokenNames = map[TokenType]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokInt: "int literal",
+	tokFloat: "float literal", tokStr: "string literal",
+	tokLet: "'let'", tokFunc: "'func'", tokIf: "'if'", tokElse: "'else'",
+	tokWhile: "'while'", tokFor: "'for'", tokIn: "'in'", tokReturn: "'return'",
+	tokBreak: "'break'", tokContinue: "'continue'", tokTrue: "'true'",
+	tokFalse: "'false'", tokNil: "'nil'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokComma: "','",
+	tokSemicolon: "';'", tokColon: "':'", tokAssign: "'='",
+	tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'", tokSlash: "'/'",
+	tokPercent: "'%'", tokBang: "'!'", tokEq: "'=='", tokNe: "'!='",
+	tokLt: "'<'", tokLe: "'<='", tokGt: "'>'", tokGe: "'>='",
+	tokAndAnd: "'&&'", tokOrOr: "'||'",
+}
+
+func (t TokenType) String() string {
+	if s, ok := tokenNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenType(%d)", int(t))
+}
+
+var keywords = map[string]TokenType{
+	"let": tokLet, "func": tokFunc, "if": tokIf, "else": tokElse,
+	"while": tokWhile, "for": tokFor, "in": tokIn, "return": tokReturn,
+	"break": tokBreak, "continue": tokContinue,
+	"true": tokTrue, "false": tokFalse, "nil": tokNil,
+}
+
+// Token is one lexical token with source position.
+type Token struct {
+	Type      TokenType
+	Text      string // literal text (identifier name, decoded string, digits)
+	Line, Col int
+}
+
+// Error is a compile-time (lex/parse/resolve) error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mascript: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,228 @@
+package mavm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildImage produces a representative (program, snapshot) pair for
+// mutation testing.
+func buildImage(t *testing.T) ([]byte, []byte) {
+	t.Helper()
+	migrate, _ := BuiltinIndex("migrate")
+	deliver, _ := BuiltinIndex("deliver")
+	p := asm(
+		[]Value{Str("host-b"), Str("k"), Int(42)},
+		[]string{"g1", "g2"},
+		[]int{int(OpConst), 2},
+		[]int{int(OpStoreGlobal), 0},
+		[]int{int(OpConst), 0},
+		[]int{int(OpCallBuiltin), migrate, 1},
+		[]int{int(OpPop)},
+		[]int{int(OpConst), 1},
+		[]int{int(OpLoadGlobal), 0},
+		[]int{int(OpCallBuiltin), deliver, 2},
+		[]int{int(OpPop)},
+		[]int{int(OpHalt)},
+	)
+	vm, err := New(p, "mut-agent", map[string]Value{
+		"l": NewList(Int(1), Str("two"), NewList(Float(2.5))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(newTestHost("h"), DefaultFuel); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := MarshalState(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb, sb
+}
+
+// TestMutatedProgramNeverPanics: every mutation of a serialised
+// program must be rejected cleanly or produce a program that validates
+// (and therefore cannot drive the VM out of bounds).
+func TestMutatedProgramNeverPanics(t *testing.T) {
+	pb, _ := buildImage(t)
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 5000; iter++ {
+		mut := append([]byte{}, pb...)
+		for m := 0; m <= r.Intn(4); m++ {
+			switch r.Intn(3) {
+			case 0:
+				if len(mut) > 0 {
+					mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+				}
+			case 1:
+				if len(mut) > 2 {
+					mut = mut[:r.Intn(len(mut))]
+				}
+			case 2:
+				i := r.Intn(len(mut) + 1)
+				mut = append(mut[:i], append([]byte{byte(r.Intn(256))}, mut[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated program (iter %d): %v", iter, p)
+				}
+			}()
+			prog, err := UnmarshalProgram(mut)
+			if err != nil {
+				return
+			}
+			// A program that decodes must also execute without panics:
+			// run a bounded slice.
+			vm, err := New(prog, "m", nil)
+			if err != nil {
+				return
+			}
+			vm.Run(newTestHost("h"), 10_000) //nolint:errcheck // only checking for panics
+		}()
+	}
+}
+
+// TestMutatedSnapshotNeverPanics: snapshots are validated against the
+// program before a VM is reconstructed.
+func TestMutatedSnapshotNeverPanics(t *testing.T) {
+	pb, sb := buildImage(t)
+	prog, err := UnmarshalProgram(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 5000; iter++ {
+		mut := append([]byte{}, sb...)
+		for m := 0; m <= r.Intn(4); m++ {
+			switch r.Intn(3) {
+			case 0:
+				if len(mut) > 0 {
+					mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+				}
+			case 1:
+				if len(mut) > 2 {
+					mut = mut[:r.Intn(len(mut))]
+				}
+			case 2:
+				i := r.Intn(len(mut) + 1)
+				mut = append(mut[:i], append([]byte{byte(r.Intn(256))}, mut[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated snapshot (iter %d): %v", iter, p)
+				}
+			}()
+			vm, err := UnmarshalState(prog, mut)
+			if err != nil {
+				return
+			}
+			if vm.Status() == StatusReady {
+				vm.Run(newTestHost("h"), 10_000) //nolint:errcheck // only checking for panics
+			}
+		}()
+	}
+}
+
+func BenchmarkVMFib(b *testing.B) {
+	// fib(15) via hand-rolled recursion exercises call overhead; built
+	// from the mascript-compiled form would import cycles, so assemble
+	// the equivalent loop instead: sum of i*i over 10k iterations.
+	push := func(ops [][]int, op ...int) [][]int { return append(ops, op) }
+	var ops [][]int
+	// g0 = 0; i(local0) = 0; while i < 10000 { g0 = g0 + i*i; i = i + 1 }
+	ops = push(ops, int(OpConst), 0) // 0
+	ops = push(ops, int(OpStoreGlobal), 0)
+	ops = push(ops, int(OpConst), 0)
+	ops = push(ops, int(OpStoreLocal), 0)
+	loopStart := 0
+	_ = loopStart
+	p := asm(
+		[]Value{Int(0), Int(10000), Int(1)},
+		[]string{"acc"},
+		ops...,
+	)
+	// Append the loop by hand with correct offsets: compute positions.
+	fn := p.Functions[0]
+	fn.NumLocals = 1
+	// cond: LOADL0 CONST1 LT JMPF end
+	condPos := len(fn.Code)
+	emit := func(op Op, operands ...int) {
+		fn.Code = append(fn.Code, byte(op))
+		switch operandWidth(op) {
+		case 2:
+			fn.Code = append(fn.Code, byte(operands[0]>>8), byte(operands[0]))
+		case 4:
+			fn.Code = append(fn.Code, byte(operands[0]>>24), byte(operands[0]>>16), byte(operands[0]>>8), byte(operands[0]))
+		case 3:
+			fn.Code = append(fn.Code, byte(operands[0]>>8), byte(operands[0]), byte(operands[1]))
+		}
+	}
+	emit(OpLoadLocal, 0)
+	emit(OpConst, 1)
+	emit(OpLt)
+	jmpfPos := len(fn.Code)
+	emit(OpJumpIfFalse, 0)
+	emit(OpLoadGlobal, 0)
+	emit(OpLoadLocal, 0)
+	emit(OpLoadLocal, 0)
+	emit(OpMul)
+	emit(OpAdd)
+	emit(OpStoreGlobal, 0)
+	emit(OpLoadLocal, 0)
+	emit(OpConst, 2)
+	emit(OpAdd)
+	emit(OpStoreLocal, 0)
+	emit(OpJump, condPos)
+	end := len(fn.Code)
+	fn.Code[jmpfPos+1] = byte(end >> 24)
+	fn.Code[jmpfPos+2] = byte(end >> 16)
+	fn.Code[jmpfPos+3] = byte(end >> 8)
+	fn.Code[jmpfPos+4] = byte(end)
+	emit(OpHalt)
+	fn.Lines = make([]int32, len(fn.Code))
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+
+	host := newTestHost("h")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm, _ := New(p, "bench", nil)
+		if st, err := vm.Run(host, 1<<30); err != nil || st != StatusDone {
+			b.Fatalf("st=%v err=%v", st, err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	p := asm([]Value{Int(7)}, []string{"g"},
+		[]int{int(OpConst), 0},
+		[]int{int(OpStoreGlobal), 0},
+		[]int{int(OpHalt)},
+	)
+	items := make([]Value, 200)
+	for i := range items {
+		items[i] = Int(int64(i))
+	}
+	vm, _ := New(p, "bench", map[string]Value{"data": NewList(items...)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap, err := MarshalState(vm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnmarshalState(p, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mavm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValueKindsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Nil(), KindNil, "nil"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Int(-42), KindInt, "-42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Float(3.0), KindFloat, "3.0"},
+		{Str("hi"), KindStr, "hi"},
+		{NewList(Int(1), Str("a")), KindList, `[1, "a"]`},
+	}
+	for _, tc := range cases {
+		if tc.v.Kind() != tc.kind {
+			t.Errorf("%v: kind = %v, want %v", tc.str, tc.v.Kind(), tc.kind)
+		}
+		if got := tc.v.String(); got != tc.str {
+			t.Errorf("String() = %q, want %q", got, tc.str)
+		}
+	}
+	m := NewMap()
+	m.MapEntries()["b"] = Int(2)
+	m.MapEntries()["a"] = Int(1)
+	if got := m.String(); got != `{"a": 1, "b": 2}` {
+		t.Errorf("map String() = %q", got)
+	}
+	if keys := m.MapKeys(); len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("MapKeys = %v", keys)
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	falsy := []Value{Nil(), Bool(false)}
+	truthy := []Value{Bool(true), Int(0), Float(0), Str(""), NewList(), NewMap()}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	eq := [][2]Value{
+		{Int(1), Int(1)},
+		{Int(1), Float(1)},
+		{Float(2.5), Float(2.5)},
+		{Str("x"), Str("x")},
+		{Nil(), Nil()},
+		{NewList(Int(1), Int(2)), NewList(Int(1), Int(2))},
+	}
+	for _, pair := range eq {
+		if !pair[0].Equal(pair[1]) {
+			t.Errorf("%v should equal %v", pair[0], pair[1])
+		}
+	}
+	m1, m2 := NewMap(), NewMap()
+	m1.MapEntries()["k"] = Int(1)
+	m2.MapEntries()["k"] = Float(1)
+	if !m1.Equal(m2) {
+		t.Error("maps with numerically equal values should be equal")
+	}
+	ne := [][2]Value{
+		{Int(1), Int(2)},
+		{Int(1), Str("1")},
+		{Bool(true), Int(1)},
+		{NewList(Int(1)), NewList(Int(1), Int(2))},
+		{Nil(), Bool(false)},
+	}
+	for _, pair := range ne {
+		if pair[0].Equal(pair[1]) {
+			t.Errorf("%v should not equal %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestValueCloneDetaches(t *testing.T) {
+	inner := NewList(Int(1))
+	outer := NewList(inner, Str("s"))
+	c, err := outer.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	// Mutate the original's inner list.
+	inner.list.Items[0] = Int(99)
+	if c.ListItems()[0].ListItems()[0].AsInt() != 1 {
+		t.Fatal("clone shares inner list with original")
+	}
+}
+
+func TestValueCloneCycleFails(t *testing.T) {
+	l := NewList()
+	l.list.Items = append(l.list.Items, l) // self-reference
+	if _, err := l.Clone(); !errors.Is(err, ErrValueTooDeep) {
+		t.Fatalf("Clone(cycle) err = %v, want ErrValueTooDeep", err)
+	}
+}
+
+func TestDeepButFiniteCloneOK(t *testing.T) {
+	v := Int(7)
+	for i := 0; i < maxValueDepth-1; i++ {
+		v = NewList(v)
+	}
+	if _, err := v.Clone(); err != nil {
+		t.Fatalf("deep finite clone: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindNil; k <= KindMap; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package netsim simulates the network environment of the paper's
+// evaluation: a handheld on a slow, jittery wireless link talking to
+// gateways and mobile-agent-server hosts on a fast wired network.
+//
+// The paper measured its figures on physical hardware; we substitute a
+// deterministic simulation (see DESIGN.md §2). Hosts register a
+// transport.Handler under an address and belong to a zone ("wireless",
+// "wired", ...). Links between zone pairs define one-way latency, a
+// uniform jitter bound, bandwidth and a loss probability. The Transport
+// computes a delay for every message from those parameters and advances
+// a *virtual* journey clock carried in the context — no goroutine ever
+// sleeps, so a ten-trial figure sweep runs in milliseconds and is
+// exactly reproducible under a seed.
+//
+// A journey clock models one causal chain (a device's online session,
+// an agent's trip across hosts). Experiments read the clock before and
+// after a network interaction to obtain the paper's metrics (Internet
+// connection time, transaction completion time).
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pdagent/internal/transport"
+)
+
+// Clock is a virtual clock for one causal journey.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+type clockKey struct{}
+
+// WithClock attaches a journey clock to a context.
+func WithClock(ctx context.Context, c *Clock) context.Context {
+	return context.WithValue(ctx, clockKey{}, c)
+}
+
+// ClockFrom extracts the journey clock, or nil if none is attached.
+func ClockFrom(ctx context.Context) *Clock {
+	c, _ := ctx.Value(clockKey{}).(*Clock)
+	return c
+}
+
+// Link describes one direction of a zone-pair connection.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter is the upper bound of a uniform extra delay in [0,Jitter).
+	Jitter time.Duration
+	// Bandwidth in bytes/second; 0 means infinite.
+	Bandwidth float64
+	// Loss is the probability in [0,1) that a message is dropped.
+	Loss float64
+}
+
+// delay computes the simulated one-way delay for size bytes.
+func (l Link) delay(size int, jitterDraw float64) time.Duration {
+	d := l.Latency + time.Duration(jitterDraw*float64(l.Jitter))
+	if l.Bandwidth > 0 {
+		d += time.Duration(float64(size) / l.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Common zone names used across the repository.
+const (
+	ZoneWireless = "wireless"
+	ZoneWired    = "wired"
+)
+
+// ErrLost is returned when the loss model drops a message. Callers see
+// it after the would-be latency has been charged to the journey clock,
+// which models a timed-out request.
+var ErrLost = errors.New("netsim: message lost")
+
+// ErrUnreachable is returned for addresses with no registered host or
+// hosts that are down.
+var ErrUnreachable = errors.New("netsim: host unreachable")
+
+type host struct {
+	zone    string
+	handler transport.Handler
+	down    bool
+}
+
+// Stats aggregates traffic counters for reporting.
+type Stats struct {
+	Messages   int
+	BytesUp    int // request bytes
+	BytesDown  int // response bytes
+	Lost       int
+	OnlineTime time.Duration // total delay charged to journey clocks
+}
+
+// Network is the simulated fabric. All methods are safe for concurrent
+// use, but deterministic replay additionally requires a deterministic
+// caller schedule (the experiment harness is single-threaded).
+type Network struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hosts map[string]*host
+	links map[[2]string]Link
+	def   Link
+	stats Stats
+}
+
+// New returns an empty network whose randomness (jitter, loss) derives
+// from seed.
+func New(seed int64) *Network {
+	return &Network{
+		rng:   rand.New(rand.NewSource(seed)),
+		hosts: make(map[string]*host),
+		links: make(map[[2]string]Link),
+	}
+}
+
+// AddHost registers a handler under addr in the given zone, replacing
+// any previous registration.
+func (n *Network) AddHost(addr, zone string, h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[addr] = &host{zone: zone, handler: h}
+}
+
+// RemoveHost deletes a host entirely.
+func (n *Network) RemoveHost(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, addr)
+}
+
+// SetDown marks a host as unreachable (true) or back up (false),
+// injecting gateway/host failures without losing registration.
+func (n *Network) SetDown(addr string, down bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[addr]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	h.down = down
+	return nil
+}
+
+// SetLink defines the link parameters for messages from zone a to zone
+// b (one direction).
+func (n *Network) SetLink(from, to string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{from, to}] = l
+}
+
+// SetLinkBoth defines the same parameters in both directions.
+func (n *Network) SetLinkBoth(a, b string, l Link) {
+	n.SetLink(a, b, l)
+	n.SetLink(b, a, l)
+}
+
+// SetDefaultLink sets parameters used when no zone pair matches.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = l
+}
+
+// Zone returns the zone a registered address belongs to.
+func (n *Network) Zone(addr string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[addr]
+	if !ok {
+		return "", false
+	}
+	return h.zone, true
+}
+
+// Hosts returns the registered addresses (order unspecified).
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosts))
+	for a := range n.hosts {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+func (n *Network) linkFor(from, to string) Link {
+	if l, ok := n.links[[2]string{from, to}]; ok {
+		return l
+	}
+	return n.def
+}
+
+// Transport returns a RoundTripper through this network originating
+// from the given zone.
+func (n *Network) Transport(fromZone string) transport.RoundTripper {
+	return &simTransport{net: n, zone: fromZone}
+}
+
+type simTransport struct {
+	net  *Network
+	zone string
+}
+
+// RoundTrip implements transport.RoundTripper. It charges the request's
+// uplink delay, invokes the destination handler inline, charges the
+// downlink delay, and returns. Loss on either leg surfaces as ErrLost
+// after the corresponding latency has elapsed on the journey clock.
+func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transport.Request) (*transport.Response, error) {
+	n := t.net
+
+	n.mu.Lock()
+	h, ok := n.hosts[addr]
+	if !ok || h.down {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	up := n.linkFor(t.zone, h.zone)
+	down := n.linkFor(h.zone, t.zone)
+	upJitter, downJitter := n.rng.Float64(), n.rng.Float64()
+	upLost := up.Loss > 0 && n.rng.Float64() < up.Loss
+	downLost := down.Loss > 0 && n.rng.Float64() < down.Loss
+	handler := h.handler
+	n.mu.Unlock()
+
+	clock := ClockFrom(ctx)
+	charge := func(d time.Duration) {
+		if clock != nil {
+			clock.Advance(d)
+		}
+		n.mu.Lock()
+		n.stats.OnlineTime += d
+		n.mu.Unlock()
+	}
+
+	upDelay := up.delay(req.Size(), upJitter)
+	charge(upDelay)
+	n.mu.Lock()
+	n.stats.Messages++
+	n.stats.BytesUp += req.Size()
+	n.mu.Unlock()
+	if upLost {
+		n.mu.Lock()
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%s%s: %w", addr, req.Path, ErrLost)
+	}
+
+	resp := handler.Serve(ctx, req)
+	if resp == nil {
+		resp = transport.Errorf(transport.StatusServerError, "nil response from %s", addr)
+	}
+
+	downDelay := down.delay(resp.Size(), downJitter)
+	charge(downDelay)
+	n.mu.Lock()
+	n.stats.BytesDown += resp.Size()
+	n.mu.Unlock()
+	if downLost {
+		n.mu.Lock()
+		n.stats.Lost++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%s%s: response %w", addr, req.Path, ErrLost)
+	}
+	return resp, nil
+}
+
+// DefaultWirelessLink returns parameters representative of the paper's
+// 2004-era handheld link: high latency, visible jitter, tens of KB/s.
+func DefaultWirelessLink() Link {
+	return Link{
+		Latency:   400 * time.Millisecond,
+		Jitter:    300 * time.Millisecond,
+		Bandwidth: 20_000, // ~160 kbit/s
+		Loss:      0,
+	}
+}
+
+// DefaultWiredLink returns parameters for the gateway/host backbone.
+func DefaultWiredLink() Link {
+	return Link{
+		Latency:   20 * time.Millisecond,
+		Jitter:    10 * time.Millisecond,
+		Bandwidth: 1_000_000, // ~8 Mbit/s
+		Loss:      0,
+	}
+}

@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdagent/internal/transport"
+)
+
+func echoHandler() transport.Handler {
+	return transport.HandlerFunc(func(_ context.Context, req *transport.Request) *transport.Response {
+		return transport.OK(req.Body)
+	})
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.Advance(5 * time.Second)
+	c.Advance(-3 * time.Second) // ignored
+	if c.Now() != 5*time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(4 * time.Second) // backwards, ignored
+	if c.Now() != 5*time.Second {
+		t.Fatalf("AdvanceTo went backwards: %v", c.Now())
+	}
+	c.AdvanceTo(8 * time.Second)
+	if c.Now() != 8*time.Second {
+		t.Fatalf("AdvanceTo = %v", c.Now())
+	}
+}
+
+func TestClockContext(t *testing.T) {
+	if ClockFrom(context.Background()) != nil {
+		t.Fatal("clock from empty context")
+	}
+	c := NewClock()
+	ctx := WithClock(context.Background(), c)
+	if ClockFrom(ctx) != c {
+		t.Fatal("clock not recovered from context")
+	}
+}
+
+func newTestNet(seed int64) *Network {
+	n := New(seed)
+	n.SetLinkBoth(ZoneWireless, ZoneWired, Link{Latency: 100 * time.Millisecond, Bandwidth: 1000})
+	n.SetLinkBoth(ZoneWired, ZoneWired, Link{Latency: 10 * time.Millisecond})
+	return n
+}
+
+func TestRoundTripAdvancesClock(t *testing.T) {
+	n := newTestNet(1)
+	n.AddHost("gw-1", ZoneWired, echoHandler())
+	clock := NewClock()
+	ctx := WithClock(context.Background(), clock)
+
+	body := make([]byte, 1000) // 1 s at 1000 B/s uplink
+	req := &transport.Request{Path: "/e", Body: body}
+	resp, err := n.Transport(ZoneWireless).RoundTrip(ctx, "gw-1", req)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if !resp.IsOK() {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	// Expect ≥ 100ms + ~1s up + 100ms + ~1s down (response echoes body).
+	if got := clock.Now(); got < 2*time.Second || got > 3*time.Second {
+		t.Fatalf("clock = %v, want ~2.2s", got)
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.BytesUp == 0 || st.BytesDown == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.OnlineTime != clock.Now() {
+		t.Fatalf("OnlineTime %v != clock %v", st.OnlineTime, clock.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		n := New(42)
+		n.SetLinkBoth(ZoneWireless, ZoneWired, Link{Latency: 50 * time.Millisecond, Jitter: 200 * time.Millisecond})
+		n.AddHost("gw", ZoneWired, echoHandler())
+		clock := NewClock()
+		ctx := WithClock(context.Background(), clock)
+		tr := n.Transport(ZoneWireless)
+		for i := 0; i < 20; i++ {
+			if _, err := tr.RoundTrip(ctx, "gw", &transport.Request{Path: "/e"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return clock.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different time: %v vs %v", a, b)
+	}
+}
+
+func TestJitterVaries(t *testing.T) {
+	n := New(7)
+	n.SetLinkBoth(ZoneWireless, ZoneWired, Link{Latency: 50 * time.Millisecond, Jitter: 500 * time.Millisecond})
+	n.AddHost("gw", ZoneWired, echoHandler())
+	tr := n.Transport(ZoneWireless)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 10; i++ {
+		clock := NewClock()
+		ctx := WithClock(context.Background(), clock)
+		if _, err := tr.RoundTrip(ctx, "gw", &transport.Request{Path: "/e"}); err != nil {
+			t.Fatal(err)
+		}
+		seen[clock.Now()] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("jitter produced only %d distinct delays", len(seen))
+	}
+}
+
+func TestUnreachableAndDown(t *testing.T) {
+	n := newTestNet(1)
+	tr := n.Transport(ZoneWireless)
+	if _, err := tr.RoundTrip(context.Background(), "ghost", &transport.Request{Path: "/e"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unknown host err = %v", err)
+	}
+	n.AddHost("gw", ZoneWired, echoHandler())
+	if err := n.SetDown("gw", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(context.Background(), "gw", &transport.Request{Path: "/e"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down host err = %v", err)
+	}
+	if err := n.SetDown("gw", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(context.Background(), "gw", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatalf("healed host err = %v", err)
+	}
+	if err := n.SetDown("ghost", true); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("SetDown unknown = %v", err)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	n := New(3)
+	n.SetLink(ZoneWireless, ZoneWired, Link{Latency: time.Millisecond, Loss: 1.0})
+	n.SetLink(ZoneWired, ZoneWireless, Link{Latency: time.Millisecond})
+	n.AddHost("gw", ZoneWired, echoHandler())
+	clock := NewClock()
+	ctx := WithClock(context.Background(), clock)
+	_, err := n.Transport(ZoneWireless).RoundTrip(ctx, "gw", &transport.Request{Path: "/e"})
+	if !errors.Is(err, ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", err)
+	}
+	if clock.Now() == 0 {
+		t.Fatal("lost message charged no time")
+	}
+	if n.Stats().Lost != 1 {
+		t.Fatalf("Lost = %d", n.Stats().Lost)
+	}
+}
+
+func TestPartialLossEventuallySucceeds(t *testing.T) {
+	n := New(5)
+	n.SetLinkBoth(ZoneWireless, ZoneWired, Link{Latency: time.Millisecond, Loss: 0.5})
+	n.AddHost("gw", ZoneWired, echoHandler())
+	tr := n.Transport(ZoneWireless)
+	ok, lost := 0, 0
+	for i := 0; i < 100; i++ {
+		if _, err := tr.RoundTrip(context.Background(), "gw", &transport.Request{Path: "/e"}); err != nil {
+			lost++
+		} else {
+			ok++
+		}
+	}
+	if ok == 0 || lost == 0 {
+		t.Fatalf("ok=%d lost=%d, want a mix at 50%% loss", ok, lost)
+	}
+}
+
+func TestZoneRouting(t *testing.T) {
+	n := newTestNet(1)
+	n.AddHost("a", ZoneWired, echoHandler())
+	n.AddHost("b", ZoneWired, echoHandler())
+
+	// wired->wired is 10ms each way with no bandwidth cap.
+	clock := NewClock()
+	ctx := WithClock(context.Background(), clock)
+	if _, err := n.Transport(ZoneWired).RoundTrip(ctx, "b", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != 20*time.Millisecond {
+		t.Fatalf("wired-wired RTT = %v, want 20ms", clock.Now())
+	}
+
+	if z, ok := n.Zone("a"); !ok || z != ZoneWired {
+		t.Fatalf("Zone(a) = %q,%v", z, ok)
+	}
+	if _, ok := n.Zone("ghost"); ok {
+		t.Fatal("Zone(ghost) should be absent")
+	}
+	if got := len(n.Hosts()); got != 2 {
+		t.Fatalf("Hosts len = %d", got)
+	}
+	n.RemoveHost("a")
+	if got := len(n.Hosts()); got != 1 {
+		t.Fatalf("after RemoveHost len = %d", got)
+	}
+}
+
+func TestDefaultLink(t *testing.T) {
+	n := New(1)
+	n.SetDefaultLink(Link{Latency: 77 * time.Millisecond})
+	n.AddHost("x", "other-zone", echoHandler())
+	clock := NewClock()
+	ctx := WithClock(context.Background(), clock)
+	if _, err := n.Transport(ZoneWireless).RoundTrip(ctx, "x", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != 154*time.Millisecond {
+		t.Fatalf("default link RTT = %v", clock.Now())
+	}
+}
+
+func TestNilHandlerResponse(t *testing.T) {
+	n := newTestNet(1)
+	n.AddHost("bad", ZoneWired, transport.HandlerFunc(func(context.Context, *transport.Request) *transport.Response {
+		return nil
+	}))
+	resp, err := n.Transport(ZoneWired).RoundTrip(context.Background(), "bad", &transport.Request{Path: "/e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != transport.StatusServerError {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := newTestNet(1)
+	n.AddHost("gw", ZoneWired, echoHandler())
+	n.Transport(ZoneWired).RoundTrip(context.Background(), "gw", &transport.Request{Path: "/e"}) //nolint:errcheck
+	if n.Stats().Messages == 0 {
+		t.Fatal("no messages recorded")
+	}
+	n.ResetStats()
+	if n.Stats() != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", n.Stats())
+	}
+}
+
+func TestDefaultLinkProfiles(t *testing.T) {
+	w := DefaultWirelessLink()
+	d := DefaultWiredLink()
+	if w.Latency <= d.Latency {
+		t.Fatal("wireless should be slower than wired")
+	}
+	if w.Bandwidth >= d.Bandwidth {
+		t.Fatal("wireless bandwidth should be below wired")
+	}
+}

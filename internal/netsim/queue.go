@@ -1,0 +1,46 @@
+package netsim
+
+import "sync"
+
+// Queue is a serial task runner used as the Spawn hook of gateways and
+// MAS servers in simulated worlds: tasks enqueue instead of starting
+// goroutines, and the experiment harness drains them one at a time on
+// its own goroutine. Execution order is FIFO and single-threaded, so a
+// seeded simulation replays identically.
+type Queue struct {
+	mu    sync.Mutex
+	items []func()
+}
+
+// Go enqueues a task. Safe to call from within a draining task (the
+// new task runs later in the same drain).
+func (q *Queue) Go(fn func()) {
+	q.mu.Lock()
+	q.items = append(q.items, fn)
+	q.mu.Unlock()
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Drain runs tasks in FIFO order until the queue is empty, returning
+// how many ran. Tasks enqueued during the drain are executed too.
+func (q *Queue) Drain() int {
+	ran := 0
+	for {
+		q.mu.Lock()
+		if len(q.items) == 0 {
+			q.mu.Unlock()
+			return ran
+		}
+		fn := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		fn()
+		ran++
+	}
+}

@@ -1,0 +1,282 @@
+// Package pisec implements the PDAgent security model of the paper's
+// Figure 7: the handheld encrypts the Packed Information with the
+// gateway's public key ("Asymmetric Key Encryption"), and the gateway
+// uses MD5 to verify the Packed Information before decrypting it with
+// its private key.
+//
+// Like the paper, the asymmetric step is RSA; because RSA alone cannot
+// encrypt multi-kilobyte PIs, Seal uses the standard hybrid scheme: a
+// fresh AES-CTR session key is RSA-OAEP-wrapped and carried alongside
+// the ciphertext. The MD5 digest covers the whole envelope body, which
+// reproduces the paper's "verify whether the Packed Information is
+// valid" check. (MD5 is retained for fidelity to the 2004 design; it is
+// an integrity tag here, not a collision-resistant MAC.)
+//
+// The package also derives the per-dispatch unique key of §3.2: "The
+// Agent Dispatcher will ... generate a unique key from the assigned
+// code id", which the gateway's Agent Creator validates before
+// generating agent classes.
+package pisec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/md5"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// DefaultKeyBits is the RSA modulus size used by gateways. 2048 is the
+// modern floor; the paper's era used 1024.
+const DefaultKeyBits = 2048
+
+// Errors returned by envelope operations.
+var (
+	// ErrDigestMismatch means the MD5 verification of Figure 7 failed:
+	// the PI was altered in transit.
+	ErrDigestMismatch = errors.New("pisec: MD5 digest mismatch, packed information altered")
+	// ErrMalformed means the envelope could not be parsed at all.
+	ErrMalformed = errors.New("pisec: malformed envelope")
+)
+
+// KeyPair is a gateway identity: an RSA private key plus convenience
+// accessors for the public half.
+type KeyPair struct {
+	priv *rsa.PrivateKey
+}
+
+// GenerateKeyPair creates a new RSA key pair with the given modulus
+// size (use DefaultKeyBits).
+func GenerateKeyPair(bits int) (*KeyPair, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("pisec: generating key pair: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// Public returns the shareable public half.
+func (kp *KeyPair) Public() *PublicKey { return &PublicKey{key: &kp.priv.PublicKey} }
+
+// PublicKey is the gateway public key a device downloads at
+// subscription time.
+type PublicKey struct {
+	key *rsa.PublicKey
+}
+
+// Marshal encodes the key as base64 PKIX DER for embedding in XML
+// gateway lists.
+func (pk *PublicKey) Marshal() (string, error) {
+	der, err := x509.MarshalPKIXPublicKey(pk.key)
+	if err != nil {
+		return "", fmt.Errorf("pisec: marshalling public key: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(der), nil
+}
+
+// ParsePublicKey decodes a key produced by Marshal.
+func ParsePublicKey(s string) (*PublicKey, error) {
+	der, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("pisec: public key base64: %w", err)
+	}
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("pisec: parsing public key: %w", err)
+	}
+	rk, ok := k.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("pisec: public key is %T, want RSA", k)
+	}
+	return &PublicKey{key: rk}, nil
+}
+
+// Fingerprint returns a short hex identifier for the key (first 8 bytes
+// of the SHA-256 of its DER form).
+func (pk *PublicKey) Fingerprint() string {
+	der, err := x509.MarshalPKIXPublicKey(pk.key)
+	if err != nil {
+		return "invalid"
+	}
+	sum := sha256.Sum256(der)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Envelope is a sealed Packed Information: the RSA-wrapped session key,
+// the CTR IV, the ciphertext, and the MD5 digest the gateway verifies.
+type Envelope struct {
+	WrappedKey []byte
+	IV         []byte
+	Ciphertext []byte
+	Digest     [md5.Size]byte
+}
+
+const envelopeMagic = "PISEC1"
+
+// Seal encrypts plaintext to the gateway's public key per Figure 7.
+func Seal(pk *PublicKey, plaintext []byte) (*Envelope, error) {
+	sessionKey := make([]byte, 32)
+	if _, err := rand.Read(sessionKey); err != nil {
+		return nil, fmt.Errorf("pisec: session key: %w", err)
+	}
+	iv := make([]byte, aes.BlockSize)
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("pisec: iv: %w", err)
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pk.key, sessionKey, []byte(envelopeMagic))
+	if err != nil {
+		return nil, fmt.Errorf("pisec: wrapping session key: %w", err)
+	}
+	block, err := aes.NewCipher(sessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("pisec: cipher init: %w", err)
+	}
+	ct := make([]byte, len(plaintext))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+	env := &Envelope{WrappedKey: wrapped, IV: iv, Ciphertext: ct}
+	env.Digest = env.computeDigest()
+	return env, nil
+}
+
+// computeDigest hashes everything except the digest itself.
+func (e *Envelope) computeDigest() [md5.Size]byte {
+	h := md5.New()
+	h.Write([]byte(envelopeMagic))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(e.WrappedKey)))
+	h.Write(n[:])
+	h.Write(e.WrappedKey)
+	h.Write(e.IV)
+	h.Write(e.Ciphertext)
+	var out [md5.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Verify runs the gateway's MD5 check without decrypting.
+func (e *Envelope) Verify() error {
+	if e.computeDigest() != e.Digest {
+		return ErrDigestMismatch
+	}
+	return nil
+}
+
+// Open verifies the digest and decrypts with the gateway's private key.
+func Open(kp *KeyPair, e *Envelope) ([]byte, error) {
+	if err := e.Verify(); err != nil {
+		return nil, err
+	}
+	sessionKey, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, kp.priv, e.WrappedKey, []byte(envelopeMagic))
+	if err != nil {
+		return nil, fmt.Errorf("pisec: unwrapping session key: %w", err)
+	}
+	block, err := aes.NewCipher(sessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("pisec: cipher init: %w", err)
+	}
+	pt := make([]byte, len(e.Ciphertext))
+	cipher.NewCTR(block, e.IV).XORKeyStream(pt, e.Ciphertext)
+	return pt, nil
+}
+
+// Marshal encodes the envelope in a compact binary form:
+// magic, u16 wrapped-key length, wrapped key, 16-byte IV, 16-byte
+// digest, ciphertext to end.
+func (e *Envelope) Marshal() []byte {
+	out := make([]byte, 0, len(envelopeMagic)+2+len(e.WrappedKey)+len(e.IV)+md5.Size+len(e.Ciphertext))
+	out = append(out, envelopeMagic...)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(e.WrappedKey)))
+	out = append(out, l[:]...)
+	out = append(out, e.WrappedKey...)
+	out = append(out, e.IV...)
+	out = append(out, e.Digest[:]...)
+	out = append(out, e.Ciphertext...)
+	return out
+}
+
+// UnmarshalEnvelope parses the binary form produced by Marshal.
+func UnmarshalEnvelope(b []byte) (*Envelope, error) {
+	min := len(envelopeMagic) + 2 + aes.BlockSize + md5.Size
+	if len(b) < min || string(b[:len(envelopeMagic)]) != envelopeMagic {
+		return nil, ErrMalformed
+	}
+	p := len(envelopeMagic)
+	klen := int(binary.BigEndian.Uint16(b[p : p+2]))
+	p += 2
+	if len(b) < p+klen+aes.BlockSize+md5.Size {
+		return nil, ErrMalformed
+	}
+	e := &Envelope{}
+	e.WrappedKey = append([]byte(nil), b[p:p+klen]...)
+	p += klen
+	e.IV = append([]byte(nil), b[p:p+aes.BlockSize]...)
+	p += aes.BlockSize
+	copy(e.Digest[:], b[p:p+md5.Size])
+	p += md5.Size
+	e.Ciphertext = append([]byte(nil), b[p:]...)
+	return e, nil
+}
+
+// MarshalBase64 returns the envelope as base64 text for embedding in an
+// XML Packed Information document.
+func (e *Envelope) MarshalBase64() string {
+	return base64.StdEncoding.EncodeToString(e.Marshal())
+}
+
+// UnmarshalEnvelopeBase64 parses the form produced by MarshalBase64.
+func UnmarshalEnvelopeBase64(s string) (*Envelope, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return UnmarshalEnvelope(b)
+}
+
+// DispatchKey derives the §3.2 "unique key from the assigned code id".
+// The subscription secret is issued by the gateway when the code is
+// downloaded; only a device holding it can produce a valid key for that
+// code id. The construction is HMAC-style MD5 keyed with the secret
+// (again MD5 for period fidelity).
+func DispatchKey(codeID string, secret []byte) string {
+	inner := md5.New()
+	inner.Write(secret)
+	inner.Write([]byte{0x36})
+	inner.Write([]byte(codeID))
+	is := inner.Sum(nil)
+	outer := md5.New()
+	outer.Write(secret)
+	outer.Write([]byte{0x5c})
+	outer.Write(is)
+	return hex.EncodeToString(outer.Sum(nil))
+}
+
+// VerifyDispatchKey checks a presented key in constant time.
+func VerifyDispatchKey(codeID string, secret []byte, presented string) bool {
+	want := DispatchKey(codeID, secret)
+	if len(want) != len(presented) {
+		return false
+	}
+	var diff byte
+	for i := 0; i < len(want); i++ {
+		diff |= want[i] ^ presented[i]
+	}
+	return diff == 0
+}
+
+// NewSubscriptionSecret returns a fresh random secret issued alongside
+// a downloaded code package.
+func NewSubscriptionSecret() ([]byte, error) {
+	s := make([]byte, 16)
+	if _, err := rand.Read(s); err != nil {
+		return nil, fmt.Errorf("pisec: subscription secret: %w", err)
+	}
+	return s, nil
+}

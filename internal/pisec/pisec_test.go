@@ -1,0 +1,235 @@
+package pisec
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKeyPair is generated once; RSA keygen is slow.
+var (
+	testKeyOnce sync.Once
+	testKey     *KeyPair
+)
+
+func keyPair(t testing.TB) *KeyPair {
+	testKeyOnce.Do(func() {
+		kp, err := GenerateKeyPair(DefaultKeyBits)
+		if err != nil {
+			t.Fatalf("GenerateKeyPair: %v", err)
+		}
+		testKey = kp
+	})
+	return testKey
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	kp := keyPair(t)
+	for _, msg := range [][]byte{
+		{},
+		[]byte("x"),
+		[]byte(strings.Repeat("<pi>packed information</pi>", 100)),
+	} {
+		env, err := Seal(kp.Public(), msg)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		got, err := Open(kp, env)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round-trip mismatch: %d in, %d out", len(msg), len(got))
+		}
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	kp := keyPair(t)
+	env, err := Seal(kp.Public(), []byte("transfer 100 from a to b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one ciphertext bit: the MD5 check of Figure 7 must fail.
+	env.Ciphertext[0] ^= 1
+	if err := env.Verify(); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("Verify after tamper = %v, want ErrDigestMismatch", err)
+	}
+	if _, err := Open(kp, env); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("Open after tamper = %v, want ErrDigestMismatch", err)
+	}
+	env.Ciphertext[0] ^= 1
+	if err := env.Verify(); err != nil {
+		t.Fatalf("Verify after restore: %v", err)
+	}
+	// Tampering with the wrapped key is also caught by the digest.
+	env.WrappedKey[3] ^= 0x40
+	if _, err := Open(kp, env); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("Open after key tamper = %v", err)
+	}
+}
+
+func TestEnvelopeMarshalRoundTrip(t *testing.T) {
+	kp := keyPair(t)
+	env, err := Seal(kp.Public(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalEnvelope: %v", err)
+	}
+	got, err := Open(kp, back)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Open(unmarshalled) = %q, %v", got, err)
+	}
+
+	b64, err := UnmarshalEnvelopeBase64(env.MarshalBase64())
+	if err != nil {
+		t.Fatalf("UnmarshalEnvelopeBase64: %v", err)
+	}
+	got, err = Open(kp, b64)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Open(base64) = %q, %v", got, err)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTPIS0000000000000000000000000000000000"),
+		"truncated": []byte("PISEC1\x01"),
+		"short key": append([]byte("PISEC1\xFF\xFF"), make([]byte, 10)...),
+	}
+	for name, b := range cases {
+		if _, err := UnmarshalEnvelope(b); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+	if _, err := UnmarshalEnvelopeBase64("!!!not base64!!!"); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad base64: err = %v", err)
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	kp := keyPair(t)
+	s, err := kp.Public().Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	pk, err := ParsePublicKey(s)
+	if err != nil {
+		t.Fatalf("ParsePublicKey: %v", err)
+	}
+	if pk.Fingerprint() != kp.Public().Fingerprint() {
+		t.Fatal("fingerprint changed across marshal round-trip")
+	}
+	// The parsed key must actually work for sealing.
+	env, err := Seal(pk, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(kp, env)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Open with reparsed key = %q, %v", got, err)
+	}
+}
+
+func TestParsePublicKeyErrors(t *testing.T) {
+	if _, err := ParsePublicKey("not-base64!!!"); err == nil {
+		t.Error("bad base64 accepted")
+	}
+	if _, err := ParsePublicKey("aGVsbG8="); err == nil {
+		t.Error("non-DER accepted")
+	}
+}
+
+func TestOpenWithWrongKey(t *testing.T) {
+	kp := keyPair(t)
+	other, err := GenerateKeyPair(1024) // smaller for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(kp.Public(), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(other, env); err == nil {
+		t.Fatal("Open with wrong private key succeeded")
+	}
+}
+
+func TestDispatchKey(t *testing.T) {
+	secret, err := NewSubscriptionSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := DispatchKey("code-17", secret)
+	if len(key) != 32 {
+		t.Fatalf("key length = %d, want 32 hex chars", len(key))
+	}
+	if !VerifyDispatchKey("code-17", secret, key) {
+		t.Fatal("valid key rejected")
+	}
+	if VerifyDispatchKey("code-18", secret, key) {
+		t.Fatal("key accepted for wrong code id")
+	}
+	if VerifyDispatchKey("code-17", []byte("wrong secret"), key) {
+		t.Fatal("key accepted with wrong secret")
+	}
+	if VerifyDispatchKey("code-17", secret, key[:31]) {
+		t.Fatal("truncated key accepted")
+	}
+	// Determinism.
+	if DispatchKey("code-17", secret) != key {
+		t.Fatal("DispatchKey not deterministic")
+	}
+	// Different ids produce different keys.
+	if DispatchKey("code-18", secret) == key {
+		t.Fatal("distinct code ids collide")
+	}
+}
+
+func TestQuickSealOpen(t *testing.T) {
+	kp := keyPair(t)
+	f := func(msg []byte) bool {
+		env, err := Seal(kp.Public(), msg)
+		if err != nil {
+			return false
+		}
+		round, err := UnmarshalEnvelope(env.Marshal())
+		if err != nil {
+			return false
+		}
+		got, err := Open(kp, round)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	kp := keyPair(b)
+	msg := []byte(strings.Repeat("x", 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Seal(kp.Public(), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	kp := keyPair(b)
+	env, _ := Seal(kp.Public(), []byte(strings.Repeat("x", 4096)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(kp, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

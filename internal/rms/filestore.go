@@ -1,0 +1,419 @@
+package rms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileStore is a record store persisted to an append-only log file.
+//
+// Log format: a fixed magic header followed by entries of
+//
+//	op   uint8   (1=add, 2=set, 3=delete)
+//	id   uint32
+//	size uint32  (payload length; 0 for delete)
+//	crc  uint32  (IEEE CRC-32 over op|id|size|payload)
+//	payload
+//
+// Replay stops cleanly at the first truncated or corrupt entry, which
+// gives crash tolerance: a torn final write loses only that write.
+// Compact rewrites the log with only live records.
+type FileStore struct {
+	mu      sync.Mutex
+	name    string
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	records map[int][]byte
+	nextID  int
+	// garbage counts superseded log bytes; Compact resets it.
+	garbage int
+	closed  bool
+}
+
+var fileMagic = []byte("PDRMS1\n")
+
+const (
+	opAdd    = 1
+	opSet    = 2
+	opDelete = 3
+
+	entryHeaderSize = 1 + 4 + 4 + 4
+
+	// MaxRecordSize bounds one record payload; larger Add/Set calls are
+	// rejected so a corrupt length field cannot trigger a huge allocation.
+	MaxRecordSize = 16 << 20
+)
+
+// OpenFileStore opens (creating if needed) the store persisted at path.
+// The store name is the file base name without extension.
+func OpenFileStore(path string) (*FileStore, error) {
+	name := filepath.Base(path)
+	if ext := filepath.Ext(name); ext != "" {
+		name = name[:len(name)-len(ext)]
+	}
+	s := &FileStore{
+		name:    name,
+		path:    path,
+		records: make(map[int][]byte),
+		nextID:  1,
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rms: opening %s: %w", path, err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		if _, err := s.w.Write(fileMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("rms: writing magic: %w", err)
+		}
+		if err := s.flushLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *FileStore) load() error {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("rms: opening %s: %w", s.path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		// Empty or truncated header: treat as a fresh store.
+		return nil
+	}
+	if string(magic) != string(fileMagic) {
+		return fmt.Errorf("rms: %s is not a record store (bad magic)", s.path)
+	}
+	for {
+		hdr := make([]byte, entryHeaderSize)
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil // clean EOF or torn header: stop replay
+		}
+		op := hdr[0]
+		id := int(binary.BigEndian.Uint32(hdr[1:5]))
+		size := binary.BigEndian.Uint32(hdr[5:9])
+		sum := binary.BigEndian.Uint32(hdr[9:13])
+		if size > MaxRecordSize {
+			return nil // corrupt length: stop replay
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn payload: stop replay
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:9])
+		crc.Write(payload)
+		if crc.Sum32() != sum {
+			return nil // corrupt entry: stop replay
+		}
+		switch op {
+		case opAdd, opSet:
+			if old, ok := s.records[id]; ok {
+				s.garbage += entryHeaderSize + len(old)
+			}
+			s.records[id] = payload
+			if id >= s.nextID {
+				s.nextID = id + 1
+			}
+		case opDelete:
+			if old, ok := s.records[id]; ok {
+				s.garbage += 2*entryHeaderSize + len(old)
+				delete(s.records, id)
+			}
+			if id >= s.nextID {
+				s.nextID = id + 1
+			}
+		default:
+			return nil // unknown op: stop replay
+		}
+	}
+}
+
+func (s *FileStore) appendEntry(op byte, id int, payload []byte) error {
+	hdr := make([]byte, entryHeaderSize)
+	hdr[0] = op
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(id))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:9])
+	crc.Write(payload)
+	binary.BigEndian.PutUint32(hdr[9:13], crc.Sum32())
+	if _, err := s.w.Write(hdr); err != nil {
+		return fmt.Errorf("rms: appending to %s: %w", s.path, err)
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return fmt.Errorf("rms: appending to %s: %w", s.path, err)
+	}
+	return s.flushLocked()
+}
+
+func (s *FileStore) flushLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("rms: flushing %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Name implements Store.
+func (s *FileStore) Name() string { return s.name }
+
+// Add implements Store.
+func (s *FileStore) Add(data []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if len(data) > MaxRecordSize {
+		return 0, fmt.Errorf("rms: record of %d bytes exceeds max %d", len(data), MaxRecordSize)
+	}
+	id := s.nextID
+	if err := s.appendEntry(opAdd, id, data); err != nil {
+		return 0, err
+	}
+	s.nextID++
+	s.records[id] = clone(data)
+	return id, nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	data, ok := s.records[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d in %q", ErrNotFound, id, s.name)
+	}
+	return clone(data), nil
+}
+
+// Set implements Store.
+func (s *FileStore) Set(id int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	old, ok := s.records[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d in %q", ErrNotFound, id, s.name)
+	}
+	if len(data) > MaxRecordSize {
+		return fmt.Errorf("rms: record of %d bytes exceeds max %d", len(data), MaxRecordSize)
+	}
+	if err := s.appendEntry(opSet, id, data); err != nil {
+		return err
+	}
+	s.garbage += entryHeaderSize + len(old)
+	s.records[id] = clone(data)
+	return nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	old, ok := s.records[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d in %q", ErrNotFound, id, s.name)
+	}
+	if err := s.appendEntry(opDelete, id, nil); err != nil {
+		return err
+	}
+	s.garbage += 2*entryHeaderSize + len(old)
+	delete(s.records, id)
+	return nil
+}
+
+// NumRecords implements Store.
+func (s *FileStore) NumRecords() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.records), nil
+}
+
+// NextID implements Store.
+func (s *FileStore) NextID() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.nextID, nil
+}
+
+// IDs implements Store.
+func (s *FileStore) IDs() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]int, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Size implements Store.
+func (s *FileStore) Size() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	total := 0
+	for _, r := range s.records {
+		total += len(r)
+	}
+	return total, nil
+}
+
+// Garbage returns the bytes of superseded log entries accumulated since
+// the last Compact (or open).
+func (s *FileStore) Garbage() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.garbage
+}
+
+// Compact rewrites the log with only live records, preserving ids and
+// the next-id watermark. The rewrite goes to a temp file renamed over
+// the original, so a crash mid-compact leaves the old log intact.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("rms: creating compact file: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	if _, err := bw.Write(fileMagic); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+	}
+	ids := make([]int, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	writeEntry := func(op byte, id int, payload []byte) error {
+		hdr := make([]byte, entryHeaderSize)
+		hdr[0] = op
+		binary.BigEndian.PutUint32(hdr[1:5], uint32(id))
+		binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:9])
+		crc.Write(payload)
+		binary.BigEndian.PutUint32(hdr[9:13], crc.Sum32())
+		if _, err := bw.Write(hdr); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+	for _, id := range ids {
+		if err := writeEntry(opAdd, id, s.records[id]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+		}
+	}
+	// Preserve the id watermark across reopen even if the top record was
+	// deleted: a delete entry for nextID-1 replays the watermark.
+	if top := s.nextID - 1; top >= 1 {
+		if _, live := s.records[top]; !live {
+			if err := writeEntry(opDelete, top, nil); err != nil {
+				tmp.Close()
+				return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rms: syncing compact file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("rms: closing compact file: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("rms: closing old log: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("rms: swapping compact file: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("rms: reopening %s: %w", s.path, err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.garbage = 0
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("rms: flushing %s: %w", s.path, err)
+	}
+	return s.f.Close()
+}
+
+// DeleteStore removes the persisted file of a (closed) store.
+func DeleteStore(path string) error {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("rms: deleting store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package rms is a record-oriented persistent store modelled on J2ME's
+// Record Management System (RMS), which the PDAgent paper uses as the
+// on-device database for subscribed mobile-agent code and results.
+//
+// A RecordStore maps monotonically increasing integer record ids to
+// opaque byte records, exactly like javax.microedition.rms.RecordStore:
+// ids start at 1, deleted ids are never reused, and enumeration visits
+// records in id order. Two backends are provided — a volatile in-memory
+// store and a file-backed store with an append-only, checksummed log
+// that survives crashes (replay stops at the first torn entry).
+package rms
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors mirroring the RMS exception types.
+var (
+	// ErrNotFound is returned for operations on a record id that does
+	// not exist (InvalidRecordIDException).
+	ErrNotFound = errors.New("rms: record not found")
+	// ErrClosed is returned for operations on a closed store
+	// (RecordStoreNotOpenException).
+	ErrClosed = errors.New("rms: store closed")
+	// ErrStoreFull is returned when adding a record would exceed the
+	// store's configured capacity (RecordStoreFullException).
+	ErrStoreFull = errors.New("rms: store full")
+)
+
+// Store is the RecordStore interface shared by both backends.
+type Store interface {
+	// Name returns the store's name.
+	Name() string
+	// Add appends a record and returns its id (ids start at 1).
+	Add(data []byte) (int, error)
+	// Get returns a copy of the record with the given id.
+	Get(id int) ([]byte, error)
+	// Set replaces the record with the given id.
+	Set(id int, data []byte) error
+	// Delete removes the record with the given id. The id is not reused.
+	Delete(id int) error
+	// NumRecords returns the number of live records.
+	NumRecords() (int, error)
+	// NextID returns the id the next Add will use.
+	NextID() (int, error)
+	// IDs returns the live record ids in ascending order.
+	IDs() ([]int, error)
+	// Size returns the total byte size of live record payloads.
+	Size() (int, error)
+	// Close releases the store; further operations return ErrClosed.
+	Close() error
+}
+
+// MemStore is a volatile in-memory record store.
+type MemStore struct {
+	mu       sync.RWMutex
+	name     string
+	records  map[int][]byte
+	nextID   int
+	capacity int // max total payload bytes; 0 = unlimited
+	closed   bool
+}
+
+// NewMemStore returns an empty in-memory store with the given name.
+// capacity limits total payload bytes; 0 means unlimited.
+func NewMemStore(name string, capacity int) *MemStore {
+	return &MemStore{name: name, records: make(map[int][]byte), nextID: 1, capacity: capacity}
+}
+
+// Name implements Store.
+func (s *MemStore) Name() string { return s.name }
+
+// Add implements Store.
+func (s *MemStore) Add(data []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.capacity > 0 && s.liveSizeLocked()+len(data) > s.capacity {
+		return 0, ErrStoreFull
+	}
+	id := s.nextID
+	s.nextID++
+	s.records[id] = clone(data)
+	return id, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	data, ok := s.records[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d in %q", ErrNotFound, id, s.name)
+	}
+	return clone(data), nil
+}
+
+// Set implements Store.
+func (s *MemStore) Set(id int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	old, ok := s.records[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d in %q", ErrNotFound, id, s.name)
+	}
+	if s.capacity > 0 && s.liveSizeLocked()-len(old)+len(data) > s.capacity {
+		return ErrStoreFull
+	}
+	s.records[id] = clone(data)
+	return nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.records[id]; !ok {
+		return fmt.Errorf("%w: id %d in %q", ErrNotFound, id, s.name)
+	}
+	delete(s.records, id)
+	return nil
+}
+
+// NumRecords implements Store.
+func (s *MemStore) NumRecords() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.records), nil
+}
+
+// NextID implements Store.
+func (s *MemStore) NextID() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.nextID, nil
+}
+
+// IDs implements Store.
+func (s *MemStore) IDs() ([]int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]int, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.liveSizeLocked(), nil
+}
+
+func (s *MemStore) liveSizeLocked() int {
+	total := 0
+	for _, r := range s.records {
+		total += len(r)
+	}
+	return total
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,428 @@
+package rms
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// storeFactories lets every behavioural test run against both backends.
+func storeFactories(t *testing.T) map[string]func() Store {
+	t.Helper()
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore("test", 0) },
+		"file": func() Store {
+			s, err := OpenFileStore(filepath.Join(t.TempDir(), "test.rms"))
+			if err != nil {
+				t.Fatalf("OpenFileStore: %v", err)
+			}
+			return s
+		},
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+
+			id1, err := s.Add([]byte("alpha"))
+			if err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if id1 != 1 {
+				t.Fatalf("first id = %d, want 1", id1)
+			}
+			id2, _ := s.Add([]byte("beta"))
+			if id2 != 2 {
+				t.Fatalf("second id = %d, want 2", id2)
+			}
+			got, err := s.Get(id1)
+			if err != nil || string(got) != "alpha" {
+				t.Fatalf("Get(1) = %q, %v", got, err)
+			}
+			if err := s.Set(id1, []byte("ALPHA")); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			got, _ = s.Get(id1)
+			if string(got) != "ALPHA" {
+				t.Fatalf("after Set, Get = %q", got)
+			}
+			n, _ := s.NumRecords()
+			if n != 2 {
+				t.Fatalf("NumRecords = %d", n)
+			}
+			if err := s.Delete(id1); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get(id1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+			}
+			// Deleted ids are never reused.
+			id3, _ := s.Add([]byte("gamma"))
+			if id3 != 3 {
+				t.Fatalf("id after delete = %d, want 3", id3)
+			}
+			ids, _ := s.IDs()
+			if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+				t.Fatalf("IDs = %v", ids)
+			}
+			size, _ := s.Size()
+			if size != len("beta")+len("gamma") {
+				t.Fatalf("Size = %d", size)
+			}
+		})
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if _, err := s.Get(99); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(99) err = %v", err)
+			}
+			if err := s.Set(99, nil); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Set(99) err = %v", err)
+			}
+			if err := s.Delete(99); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Delete(99) err = %v", err)
+			}
+			s.Close()
+			if _, err := s.Add(nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Add after close err = %v", err)
+			}
+			if _, err := s.Get(1); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Get after close err = %v", err)
+			}
+			if _, err := s.IDs(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("IDs after close err = %v", err)
+			}
+		})
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			id, _ := s.Add([]byte("abc"))
+			got, _ := s.Get(id)
+			got[0] = 'X'
+			again, _ := s.Get(id)
+			if string(again) != "abc" {
+				t.Fatalf("store data mutated through Get: %q", again)
+			}
+		})
+	}
+}
+
+func TestMemStoreCapacity(t *testing.T) {
+	s := NewMemStore("cap", 10)
+	if _, err := s.Add(make([]byte, 8)); err != nil {
+		t.Fatalf("Add 8: %v", err)
+	}
+	if _, err := s.Add(make([]byte, 8)); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("over-capacity Add err = %v", err)
+	}
+	// Set that grows past capacity also fails.
+	id, _ := s.Add(make([]byte, 1))
+	if err := s.Set(id, make([]byte, 4)); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("over-capacity Set err = %v", err)
+	}
+	// Set that fits succeeds.
+	if err := s.Set(id, make([]byte, 2)); err != nil {
+		t.Fatalf("in-capacity Set: %v", err)
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.rms")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	id1, _ := s.Add([]byte("one"))
+	id2, _ := s.Add([]byte("two"))
+	s.Set(id1, []byte("uno"))
+	s.Delete(id2)
+	id3, _ := s.Add([]byte("three"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Get(id1)
+	if err != nil || string(got) != "uno" {
+		t.Fatalf("Get(%d) = %q, %v", id1, got, err)
+	}
+	if _, err := s2.Get(id2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted record resurrected: %v", err)
+	}
+	got, _ = s2.Get(id3)
+	if string(got) != "three" {
+		t.Fatalf("Get(%d) = %q", id3, got)
+	}
+	next, _ := s2.NextID()
+	if next != 4 {
+		t.Fatalf("NextID after reopen = %d, want 4", next)
+	}
+}
+
+func TestFileStoreTornWriteRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.rms")
+	s, _ := OpenFileStore(path)
+	s.Add([]byte("keep-1"))
+	s.Add([]byte("keep-2"))
+	s.Close()
+
+	// Simulate a crash mid-append: add garbage that looks like a torn entry.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{opAdd, 0, 0, 0, 3, 0, 0}) // truncated header
+	f.Close()
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer s2.Close()
+	n, _ := s2.NumRecords()
+	if n != 2 {
+		t.Fatalf("NumRecords after torn write = %d, want 2", n)
+	}
+	// The store remains appendable.
+	if _, err := s2.Add([]byte("new")); err != nil {
+		t.Fatalf("Add after torn recovery: %v", err)
+	}
+}
+
+func TestFileStoreCorruptEntrySkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.rms")
+	s, _ := OpenFileStore(path)
+	s.Add([]byte("good"))
+	s.Add([]byte("will-corrupt"))
+	s.Close()
+
+	// Flip a payload byte of the second entry.
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	n, _ := s2.NumRecords()
+	if n != 1 {
+		t.Fatalf("NumRecords = %d, want 1 (corrupt tail dropped)", n)
+	}
+}
+
+func TestFileStoreBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notrms.rms")
+	os.WriteFile(path, []byte("definitely not a record store"), 0o644)
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestFileStoreCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.rms")
+	s, _ := OpenFileStore(path)
+	var keep int
+	for i := 0; i < 50; i++ {
+		id, _ := s.Add(bytes.Repeat([]byte{byte(i)}, 100))
+		if i == 25 {
+			keep = id
+		}
+	}
+	ids, _ := s.IDs()
+	for _, id := range ids {
+		if id != keep {
+			s.Delete(id)
+		}
+	}
+	if s.Garbage() == 0 {
+		t.Fatal("expected garbage before compact")
+	}
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	if s.Garbage() != 0 {
+		t.Fatalf("garbage after compact = %d", s.Garbage())
+	}
+	got, err := s.Get(keep)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("survivor lost: %v", err)
+	}
+	// Watermark survives compact + reopen.
+	nextBefore, _ := s.NextID()
+	s.Close()
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer s2.Close()
+	nextAfter, _ := s2.NextID()
+	if nextAfter != nextBefore {
+		t.Fatalf("NextID after compact+reopen = %d, want %d", nextAfter, nextBefore)
+	}
+	// Store still writable after compact.
+	if _, err := s2.Add([]byte("post")); err != nil {
+		t.Fatalf("Add after compact: %v", err)
+	}
+}
+
+func TestFileStoreOversizeRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.rms")
+	s, _ := OpenFileStore(path)
+	defer s.Close()
+	if _, err := s.Add(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("expected oversize error")
+	}
+}
+
+// TestQuickMemFileEquivalence drives both backends with the same random
+// operation sequence and checks they stay observably identical.
+func TestQuickMemFileEquivalence(t *testing.T) {
+	type op struct {
+		Kind byte
+		ID   uint8
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		mem := NewMemStore("m", 0)
+		file, err := OpenFileStore(filepath.Join(t.TempDir(), fmt.Sprintf("eq-%d.rms", rand.Int())))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer file.Close()
+		for _, o := range ops {
+			id := int(o.ID%16) + 1
+			switch o.Kind % 4 {
+			case 0:
+				m, e1 := mem.Add(o.Data)
+				fi, e2 := file.Add(o.Data)
+				if (e1 == nil) != (e2 == nil) || m != fi {
+					return false
+				}
+			case 1:
+				_, e1 := mem.Get(id)
+				_, e2 := file.Get(id)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			case 2:
+				e1 := mem.Set(id, o.Data)
+				e2 := file.Set(id, o.Data)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			case 3:
+				e1 := mem.Delete(id)
+				e2 := file.Delete(id)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			}
+		}
+		mIDs, _ := mem.IDs()
+		fIDs, _ := file.IDs()
+		if len(mIDs) != len(fIDs) {
+			return false
+		}
+		for i := range mIDs {
+			if mIDs[i] != fIDs[i] {
+				return false
+			}
+			mData, _ := mem.Get(mIDs[i])
+			fData, _ := file.Get(fIDs[i])
+			if !bytes.Equal(mData, fData) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStorePersistenceProperty(t *testing.T) {
+	// Random add/set/delete, close, reopen: contents must match.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("p%d.rms", trial))
+		s, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := map[int][]byte{}
+		for i := 0; i < 100; i++ {
+			switch r.Intn(3) {
+			case 0:
+				data := make([]byte, r.Intn(64))
+				r.Read(data)
+				id, err := s.Add(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shadow[id] = data
+			case 1:
+				for id := range shadow {
+					data := make([]byte, r.Intn(64))
+					r.Read(data)
+					if err := s.Set(id, data); err != nil {
+						t.Fatal(err)
+					}
+					shadow[id] = data
+					break
+				}
+			case 2:
+				for id := range shadow {
+					if err := s.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(shadow, id)
+					break
+				}
+			}
+		}
+		s.Close()
+		s2, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, _ := s2.IDs()
+		if len(ids) != len(shadow) {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(ids), len(shadow))
+		}
+		for id, want := range shadow {
+			got, err := s2.Get(id)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("trial %d: Get(%d) = %x, %v; want %x", trial, id, got, err, want)
+			}
+		}
+		s2.Close()
+	}
+}

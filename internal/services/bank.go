@@ -1,0 +1,144 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+
+	"pdagent/internal/mavm"
+)
+
+// Bank is the service agent of the paper's e-banking evaluation (§4):
+// each bank site hosts one, and a visiting client agent "will execute
+// the transaction by communicating with the Service Agent", receiving
+// transaction details back.
+//
+// Operations:
+//
+//	bank.balance(account)                 -> {ok, bank, account, balance}
+//	bank.transfer(from, to, amount)       -> {ok, bank, txid, from, to, amount}
+//	bank.history(account)                 -> {ok, bank, account, entries: [str]}
+type Bank struct {
+	mu       sync.Mutex
+	name     string
+	accounts map[string]int64
+	history  map[string][]string
+	nextTx   int64
+}
+
+// NewBank creates a bank with initial account balances.
+func NewBank(name string, accounts map[string]int64) *Bank {
+	b := &Bank{
+		name:     name,
+		accounts: make(map[string]int64, len(accounts)),
+		history:  make(map[string][]string),
+		nextTx:   1,
+	}
+	for k, v := range accounts {
+		b.accounts[k] = v
+	}
+	return b
+}
+
+// Services returns the registry entries for this bank.
+func (b *Bank) Services() []Service {
+	return []Service{
+		Func{"bank.balance", b.balance},
+		Func{"bank.transfer", b.transfer},
+		Func{"bank.history", b.historyOp},
+	}
+}
+
+// Balance returns an account's balance directly (for tests and the
+// client-server baseline, which performs the same operations without
+// mobile agents).
+func (b *Bank) Balance(account string) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.accounts[account]
+	return v, ok
+}
+
+// Transfer moves amount between two accounts directly (baseline path).
+// It returns the transaction id.
+func (b *Bank) Transfer(from, to string, amount int64) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transferLocked(from, to, amount)
+}
+
+func (b *Bank) transferLocked(from, to string, amount int64) (string, error) {
+	if amount <= 0 {
+		return "", fmt.Errorf("amount must be positive")
+	}
+	fromBal, ok := b.accounts[from]
+	if !ok {
+		return "", fmt.Errorf("no account %q at %s", from, b.name)
+	}
+	if _, ok := b.accounts[to]; !ok {
+		return "", fmt.Errorf("no account %q at %s", to, b.name)
+	}
+	if fromBal < amount {
+		return "", fmt.Errorf("insufficient funds in %q (%d < %d)", from, fromBal, amount)
+	}
+	txid := fmt.Sprintf("%s-tx-%d", b.name, b.nextTx)
+	b.nextTx++
+	b.accounts[from] -= amount
+	b.accounts[to] += amount
+	entry := fmt.Sprintf("%s: %s -> %s amount %d", txid, from, to, amount)
+	b.history[from] = append(b.history[from], entry)
+	b.history[to] = append(b.history[to], entry)
+	return txid, nil
+}
+
+func (b *Bank) balance(args []mavm.Value) (mavm.Value, error) {
+	account, err := wantStr("bank.balance", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[account]
+	if !ok {
+		return failResult(fmt.Sprintf("no account %q at %s", account, b.name)), nil
+	}
+	return okResult("bank", b.name, "account", account, "balance", bal), nil
+}
+
+func (b *Bank) transfer(args []mavm.Value) (mavm.Value, error) {
+	from, err := wantStr("bank.transfer", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	to, err := wantStr("bank.transfer", args, 1)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	amount, err := wantInt("bank.transfer", args, 2)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	txid, terr := b.transferLocked(from, to, amount)
+	if terr != nil {
+		return failResult(terr.Error()), nil
+	}
+	return okResult("bank", b.name, "txid", txid, "from", from, "to", to, "amount", amount), nil
+}
+
+func (b *Bank) historyOp(args []mavm.Value) (mavm.Value, error) {
+	account, err := wantStr("bank.history", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.accounts[account]; !ok {
+		return failResult(fmt.Sprintf("no account %q at %s", account, b.name)), nil
+	}
+	items := make([]mavm.Value, 0, len(b.history[account]))
+	for _, e := range b.history[account] {
+		items = append(items, mavm.Str(e))
+	}
+	return okResult("bank", b.name, "account", account, "entries", mavm.NewList(items...)), nil
+}

@@ -1,0 +1,103 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pdagent/internal/mavm"
+)
+
+// DocStore is the service agent behind the "mobile office" application
+// motivated in the paper's introduction: a document repository at an
+// office site that a user's agent can list, fetch from, and post
+// status notes to while the user is offline.
+//
+// Operations:
+//
+//	docs.list()            -> {ok, site, names: [str]}
+//	docs.fetch(name)       -> {ok, site, name, body} or {ok:false,...}
+//	docs.put(name, body)   -> {ok, site, name}
+//	docs.delete(name)      -> {ok, site, name} or {ok:false,...}
+type DocStore struct {
+	mu   sync.RWMutex
+	site string
+	docs map[string]string
+}
+
+// NewDocStore creates a repository with initial documents.
+func NewDocStore(site string, docs map[string]string) *DocStore {
+	d := &DocStore{site: site, docs: make(map[string]string, len(docs))}
+	for k, v := range docs {
+		d.docs[k] = v
+	}
+	return d
+}
+
+// Services returns the registry entries for this repository.
+func (d *DocStore) Services() []Service {
+	return []Service{
+		Func{"docs.list", d.list},
+		Func{"docs.fetch", d.fetch},
+		Func{"docs.put", d.put},
+		Func{"docs.delete", d.deleteOp},
+	}
+}
+
+func (d *DocStore) list(_ []mavm.Value) (mavm.Value, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.docs))
+	for n := range d.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	items := make([]mavm.Value, len(names))
+	for i, n := range names {
+		items[i] = mavm.Str(n)
+	}
+	return okResult("site", d.site, "names", mavm.NewList(items...)), nil
+}
+
+func (d *DocStore) fetch(args []mavm.Value) (mavm.Value, error) {
+	name, err := wantStr("docs.fetch", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	body, ok := d.docs[name]
+	if !ok {
+		return failResult(fmt.Sprintf("no document %q at %s", name, d.site)), nil
+	}
+	return okResult("site", d.site, "name", name, "body", body), nil
+}
+
+func (d *DocStore) put(args []mavm.Value) (mavm.Value, error) {
+	name, err := wantStr("docs.put", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	body, err := wantStr("docs.put", args, 1)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.docs[name] = body
+	return okResult("site", d.site, "name", name), nil
+}
+
+func (d *DocStore) deleteOp(args []mavm.Value) (mavm.Value, error) {
+	name, err := wantStr("docs.delete", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.docs[name]; !ok {
+		return failResult(fmt.Sprintf("no document %q at %s", name, d.site)), nil
+	}
+	delete(d.docs, name)
+	return okResult("site", d.site, "name", name), nil
+}

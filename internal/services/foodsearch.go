@@ -1,0 +1,106 @@
+package services
+
+import (
+	"strings"
+	"sync"
+
+	"pdagent/internal/mavm"
+)
+
+// Restaurant is one entry in a FoodGuide's database.
+type Restaurant struct {
+	Name     string
+	Cuisine  string
+	District string
+	Price    int64 // typical price per head
+	Rating   int64 // 1..5
+}
+
+// FoodGuide is the service agent behind the paper's "Food Search
+// Engine" example application: each site hosts a directory of local
+// restaurants a visiting agent queries.
+//
+// Operations:
+//
+//	food.search(query)            -> {ok, site, matches: [map]}
+//	food.search_max(query, price) -> {ok, site, matches: [map]}
+//	food.cuisines()               -> {ok, site, cuisines: [str]}
+type FoodGuide struct {
+	mu          sync.RWMutex
+	site        string
+	restaurants []Restaurant
+}
+
+// NewFoodGuide creates a guide for one site.
+func NewFoodGuide(site string, restaurants []Restaurant) *FoodGuide {
+	return &FoodGuide{site: site, restaurants: append([]Restaurant(nil), restaurants...)}
+}
+
+// Services returns the registry entries for this guide.
+func (g *FoodGuide) Services() []Service {
+	return []Service{
+		Func{"food.search", g.search},
+		Func{"food.search_max", g.searchMax},
+		Func{"food.cuisines", g.cuisines},
+	}
+}
+
+func (g *FoodGuide) match(query string, maxPrice int64) mavm.Value {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	q := strings.ToLower(query)
+	var items []mavm.Value
+	for _, r := range g.restaurants {
+		if maxPrice > 0 && r.Price > maxPrice {
+			continue
+		}
+		hay := strings.ToLower(r.Name + " " + r.Cuisine + " " + r.District)
+		if q != "" && !strings.Contains(hay, q) {
+			continue
+		}
+		m := mavm.NewMap()
+		e := m.MapEntries()
+		e["name"] = mavm.Str(r.Name)
+		e["cuisine"] = mavm.Str(r.Cuisine)
+		e["district"] = mavm.Str(r.District)
+		e["price"] = mavm.Int(r.Price)
+		e["rating"] = mavm.Int(r.Rating)
+		e["site"] = mavm.Str(g.site)
+		items = append(items, m)
+	}
+	return mavm.NewList(items...)
+}
+
+func (g *FoodGuide) search(args []mavm.Value) (mavm.Value, error) {
+	query, err := wantStr("food.search", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	return okResult("site", g.site, "matches", g.match(query, 0)), nil
+}
+
+func (g *FoodGuide) searchMax(args []mavm.Value) (mavm.Value, error) {
+	query, err := wantStr("food.search_max", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	price, err := wantInt("food.search_max", args, 1)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	return okResult("site", g.site, "matches", g.match(query, price)), nil
+}
+
+func (g *FoodGuide) cuisines(_ []mavm.Value) (mavm.Value, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := map[string]bool{}
+	var items []mavm.Value
+	for _, r := range g.restaurants {
+		if !seen[r.Cuisine] {
+			seen[r.Cuisine] = true
+			items = append(items, mavm.Str(r.Cuisine))
+		}
+	}
+	return okResult("site", g.site, "cuisines", mavm.NewList(items...)), nil
+}

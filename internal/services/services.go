@@ -1,0 +1,137 @@
+// Package services implements the "Service Agent" side of the paper:
+// stationary agents resident at network sites that visiting mobile
+// agents interact with (Figure 10 — "there is a Mobile Agent Server
+// (MAS) with a Service Agent within each bank").
+//
+// A Registry holds the services of one host; the MAS routes an agent's
+// service(name, args...) builtin here. The package also provides the
+// concrete services used by the paper's example applications: a bank
+// (e-banking), a restaurant guide (Food Search Engine) and a document
+// repository (mobile office).
+package services
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pdagent/internal/mavm"
+)
+
+// Service is one callable service-agent operation.
+type Service interface {
+	// Name is the dotted operation name agents call, e.g. "bank.transfer".
+	Name() string
+	// Call executes the operation. System errors (bad argument shapes)
+	// fail the calling agent; application-level failures should be
+	// reported inside the returned value.
+	Call(args []mavm.Value) (mavm.Value, error)
+}
+
+// Func adapts a function to the Service interface.
+type Func struct {
+	ServiceName string
+	Fn          func(args []mavm.Value) (mavm.Value, error)
+}
+
+// Name implements Service.
+func (f Func) Name() string { return f.ServiceName }
+
+// Call implements Service.
+func (f Func) Call(args []mavm.Value) (mavm.Value, error) { return f.Fn(args) }
+
+// Registry is the set of services resident at one host.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]Service
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]Service)}
+}
+
+// Register adds services, replacing same-named entries.
+func (r *Registry) Register(svcs ...Service) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range svcs {
+		r.services[s.Name()] = s
+	}
+}
+
+// Call invokes a registered service by name.
+func (r *Registry) Call(name string, args []mavm.Value) (mavm.Value, error) {
+	r.mu.RLock()
+	s, ok := r.services[name]
+	r.mu.RUnlock()
+	if !ok {
+		return mavm.Nil(), fmt.Errorf("services: no service %q at this host", name)
+	}
+	return s.Call(args)
+}
+
+// Names returns the registered service names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.services))
+	for n := range r.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- shared result helpers ---------------------------------------------
+
+// okResult builds a {"ok": true, ...} map from key/value pairs.
+func okResult(pairs ...any) mavm.Value {
+	m := mavm.NewMap()
+	m.MapEntries()["ok"] = mavm.Bool(true)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m.MapEntries()[pairs[i].(string)] = toValue(pairs[i+1])
+	}
+	return m
+}
+
+// failResult builds a {"ok": false, "error": msg} map.
+func failResult(msg string) mavm.Value {
+	m := mavm.NewMap()
+	m.MapEntries()["ok"] = mavm.Bool(false)
+	m.MapEntries()["error"] = mavm.Str(msg)
+	return m
+}
+
+func toValue(v any) mavm.Value {
+	switch x := v.(type) {
+	case mavm.Value:
+		return x
+	case string:
+		return mavm.Str(x)
+	case int:
+		return mavm.Int(int64(x))
+	case int64:
+		return mavm.Int(x)
+	case float64:
+		return mavm.Float(x)
+	case bool:
+		return mavm.Bool(x)
+	default:
+		return mavm.Str(fmt.Sprint(x))
+	}
+}
+
+func wantStr(name string, args []mavm.Value, i int) (string, error) {
+	if i >= len(args) || args[i].Kind() != mavm.KindStr {
+		return "", fmt.Errorf("%s: argument %d must be str", name, i+1)
+	}
+	return args[i].AsStr(), nil
+}
+
+func wantInt(name string, args []mavm.Value, i int) (int64, error) {
+	if i >= len(args) || args[i].Kind() != mavm.KindInt {
+		return 0, fmt.Errorf("%s: argument %d must be int", name, i+1)
+	}
+	return args[i].AsInt(), nil
+}

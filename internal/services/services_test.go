@@ -1,0 +1,171 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"pdagent/internal/mavm"
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Func{"a.op", func(args []mavm.Value) (mavm.Value, error) {
+		return mavm.Int(int64(len(args))), nil
+	}})
+	v, err := r.Call("a.op", []mavm.Value{mavm.Int(1), mavm.Int(2)})
+	if err != nil || v.AsInt() != 2 {
+		t.Fatalf("Call = %v, %v", v, err)
+	}
+	if _, err := r.Call("missing.op", nil); err == nil {
+		t.Fatal("missing service did not error")
+	}
+	r.Register(Func{"b.op", func([]mavm.Value) (mavm.Value, error) { return mavm.Nil(), nil }})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a.op" || names[1] != "b.op" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func callOK(t *testing.T, r *Registry, name string, args ...mavm.Value) map[string]mavm.Value {
+	t.Helper()
+	v, err := r.Call(name, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	m := v.MapEntries()
+	if m == nil {
+		t.Fatalf("%s returned %v, want map", name, v)
+	}
+	return m
+}
+
+func TestBankTransferAndBalance(t *testing.T) {
+	bank := NewBank("bank-a", map[string]int64{"alice": 500, "bob": 100})
+	r := NewRegistry()
+	r.Register(bank.Services()...)
+
+	res := callOK(t, r, "bank.balance", mavm.Str("alice"))
+	if !res["ok"].AsBool() || res["balance"].AsInt() != 500 {
+		t.Fatalf("balance = %v", res)
+	}
+
+	res = callOK(t, r, "bank.transfer", mavm.Str("alice"), mavm.Str("bob"), mavm.Int(200))
+	if !res["ok"].AsBool() {
+		t.Fatalf("transfer failed: %v", res)
+	}
+	if !strings.HasPrefix(res["txid"].AsStr(), "bank-a-tx-") {
+		t.Fatalf("txid = %v", res["txid"])
+	}
+	if bal, _ := bank.Balance("alice"); bal != 300 {
+		t.Fatalf("alice = %d", bal)
+	}
+	if bal, _ := bank.Balance("bob"); bal != 300 {
+		t.Fatalf("bob = %d", bal)
+	}
+
+	// Application-level failures come back as ok=false, not errors.
+	res = callOK(t, r, "bank.transfer", mavm.Str("alice"), mavm.Str("bob"), mavm.Int(99999))
+	if res["ok"].AsBool() || !strings.Contains(res["error"].AsStr(), "insufficient") {
+		t.Fatalf("overdraft = %v", res)
+	}
+	res = callOK(t, r, "bank.transfer", mavm.Str("ghost"), mavm.Str("bob"), mavm.Int(1))
+	if res["ok"].AsBool() {
+		t.Fatalf("transfer from ghost account = %v", res)
+	}
+	res = callOK(t, r, "bank.balance", mavm.Str("ghost"))
+	if res["ok"].AsBool() {
+		t.Fatal("balance of ghost account ok")
+	}
+
+	// System-level misuse (wrong arg types) errors out.
+	if _, err := r.Call("bank.transfer", []mavm.Value{mavm.Int(5)}); err == nil {
+		t.Fatal("bad args accepted")
+	}
+
+	res = callOK(t, r, "bank.history", mavm.Str("alice"))
+	entries := res["entries"].ListItems()
+	if len(entries) != 1 || !strings.Contains(entries[0].AsStr(), "alice -> bob") {
+		t.Fatalf("history = %v", res["entries"])
+	}
+}
+
+func TestBankDirectAPIErrors(t *testing.T) {
+	bank := NewBank("b", map[string]int64{"a": 10, "c": 0})
+	if _, err := bank.Transfer("a", "c", 0); err == nil {
+		t.Fatal("zero amount accepted")
+	}
+	if _, err := bank.Transfer("a", "nope", 1); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := bank.Transfer("a", "c", 11); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+	if _, ok := bank.Balance("nope"); ok {
+		t.Fatal("unknown account reported present")
+	}
+}
+
+func TestFoodGuide(t *testing.T) {
+	g := NewFoodGuide("site-1", []Restaurant{
+		{Name: "Dim Sum Palace", Cuisine: "cantonese", District: "central", Price: 80, Rating: 4},
+		{Name: "Noodle Bar", Cuisine: "cantonese", District: "mongkok", Price: 40, Rating: 3},
+		{Name: "Curry House", Cuisine: "indian", District: "central", Price: 60, Rating: 5},
+	})
+	r := NewRegistry()
+	r.Register(g.Services()...)
+
+	res := callOK(t, r, "food.search", mavm.Str("cantonese"))
+	if got := len(res["matches"].ListItems()); got != 2 {
+		t.Fatalf("matches = %d", got)
+	}
+	res = callOK(t, r, "food.search", mavm.Str("central"))
+	if got := len(res["matches"].ListItems()); got != 2 {
+		t.Fatalf("district matches = %d", got)
+	}
+	res = callOK(t, r, "food.search_max", mavm.Str(""), mavm.Int(50))
+	matches := res["matches"].ListItems()
+	if len(matches) != 1 || matches[0].MapEntries()["name"].AsStr() != "Noodle Bar" {
+		t.Fatalf("price-filtered = %v", res["matches"])
+	}
+	res = callOK(t, r, "food.cuisines")
+	if got := len(res["cuisines"].ListItems()); got != 2 {
+		t.Fatalf("cuisines = %v", res["cuisines"])
+	}
+	res = callOK(t, r, "food.search", mavm.Str("nothing-matches-this"))
+	if got := len(res["matches"].ListItems()); got != 0 {
+		t.Fatalf("empty query matches = %d", got)
+	}
+}
+
+func TestDocStore(t *testing.T) {
+	d := NewDocStore("office", map[string]string{"report.txt": "Q1 numbers"})
+	r := NewRegistry()
+	r.Register(d.Services()...)
+
+	res := callOK(t, r, "docs.list")
+	names := res["names"].ListItems()
+	if len(names) != 1 || names[0].AsStr() != "report.txt" {
+		t.Fatalf("list = %v", res["names"])
+	}
+	res = callOK(t, r, "docs.fetch", mavm.Str("report.txt"))
+	if res["body"].AsStr() != "Q1 numbers" {
+		t.Fatalf("fetch = %v", res)
+	}
+	res = callOK(t, r, "docs.fetch", mavm.Str("nope"))
+	if res["ok"].AsBool() {
+		t.Fatal("fetch of missing doc ok")
+	}
+	callOK(t, r, "docs.put", mavm.Str("memo.txt"), mavm.Str("hello"))
+	res = callOK(t, r, "docs.list")
+	if len(res["names"].ListItems()) != 2 {
+		t.Fatalf("after put: %v", res["names"])
+	}
+	res = callOK(t, r, "docs.delete", mavm.Str("memo.txt"))
+	if !res["ok"].AsBool() {
+		t.Fatalf("delete = %v", res)
+	}
+	res = callOK(t, r, "docs.delete", mavm.Str("memo.txt"))
+	if res["ok"].AsBool() {
+		t.Fatal("double delete ok")
+	}
+}

@@ -1,0 +1,199 @@
+package services
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pdagent/internal/mavm"
+)
+
+// Approver is the service agent behind the paper's §5 future-work
+// "mobile workflow management": each site hosts an approval authority
+// that a travelling workflow agent consults in sequence.
+//
+// Operations:
+//
+//	approve.review(kind, subject, amount) -> {ok, site, approver,
+//	    decision: "approved"|"rejected", comment}
+//	approve.policy()                      -> {ok, site, limit, kinds: [str]}
+//
+// Decisions are deterministic: a request is approved when its kind is
+// in the site's accepted list and its amount is within the site's
+// limit; otherwise it is rejected with a reason. That makes workflow
+// journeys reproducible in tests and experiments.
+type Approver struct {
+	mu      sync.Mutex
+	site    string
+	name    string
+	limit   int64
+	kinds   map[string]bool
+	decided []string // audit log of decisions taken at this site
+}
+
+// NewApprover creates an approval authority. kinds lists the request
+// kinds this approver accepts; limit caps the amount.
+func NewApprover(site, name string, limit int64, kinds ...string) *Approver {
+	a := &Approver{site: site, name: name, limit: limit, kinds: map[string]bool{}}
+	for _, k := range kinds {
+		a.kinds[k] = true
+	}
+	return a
+}
+
+// Services returns the registry entries for this approver.
+func (a *Approver) Services() []Service {
+	return []Service{
+		Func{"approve.review", a.review},
+		Func{"approve.policy", a.policy},
+	}
+}
+
+// Audit returns the decisions taken at this site, in order.
+func (a *Approver) Audit() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.decided...)
+}
+
+func (a *Approver) review(args []mavm.Value) (mavm.Value, error) {
+	kind, err := wantStr("approve.review", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	subject, err := wantStr("approve.review", args, 1)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	amount, err := wantInt("approve.review", args, 2)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	decision, comment := "approved", "within policy"
+	switch {
+	case !a.kinds[kind]:
+		decision = "rejected"
+		comment = fmt.Sprintf("%s does not handle %q requests", a.name, kind)
+	case amount > a.limit:
+		decision = "rejected"
+		comment = fmt.Sprintf("amount %d exceeds %s's limit %d", amount, a.name, a.limit)
+	}
+	a.decided = append(a.decided, fmt.Sprintf("%s %s %q (%d): %s", a.name, decision, subject, amount, comment))
+	return okResult(
+		"site", a.site,
+		"approver", a.name,
+		"decision", decision,
+		"comment", comment,
+	), nil
+}
+
+func (a *Approver) policy(_ []mavm.Value) (mavm.Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kinds := make([]string, 0, len(a.kinds))
+	for k := range a.kinds {
+		kinds = append(kinds, k)
+	}
+	// Sorted for deterministic agent behaviour.
+	for i := 0; i < len(kinds); i++ {
+		for j := i + 1; j < len(kinds); j++ {
+			if kinds[j] < kinds[i] {
+				kinds[i], kinds[j] = kinds[j], kinds[i]
+			}
+		}
+	}
+	items := make([]mavm.Value, len(kinds))
+	for i, k := range kinds {
+		items[i] = mavm.Str(k)
+	}
+	return okResult("site", a.site, "limit", a.limit, "kinds", mavm.NewList(items...)), nil
+}
+
+// Vendor is the service agent behind the §5 "m-commerce" scenario: a
+// shop site that quotes and sells items. A purchasing agent collects
+// quotes at every vendor, decides autonomously, and returns to the
+// cheapest one to buy — the classic mobile-agent shopping tour.
+//
+// Operations:
+//
+//	shop.quote(item)          -> {ok, site, item, price, stock}
+//	shop.buy(item, maxprice)  -> {ok, site, item, price, order} or {ok:false,...}
+type Vendor struct {
+	mu    sync.Mutex
+	site  string
+	price map[string]int64
+	stock map[string]int64
+	seq   int64
+}
+
+// NewVendor creates a shop with a price list and per-item stock.
+func NewVendor(site string, price map[string]int64, stock map[string]int64) *Vendor {
+	v := &Vendor{site: site, price: map[string]int64{}, stock: map[string]int64{}}
+	for k, p := range price {
+		v.price[k] = p
+	}
+	for k, s := range stock {
+		v.stock[k] = s
+	}
+	return v
+}
+
+// Services returns the registry entries for this vendor.
+func (v *Vendor) Services() []Service {
+	return []Service{
+		Func{"shop.quote", v.quote},
+		Func{"shop.buy", v.buy},
+	}
+}
+
+// Stock returns the remaining stock of an item.
+func (v *Vendor) Stock(item string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stock[item]
+}
+
+func (v *Vendor) quote(args []mavm.Value) (mavm.Value, error) {
+	item, err := wantStr("shop.quote", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	price, ok := v.price[strings.ToLower(item)]
+	if !ok {
+		return failResult(fmt.Sprintf("%s does not sell %q", v.site, item)), nil
+	}
+	return okResult("site", v.site, "item", item, "price", price, "stock", v.stock[strings.ToLower(item)]), nil
+}
+
+func (v *Vendor) buy(args []mavm.Value) (mavm.Value, error) {
+	item, err := wantStr("shop.buy", args, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	maxPrice, err := wantInt("shop.buy", args, 1)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	key := strings.ToLower(item)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	price, ok := v.price[key]
+	if !ok {
+		return failResult(fmt.Sprintf("%s does not sell %q", v.site, item)), nil
+	}
+	if price > maxPrice {
+		return failResult(fmt.Sprintf("price %d exceeds budget %d", price, maxPrice)), nil
+	}
+	if v.stock[key] <= 0 {
+		return failResult(fmt.Sprintf("%q out of stock at %s", item, v.site)), nil
+	}
+	v.stock[key]--
+	v.seq++
+	order := fmt.Sprintf("%s-order-%d", v.site, v.seq)
+	return okResult("site", v.site, "item", item, "price", price, "order", order), nil
+}

@@ -1,0 +1,82 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"pdagent/internal/mavm"
+)
+
+func TestApproverDecisions(t *testing.T) {
+	a := NewApprover("site-1", "team-lead", 500, "purchase", "leave")
+	r := NewRegistry()
+	r.Register(a.Services()...)
+
+	res := callOK(t, r, "approve.review", mavm.Str("purchase"), mavm.Str("new laptop"), mavm.Int(400))
+	if res["decision"].AsStr() != "approved" {
+		t.Fatalf("in-policy request: %v", res)
+	}
+	res = callOK(t, r, "approve.review", mavm.Str("purchase"), mavm.Str("server rack"), mavm.Int(5000))
+	if res["decision"].AsStr() != "rejected" || !strings.Contains(res["comment"].AsStr(), "limit") {
+		t.Fatalf("over-limit request: %v", res)
+	}
+	res = callOK(t, r, "approve.review", mavm.Str("travel"), mavm.Str("conference"), mavm.Int(100))
+	if res["decision"].AsStr() != "rejected" || !strings.Contains(res["comment"].AsStr(), "travel") {
+		t.Fatalf("wrong-kind request: %v", res)
+	}
+	if _, err := r.Call("approve.review", []mavm.Value{mavm.Int(1)}); err == nil {
+		t.Fatal("bad args accepted")
+	}
+
+	res = callOK(t, r, "approve.policy")
+	if res["limit"].AsInt() != 500 {
+		t.Fatalf("policy limit = %v", res["limit"])
+	}
+	kinds := res["kinds"].ListItems()
+	if len(kinds) != 2 || kinds[0].AsStr() != "leave" || kinds[1].AsStr() != "purchase" {
+		t.Fatalf("policy kinds = %v (want sorted)", res["kinds"])
+	}
+	if got := a.Audit(); len(got) != 3 {
+		t.Fatalf("audit = %v", got)
+	}
+}
+
+func TestVendorQuoteAndBuy(t *testing.T) {
+	v := NewVendor("shop-1",
+		map[string]int64{"widget": 120, "gadget": 300},
+		map[string]int64{"widget": 2, "gadget": 0})
+	r := NewRegistry()
+	r.Register(v.Services()...)
+
+	res := callOK(t, r, "shop.quote", mavm.Str("widget"))
+	if res["price"].AsInt() != 120 || res["stock"].AsInt() != 2 {
+		t.Fatalf("quote = %v", res)
+	}
+	res = callOK(t, r, "shop.quote", mavm.Str("unicorn"))
+	if res["ok"].AsBool() {
+		t.Fatalf("quote for unsold item: %v", res)
+	}
+
+	res = callOK(t, r, "shop.buy", mavm.Str("widget"), mavm.Int(150))
+	if !res["ok"].AsBool() || !strings.HasPrefix(res["order"].AsStr(), "shop-1-order-") {
+		t.Fatalf("buy = %v", res)
+	}
+	if v.Stock("widget") != 1 {
+		t.Fatalf("stock after buy = %d", v.Stock("widget"))
+	}
+	// Over budget.
+	res = callOK(t, r, "shop.buy", mavm.Str("widget"), mavm.Int(50))
+	if res["ok"].AsBool() || !strings.Contains(res["error"].AsStr(), "budget") {
+		t.Fatalf("over-budget buy = %v", res)
+	}
+	// Out of stock.
+	res = callOK(t, r, "shop.buy", mavm.Str("gadget"), mavm.Int(999))
+	if res["ok"].AsBool() || !strings.Contains(res["error"].AsStr(), "stock") {
+		t.Fatalf("out-of-stock buy = %v", res)
+	}
+	// Case-insensitive item names.
+	res = callOK(t, r, "shop.quote", mavm.Str("WIDGET"))
+	if !res["ok"].AsBool() {
+		t.Fatalf("case-insensitive quote: %v", res)
+	}
+}

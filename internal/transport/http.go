@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// headerPrefix namespaces PDAgent metadata within real HTTP headers.
+const headerPrefix = "X-Pdagent-"
+
+// NewHTTPHandler adapts a transport.Handler to net/http, for serving a
+// gateway or MAS host on a real socket (the Tomcat role in the paper).
+func NewHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		req := &Request{Path: r.URL.Path, Body: body}
+		for k, vs := range r.Header {
+			if strings.HasPrefix(k, headerPrefix) && len(vs) > 0 {
+				req.SetHeader(strings.TrimPrefix(k, headerPrefix), vs[0])
+			}
+		}
+		resp := h.Serve(r.Context(), req)
+		for k, v := range resp.Header {
+			w.Header().Set(headerPrefix+k, v)
+		}
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body) //nolint:errcheck // best-effort reply
+	})
+}
+
+// HTTPClient is a RoundTripper over real HTTP. Addresses are
+// "host:port" (scheme defaults to http).
+type HTTPClient struct {
+	// Client is the underlying HTTP client; a default with a 30 s
+	// timeout is used when nil.
+	Client *http.Client
+}
+
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// RoundTrip implements RoundTripper.
+func (c *HTTPClient) RoundTrip(ctx context.Context, addr string, req *Request) (*Response, error) {
+	cl := c.Client
+	if cl == nil {
+		cl = defaultHTTPClient
+	}
+	url := addr + req.Path
+	if !strings.Contains(addr, "://") {
+		url = "http://" + url
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(req.Body)))
+	if err != nil {
+		return nil, fmt.Errorf("transport: building request for %s: %w", addr, err)
+	}
+	for k, v := range req.Header {
+		hreq.Header.Set(headerPrefix+k, v)
+	}
+	hresp, err := cl.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s%s: %w", addr, req.Path, err)
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading response from %s: %w", addr, err)
+	}
+	resp := &Response{Status: hresp.StatusCode, Body: body}
+	for k, vs := range hresp.Header {
+		if strings.HasPrefix(k, headerPrefix) && len(vs) > 0 {
+			resp.SetHeader(strings.TrimPrefix(k, headerPrefix), vs[0])
+		}
+	}
+	return resp, nil
+}

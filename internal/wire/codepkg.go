@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"pdagent/internal/kxml"
+)
+
+// CodePackage is one downloadable MA application (§3.1 Service
+// Subscription): the MAScript source plus catalogue metadata. The
+// paper observes MA code runs 1 KB–8 KB and is "compressed before
+// download into the wireless device".
+type CodePackage struct {
+	// CodeID is the unique id the platform assigns "for the purpose of
+	// authorization in later execution".
+	CodeID string
+	// Name is the human-readable application name.
+	Name string
+	// Version distinguishes revisions of the same application.
+	Version string
+	// Description summarises what the application does.
+	Description string
+	// Source is the MAScript program.
+	Source string
+}
+
+// EncodeXML renders the package element (not a full document; it
+// nests inside catalogues and subscriptions).
+func (cp *CodePackage) EncodeXML() *kxml.Node {
+	n := kxml.NewElement("code-package")
+	n.SetAttr("id", cp.CodeID)
+	n.SetAttr("name", cp.Name)
+	n.SetAttr("version", cp.Version)
+	n.AddElement("description").AddText(cp.Description)
+	n.AddElement("source").AddText(cp.Source)
+	return n
+}
+
+// ParseCodePackage parses a <code-package> element.
+func ParseCodePackage(n *kxml.Node) (*CodePackage, error) {
+	if n == nil || n.Name != "code-package" {
+		return nil, fmt.Errorf("wire: expected <code-package>")
+	}
+	cp := &CodePackage{
+		CodeID:      n.AttrDefault("id", ""),
+		Name:        n.AttrDefault("name", ""),
+		Version:     n.AttrDefault("version", ""),
+		Description: n.ChildText("description"),
+		Source:      n.ChildText("source"),
+	}
+	if cp.CodeID == "" {
+		return nil, fmt.Errorf("wire: code package missing id")
+	}
+	if cp.Source == "" {
+		return nil, fmt.Errorf("wire: code package %q missing source", cp.CodeID)
+	}
+	return cp, nil
+}
+
+// Subscription is the gateway's response to a subscribe request: the
+// code package, the per-subscription secret the dispatch key derives
+// from, and the gateway's public key for sealing future PIs.
+type Subscription struct {
+	Package *CodePackage
+	// Secret is the subscription secret (issued once, stored in the
+	// device's RMS database).
+	Secret []byte
+	// GatewayKey is the gateway's marshalled public key.
+	GatewayKey string
+	// Gateway is the issuing gateway's address.
+	Gateway string
+}
+
+// EncodeXML renders the subscription document.
+func (s *Subscription) EncodeXML() ([]byte, error) {
+	if s.Package == nil {
+		return nil, fmt.Errorf("wire: subscription missing package")
+	}
+	root := kxml.NewElement("subscription")
+	root.SetAttr("gateway", s.Gateway)
+	root.Add(s.Package.EncodeXML())
+	root.AddElement("secret").AddText(hex.EncodeToString(s.Secret))
+	root.AddElement("gateway-key").AddText(s.GatewayKey)
+	return root.EncodeDocument(), nil
+}
+
+// ParseSubscription parses a subscription document.
+func ParseSubscription(doc []byte) (*Subscription, error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: subscription: %w", err)
+	}
+	if root.Name != "subscription" {
+		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
+	}
+	pkg, err := ParseCodePackage(root.Find("code-package"))
+	if err != nil {
+		return nil, err
+	}
+	secret, err := hex.DecodeString(root.ChildText("secret"))
+	if err != nil {
+		return nil, fmt.Errorf("wire: subscription secret: %w", err)
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("wire: subscription missing secret")
+	}
+	return &Subscription{
+		Package:    pkg,
+		Secret:     secret,
+		GatewayKey: root.ChildText("gateway-key"),
+		Gateway:    root.AttrDefault("gateway", ""),
+	}, nil
+}
+
+// Catalogue is the gateway's list of downloadable applications.
+type Catalogue struct {
+	Gateway  string
+	Packages []*CodePackage
+}
+
+// EncodeXML renders the catalogue document (metadata only — sources
+// are downloaded per package at subscription).
+func (c *Catalogue) EncodeXML() []byte {
+	root := kxml.NewElement("catalogue")
+	root.SetAttr("gateway", c.Gateway)
+	for _, p := range c.Packages {
+		e := root.AddElement("entry")
+		e.SetAttr("id", p.CodeID)
+		e.SetAttr("name", p.Name)
+		e.SetAttr("version", p.Version)
+		e.AddText(p.Description)
+	}
+	return root.EncodeDocument()
+}
+
+// CatalogueEntry is one row of a parsed catalogue.
+type CatalogueEntry struct {
+	CodeID, Name, Version, Description string
+}
+
+// ParseCatalogue parses a catalogue document into entries.
+func ParseCatalogue(doc []byte) (gateway string, entries []CatalogueEntry, err error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return "", nil, fmt.Errorf("wire: catalogue: %w", err)
+	}
+	if root.Name != "catalogue" {
+		return "", nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
+	}
+	for _, e := range root.FindAll("entry") {
+		entries = append(entries, CatalogueEntry{
+			CodeID:      e.AttrDefault("id", ""),
+			Name:        e.AttrDefault("name", ""),
+			Version:     e.AttrDefault("version", ""),
+			Description: e.TextContent(),
+		})
+	}
+	return root.AttrDefault("gateway", ""), entries, nil
+}
+
+// GatewayList is the central server's gateway address list (§3.5:
+// "PDAgent will download a list of gateway addresses from the central
+// server").
+type GatewayList struct {
+	Addresses []string
+}
+
+// EncodeXML renders the gateway list document.
+func (g *GatewayList) EncodeXML() []byte {
+	root := kxml.NewElement("gateway-list")
+	for _, a := range g.Addresses {
+		root.AddElement("gateway").SetAttr("addr", a)
+	}
+	return root.EncodeDocument()
+}
+
+// ParseGatewayList parses a gateway list document.
+func ParseGatewayList(doc []byte) (*GatewayList, error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: gateway list: %w", err)
+	}
+	if root.Name != "gateway-list" {
+		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
+	}
+	out := &GatewayList{}
+	for _, g := range root.FindAll("gateway") {
+		if a, ok := g.Attr("addr"); ok && a != "" {
+			out.Addresses = append(out.Addresses, a)
+		}
+	}
+	return out, nil
+}

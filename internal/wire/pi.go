@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"pdagent/internal/compress"
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+	"pdagent/internal/pisec"
+)
+
+// PackedInformation is the §3.2 dispatch package: "The Agent Dispatcher
+// will collect the agent code and parameters, generate a unique key
+// from the assigned code id, encode them into a XML document, and pass
+// it on as a single package".
+type PackedInformation struct {
+	// CodeID identifies the subscribed code package.
+	CodeID string
+	// DispatchKey is the pisec.DispatchKey derived from CodeID and the
+	// subscription secret; the gateway's Agent Creator validates it.
+	DispatchKey string
+	// Owner identifies the dispatching device/user.
+	Owner string
+	// Nonce is a per-dispatch random value; gateways reject reuse so a
+	// captured PI cannot be replayed to re-dispatch the agent. (An
+	// extension beyond the paper's Figure 7 model, which does not
+	// address replay.)
+	Nonce string
+	// Source is the MAScript agent code being dispatched.
+	Source string
+	// Params are the user's service parameters entered offline.
+	Params map[string]mavm.Value
+}
+
+// NewNonce returns a fresh random dispatch nonce.
+func NewNonce() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("wire: nonce: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// EncodeXML renders the PI document.
+func (pi *PackedInformation) EncodeXML() ([]byte, error) {
+	root := kxml.NewElement("packed-information")
+	root.SetAttr("code-id", pi.CodeID)
+	root.SetAttr("key", pi.DispatchKey)
+	root.SetAttr("owner", pi.Owner)
+	if pi.Nonce != "" {
+		root.SetAttr("nonce", pi.Nonce)
+	}
+	root.AddElement("code").AddText(pi.Source)
+	params := root.AddElement("params")
+	keys := make([]string, 0, len(pi.Params))
+	for k := range pi.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := params.AddElement("param").SetAttr("name", k)
+		v, err := ValueToXML(pi.Params[k])
+		if err != nil {
+			return nil, fmt.Errorf("wire: param %q: %w", k, err)
+		}
+		p.Add(v)
+	}
+	return root.EncodeDocument(), nil
+}
+
+// ParsePackedInformation parses a PI document.
+func ParsePackedInformation(doc []byte) (*PackedInformation, error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: packed information: %w", err)
+	}
+	if root.Name != "packed-information" {
+		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
+	}
+	pi := &PackedInformation{
+		CodeID:      root.AttrDefault("code-id", ""),
+		DispatchKey: root.AttrDefault("key", ""),
+		Owner:       root.AttrDefault("owner", ""),
+		Nonce:       root.AttrDefault("nonce", ""),
+		Source:      root.ChildText("code"),
+		Params:      map[string]mavm.Value{},
+	}
+	if pi.CodeID == "" {
+		return nil, fmt.Errorf("wire: packed information missing code-id")
+	}
+	if pi.Source == "" {
+		return nil, fmt.Errorf("wire: packed information missing code")
+	}
+	if params := root.Find("params"); params != nil {
+		for _, p := range params.FindAll("param") {
+			name, ok := p.Attr("name")
+			if !ok {
+				return nil, fmt.Errorf("wire: param missing name")
+			}
+			v, err := ValueFromXML(p.Find("value"))
+			if err != nil {
+				return nil, fmt.Errorf("wire: param %q: %w", name, err)
+			}
+			pi.Params[name] = v
+		}
+	}
+	return pi, nil
+}
+
+// Pack applies the device-side transfer pipeline to a PI: XML encode,
+// compress with the chosen codec, and (when gatewayKey is non-nil)
+// seal to the gateway per Figure 7. The result is the HTTP body the
+// Network Manager uploads.
+func Pack(pi *PackedInformation, codec compress.Codec, gatewayKey *pisec.PublicKey) ([]byte, error) {
+	doc, err := pi.EncodeXML()
+	if err != nil {
+		return nil, err
+	}
+	framed, err := compress.Encode(codec, doc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: compressing packed information: %w", err)
+	}
+	if gatewayKey == nil {
+		return framed, nil
+	}
+	env, err := pisec.Seal(gatewayKey, framed)
+	if err != nil {
+		return nil, fmt.Errorf("wire: sealing packed information: %w", err)
+	}
+	return env.Marshal(), nil
+}
+
+// sealedPrefix sniffs pisec envelopes (pisec.envelopeMagic).
+var sealedPrefix = []byte("PISEC1")
+
+// Unpack reverses Pack at the gateway: verify + decrypt when sealed,
+// then decompress and parse. kp may be nil only for unsealed bodies.
+func Unpack(body []byte, kp *pisec.KeyPair) (*PackedInformation, error) {
+	payload := body
+	if bytes.HasPrefix(body, sealedPrefix) {
+		if kp == nil {
+			return nil, fmt.Errorf("wire: sealed packed information but gateway has no key pair")
+		}
+		env, err := pisec.UnmarshalEnvelope(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: envelope: %w", err)
+		}
+		payload, err = pisec.Open(kp, env)
+		if err != nil {
+			return nil, fmt.Errorf("wire: opening packed information: %w", err)
+		}
+	}
+	doc, err := compress.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decompressing packed information: %w", err)
+	}
+	return ParsePackedInformation(doc)
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+)
+
+// ResultDocument is the §3.3 result package: "the mobile agent will
+// return to the Gateway where it is dispatched after the service
+// execution is completed. The result it brings back will be wrapped in
+// XML format."
+type ResultDocument struct {
+	// AgentID identifies the journey this result belongs to.
+	AgentID string
+	// CodeID is the code package the agent was built from.
+	CodeID string
+	// Owner is the dispatching device/user.
+	Owner string
+	// Status is the terminal outcome: done, failed or retracted.
+	Status string
+	// Error carries the failure message for failed journeys.
+	Error string
+	// Hops is the number of migrations the agent performed.
+	Hops int
+	// Steps is the total VM ops executed.
+	Steps uint64
+	// Results are the deliver(key, value) entries in delivery order.
+	Results []mavm.Result
+}
+
+// Get returns the first delivered value for key.
+func (rd *ResultDocument) Get(key string) (mavm.Value, bool) {
+	for _, r := range rd.Results {
+		if r.Key == key {
+			return r.Value, true
+		}
+	}
+	return mavm.Nil(), false
+}
+
+// OK reports whether the journey completed normally.
+func (rd *ResultDocument) OK() bool { return rd.Status == "done" }
+
+// EncodeXML renders the result document.
+func (rd *ResultDocument) EncodeXML() ([]byte, error) {
+	root := kxml.NewElement("result-document")
+	root.SetAttr("agent", rd.AgentID)
+	root.SetAttr("code-id", rd.CodeID)
+	root.SetAttr("owner", rd.Owner)
+	root.SetAttr("status", rd.Status)
+	root.SetAttr("hops", strconv.Itoa(rd.Hops))
+	root.SetAttr("steps", strconv.FormatUint(rd.Steps, 10))
+	if rd.Error != "" {
+		root.AddElement("error").AddText(rd.Error)
+	}
+	for _, r := range rd.Results {
+		e := root.AddElement("result").SetAttr("key", r.Key)
+		v, err := ValueToXML(r.Value)
+		if err != nil {
+			return nil, fmt.Errorf("wire: result %q: %w", r.Key, err)
+		}
+		e.Add(v)
+	}
+	return root.EncodeDocument(), nil
+}
+
+// ParseResultDocument parses a result document.
+func ParseResultDocument(doc []byte) (*ResultDocument, error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return nil, fmt.Errorf("wire: result document: %w", err)
+	}
+	if root.Name != "result-document" {
+		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
+	}
+	hops, _ := strconv.Atoi(root.AttrDefault("hops", "0"))
+	steps, _ := strconv.ParseUint(root.AttrDefault("steps", "0"), 10, 64)
+	rd := &ResultDocument{
+		AgentID: root.AttrDefault("agent", ""),
+		CodeID:  root.AttrDefault("code-id", ""),
+		Owner:   root.AttrDefault("owner", ""),
+		Status:  root.AttrDefault("status", ""),
+		Hops:    hops,
+		Steps:   steps,
+	}
+	if e := root.Find("error"); e != nil {
+		rd.Error = e.TextContent()
+	}
+	for _, r := range root.FindAll("result") {
+		key, ok := r.Attr("key")
+		if !ok {
+			return nil, fmt.Errorf("wire: result entry missing key")
+		}
+		v, err := ValueFromXML(r.Find("value"))
+		if err != nil {
+			return nil, fmt.Errorf("wire: result %q: %w", key, err)
+		}
+		rd.Results = append(rd.Results, mavm.Result{Key: key, Value: v})
+	}
+	if rd.AgentID == "" {
+		return nil, fmt.Errorf("wire: result document missing agent id")
+	}
+	return rd, nil
+}

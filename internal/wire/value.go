@@ -1,0 +1,139 @@
+// Package wire defines the XML documents PDAgent exchanges: the Packed
+// Information a handheld uploads to a gateway (§3.2, "encode them into
+// a XML document, and pass it on as a single package, called 'Packed
+// Information'"), the result document an agent brings home (§3.3), and
+// the code package + subscription documents of §3.1.
+//
+// Pack/Unpack additionally apply the paper's transfer pipeline: the
+// XML document is compressed on the device ("The XML document is
+// compressed within the wireless devices before being transferred to
+// the gateway") and encrypted to the gateway's public key (Figure 7).
+package wire
+
+import (
+	"fmt"
+	"strconv"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+)
+
+// maxValueDepth bounds parameter/result value nesting in XML.
+const maxValueDepth = 64
+
+// ValueToXML renders a mavm value as a <value> element. Values must be
+// acyclic (parameters and delivered results always are — deliver()
+// clones with a depth check).
+func ValueToXML(v mavm.Value) (*kxml.Node, error) {
+	return valueToXML(v, 0)
+}
+
+func valueToXML(v mavm.Value, depth int) (*kxml.Node, error) {
+	if depth > maxValueDepth {
+		return nil, fmt.Errorf("wire: value nesting exceeds %d", maxValueDepth)
+	}
+	n := kxml.NewElement("value")
+	switch v.Kind() {
+	case mavm.KindNil:
+		n.SetAttr("type", "nil")
+	case mavm.KindBool:
+		n.SetAttr("type", "bool")
+		n.AddText(strconv.FormatBool(v.AsBool()))
+	case mavm.KindInt:
+		n.SetAttr("type", "int")
+		n.AddText(strconv.FormatInt(v.AsInt(), 10))
+	case mavm.KindFloat:
+		n.SetAttr("type", "float")
+		n.AddText(strconv.FormatFloat(v.AsFloat(), 'g', -1, 64))
+	case mavm.KindStr:
+		n.SetAttr("type", "str")
+		n.AddText(v.AsStr())
+	case mavm.KindList:
+		n.SetAttr("type", "list")
+		for _, it := range v.ListItems() {
+			c, err := valueToXML(it, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.Add(c)
+		}
+	case mavm.KindMap:
+		n.SetAttr("type", "map")
+		for _, k := range v.MapKeys() {
+			entry := n.AddElement("entry").SetAttr("key", k)
+			c, err := valueToXML(v.MapEntries()[k], depth+1)
+			if err != nil {
+				return nil, err
+			}
+			entry.Add(c)
+		}
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %v value", v.Kind())
+	}
+	return n, nil
+}
+
+// ValueFromXML parses a <value> element back into a mavm value.
+func ValueFromXML(n *kxml.Node) (mavm.Value, error) {
+	return valueFromXML(n, 0)
+}
+
+func valueFromXML(n *kxml.Node, depth int) (mavm.Value, error) {
+	if depth > maxValueDepth {
+		return mavm.Nil(), fmt.Errorf("wire: value nesting exceeds %d", maxValueDepth)
+	}
+	if n == nil || n.Name != "value" {
+		return mavm.Nil(), fmt.Errorf("wire: expected <value> element")
+	}
+	typ := n.AttrDefault("type", "")
+	switch typ {
+	case "nil":
+		return mavm.Nil(), nil
+	case "bool":
+		b, err := strconv.ParseBool(n.TextContent())
+		if err != nil {
+			return mavm.Nil(), fmt.Errorf("wire: bad bool %q", n.TextContent())
+		}
+		return mavm.Bool(b), nil
+	case "int":
+		i, err := strconv.ParseInt(n.TextContent(), 10, 64)
+		if err != nil {
+			return mavm.Nil(), fmt.Errorf("wire: bad int %q", n.TextContent())
+		}
+		return mavm.Int(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(n.TextContent(), 64)
+		if err != nil {
+			return mavm.Nil(), fmt.Errorf("wire: bad float %q", n.TextContent())
+		}
+		return mavm.Float(f), nil
+	case "str":
+		return mavm.Str(n.TextContent()), nil
+	case "list":
+		var items []mavm.Value
+		for _, c := range n.FindAll("value") {
+			v, err := valueFromXML(c, depth+1)
+			if err != nil {
+				return mavm.Nil(), err
+			}
+			items = append(items, v)
+		}
+		return mavm.NewList(items...), nil
+	case "map":
+		m := mavm.NewMap()
+		for _, e := range n.FindAll("entry") {
+			key, ok := e.Attr("key")
+			if !ok {
+				return mavm.Nil(), fmt.Errorf("wire: map entry missing key")
+			}
+			v, err := valueFromXML(e.Find("value"), depth+1)
+			if err != nil {
+				return mavm.Nil(), err
+			}
+			m.MapEntries()[key] = v
+		}
+		return m, nil
+	default:
+		return mavm.Nil(), fmt.Errorf("wire: unknown value type %q", typ)
+	}
+}
