@@ -10,10 +10,20 @@
 package pdagent_test
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"pdagent/internal/compress"
 	"pdagent/internal/experiments"
+	"pdagent/internal/gateway"
+	"pdagent/internal/netsim"
+	"pdagent/internal/pisec"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
 )
 
 // E1 — Figure 12: Internet connection time vs. transactions.
@@ -183,4 +193,266 @@ func BenchmarkAblationLinkSensitivity(b *testing.B) {
 		last := rows[len(rows)-1]
 		b.ReportMetric((last.ClientServerN10 - last.PDAgentN10).Seconds(), "slow_link_gap_vsec")
 	}
+}
+
+// G1 — gateway scaling (ISSUE 1): the lock-striped registry against the
+// seed's single-lock design. "seedlock" replicates the seed gateway's
+// layout exactly — one sync.Mutex guarding every map — "striped1" is
+// the new code path collapsed to one shard, and "sharded32" is the
+// production configuration; the seedlock→sharded32 gap is the registry
+// refactor's payoff.
+
+// benchReg is the slice of the registry surface the benchmarks drive;
+// *gateway.Registry and the seed replica both satisfy it.
+type benchReg interface {
+	SetSecret(codeID, owner string, secret []byte)
+	Secret(codeID, owner string) ([]byte, bool)
+	RememberNonce(codeID, owner, nonce string) bool
+	NextAgentID(gatewayAddr string) string
+	CreateAgent(id, codeID, owner string)
+	CompleteAgent(id, codeID, owner string, docID int, why string) []chan struct{}
+	Agent(id string) (gateway.AgentStatus, bool)
+}
+
+// seedRegistry is the seed gateway's state layout — one mutex for
+// everything — kept here as the benchmark baseline.
+type seedRegistry struct {
+	mu       sync.Mutex
+	secrets  map[string][]byte
+	dispatch map[string]*gateway.AgentStatus
+	replay   map[string]*seedNonceWindow
+	agentSeq int
+}
+
+// seedNonceWindow is the seed's bounded replay FIFO (1024 entries per
+// subscription), replicated so the baseline's memory behaviour matches
+// the code it stands in for.
+type seedNonceWindow struct {
+	seen  map[string]bool
+	order []string
+}
+
+func newSeedRegistry() *seedRegistry {
+	return &seedRegistry{
+		secrets:  map[string][]byte{},
+		dispatch: map[string]*gateway.AgentStatus{},
+		replay:   map[string]*seedNonceWindow{},
+	}
+}
+
+func (r *seedRegistry) key(codeID, owner string) string { return codeID + "\x00" + owner }
+
+func (r *seedRegistry) SetSecret(codeID, owner string, secret []byte) {
+	r.mu.Lock()
+	r.secrets[r.key(codeID, owner)] = secret
+	r.mu.Unlock()
+}
+
+func (r *seedRegistry) Secret(codeID, owner string) ([]byte, bool) {
+	r.mu.Lock()
+	s, ok := r.secrets[r.key(codeID, owner)]
+	r.mu.Unlock()
+	return s, ok
+}
+
+func (r *seedRegistry) RememberNonce(codeID, owner, nonce string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(codeID, owner)
+	win := r.replay[k]
+	if win == nil {
+		win = &seedNonceWindow{seen: map[string]bool{}}
+		r.replay[k] = win
+	}
+	if win.seen[nonce] {
+		return false
+	}
+	win.seen[nonce] = true
+	win.order = append(win.order, nonce)
+	if len(win.order) > 1024 {
+		delete(win.seen, win.order[0])
+		win.order = win.order[1:]
+	}
+	return true
+}
+
+func (r *seedRegistry) NextAgentID(gatewayAddr string) string {
+	r.mu.Lock()
+	r.agentSeq++
+	n := r.agentSeq
+	r.mu.Unlock()
+	return fmt.Sprintf("ag-%s-%d", gatewayAddr, n)
+}
+
+func (r *seedRegistry) CreateAgent(id, codeID, owner string) {
+	r.mu.Lock()
+	r.dispatch[id] = &gateway.AgentStatus{CodeID: codeID, Owner: owner}
+	r.mu.Unlock()
+}
+
+func (r *seedRegistry) CompleteAgent(id, codeID, owner string, docID int, why string) []chan struct{} {
+	r.mu.Lock()
+	meta, ok := r.dispatch[id]
+	if !ok {
+		meta = &gateway.AgentStatus{CodeID: codeID, Owner: owner}
+		r.dispatch[id] = meta
+	}
+	meta.Done = true
+	meta.DocID = docID
+	meta.LastWhy = why
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *seedRegistry) Agent(id string) (gateway.AgentStatus, bool) {
+	r.mu.Lock()
+	meta, ok := r.dispatch[id]
+	var st gateway.AgentStatus
+	if ok {
+		st = *meta
+	}
+	r.mu.Unlock()
+	return st, ok
+}
+
+// benchRegistryDispatch drives the registry operations of one agent
+// round trip as the handlers issue them: secret lookup, nonce
+// check-and-insert, id allocation, dispatch record, then the device's
+// status polls while the agent travels (the paper's offline workflow —
+// dispatch, go away, poll, collect), and finally completion + result
+// read.
+func benchRegistryDispatch(b *testing.B, reg benchReg) {
+	const owners = 256
+	names := make([]string, owners)
+	for i := range names {
+		names[i] = fmt.Sprintf("dev-%d", i)
+		reg.SetSecret("app.echo", names[i], []byte("secret"))
+	}
+	var seq atomic.Uint64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		nonce := make([]byte, 0, 24)
+		for pb.Next() {
+			n := seq.Add(1)
+			owner := names[n%owners]
+			if _, ok := reg.Secret("app.echo", owner); !ok {
+				panic("secret lost")
+			}
+			nonce = strconv.AppendUint(append(nonce[:0], 'n', '-'), n, 10)
+			reg.RememberNonce("app.echo", owner, string(nonce))
+			id := reg.NextAgentID("gw-bench")
+			reg.CreateAgent(id, "app.echo", owner)
+			for poll := 0; poll < 24; poll++ {
+				if _, ok := reg.Agent(id); !ok {
+					panic("dispatch record lost")
+				}
+			}
+			reg.CompleteAgent(id, "app.echo", owner, int(n), "")
+			if st, ok := reg.Agent(id); !ok || !st.Done {
+				panic("result lost")
+			}
+		}
+	})
+}
+
+func BenchmarkGatewayRegistryDispatchParallel(b *testing.B) {
+	b.Run("seedlock", func(b *testing.B) { benchRegistryDispatch(b, newSeedRegistry()) })
+	b.Run("striped1", func(b *testing.B) { benchRegistryDispatch(b, gateway.NewRegistry(1)) })
+	b.Run("sharded32", func(b *testing.B) { benchRegistryDispatch(b, gateway.NewRegistry(32)) })
+}
+
+// benchRegistryMixed is a read-heavy subscribe/result mix: ~90% status
+// reads against a settled population, ~10% new subscriptions — the
+// steady-state traffic of devices polling for results.
+func benchRegistryMixed(b *testing.B, reg benchReg) {
+	const agents = 4096
+	ids := make([]string, agents)
+	for i := range ids {
+		id := reg.NextAgentID("gw-bench")
+		reg.CreateAgent(id, "app.echo", "dev-0")
+		reg.CompleteAgent(id, "app.echo", "dev-0", i, "")
+		ids[i] = id
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			if n%10 == 0 {
+				reg.SetSecret("app.echo", fmt.Sprintf("dev-%d", n), []byte("secret"))
+				continue
+			}
+			if st, ok := reg.Agent(ids[n%agents]); !ok || !st.Done {
+				panic("result lost")
+			}
+		}
+	})
+}
+
+func BenchmarkGatewayRegistryMixedParallel(b *testing.B) {
+	b.Run("seedlock", func(b *testing.B) { benchRegistryMixed(b, newSeedRegistry()) })
+	b.Run("striped1", func(b *testing.B) { benchRegistryMixed(b, gateway.NewRegistry(1)) })
+	b.Run("sharded32", func(b *testing.B) { benchRegistryMixed(b, gateway.NewRegistry(32)) })
+}
+
+var (
+	benchKPOnce sync.Once
+	benchKP     *pisec.KeyPair
+)
+
+// BenchmarkGatewayDispatchE2E pushes whole unsealed Packed Information
+// uploads through the dispatch handler in parallel: unpack, key check,
+// replay window, MAScript compile, document store, agent admission.
+// Spawn is a no-op so the measurement isolates the gateway hot path
+// from agent execution.
+func BenchmarkGatewayDispatchE2E(b *testing.B) {
+	benchKPOnce.Do(func() {
+		kp, err := pisec.GenerateKeyPair(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchKP = kp
+	})
+	gw, err := gateway.New(gateway.Config{
+		Addr:      "gw-bench",
+		KeyPair:   benchKP,
+		Transport: netsim.New(1).Transport(netsim.ZoneWired),
+		Spawn:     func(func()) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	const src = `deliver("echo", params());`
+	if err := gw.AddCodePackage(&wire.CodePackage{CodeID: "echo", Name: "Echo", Version: "1", Source: src}); err != nil {
+		b.Fatal(err)
+	}
+	secret := []byte("bench-secret")
+	gw.Registry().SetSecret("echo", "dev-bench", secret)
+	key := pisec.DispatchKey("echo", secret)
+	handler := gw.Handler()
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			pi := &wire.PackedInformation{
+				CodeID:      "echo",
+				DispatchKey: key,
+				Owner:       "dev-bench",
+				Nonce:       fmt.Sprintf("n-%d", seq.Add(1)),
+				Source:      src,
+			}
+			body, err := wire.Pack(pi, compress.LZSS, nil)
+			if err != nil {
+				panic(err)
+			}
+			resp := handler.Serve(context.Background(), &transport.Request{
+				Path: "/pdagent/dispatch", Body: body,
+			})
+			if !resp.IsOK() {
+				panic(fmt.Sprintf("dispatch: %d %s", resp.Status, resp.Text()))
+			}
+		}
+	})
 }

@@ -28,6 +28,8 @@ func main() {
 	flavour := flag.String("flavour", "aglets", "embedded MAS codec flavour (aglets|voyager)")
 	peers := flag.String("peers", "", "comma-separated peer gateway addresses for /pdagent/gateways")
 	keyBits := flag.Int("key-bits", pisec.DefaultKeyBits, "RSA key size")
+	workers := flag.Int("outbound-workers", 32, "bounded worker pool size for outbound calls (status chasing, management)")
+	maxConns := flag.Int("max-conns-per-host", transport.DefaultMaxPerDest, "outbound connection and in-flight limit per destination")
 	flag.Parse()
 
 	public := *addr
@@ -46,12 +48,13 @@ func main() {
 		log.Fatalf("gateway: generating key pair: %v", err)
 	}
 	gw, err := gateway.New(gateway.Config{
-		Addr:      public,
-		KeyPair:   kp,
-		Transport: &transport.HTTPClient{},
-		Flavour:   *flavour,
-		Peers:     peerList,
-		Logf:      log.Printf,
+		Addr:            public,
+		KeyPair:         kp,
+		Transport:       transport.NewPooled(transport.NewPooledHTTPClient(*maxConns), *maxConns),
+		Flavour:         *flavour,
+		Peers:           peerList,
+		OutboundWorkers: *workers,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("gateway: %v", err)

@@ -61,7 +61,7 @@ func main() {
 	srv, err := mas.NewServer(mas.Config{
 		Addr:      public,
 		Codec:     codec,
-		Transport: &transport.HTTPClient{},
+		Transport: transport.NewPooledHTTPClient(0),
 		Services:  reg,
 		Logf:      log.Printf,
 	})

@@ -1,0 +1,3 @@
+module pdagent
+
+go 1.22

@@ -228,6 +228,15 @@ func (w *SimWorld) NewJourney() (context.Context, *netsim.Clock) {
 // returns the number of tasks executed.
 func (w *SimWorld) Run() int { return w.Queue.Drain() }
 
+// Close releases every gateway's outbound worker pool. Long-lived
+// embedders (and tests that chase agent status, which lazily starts
+// the pools) should defer it; one-shot experiment worlds may skip it.
+func (w *SimWorld) Close() {
+	for _, gw := range w.Gateways {
+		gw.Close()
+	}
+}
+
 // RunUntilResult runs the world and collects the result for an agent,
 // a convenience wrapper for the common dispatch→run→collect pattern.
 func (w *SimWorld) RunUntilResult(ctx context.Context, dev *device.Platform, agentID string) (*wire.ResultDocument, error) {

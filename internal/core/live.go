@@ -136,6 +136,7 @@ func NewLiveWorld(cfg LiveConfig) (*LiveWorld, error) {
 		w.Stop()
 		return nil, err
 	}
+	w.stops = append(w.stops, gw.Close)
 	holder.Set(gw.Handler())
 	w.GatewayAddr = addr
 	w.Gateway = gw

@@ -136,9 +136,9 @@ func (p *Platform) Collect(ctx context.Context, agentID string) (*wire.ResultDoc
 }
 
 // AgentStatus asks the gateway where the agent is and how it is doing
-// (§3.6 "view agent status"). The first return is "complete" or
-// "travelling"; the second carries the MAS status document when
-// travelling.
+// (§3.6 "view agent status"). The first return is "complete",
+// "travelling" or "disposed" (terminal, no result coming); the second
+// carries the MAS status document when travelling.
 func (p *Platform) AgentStatus(ctx context.Context, agentID string) (string, []byte, error) {
 	gw, err := p.pendingGateway(agentID)
 	if err != nil {

@@ -19,12 +19,19 @@
 //   - Subscription service — serves the catalogue and issues code
 //     packages with per-subscription secrets (§3.1);
 //   - Directory service — serves the gateway address list (§3.5).
+//
+// Scaling design (DESIGN.md §5): all mutable gateway state lives in a
+// lock-striped Registry, so subscribe/dispatch/result/status requests
+// for unrelated agents never contend on a shared mutex; outbound work
+// — chasing an agent's forwarding pointers, management verbs — runs on
+// a bounded worker pool with context cancellation instead of unbounded
+// inline calls; and result completion fans out to WatchResult
+// subscribers with a wait-free channel close.
 package gateway
 
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"pdagent/internal/atp"
 	"pdagent/internal/kxml"
@@ -64,55 +71,27 @@ type Config struct {
 	Services *services.Registry
 	// FuelSlice overrides the MAS execution slice.
 	FuelSlice uint64
+	// RegistryShards is the lock-stripe count of the state registry
+	// (default DefaultRegistryShards; 1 degenerates to a single lock).
+	RegistryShards int
+	// OutboundWorkers bounds concurrent outbound work — status chasing,
+	// management calls, result fan-out (default 16).
+	OutboundWorkers int
 	// Logf, when set, receives diagnostics.
 	Logf func(format string, args ...any)
 }
 
-// agentMeta tracks one dispatched agent for status and result lookup.
-type agentMeta struct {
-	codeID  string
-	owner   string
-	done    bool
-	docID   int // record id of the result document in Documents
-	lastWhy string
-}
+// defaultOutboundWorkers bounds outbound concurrency when the config
+// does not say otherwise.
+const defaultOutboundWorkers = 16
 
 // Gateway is one gateway instance.
 type Gateway struct {
-	cfg Config
-	mas *mas.Server
-	mux *transport.Mux
-
-	mu       sync.Mutex
-	catalog  map[string]*wire.CodePackage // code id -> package
-	secrets  map[string][]byte            // code id + "\x00" + owner -> subscription secret
-	dispatch map[string]*agentMeta        // agent id -> meta
-	replay   map[string]*nonceWindow      // subscription -> recent dispatch nonces
-	agentSeq int
-}
-
-// nonceWindow remembers the most recent dispatch nonces of one
-// subscription so a captured PI cannot be replayed. Bounded FIFO.
-type nonceWindow struct {
-	seen  map[string]bool
-	order []string
-}
-
-// nonceWindowSize bounds each subscription's replay memory.
-const nonceWindowSize = 1024
-
-// remember records a nonce, reporting false if it was already seen.
-func (w *nonceWindow) remember(nonce string) bool {
-	if w.seen[nonce] {
-		return false
-	}
-	w.seen[nonce] = true
-	w.order = append(w.order, nonce)
-	if len(w.order) > nonceWindowSize {
-		delete(w.seen, w.order[0])
-		w.order = w.order[1:]
-	}
-	return true
+	cfg  Config
+	mas  *mas.Server
+	mux  *transport.Mux
+	reg  *Registry
+	pool *workerPool
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -135,17 +114,21 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Services == nil {
 		cfg.Services = services.NewRegistry()
 	}
+	if cfg.RegistryShards == 0 {
+		cfg.RegistryShards = DefaultRegistryShards
+	}
+	if cfg.OutboundWorkers == 0 {
+		cfg.OutboundWorkers = defaultOutboundWorkers
+	}
 	codec, err := atp.ByName(cfg.Flavour)
 	if err != nil {
 		return nil, err
 	}
 
 	g := &Gateway{
-		cfg:      cfg,
-		catalog:  map[string]*wire.CodePackage{},
-		secrets:  map[string][]byte{},
-		dispatch: map[string]*agentMeta{},
-		replay:   map[string]*nonceWindow{},
+		cfg:  cfg,
+		reg:  NewRegistry(cfg.RegistryShards),
+		pool: newWorkerPool(cfg.OutboundWorkers, cfg.Logf),
 	}
 	masSrv, err := mas.NewServer(mas.Config{
 		Addr:        cfg.Addr,
@@ -189,8 +172,33 @@ func (g *Gateway) Handler() transport.Handler { return g.mux }
 // MAS exposes the embedded home mobile-agent server (tests, tooling).
 func (g *Gateway) MAS() *mas.Server { return g.mas }
 
+// Registry exposes the gateway's state registry (tests, benchmarks).
+func (g *Gateway) Registry() *Registry { return g.reg }
+
 // PublicKey returns the gateway's public key.
 func (g *Gateway) PublicKey() *pisec.PublicKey { return g.cfg.KeyPair.Public() }
+
+// Close stops the gateway's outbound worker pool and releases every
+// registered result watcher (their channels are closed, so blocked
+// WatchResult subscribers wake instead of leaking). In-flight jobs
+// finish; queued work is abandoned. The gateway must not serve further
+// requests needing outbound calls after Close.
+func (g *Gateway) Close() {
+	g.pool.Close()
+	for _, ch := range g.reg.ReleaseAllWatchers() {
+		close(ch)
+	}
+}
+
+// WatchResult returns a channel closed when the agent reaches a
+// terminal state — its result document became collectable, or it was
+// disposed (immediately-closed if it already did); false for unknown
+// agents. This is the in-process subscriber side of the result
+// fan-out; subscribers should pair it with their own timeout, since a
+// stranded agent never signals.
+func (g *Gateway) WatchResult(agentID string) (<-chan struct{}, bool) {
+	return g.reg.Watch(agentID)
+}
 
 // AddCodePackage publishes an application in the subscription
 // catalogue.
@@ -203,9 +211,7 @@ func (g *Gateway) AddCodePackage(cp *wire.CodePackage) error {
 	if _, err := mascript.Compile(cp.Source); err != nil {
 		return fmt.Errorf("gateway: package %q does not compile: %w", cp.CodeID, err)
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.catalog[cp.CodeID] = cp
+	g.reg.PutPackage(cp)
 	return nil
 }
 
@@ -246,18 +252,13 @@ func (g *Gateway) onAgentHome(_ context.Context, a *mas.Arrival) {
 		g.logf("gateway %s: storing result for %s: %v", g.cfg.Addr, rd.AgentID, err)
 		return
 	}
-	g.mu.Lock()
-	meta, ok := g.dispatch[rd.AgentID]
-	if !ok {
-		// Unknown agent (e.g. a clone created remotely): adopt it so the
-		// owner can still collect.
-		meta = &agentMeta{codeID: rd.CodeID, owner: rd.Owner}
-		g.dispatch[rd.AgentID] = meta
+	// Fan the completion signal out to result watchers. Closing a
+	// channel is wait-free, so this cannot delay the MAS arrival path
+	// and needs no queueing — subscribers do their (possibly slow)
+	// result fetch on their own goroutines after the signal.
+	for _, ch := range g.reg.CompleteAgent(rd.AgentID, rd.CodeID, rd.Owner, docID, rd.Error) {
+		close(ch)
 	}
-	meta.done = true
-	meta.docID = docID
-	meta.lastWhy = rd.Error
-	g.mu.Unlock()
 	g.logf("gateway %s: result ready for agent %s (%s)", g.cfg.Addr, rd.AgentID, status)
 }
 
@@ -268,12 +269,7 @@ func (g *Gateway) handlePing(_ context.Context, _ *transport.Request) *transport
 }
 
 func (g *Gateway) handleCatalog(_ context.Context, _ *transport.Request) *transport.Response {
-	g.mu.Lock()
-	cat := &wire.Catalogue{Gateway: g.cfg.Addr}
-	for _, cp := range g.catalog {
-		cat.Packages = append(cat.Packages, cp)
-	}
-	g.mu.Unlock()
+	cat := &wire.Catalogue{Gateway: g.cfg.Addr, Packages: g.reg.Packages()}
 	return transport.OK(cat.EncodeXML())
 }
 
@@ -283,9 +279,7 @@ func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *tr
 	if codeID == "" || owner == "" {
 		return transport.Errorf(transport.StatusBadRequest, "subscribe needs code-id and owner headers")
 	}
-	g.mu.Lock()
-	cp, ok := g.catalog[codeID]
-	g.mu.Unlock()
+	cp, ok := g.reg.Package(codeID)
 	if !ok {
 		return transport.Errorf(transport.StatusNotFound, "no code package %q", codeID)
 	}
@@ -293,9 +287,7 @@ func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *tr
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "issuing secret: %v", err)
 	}
-	g.mu.Lock()
-	g.secrets[subKey(codeID, owner)] = secret
-	g.mu.Unlock()
+	g.reg.SetSecret(codeID, owner, secret)
 
 	pubKey, err := g.cfg.KeyPair.Public().Marshal()
 	if err != nil {
@@ -309,9 +301,10 @@ func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *tr
 	return transport.OK(doc)
 }
 
-func subKey(codeID, owner string) string { return codeID + "\x00" + owner }
-
-// handleDispatch is the Agent Dispatch Handler of Figure 6.
+// handleDispatch is the Agent Dispatch Handler of Figure 6. Every
+// registry access below locks only the shard of the key in hand, so
+// dispatches for unrelated subscriptions and agents proceed in
+// parallel.
 func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *transport.Response {
 	// Step 1-2: security check and decryption (Figure 7), then
 	// decompression and XML parsing (the XML Writer).
@@ -321,9 +314,7 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	}
 
 	// Step 3: the Agent Creator validates the supplied unique key.
-	g.mu.Lock()
-	secret, subscribed := g.secrets[subKey(pi.CodeID, pi.Owner)]
-	g.mu.Unlock()
+	secret, subscribed := g.reg.Secret(pi.CodeID, pi.Owner)
 	if !subscribed {
 		return transport.Errorf(transport.StatusUnauthorized,
 			"no subscription for code %q by %q", pi.CodeID, pi.Owner)
@@ -339,15 +330,7 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 		return transport.Errorf(transport.StatusBadRequest,
 			"packed information missing dispatch nonce")
 	}
-	g.mu.Lock()
-	win := g.replay[subKey(pi.CodeID, pi.Owner)]
-	if win == nil {
-		win = &nonceWindow{seen: map[string]bool{}}
-		g.replay[subKey(pi.CodeID, pi.Owner)] = win
-	}
-	fresh := win.remember(pi.Nonce)
-	g.mu.Unlock()
-	if !fresh {
+	if !g.reg.RememberNonce(pi.CodeID, pi.Owner, pi.Nonce) {
 		return transport.Errorf(transport.StatusConflict,
 			"replayed packed information (nonce already used)")
 	}
@@ -361,10 +344,7 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 
 	// Step 5: the Document Creator materialises the request document
 	// and the File Directory allocates space for it.
-	g.mu.Lock()
-	g.agentSeq++
-	agentID := fmt.Sprintf("ag-%s-%d", g.cfg.Addr, g.agentSeq)
-	g.mu.Unlock()
+	agentID := g.reg.NextAgentID(g.cfg.Addr)
 	reqDoc, err := pi.EncodeXML()
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "request document: %v", err)
@@ -378,9 +358,7 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "creating agent: %v", err)
 	}
-	g.mu.Lock()
-	g.dispatch[agentID] = &agentMeta{codeID: pi.CodeID, owner: pi.Owner}
-	g.mu.Unlock()
+	g.reg.CreateAgent(agentID, pi.CodeID, pi.Owner)
 	if err := g.mas.AdmitAgent(ctx, vm, pi.CodeID, pi.Owner, g.cfg.Addr); err != nil {
 		return transport.Errorf(transport.StatusServerError, "admitting agent: %v", err)
 	}
@@ -393,19 +371,17 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 
 func (g *Gateway) handleResult(_ context.Context, req *transport.Request) *transport.Response {
 	agentID := req.GetHeader("agent")
-	g.mu.Lock()
-	meta, ok := g.dispatch[agentID]
+	st, ok := g.reg.Agent(agentID)
 	if !ok {
-		g.mu.Unlock()
 		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
 	}
-	if !meta.done {
-		g.mu.Unlock()
+	if !st.Done {
+		if st.Gone {
+			return transport.Errorf(transport.StatusGone, "agent %q has no result: %s", agentID, st.LastWhy)
+		}
 		return transport.Errorf(transport.StatusConflict, "agent %q still travelling", agentID)
 	}
-	docID := meta.docID
-	g.mu.Unlock()
-	doc, err := g.cfg.Documents.Get(docID)
+	doc, err := g.cfg.Documents.Get(st.DocID)
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "loading result: %v", err)
 	}
@@ -416,19 +392,24 @@ func (g *Gateway) handleResult(_ context.Context, req *transport.Request) *trans
 // pointers across MAS hosts when the agent has moved on.
 func (g *Gateway) handleStatus(ctx context.Context, req *transport.Request) *transport.Response {
 	agentID := req.GetHeader("agent")
-	g.mu.Lock()
-	meta, ok := g.dispatch[agentID]
-	done := ok && meta.done
-	g.mu.Unlock()
+	st, ok := g.reg.Agent(agentID)
 	if !ok {
 		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
 	}
-	if done {
+	if st.Done {
 		resp := transport.OKText("complete")
 		resp.SetHeader("agent-state", "complete")
 		return resp
 	}
-	addr, body, err := g.chase(ctx, agentID)
+	if st.Gone {
+		// Terminal without a result (disposed): answer directly instead
+		// of burning a pool worker chasing an agent that no longer
+		// exists.
+		resp := transport.OKText(st.LastWhy)
+		resp.SetHeader("agent-state", "disposed")
+		return resp
+	}
+	addr, body, err := g.locate(ctx, agentID)
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
 	}
@@ -438,9 +419,32 @@ func (g *Gateway) handleStatus(ctx context.Context, req *transport.Request) *tra
 	return resp
 }
 
+// locate runs a chase on the outbound worker pool, bounding how many
+// concurrent chases a burst of status requests can fan out. The
+// results travel in a job-local struct that the caller reads only when
+// Do returns nil (which happens-after the job completed); when Do
+// returns early — caller cancelled, pool closed — the still-running
+// job may keep writing res, so the caller must not touch it. Plain
+// locals or named returns would race here, because the early return
+// itself writes them.
+func (g *Gateway) locate(ctx context.Context, agentID string) (string, []byte, error) {
+	type chaseResult struct {
+		addr string
+		body []byte
+		err  error
+	}
+	res := &chaseResult{}
+	if derr := g.pool.Do(ctx, func(ctx context.Context) {
+		res.addr, res.body, res.err = g.chase(ctx, agentID)
+	}); derr != nil {
+		return "", nil, derr
+	}
+	return res.addr, res.body, res.err
+}
+
 // chase follows moved-to pointers from the home MAS until it finds the
 // host currently holding the agent; it returns that host's status
-// document.
+// document. It runs on a pool worker.
 func (g *Gateway) chase(ctx context.Context, agentID string) (addr string, status []byte, err error) {
 	const maxHops = 16
 	addr = g.cfg.Addr
@@ -470,26 +474,33 @@ func (g *Gateway) chase(ctx context.Context, agentID string) (addr string, statu
 }
 
 // manage runs a management verb at the host currently holding the
-// agent (§3.6: clone, retract, dispose).
+// agent (§3.6: clone, retract, dispose). The whole remote interaction
+// — chase plus verb — occupies one pool worker.
 func (g *Gateway) manage(ctx context.Context, agentID, verb string, extra map[string]string) *transport.Response {
-	g.mu.Lock()
-	_, known := g.dispatch[agentID]
-	g.mu.Unlock()
-	if !known {
+	if !g.reg.KnownAgent(agentID) {
 		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
 	}
-	addr, _, err := g.chase(ctx, agentID)
-	if err != nil {
-		return transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
-	}
-	mreq := &transport.Request{Path: "/atp/" + verb}
-	mreq.SetHeader("agent", agentID)
-	for k, v := range extra {
-		mreq.SetHeader(k, v)
-	}
-	resp, err := g.cfg.Transport.RoundTrip(ctx, addr, mreq)
-	if err != nil {
-		return transport.Errorf(transport.StatusServerError, "%s at %s: %v", verb, addr, err)
+	var resp *transport.Response
+	derr := g.pool.Do(ctx, func(ctx context.Context) {
+		addr, _, err := g.chase(ctx, agentID)
+		if err != nil {
+			resp = transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
+			return
+		}
+		mreq := &transport.Request{Path: "/atp/" + verb}
+		mreq.SetHeader("agent", agentID)
+		for k, v := range extra {
+			mreq.SetHeader(k, v)
+		}
+		r, err := g.cfg.Transport.RoundTrip(ctx, addr, mreq)
+		if err != nil {
+			resp = transport.Errorf(transport.StatusServerError, "%s at %s: %v", verb, addr, err)
+			return
+		}
+		resp = r
+	})
+	if derr != nil {
+		return transport.Errorf(transport.StatusUnavailable, "%s: %v", verb, derr)
 	}
 	return resp
 }
@@ -502,11 +513,13 @@ func (g *Gateway) handleDispose(ctx context.Context, req *transport.Request) *tr
 	agentID := req.GetHeader("agent")
 	resp := g.manage(ctx, agentID, "dispose", nil)
 	if resp.IsOK() {
-		g.mu.Lock()
-		if meta, ok := g.dispatch[agentID]; ok {
-			meta.lastWhy = "disposed by owner"
+		// A disposed agent will never produce a result; mark it
+		// terminal and release its watchers instead of leaving them
+		// blocked forever.
+		watchers, _ := g.reg.ReleaseAgent(agentID, "disposed by owner")
+		for _, ch := range watchers {
+			close(ch)
 		}
-		g.mu.Unlock()
 	}
 	return resp
 }
@@ -515,14 +528,9 @@ func (g *Gateway) handleClone(ctx context.Context, req *transport.Request) *tran
 	agentID := req.GetHeader("agent")
 	resp := g.manage(ctx, agentID, "clone", nil)
 	if resp.IsOK() {
-		cloneID := resp.Text()
-		g.mu.Lock()
-		if meta, ok := g.dispatch[agentID]; ok {
-			// Track the clone like our own dispatch so its results are
-			// collectable.
-			g.dispatch[cloneID] = &agentMeta{codeID: meta.codeID, owner: meta.owner}
-		}
-		g.mu.Unlock()
+		// Track the clone like our own dispatch so its results are
+		// collectable.
+		g.reg.AdoptClone(agentID, resp.Text())
 	}
 	return resp
 }

@@ -1,0 +1,359 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pdagent/internal/wire"
+)
+
+// DefaultRegistryShards is the default lock-stripe count of a Registry.
+// 32 shards keep contention negligible for dozens of serving goroutines
+// while costing a few hundred bytes of fixed overhead.
+const DefaultRegistryShards = 32
+
+// Registry is the gateway's agent/subscription state store: the
+// catalogue, per-subscription secrets, replay windows and dispatched
+// agent metadata. It is lock-striped — every key (code id, subscription
+// key or agent id) is hashed onto one of a fixed set of shards, each
+// with its own RWMutex — so requests touching unrelated agents or
+// subscriptions never contend. NewRegistry(1) degenerates to the old
+// single-lock design, which the benchmarks use as the baseline.
+type Registry struct {
+	shards   []registryShard
+	mask     uint32
+	agentSeq atomic.Uint64
+	// closed is set by ReleaseAllWatchers (gateway shutdown); checked
+	// under the shard lock so no watcher can register after its shard
+	// was swept.
+	closed atomic.Bool
+}
+
+type registryShard struct {
+	mu       sync.RWMutex
+	catalog  map[string]*wire.CodePackage // code id -> package
+	secrets  map[string][]byte            // subKey -> subscription secret
+	dispatch map[string]*agentMeta        // agent id -> meta
+	replay   map[string]*nonceWindow      // subKey -> recent dispatch nonces
+	watchers map[string][]chan struct{}   // agent id -> result watchers
+}
+
+// NewRegistry returns a registry with the given shard count, rounded up
+// to a power of two; counts below one become a single shard (the
+// single-lock baseline).
+func NewRegistry(shards int) *Registry {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &Registry{shards: make([]registryShard, n), mask: uint32(n - 1)}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.catalog = map[string]*wire.CodePackage{}
+		s.secrets = map[string][]byte{}
+		s.dispatch = map[string]*agentMeta{}
+		s.replay = map[string]*nonceWindow{}
+		s.watchers = map[string][]chan struct{}{}
+	}
+	return r
+}
+
+// Shards returns the number of lock stripes.
+func (r *Registry) Shards() int { return len(r.shards) }
+
+// fnv32a is the FNV-1a hash, inlined to keep the shard lookup
+// allocation-free on the dispatch hot path.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (r *Registry) shardFor(key string) *registryShard {
+	return &r.shards[fnv32a(key)&r.mask]
+}
+
+// subKey joins a code id and owner into one subscription key.
+func subKey(codeID, owner string) string { return codeID + "\x00" + owner }
+
+// --- catalogue ----------------------------------------------------------
+
+// PutPackage publishes (or replaces) a code package in the catalogue.
+func (r *Registry) PutPackage(cp *wire.CodePackage) {
+	s := r.shardFor(cp.CodeID)
+	s.mu.Lock()
+	s.catalog[cp.CodeID] = cp
+	s.mu.Unlock()
+}
+
+// Package looks up a catalogue entry.
+func (r *Registry) Package(codeID string) (*wire.CodePackage, bool) {
+	s := r.shardFor(codeID)
+	s.mu.RLock()
+	cp, ok := s.catalog[codeID]
+	s.mu.RUnlock()
+	return cp, ok
+}
+
+// Packages returns the whole catalogue, sorted by code id so catalogue
+// documents are deterministic regardless of sharding.
+func (r *Registry) Packages() []*wire.CodePackage {
+	var out []*wire.CodePackage
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, cp := range s.catalog {
+			out = append(out, cp)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CodeID < out[j].CodeID })
+	return out
+}
+
+// --- subscriptions ------------------------------------------------------
+
+// SetSecret records the subscription secret for (codeID, owner).
+func (r *Registry) SetSecret(codeID, owner string, secret []byte) {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.Lock()
+	s.secrets[k] = secret
+	s.mu.Unlock()
+}
+
+// Secret returns the subscription secret for (codeID, owner).
+func (r *Registry) Secret(codeID, owner string) ([]byte, bool) {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.RLock()
+	sec, ok := s.secrets[k]
+	s.mu.RUnlock()
+	return sec, ok
+}
+
+// RememberNonce records a dispatch nonce in the subscription's replay
+// window, reporting false if the nonce was already seen (a replayed
+// PI). The check-and-insert is atomic under the shard lock, so exactly
+// one of any number of concurrent uploads of the same nonce wins.
+func (r *Registry) RememberNonce(codeID, owner, nonce string) bool {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.Lock()
+	win := s.replay[k]
+	if win == nil {
+		win = &nonceWindow{seen: map[string]bool{}}
+		s.replay[k] = win
+	}
+	fresh := win.remember(nonce)
+	s.mu.Unlock()
+	return fresh
+}
+
+// nonceWindow remembers the most recent dispatch nonces of one
+// subscription so a captured PI cannot be replayed. Bounded FIFO;
+// callers must hold the owning shard's lock.
+type nonceWindow struct {
+	seen  map[string]bool
+	order []string
+}
+
+// nonceWindowSize bounds each subscription's replay memory.
+const nonceWindowSize = 1024
+
+// remember records a nonce, reporting false if it was already seen.
+func (w *nonceWindow) remember(nonce string) bool {
+	if w.seen[nonce] {
+		return false
+	}
+	w.seen[nonce] = true
+	w.order = append(w.order, nonce)
+	if len(w.order) > nonceWindowSize {
+		delete(w.seen, w.order[0])
+		w.order = w.order[1:]
+	}
+	return true
+}
+
+// --- dispatched agents --------------------------------------------------
+
+// agentMeta tracks one dispatched agent for status and result lookup.
+// Fields are guarded by the owning shard's lock.
+type agentMeta struct {
+	codeID  string
+	owner   string
+	done    bool
+	gone    bool // terminal without a result (disposed by owner)
+	docID   int  // record id of the result document in Documents
+	lastWhy string
+}
+
+// AgentStatus is a snapshot of one dispatched agent's bookkeeping.
+type AgentStatus struct {
+	CodeID  string
+	Owner   string
+	Done    bool
+	Gone    bool
+	DocID   int
+	LastWhy string
+}
+
+// NextAgentID allocates a unique agent id for this gateway.
+func (r *Registry) NextAgentID(gatewayAddr string) string {
+	return fmt.Sprintf("ag-%s-%d", gatewayAddr, r.agentSeq.Add(1))
+}
+
+// CreateAgent registers a freshly dispatched agent.
+func (r *Registry) CreateAgent(id, codeID, owner string) {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	s.dispatch[id] = &agentMeta{codeID: codeID, owner: owner}
+	s.mu.Unlock()
+}
+
+// CompleteAgent marks an agent's result as ready, adopting agents this
+// gateway never dispatched (e.g. clones created remotely) so their
+// owners can still collect. It returns the result watchers registered
+// for the agent; the caller fans the completion signal out to them.
+func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string) []chan struct{} {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	meta, ok := s.dispatch[id]
+	if !ok {
+		meta = &agentMeta{codeID: codeID, owner: owner}
+		s.dispatch[id] = meta
+	}
+	meta.done = true
+	meta.docID = docID
+	meta.lastWhy = why
+	watchers := s.watchers[id]
+	delete(s.watchers, id)
+	s.mu.Unlock()
+	return watchers
+}
+
+// Agent returns the status snapshot for one agent id.
+func (r *Registry) Agent(id string) (AgentStatus, bool) {
+	s := r.shardFor(id)
+	s.mu.RLock()
+	meta, ok := s.dispatch[id]
+	var st AgentStatus
+	if ok {
+		st = AgentStatus{CodeID: meta.codeID, Owner: meta.owner, Done: meta.done, Gone: meta.gone, DocID: meta.docID, LastWhy: meta.lastWhy}
+	}
+	s.mu.RUnlock()
+	return st, ok
+}
+
+// KnownAgent reports whether the agent id was ever dispatched or
+// adopted here.
+func (r *Registry) KnownAgent(id string) bool {
+	s := r.shardFor(id)
+	s.mu.RLock()
+	_, ok := s.dispatch[id]
+	s.mu.RUnlock()
+	return ok
+}
+
+// ReleaseAgent marks a known agent terminal without a result (disposed
+// by its owner), recording why, and returns its result watchers for
+// release. Subsequent Watch calls get an immediately-closed channel.
+func (r *Registry) ReleaseAgent(id, why string) ([]chan struct{}, bool) {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	meta, ok := s.dispatch[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	meta.gone = true
+	meta.lastWhy = why
+	watchers := s.watchers[id]
+	delete(s.watchers, id)
+	s.mu.Unlock()
+	return watchers, true
+}
+
+// AdoptClone registers cloneID under the code id and owner of srcID so
+// the clone's results are collectable like the original's. It never
+// overwrites an existing record: a fast clone may finish and be
+// completed by onAgentHome before the clone-verb response is
+// processed, and resetting it would strand its result.
+func (r *Registry) AdoptClone(srcID, cloneID string) bool {
+	st, ok := r.Agent(srcID)
+	if !ok {
+		return false
+	}
+	s := r.shardFor(cloneID)
+	s.mu.Lock()
+	if _, exists := s.dispatch[cloneID]; !exists {
+		s.dispatch[cloneID] = &agentMeta{codeID: st.CodeID, owner: st.Owner}
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// ReleaseAllWatchers removes and returns every registered result
+// watcher, for release at gateway shutdown. After it runs, Watch hands
+// out immediately-closed channels instead of registering, so a
+// subscriber racing shutdown can never block forever.
+func (r *Registry) ReleaseAllWatchers() []chan struct{} {
+	r.closed.Store(true)
+	var out []chan struct{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for id, watchers := range s.watchers {
+			out = append(out, watchers...)
+			delete(s.watchers, id)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Watch returns a channel that is closed when the agent reaches a
+// terminal state — its result became collectable, or it was disposed
+// (immediately-closed if it already did). The second return is false
+// for unknown agents. An agent that strands mid-journey never closes
+// its channel; subscribers should watch with their own timeout.
+func (r *Registry) Watch(id string) (<-chan struct{}, bool) {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, ok := s.dispatch[id]
+	if !ok {
+		return nil, false
+	}
+	ch := make(chan struct{})
+	// The closed check is made under the shard lock: either this Watch
+	// registered before the shutdown sweep locked the shard (and was
+	// swept), or it observes closed here.
+	if meta.done || meta.gone || r.closed.Load() {
+		close(ch)
+		return ch, true
+	}
+	s.watchers[id] = append(s.watchers[id], ch)
+	return ch, true
+}
+
+// NumAgents counts dispatched agents across all shards.
+func (r *Registry) NumAgents() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.dispatch)
+		s.mu.RUnlock()
+	}
+	return n
+}

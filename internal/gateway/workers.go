@@ -1,0 +1,139 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errPoolClosed is returned for work submitted after Gateway.Close.
+var errPoolClosed = errors.New("gateway: worker pool closed")
+
+// workerPool bounds the gateway's outbound work — agent chasing and
+// management calls — to a fixed number of goroutines. Handlers hand
+// work to the pool instead of issuing transport calls inline, so a
+// burst of status requests cannot open an unbounded number of outbound
+// connections; excess requests queue and honour context cancellation
+// while they wait.
+//
+// Workers start lazily on first use, so gateways that never make
+// outbound calls (most simulated worlds) cost nothing.
+type workerPool struct {
+	size   int
+	jobs   chan *poolJob
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  sync.Once
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+	// err records why fn did not complete (skipped on a dead context,
+	// or panicked). Written before done is closed, read only after.
+	err error
+}
+
+func newWorkerPool(size int, logf func(format string, args ...any)) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &workerPool{
+		size:   size,
+		jobs:   make(chan *poolJob, 4*size),
+		ctx:    ctx,
+		cancel: cancel,
+		logf:   logf,
+	}
+}
+
+func (p *workerPool) ensureStarted() {
+	p.start.Do(func() {
+		p.wg.Add(p.size)
+		for i := 0; i < p.size; i++ {
+			go p.worker()
+		}
+	})
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case j := <-p.jobs:
+			// Pool closed between enqueue and pickup: abandon the job
+			// rather than running outbound work after shutdown (the Do
+			// caller was, or will be, told errPoolClosed).
+			select {
+			case <-p.ctx.Done():
+				j.err = errPoolClosed
+				close(j.done)
+				return
+			default:
+			}
+			p.exec(j)
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+func (p *workerPool) exec(j *poolJob) {
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = fmt.Errorf("gateway: worker panic: %v", r)
+			if p.logf != nil {
+				p.logf("gateway: worker panic: %v", r)
+			}
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+		return
+	}
+	j.fn(j.ctx)
+}
+
+// Do runs fn on a pool worker with the caller's context and waits for
+// it to finish. A nil return guarantees fn ran to completion; a
+// skipped (dead context) or panicked job surfaces as an error, so
+// callers never read results fn did not produce. Enqueueing honours
+// ctx cancellation; once running, fn is expected to observe ctx itself
+// (all outbound transport calls do).
+func (p *workerPool) Do(ctx context.Context, fn func(context.Context)) error {
+	p.ensureStarted()
+	j := &poolJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.ctx.Done():
+		return errPoolClosed
+	}
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		// The job may still run later (a worker will skip it if it has
+		// not started); the caller must not read any job-local results
+		// after an error return.
+		return ctx.Err()
+	case <-p.ctx.Done():
+		return errPoolClosed
+	}
+}
+
+// Close stops the workers after their current job and waits for them
+// to exit, so no outbound work is still running when it returns.
+// Queued-but-unstarted jobs are abandoned; blocked Do calls return
+// errPoolClosed.
+func (p *workerPool) Close() {
+	p.cancel()
+	p.wg.Wait()
+}

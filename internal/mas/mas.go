@@ -313,9 +313,31 @@ func (s *Server) deliverLocal(ctx context.Context, rec *record, kind string) {
 			s.setState(rec, StateStranded, "")
 			return
 		}
-		s.cfg.OnAgentHome(ctx, &Arrival{Kind: kind, Image: im, VM: rec.vm})
+		if !s.notifyHome(ctx, &Arrival{Kind: kind, Image: im, VM: rec.vm}) {
+			// The home side never took the results; marking the agent
+			// delivered would hide the failure behind an eternal
+			// "still travelling". Strand it so status shows the truth.
+			s.setErr(rec, "home delivery callback panicked")
+			s.setState(rec, StateStranded, "")
+			return
+		}
 	}
 	s.setState(rec, StateDelivered, "")
+}
+
+// notifyHome invokes the OnAgentHome callback, isolating the agent
+// loop and the transfer handler from panics in the home-side result
+// handling (the gateway's callback stores documents and fans work out
+// to other subsystems; a bug there must not kill the server). It
+// reports whether the callback completed.
+func (s *Server) notifyHome(ctx context.Context, a *Arrival) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("mas %s: OnAgentHome panic for agent %s: %v", s.cfg.Addr, a.Image.AgentID, r)
+		}
+	}()
+	s.cfg.OnAgentHome(ctx, a)
+	return true
 }
 
 func (s *Server) encodeImage(rec *record) (*atp.Image, error) {
@@ -563,7 +585,12 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 		s.agents[rec.id] = rec
 		s.mu.Unlock()
 		if s.cfg.OnAgentHome != nil {
-			s.cfg.OnAgentHome(ctx, &Arrival{Kind: kind, Image: im, VM: vm})
+			if !s.notifyHome(ctx, &Arrival{Kind: kind, Image: im, VM: vm}) {
+				s.setErr(rec, "home delivery callback panicked")
+				s.setState(rec, StateStranded, "")
+				return transport.Errorf(transport.StatusServerError,
+					"home delivery of %s failed", rec.id)
+			}
 		}
 		return transport.OKText("delivered " + rec.id)
 

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultMaxPerDest is the default per-destination in-flight request
+// limit used by NewPooled and NewPooledHTTPClient.
+const DefaultMaxPerDest = 64
+
+// NewPooledHTTPClient returns an HTTPClient over a tuned http.Transport
+// that reuses keep-alive connections and caps connections per
+// destination, so a gateway's outbound calls stop paying per-request
+// TCP (and TLS) setup. maxPerHost <= 0 selects DefaultMaxPerDest.
+func NewPooledHTTPClient(maxPerHost int) *HTTPClient {
+	if maxPerHost <= 0 {
+		maxPerHost = DefaultMaxPerDest
+	}
+	tr := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:   true,
+		MaxIdleConns:        4 * maxPerHost,
+		MaxIdleConnsPerHost: maxPerHost,
+		MaxConnsPerHost:     maxPerHost,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPClient{Client: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+// Pooled wraps any RoundTripper with a per-destination in-flight
+// request limit. Requests beyond the limit queue until a slot frees or
+// their context is cancelled, giving callers backpressure instead of
+// letting a traffic burst fan out an unbounded number of concurrent
+// calls to one host.
+//
+// The limiter is orthogonal to connection pooling: wrap a
+// NewPooledHTTPClient for real deployments, or a netsim transport in
+// tests.
+type Pooled struct {
+	inner   RoundTripper
+	perDest int
+
+	mu   sync.Mutex
+	sems map[string]chan struct{} // addr -> slot semaphore
+}
+
+// NewPooled wraps inner with a per-destination limit of perDest
+// in-flight requests (<= 0 selects DefaultMaxPerDest).
+func NewPooled(inner RoundTripper, perDest int) *Pooled {
+	if perDest <= 0 {
+		perDest = DefaultMaxPerDest
+	}
+	return &Pooled{inner: inner, perDest: perDest, sems: make(map[string]chan struct{})}
+}
+
+// sem returns the destination's slot semaphore, creating it on first
+// use. The set of destinations a node talks to (gateways, MAS hosts)
+// is small and stable, so entries are never evicted.
+func (p *Pooled) sem(addr string) chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sems[addr]
+	if !ok {
+		s = make(chan struct{}, p.perDest)
+		p.sems[addr] = s
+	}
+	return s
+}
+
+// RoundTrip implements RoundTripper. It acquires a destination slot
+// (waiting if the destination is saturated, honouring ctx), forwards
+// the call, and releases the slot.
+func (p *Pooled) RoundTrip(ctx context.Context, addr string, req *Request) (*Response, error) {
+	s := p.sem(addr)
+	select {
+	case s <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s }()
+	return p.inner.RoundTrip(ctx, addr, req)
+}
+
+// InFlight reports the current number of in-flight requests to addr
+// (tests, metrics).
+func (p *Pooled) InFlight(addr string) int {
+	p.mu.Lock()
+	s, ok := p.sems[addr]
+	p.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return len(s)
+}

@@ -10,6 +10,11 @@
 //     tests), and
 //   - the simulated network in internal/netsim (deterministic
 //     experiments with virtual time).
+//
+// For serving-side scale, NewPooledHTTPClient returns a client over a
+// keep-alive connection pool with per-destination connection caps, and
+// Pooled wraps any RoundTripper with a per-destination in-flight
+// request limit (backpressure under bursts) — see DESIGN.md §5.
 package transport
 
 import (
