@@ -30,7 +30,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations"} {
+		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults"} {
 			want[k] = true
 		}
 	} else {
@@ -120,6 +120,13 @@ func main() {
 			log.Fatalf("figures: ablation A5: %v", err)
 		}
 		emit(experiments.SensitivityTable(sens))
+	}
+	if want["faults"] {
+		rows, err := experiments.E7(*seed, *maxN)
+		if err != nil {
+			log.Fatalf("figures: E7: %v", err)
+		}
+		emit(experiments.E7Table(rows))
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "figures: nothing selected")

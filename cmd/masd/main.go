@@ -4,16 +4,24 @@
 // Usage:
 //
 //	masd -listen :9001 -addr localhost:9001 -flavour voyager -services bank,food,docs
+//
+// With -journal PATH the host keeps a write-ahead agent journal in an
+// rms.FileStore: resident agents survive a daemon crash (they are
+// resumed on the next start), and failed transfers park for periodic
+// retry instead of failing the journey.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"pdagent/internal/atp"
 	"pdagent/internal/mas"
+	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
 )
@@ -23,6 +31,8 @@ func main() {
 	addr := flag.String("addr", "", "public address agents use to reach this host (default: listen address)")
 	flavour := flag.String("flavour", "aglets", "MAS codec flavour (aglets|voyager)")
 	svcList := flag.String("services", "bank", "comma-separated services to host: bank,food,docs")
+	journalPath := flag.String("journal", "", "agent journal file (enables crash recovery; agents resume on restart)")
+	retryEvery := flag.Duration("retry-interval", 30*time.Second, "how often parked transfers are retried (with -journal)")
 	flag.Parse()
 
 	public := *addr
@@ -58,15 +68,54 @@ func main() {
 		}
 	}
 
+	var journal rms.Store
+	if *journalPath != "" {
+		if *retryEvery <= 0 {
+			// time.Tick on a non-positive interval returns a nil channel
+			// and would silently never retry parked transfers.
+			log.Fatalf("masd: -retry-interval must be positive, got %v", *retryEvery)
+		}
+		fs, err := rms.OpenFileStore(*journalPath)
+		if err != nil {
+			log.Fatalf("masd: opening journal: %v", err)
+		}
+		journal = fs
+	}
+
 	srv, err := mas.NewServer(mas.Config{
 		Addr:      public,
 		Codec:     codec,
 		Transport: transport.NewPooledHTTPClient(0),
 		Services:  reg,
+		Journal:   journal,
 		Logf:      log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("masd: %v", err)
+	}
+	if journal != nil {
+		n, err := srv.Resume(context.Background())
+		if err != nil {
+			log.Fatalf("masd: resuming journaled agents: %v", err)
+		}
+		log.Printf("masd %s: journal %s, resumed %d agent(s)", public, *journalPath, n)
+		go func() {
+			// The journal file is append-only; reclaim superseded bytes
+			// once they pass a threshold so long-running daemons stay
+			// bounded on disk, not just in live records.
+			const compactThreshold = 1 << 20
+			fs := journal.(*rms.FileStore)
+			for range time.Tick(*retryEvery) {
+				if n := srv.RetryParked(context.Background()); n > 0 {
+					log.Printf("masd %s: retrying %d parked transfer(s)", public, n)
+				}
+				if fs.Garbage() > compactThreshold {
+					if err := fs.Compact(); err != nil {
+						log.Printf("masd %s: compacting journal: %v", public, err)
+					}
+				}
+			}
+		}()
 	}
 	log.Printf("masd %s: %s flavour, services %v, listening on %s",
 		public, *flavour, reg.Names(), *listen)

@@ -27,6 +27,7 @@ import (
 	"pdagent/internal/mas"
 	"pdagent/internal/netsim"
 	"pdagent/internal/pisec"
+	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
 	"pdagent/internal/wire"
@@ -62,6 +63,11 @@ type SimConfig struct {
 	KeyBits int
 	// SkipStandardApps leaves gateway catalogues empty.
 	SkipStandardApps bool
+	// Journal gives every MAS (hosts and the gateways' embedded home
+	// servers) a write-ahead agent journal, enabling CrashHost /
+	// RestartHost crash-recovery drills. The per-address stores are
+	// exposed through SimWorld.Journals.
+	Journal bool
 }
 
 // SimWorld is a fully wired simulated deployment.
@@ -74,8 +80,12 @@ type SimWorld struct {
 	// Banks indexes the bank service state by host address (when the
 	// default hosts are used), for assertions and baselines.
 	Banks map[string]*services.Bank
+	// Journals holds the per-address agent journals when
+	// SimConfig.Journal is set (keys: host and gateway addresses).
+	Journals map[string]rms.Store
 
-	keyBits int
+	keyBits   int
+	hostSpecs map[string]HostSpec // retained for RestartHost
 }
 
 // CentralAddr is the simulated central server's address.
@@ -90,11 +100,21 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 		cfg.KeyBits = pisec.DefaultKeyBits
 	}
 	w := &SimWorld{
-		Net:     netsim.New(cfg.Seed),
-		Queue:   &netsim.Queue{},
-		Hosts:   map[string]*mas.Server{},
-		Banks:   map[string]*services.Bank{},
-		keyBits: cfg.KeyBits,
+		Net:       netsim.New(cfg.Seed),
+		Queue:     &netsim.Queue{},
+		Hosts:     map[string]*mas.Server{},
+		Banks:     map[string]*services.Bank{},
+		Journals:  map[string]rms.Store{},
+		keyBits:   cfg.KeyBits,
+		hostSpecs: map[string]HostSpec{},
+	}
+	journalFor := func(addr string) rms.Store {
+		if !cfg.Journal {
+			return nil
+		}
+		store := rms.NewMemStore("journal-"+addr, 0)
+		w.Journals[addr] = store
+		return store
 	}
 	wireless := netsim.DefaultWirelessLink()
 	if cfg.Wireless != nil {
@@ -129,6 +149,7 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 			Transport: w.Net.Transport(netsim.ZoneWired),
 			Spawn:     w.Queue.Go,
 			Peers:     peers,
+			Journal:   journalFor(addr),
 		})
 		if err != nil {
 			return nil, err
@@ -148,25 +169,11 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 		hosts = DefaultHosts()
 	}
 	for addr, spec := range hosts {
-		reg := services.NewRegistry()
+		w.hostSpecs[addr] = spec
 		if spec.Bank != nil {
-			reg.Register(spec.Bank.Services()...)
 			w.Banks[addr] = spec.Bank
 		}
-		if spec.Install != nil {
-			spec.Install(reg)
-		}
-		codec, err := atp.ByName(spec.Flavour)
-		if err != nil {
-			return nil, fmt.Errorf("core: host %s: %w", addr, err)
-		}
-		srv, err := mas.NewServer(mas.Config{
-			Addr:      addr,
-			Codec:     codec,
-			Transport: w.Net.Transport(netsim.ZoneWired),
-			Services:  reg,
-			Spawn:     w.Queue.Go,
-		})
+		srv, err := w.buildHost(addr, spec, journalFor(addr))
 		if err != nil {
 			return nil, err
 		}
@@ -174,6 +181,89 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 		w.Hosts[addr] = srv
 	}
 	return w, nil
+}
+
+// buildHost assembles one network site's MAS over the world fabric.
+// The service registry is rebuilt from the spec each time, so a
+// restarted host reattaches to the same service state (the bank's
+// ledger survives a MAS process crash, like a real database would).
+func (w *SimWorld) buildHost(addr string, spec HostSpec, journal rms.Store) (*mas.Server, error) {
+	reg := services.NewRegistry()
+	if spec.Bank != nil {
+		reg.Register(spec.Bank.Services()...)
+	}
+	if spec.Install != nil {
+		spec.Install(reg)
+	}
+	codec, err := atp.ByName(spec.Flavour)
+	if err != nil {
+		return nil, fmt.Errorf("core: host %s: %w", addr, err)
+	}
+	srv, err := mas.NewServer(mas.Config{
+		Addr:      addr,
+		Codec:     codec,
+		Transport: w.Net.Transport(netsim.ZoneWired),
+		Services:  reg,
+		Spawn:     w.Queue.Go,
+		Journal:   journal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// CrashHost simulates a host process crash: the MAS abandons all
+// in-memory state and queued work, and the address drops off the
+// network. Only the journal (when the world has one) survives; bring
+// the site back with RestartHost.
+func (w *SimWorld) CrashHost(addr string) error {
+	srv, ok := w.Hosts[addr]
+	if !ok {
+		return fmt.Errorf("core: no host %q to crash", addr)
+	}
+	srv.Kill()
+	return w.Net.KillHost(addr)
+}
+
+// RetryParked re-attempts parked transfers on every MAS in the world —
+// network hosts and the gateways' embedded home servers. Journaled
+// worlds park agents on persistent transfer failure instead of failing
+// them home; call this after healing a partition (or reviving a host)
+// to set those journeys moving again, then Run the world.
+func (w *SimWorld) RetryParked(ctx context.Context) int {
+	n := 0
+	for _, srv := range w.Hosts {
+		n += srv.RetryParked(ctx)
+	}
+	for _, gw := range w.Gateways {
+		n += gw.MAS().RetryParked(ctx)
+	}
+	return n
+}
+
+// RestartHost replaces a crashed host with a fresh MAS over the same
+// journal and service state, revives the address, and resumes
+// journaled agents. It returns the number of journeys resumed. ctx
+// carries the journey clock that resumed agents keep charging.
+func (w *SimWorld) RestartHost(ctx context.Context, addr string) (int, error) {
+	spec, ok := w.hostSpecs[addr]
+	if !ok {
+		return 0, fmt.Errorf("core: no host %q to restart", addr)
+	}
+	srv, err := w.buildHost(addr, spec, w.Journals[addr])
+	if err != nil {
+		return 0, err
+	}
+	w.Net.AddHost(addr, netsim.ZoneWired, srv.Handler())
+	if err := w.Net.ReviveHost(addr); err != nil {
+		return 0, err
+	}
+	w.Hosts[addr] = srv
+	if w.Journals[addr] == nil {
+		return 0, nil
+	}
+	return srv.Resume(ctx)
 }
 
 // DefaultHosts returns the paper's evaluation topology: two bank sites

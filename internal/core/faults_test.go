@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"pdagent/internal/mas"
+)
+
+// TestEBankingSurvivesHostCrash drives the full stack — device,
+// gateway, journaled bank hosts — through a mid-itinerary crash: the
+// bank-a MAS dies while the agent is resident, a replacement resumes
+// from the journal, and the journey completes with exactly one result
+// and exactly-once bank transactions.
+func TestEBankingSurvivesHostCrash(t *testing.T) {
+	w := testWorld(t, SimConfig{Seed: 41, Journal: true})
+	defer w.Close()
+	dev, err := w.NewDevice("alice-device")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := w.NewJourney()
+	if err := dev.Subscribe(ctx, "gw-0", AppEBanking); err != nil {
+		t.Fatal(err)
+	}
+	const txns = 2
+	agentID, err := dev.Dispatch(ctx, AppEBanking, ebankingParams([]string{"bank-a", "bank-b"}, txns))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the deterministic schedule until the agent is resident at
+	// bank-a, then crash the host before it executes a single slice.
+	arrived := func() bool {
+		return w.Hosts["bank-a"].AgentStates()[agentID] == mas.StateRunning
+	}
+	for !arrived() {
+		if !w.Queue.Step() {
+			t.Fatal("agent never reached bank-a")
+		}
+	}
+	if err := w.CrashHost("bank-a"); err != nil {
+		t.Fatal(err)
+	}
+	w.Run() // queued work against the dead host is abandoned
+
+	if _, err := dev.Collect(ctx, agentID); err == nil {
+		t.Fatal("result available while the agent is marooned on a dead host")
+	}
+
+	resumed, err := w.RestartHost(ctx, "bank-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d agents, want 1", resumed)
+	}
+	w.Run()
+
+	rd, err := dev.Collect(ctx, agentID)
+	if err != nil {
+		t.Fatalf("Collect after recovery: %v", err)
+	}
+	if !rd.OK() {
+		t.Fatalf("journey failed after recovery: %s", rd.Error)
+	}
+	receipts, _ := rd.Get("receipts")
+	if got := len(receipts.ListItems()); got != 2*txns {
+		t.Fatalf("receipts = %d, want %d", got, 2*txns)
+	}
+	// Exactly-once transactions: alice loses 10 per txn per bank, no
+	// more (a replayed agent would double-spend), no less.
+	for _, b := range []string{"bank-a", "bank-b"} {
+		bal, _ := w.Banks[b].Balance("alice")
+		if want := int64(10_000 - 10*txns); bal != want {
+			t.Errorf("%s alice = %d, want %d", b, bal, want)
+		}
+	}
+}
+
+// TestRestartWithoutCrashIsHarmless: restarting a healthy journaled
+// host with no resident agents resumes nothing and leaves the world
+// functional.
+func TestRestartWithoutCrashIsHarmless(t *testing.T) {
+	w := testWorld(t, SimConfig{Seed: 43, Journal: true})
+	defer w.Close()
+	ctx, _ := w.NewJourney()
+	if err := w.CrashHost("bank-a"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.RestartHost(ctx, "bank-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("resumed %d agents from an empty journal", n)
+	}
+	dev, err := w.NewDevice("bob-device")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Subscribe(ctx, "gw-0", AppEBanking); err != nil {
+		t.Fatal(err)
+	}
+	agentID, err := dev.Dispatch(ctx, AppEBanking, ebankingParams([]string{"bank-a"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := w.RunUntilResult(ctx, dev, agentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.OK() {
+		t.Fatalf("journey failed on restarted host: %s", rd.Error)
+	}
+}
+
+// TestCrashUnknownHost covers the error paths of the fault-injection
+// helpers.
+func TestCrashUnknownHost(t *testing.T) {
+	w := testWorld(t, SimConfig{Seed: 47})
+	defer w.Close()
+	if err := w.CrashHost("ghost"); err == nil {
+		t.Fatal("crashed a host that does not exist")
+	}
+	ctx, _ := w.NewJourney()
+	if _, err := w.RestartHost(ctx, "ghost"); err == nil {
+		t.Fatal("restarted a host that does not exist")
+	}
+	// A world without journals can still crash/restart hosts; Resume is
+	// skipped.
+	if err := w.CrashHost("bank-a"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.RestartHost(ctx, "bank-a"); err != nil || n != 0 {
+		t.Fatalf("journal-less restart: n=%d err=%v", n, err)
+	}
+}

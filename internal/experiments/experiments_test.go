@@ -277,3 +277,40 @@ func TestDeterministicSeries(t *testing.T) {
 		}
 	}
 }
+
+func TestE7CrashRecovery(t *testing.T) {
+	rows, err := E7(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Runs are deterministic up to the random dispatch nonce, whose
+	// compressibility shifts the wireless upload delay by a few bytes'
+	// worth of bandwidth — allow a small tolerance around the exact
+	// claim (recovery costs the restart outage, nothing more).
+	const tol = 100 * time.Millisecond
+	for _, r := range rows {
+		if r.Healthy <= 0 || r.Crash <= 0 {
+			t.Fatalf("n=%d: non-positive completion times %+v", r.N, r)
+		}
+		overhead := r.Crash - r.Healthy
+		if overhead < E7Outage-tol || overhead > E7Outage+tol {
+			t.Fatalf("n=%d: recovery overhead %v, want ~%v (crash %v, healthy %v)",
+				r.N, overhead, E7Outage, r.Crash, r.Healthy)
+		}
+	}
+	// Replay under the same seed stays within the nonce tolerance.
+	again, err := MeasureCompletion(7, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := again - rows[1].Crash; d < -tol || d > tol {
+		t.Fatalf("crash measurement not reproducible: %v vs %v", again, rows[1].Crash)
+	}
+	tbl := E7Table(rows)
+	if len(tbl.Rows) != 3 || len(tbl.Columns) != 4 {
+		t.Fatalf("table shape: %+v", tbl)
+	}
+}

@@ -66,6 +66,14 @@ type Config struct {
 	// Documents is the File Directory backing store (default: an
 	// in-memory rms store).
 	Documents rms.Store
+	// Journal, when set, is the embedded home MAS's write-ahead agent
+	// journal (see mas.Config.Journal): resident agents survive a
+	// gateway restart and transfers become exactly-once handoffs.
+	// Journaled servers park agents on persistent transfer failure
+	// instead of failing them home, so the embedder must drive
+	// MAS().RetryParked (e.g. core.SimWorld.RetryParked, or a ticker
+	// like cmd/masd's) and MAS().Resume after a restart.
+	Journal rms.Store
 	// Services are service agents resident at the gateway itself
 	// (usually none — services live at network hosts).
 	Services *services.Registry
@@ -137,6 +145,7 @@ func New(cfg Config) (*Gateway, error) {
 		Services:    cfg.Services,
 		Spawn:       cfg.Spawn,
 		FuelSlice:   cfg.FuelSlice,
+		Journal:     cfg.Journal,
 		OnAgentHome: g.onAgentHome,
 		Logf:        cfg.Logf,
 	})

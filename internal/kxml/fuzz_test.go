@@ -1,0 +1,41 @@
+package kxml
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the XML parser: it must never
+// panic or hang, and any document it accepts must survive an
+// encode→parse→encode round trip (the encoder is a fixpoint of the
+// parser).
+func FuzzParse(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`<a/>`),
+		[]byte(`<a b="c">text</a>`),
+		[]byte(`<?xml version="1.0"?><mas addr="gw-0" flavour="aglets"><service name="bank.transfer"/></mas>`),
+		[]byte(`<r><v t="s">&lt;escaped &amp; entities&gt;</v><!-- comment --></r>`),
+		[]byte(`<packed-information code-id="app.ebanking" key="k"><code>migrate("b");</code><params><param name="n"><value type="int">3</value></param></params></packed-information>`),
+		[]byte(`<a><b><c><d>deep</d></c></b></a>`),
+		[]byte(`<broken`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root, err := ParseBytes(data)
+		if err != nil {
+			return
+		}
+		enc := root.EncodeDocument()
+		root2, err := ParseBytes(enc)
+		if err != nil {
+			t.Fatalf("re-parse of encoded document failed: %v\ninput: %q\nencoded: %q", err, data, enc)
+		}
+		enc2 := root2.EncodeDocument()
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not a parser fixpoint:\nfirst:  %q\nsecond: %q", enc, enc2)
+		}
+	})
+}

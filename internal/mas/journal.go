@@ -1,0 +1,292 @@
+package mas
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pdagent/internal/rms"
+)
+
+// The agent journal is the MAS's write-ahead log: every resident agent
+// image is journaled on arrival and again whenever it suspends for a
+// transfer, so a Server that dies mid-itinerary can be replaced by a
+// fresh Server over the same rms.Store and Resume the journeys.
+//
+// Entry encoding (one rms record per agent):
+//
+//	magic     "MASJ1"
+//	watermark uint32  (accepted-hop dedup watermark + 1; 0 = none)
+//	fields    10 × (uint32 length + bytes):
+//	          id, home, code-id, owner, state, target, kind, last-err,
+//	          program, vm-state
+//
+// target/kind are non-empty only while a transfer is pending (the
+// agent suspended at migrate, or parked after a failed transfer); they
+// tell Resume where the retry must go. The watermark persists the
+// receiver-side dedup key (agent id + hop counter) across restarts, so
+// a sender retrying a transfer the dead server had already accepted
+// gets an idempotent commit-ack instead of landing a second copy.
+//
+// Once an agent leaves a server (departed onward, delivered home,
+// disposed), its entry is replaced by a slim *tombstone* — the same
+// encoding with empty snapshots — because the watermark must outlive
+// the resident copy: a sender that never saw our ack may retry after
+// we have already forwarded the agent, and a crash must not erase the
+// evidence that the hop was accepted. Tombstones are capped at
+// maxJournalTombstones per store (oldest evicted first); retries
+// arrive on RetryParked/restart timescales, so the window a watermark
+// must actually cover is short.
+
+// journalMagic versions the journal entry encoding.
+var journalMagic = []byte("MASJ1")
+
+// journalEntry is one agent's durable snapshot.
+type journalEntry struct {
+	ID      string
+	Home    string
+	CodeID  string
+	Owner   string
+	State   AgentState
+	Target  string // pending transfer destination ("" = none)
+	Kind    string // pending transfer kind ("" = none)
+	LastErr string
+	// Watermark is the highest sent-hop counter accepted over
+	// /atp/transfer for this agent (-1 when it was admitted locally).
+	Watermark int
+	// Program and VMState are the mavm snapshots.
+	Program []byte
+	VMState []byte
+}
+
+func (e *journalEntry) encode() []byte {
+	var b bytes.Buffer
+	b.Write(journalMagic)
+	writeU32(&b, uint32(e.Watermark+1))
+	for _, f := range [][]byte{
+		[]byte(e.ID), []byte(e.Home), []byte(e.CodeID), []byte(e.Owner),
+		[]byte(e.State), []byte(e.Target), []byte(e.Kind), []byte(e.LastErr),
+		e.Program, e.VMState,
+	} {
+		writeU32(&b, uint32(len(f)))
+		b.Write(f)
+	}
+	return b.Bytes()
+}
+
+func decodeJournalEntry(data []byte) (*journalEntry, error) {
+	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic) {
+		return nil, fmt.Errorf("mas: journal entry has bad magic")
+	}
+	rest := data[len(journalMagic):]
+	wm, rest, err := readU32(rest)
+	if err != nil {
+		return nil, fmt.Errorf("mas: journal entry watermark: %w", err)
+	}
+	fields := make([][]byte, 10)
+	for i := range fields {
+		var n uint32
+		n, rest, err = readU32(rest)
+		if err != nil {
+			return nil, fmt.Errorf("mas: journal entry field %d: %w", i, err)
+		}
+		if uint32(len(rest)) < n {
+			return nil, fmt.Errorf("mas: journal entry field %d truncated", i)
+		}
+		fields[i] = rest[:n]
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("mas: journal entry has %d trailing bytes", len(rest))
+	}
+	e := &journalEntry{
+		ID:        string(fields[0]),
+		Home:      string(fields[1]),
+		CodeID:    string(fields[2]),
+		Owner:     string(fields[3]),
+		State:     AgentState(fields[4]),
+		Target:    string(fields[5]),
+		Kind:      string(fields[6]),
+		LastErr:   string(fields[7]),
+		Watermark: int(wm) - 1,
+		Program:   append([]byte(nil), fields[8]...),
+		VMState:   append([]byte(nil), fields[9]...),
+	}
+	if e.ID == "" {
+		return nil, fmt.Errorf("mas: journal entry missing agent id")
+	}
+	if !e.tombstone() && (len(e.Program) == 0 || len(e.VMState) == 0) {
+		return nil, fmt.Errorf("mas: journal entry for %s missing snapshot", e.ID)
+	}
+	return e, nil
+}
+
+// tombstone reports whether the entry is dedup bookkeeping only: the
+// agent is no longer resident and Resume must restore its watermark
+// but not re-animate it.
+func (e *journalEntry) tombstone() bool {
+	return e.State == StateDeparted || e.State == StateDelivered || e.State == StateDisposed
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	b.Write([]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+func readU32(data []byte) (uint32, []byte, error) {
+	if len(data) < 4 {
+		return 0, nil, fmt.Errorf("truncated uint32")
+	}
+	v := uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3])
+	return v, data[4:], nil
+}
+
+// maxJournalTombstones bounds the dedup tombstones retained per store
+// so a long-running daemon's journal does not grow without bound.
+const maxJournalTombstones = 4096
+
+// journal maps agent ids to rms records over any rms.Store backend
+// (MemStore in simulated worlds, FileStore under cmd/masd -journal).
+type journal struct {
+	store rms.Store
+
+	mu    sync.Mutex
+	index map[string]int // agent id -> rms record id
+	tombs map[string]int // subset of index holding tombstones
+}
+
+// openJournal builds the id index over an existing store. Records that
+// do not decode are dropped (a half-written agent must never be
+// resurrected); when two records carry the same agent id the later one
+// wins and the stale one is deleted.
+func openJournal(store rms.Store) (*journal, error) {
+	j := &journal{store: store, index: map[string]int{}, tombs: map[string]int{}}
+	ids, err := store.IDs()
+	if err != nil {
+		return nil, fmt.Errorf("mas: scanning journal: %w", err)
+	}
+	for _, recID := range ids {
+		data, err := store.Get(recID)
+		if err != nil {
+			return nil, fmt.Errorf("mas: reading journal record %d: %w", recID, err)
+		}
+		e, err := decodeJournalEntry(data)
+		if err != nil {
+			// Corrupt entry: drop it rather than resurrect garbage.
+			_ = store.Delete(recID)
+			continue
+		}
+		if old, ok := j.index[e.ID]; ok {
+			_ = store.Delete(old)
+		}
+		j.index[e.ID] = recID
+		if e.tombstone() {
+			j.tombs[e.ID] = recID
+		} else {
+			delete(j.tombs, e.ID)
+		}
+	}
+	return j, nil
+}
+
+// put inserts or replaces the entry for e.ID, evicting the oldest
+// tombstone when the bound is exceeded. It returns the agent id of an
+// evicted tombstone (""), so the server can prune the matching
+// in-memory watermark.
+//
+// A tombstone always gets a freshly allocated record id (the live
+// entry it replaces is deleted, not overwritten): record ids then
+// order tombstones by *completion* time, so eviction removes the
+// stalest acceptance evidence first and can never remove the
+// tombstone that was just written.
+func (j *journal) put(e *journalEntry) (evicted string, err error) {
+	data := e.encode()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recID, existed := j.index[e.ID]
+	switch {
+	case e.tombstone():
+		// Crash-safe replace, WAL-ordered: persist the tombstone FIRST,
+		// then delete the superseded live entry. If we crash between
+		// the two writes both records survive, and openJournal keeps
+		// the higher (newer) record id — the watermark is never lost.
+		newID, err := j.store.Add(data)
+		if err != nil {
+			return "", err
+		}
+		if existed {
+			_ = j.store.Delete(recID)
+		}
+		recID = newID
+		j.index[e.ID] = recID
+	case existed:
+		if err := j.store.Set(recID, data); err != nil {
+			return "", err
+		}
+	default:
+		recID, err = j.store.Add(data)
+		if err != nil {
+			return "", err
+		}
+		j.index[e.ID] = recID
+	}
+	if e.tombstone() {
+		j.tombs[e.ID] = recID
+		if len(j.tombs) > maxJournalTombstones {
+			oldID, oldRec := "", -1
+			for id, rid := range j.tombs {
+				if oldRec == -1 || rid < oldRec {
+					oldID, oldRec = id, rid
+				}
+			}
+			delete(j.tombs, oldID)
+			delete(j.index, oldID)
+			_ = j.store.Delete(oldRec)
+			evicted = oldID
+		}
+	} else {
+		delete(j.tombs, e.ID)
+	}
+	return evicted, nil
+}
+
+// drop removes the entry for an agent id (no-op if absent).
+func (j *journal) drop(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recID, ok := j.index[id]
+	if !ok {
+		return nil
+	}
+	delete(j.index, id)
+	delete(j.tombs, id)
+	return j.store.Delete(recID)
+}
+
+// loadAll decodes every journaled entry, skipping undecodable records
+// (they are deleted at openJournal time, but the store may have been
+// written to behind our back).
+func (j *journal) loadAll() ([]*journalEntry, error) {
+	j.mu.Lock()
+	recIDs := make([]int, 0, len(j.index))
+	for _, recID := range j.index {
+		recIDs = append(recIDs, recID)
+	}
+	j.mu.Unlock()
+	// Record-id order makes Resume deterministic (ids are allocated in
+	// arrival order, and simulated worlds replay under a seed).
+	sort.Ints(recIDs)
+	entries := make([]*journalEntry, 0, len(recIDs))
+	for _, recID := range recIDs {
+		data, err := j.store.Get(recID)
+		if err != nil {
+			return nil, fmt.Errorf("mas: reading journal record %d: %w", recID, err)
+		}
+		e, err := decodeJournalEntry(data)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

@@ -12,6 +12,13 @@
 // fails away from home it is automatically shipped back to its home
 // gateway so results are never stranded.
 //
+// With Config.Journal set, the server write-ahead-logs every resident
+// agent (on admit, arrival and suspend) into an rms.Store, transfers
+// become two-phase handoffs deduplicated on (agent id, hop counter),
+// and a replacement Server over the same store continues interrupted
+// journeys via Resume — exactly one copy of each agent is delivered
+// even across crashes and partitions. See DESIGN.md §3 (mas).
+//
 // Endpoints (all under /atp/):
 //
 //	/atp/hello     flavour + resident services (handshake)
@@ -31,10 +38,12 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"pdagent/internal/atp"
 	"pdagent/internal/kxml"
 	"pdagent/internal/mavm"
+	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
 )
@@ -57,6 +66,7 @@ const (
 	StateDelivered AgentState = "delivered" // arrived home, results handed over
 	StateDisposed  AgentState = "disposed"  // dropped on request
 	StateStranded  AgentState = "stranded"  // cannot move or return; LastErr set
+	StateParked    AgentState = "parked"    // journaled transfer failed; awaiting RetryParked
 )
 
 // Arrival describes an agent coming home, passed to OnAgentHome.
@@ -93,6 +103,14 @@ type Config struct {
 	// runaway itineraries from bouncing between hosts forever
 	// (default 64).
 	MaxHops int
+	// Journal, when set, is the write-ahead agent journal: every
+	// resident agent image is journaled on arrival and on each suspend,
+	// and a replacement Server over the same store re-hydrates them via
+	// Resume. With a journal, persistently failed transfers park the
+	// agent for RetryParked instead of failing it home, and /atp/transfer
+	// becomes a two-phase handoff (the journal write is the commit, the
+	// OK response the ack; duplicates dedup on agent id + hop counter).
+	Journal rms.Store
 	// OnAgentHome is invoked when an agent arrives at its home server
 	// (the gateway sets this to collect results).
 	OnAgentHome func(ctx context.Context, a *Arrival)
@@ -115,20 +133,40 @@ type record struct {
 	disposeReq bool
 	retractTo  string
 
+	// parked transfer destination and kind, set with StateParked.
+	parkTarget string
+	parkKind   string
+
+	// progBytes caches the marshaled (immutable) program, shared by
+	// every journal write and outbound transfer of this agent.
+	progBytes []byte
+
 	// execMu serialises VM execution with clone/status access.
 	execMu sync.Mutex
 }
 
 // Server is one mobile agent server instance.
 type Server struct {
-	cfg Config
-	mux *transport.Mux
+	cfg  Config
+	mux  *transport.Mux
+	jr   *journal    // nil when cfg.Journal is unset
+	dead atomic.Bool // set by Kill: the simulated process crash
 
 	mu       sync.Mutex
 	agents   map[string]*record
-	flavours map[string]atp.Codec // destination addr -> codec cache
+	flavours map[string]atp.Codec     // destination addr -> codec cache
+	accepted map[string]int           // agent id -> highest sent-hop accepted (transfer dedup)
+	pending  map[string]pendingAccept // agent id -> handoff mid-commit
 	cloneSeq int
 	logs     []string // ring of recent agent log lines
+}
+
+// pendingAccept marks a handoff between reservation and commit,
+// remembering the watermark to restore if the commit fails.
+type pendingAccept struct {
+	sentHop int
+	prevWM  int
+	hadPrev bool
 }
 
 // maxLogLines bounds the per-server agent log ring.
@@ -164,6 +202,15 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		agents:   make(map[string]*record),
 		flavours: make(map[string]atp.Codec),
+		accepted: make(map[string]int),
+		pending:  make(map[string]pendingAccept),
+	}
+	if cfg.Journal != nil {
+		jr, err := openJournal(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+		s.jr = jr
 	}
 	m := transport.NewMux()
 	m.HandleFunc("/atp/hello", s.handleHello)
@@ -186,8 +233,34 @@ func (s *Server) Addr() string { return s.cfg.Addr }
 func (s *Server) Flavour() string { return s.cfg.Codec.Name() }
 
 // Handler returns the transport handler for this server (mount it on a
-// network host or HTTP listener).
-func (s *Server) Handler() transport.Handler { return s.mux }
+// network host or HTTP listener). A killed server answers nothing —
+// the handler refuses every request, like a crashed process.
+func (s *Server) Handler() transport.Handler {
+	return transport.HandlerFunc(func(ctx context.Context, req *transport.Request) *transport.Response {
+		if s.dead.Load() {
+			return transport.Errorf(transport.StatusUnavailable, "mas %s: server down", s.cfg.Addr)
+		}
+		return s.mux.Serve(ctx, req)
+	})
+}
+
+// Kill simulates a process crash: the server stops executing agents,
+// refuses requests, and abandons queued work. In-memory state is lost;
+// only the journal survives. A replacement Server over the same
+// journal store continues the journeys via Resume. Kill is permanent
+// for this instance.
+func (s *Server) Kill() { s.dead.Store(true) }
+
+// spawn defers a task through cfg.Spawn, dropping it if the server has
+// been killed by then (a dead process runs nothing).
+func (s *Server) spawn(fn func()) {
+	s.cfg.Spawn(func() {
+		if s.dead.Load() {
+			return
+		}
+		fn()
+	})
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -239,6 +312,12 @@ func (s *Server) AdmitAgent(ctx context.Context, vm *mavm.VM, codeID, owner, hom
 	}
 	s.agents[rec.id] = rec
 	s.mu.Unlock()
+	if err := s.journalPut(rec, "", ""); err != nil {
+		s.mu.Lock()
+		delete(s.agents, rec.id)
+		s.mu.Unlock()
+		return fmt.Errorf("mas: journaling agent %s: %w", rec.id, err)
+	}
 	s.startLoop(ctx, rec)
 	return nil
 }
@@ -247,19 +326,23 @@ func (s *Server) startLoop(ctx context.Context, rec *record) {
 	// Detach cancellation: the agent outlives the request that
 	// delivered it, but the journey clock must travel along.
 	loopCtx := context.WithoutCancel(ctx)
-	s.cfg.Spawn(func() { s.agentLoop(loopCtx, rec) })
+	s.spawn(func() { s.agentLoop(loopCtx, rec) })
 }
 
 // agentLoop drives one agent until it leaves this server (migrates,
 // returns home, is disposed or retracted) or strands.
 func (s *Server) agentLoop(ctx context.Context, rec *record) {
 	for {
+		if s.dead.Load() {
+			return
+		}
 		// Control flags first: dispose and retract win over execution.
 		s.mu.Lock()
 		dispose, retractTo := rec.disposeReq, rec.retractTo
 		s.mu.Unlock()
 		if dispose {
 			s.setState(rec, StateDisposed, "")
+			s.journalFinish(rec, StateDisposed)
 			s.logf("mas %s: disposed agent %s", s.cfg.Addr, rec.id)
 			return
 		}
@@ -323,6 +406,7 @@ func (s *Server) deliverLocal(ctx context.Context, rec *record, kind string) {
 		}
 	}
 	s.setState(rec, StateDelivered, "")
+	s.journalFinish(rec, StateDelivered)
 }
 
 // notifyHome invokes the OnAgentHome callback, isolating the agent
@@ -340,8 +424,27 @@ func (s *Server) notifyHome(ctx context.Context, a *Arrival) (completed bool) {
 	return true
 }
 
+// programBytes returns the agent's marshaled program, encoding it on
+// first use (the program never changes after admission).
+func (s *Server) programBytes(rec *record) ([]byte, error) {
+	s.mu.Lock()
+	pb := rec.progBytes
+	s.mu.Unlock()
+	if pb != nil {
+		return pb, nil
+	}
+	pb, err := mavm.MarshalProgram(rec.vm.Program())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	rec.progBytes = pb
+	s.mu.Unlock()
+	return pb, nil
+}
+
 func (s *Server) encodeImage(rec *record) (*atp.Image, error) {
-	prog, err := mavm.MarshalProgram(rec.vm.Program())
+	prog, err := s.programBytes(rec)
 	if err != nil {
 		return nil, err
 	}
@@ -360,9 +463,13 @@ func (s *Server) encodeImage(rec *record) (*atp.Image, error) {
 }
 
 // shipAgent encodes the agent for the destination's flavour and
-// transfers it, with retries. On persistent failure during a migration
-// the agent is failed and sent home; if even home is unreachable the
-// record strands.
+// transfers it, with retries. With a journal this is the two-phase
+// handoff's sending side: the suspended image (and its destination) is
+// made durable before the wire leaves, the receiver's OK is the
+// commit-ack that releases the entry, and a persistent failure parks
+// the agent for RetryParked / Resume instead of losing it. Without a
+// journal the legacy best-effort path applies: a failed migration is
+// failed home, and if even home is unreachable the record strands.
 func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string) {
 	im, err := s.encodeImage(rec)
 	if err != nil {
@@ -370,9 +477,32 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		s.setState(rec, StateStranded, "")
 		return
 	}
+	if err := s.journalPut(rec, target, kind); err != nil && s.jr != nil {
+		// The WAL write must precede the wire: sending an unjournaled
+		// image risks losing the only copy if the ack is missed and we
+		// crash. Park instead; RetryParked re-attempts the journal too.
+		s.logf("mas %s: journaling departure of %s: %v", s.cfg.Addr, rec.id, err)
+		s.setErr(rec, "journaling departure: "+err.Error())
+		s.mu.Lock()
+		rec.state = StateParked
+		rec.parkTarget, rec.parkKind = target, kind
+		s.mu.Unlock()
+		return
+	}
 	if err := s.transferImage(ctx, im, target, kind); err != nil {
 		s.logf("mas %s: transfer of %s to %s failed: %v", s.cfg.Addr, rec.id, target, err)
 		s.setErr(rec, fmt.Sprintf("transfer to %s: %v", target, err))
+		if s.jr != nil {
+			// The journal holds the suspended image: park the agent and
+			// let RetryParked (or a restart's Resume) finish the handoff
+			// once the destination is reachable again.
+			s.mu.Lock()
+			rec.state = StateParked
+			rec.parkTarget, rec.parkKind = target, kind
+			s.mu.Unlock()
+			s.logf("mas %s: parked agent %s (%s -> %s)", s.cfg.Addr, rec.id, kind, target)
+			return
+		}
 		if kind == KindMigrate && rec.home != s.cfg.Addr && target != rec.home {
 			// Return the failed journey home so the user learns about it.
 			if err2 := s.transferImage(ctx, im, rec.home, KindFailed); err2 == nil {
@@ -389,6 +519,7 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		return
 	}
 	s.setState(rec, StateDeparted, target)
+	s.journalFinish(rec, StateDeparted)
 	s.logf("mas %s: agent %s %s -> %s", s.cfg.Addr, rec.id, kind, target)
 }
 
@@ -524,6 +655,13 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 	if kind == "" {
 		kind = KindMigrate
 	}
+	// The hop counter as serialised by the sender is the dedup key of
+	// the two-phase handoff: a sender that never saw our OK retries the
+	// same (agent id, hop) pair, and the watermark turns the retry into
+	// an idempotent commit-ack instead of a second agent copy. The
+	// watermark is journaled with the agent, so it survives a crash
+	// between our journal write and the sender receiving the OK.
+	sentHop := vm.Hops
 	switch kind {
 	case KindMigrate:
 		if vm.Status() != mavm.StatusMigrating {
@@ -544,10 +682,18 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 				vm: vm, state: StateRunning,
 				lastErr: vm.FailMsg(),
 			}
-			s.mu.Lock()
-			s.agents[rec.id] = rec
-			s.mu.Unlock()
-			s.cfg.Spawn(func() {
+			if resp := s.reserveHandoff(rec, sentHop, false); resp != nil {
+				return resp
+			}
+			if err := s.journalPut(rec, "", ""); err != nil {
+				// Same WAL-before-ack rule as a normal arrival: without
+				// the journal write, a crash after this OK would lose the
+				// failure evidence — refuse so the sender keeps its copy.
+				s.abortHandoff(rec, true)
+				return transport.Errorf(transport.StatusUnavailable, "journaling agent %s: %v", rec.id, err)
+			}
+			s.commitHandoff(rec.id)
+			s.spawn(func() {
 				ctx := context.WithoutCancel(ctx)
 				if rec.home == s.cfg.Addr {
 					s.deliverLocal(ctx, rec, KindFailed)
@@ -562,13 +708,16 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 			id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
 			vm: vm, state: StateRunning,
 		}
-		s.mu.Lock()
-		if old, exists := s.agents[rec.id]; exists && old.state == StateRunning {
-			s.mu.Unlock()
-			return transport.Errorf(transport.StatusConflict, "agent %s already running here", rec.id)
+		if resp := s.reserveHandoff(rec, sentHop, true); resp != nil {
+			return resp
 		}
-		s.agents[rec.id] = rec
-		s.mu.Unlock()
+		if err := s.journalPut(rec, "", ""); err != nil {
+			// The WAL write is the commit of the handoff; without it we
+			// must refuse the agent so the sender keeps its copy.
+			s.abortHandoff(rec, true)
+			return transport.Errorf(transport.StatusUnavailable, "journaling agent %s: %v", rec.id, err)
+		}
+		s.commitHandoff(rec.id)
 		s.startLoop(ctx, rec)
 		return transport.OKText("accepted " + rec.id)
 
@@ -581,22 +730,103 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 			id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
 			vm: vm, state: StateDelivered, lastErr: vm.FailMsg(),
 		}
-		s.mu.Lock()
-		s.agents[rec.id] = rec
-		s.mu.Unlock()
+		if resp := s.reserveHandoff(rec, sentHop, false); resp != nil {
+			return resp
+		}
 		if s.cfg.OnAgentHome != nil {
 			if !s.notifyHome(ctx, &Arrival{Kind: kind, Image: im, VM: vm}) {
 				s.setErr(rec, "home delivery callback panicked")
 				s.setState(rec, StateStranded, "")
+				// Release the reservation without committing a watermark:
+				// the results were never taken, so a retried delivery
+				// must not be treated as duplicate. The stranded record
+				// stays visible for operators.
+				s.abortHandoff(rec, false)
 				return transport.Errorf(transport.StatusServerError,
 					"home delivery of %s failed", rec.id)
 			}
 		}
+		s.commitHandoff(rec.id)
+		// Tombstone after the callback took the results: it is the
+		// durable dedup marker. A crash before this write makes the
+		// sender's retry redeliver (the gateway's result intake is
+		// idempotent); a crash after it dedups cleanly.
+		s.journalFinish(rec, StateDelivered)
 		return transport.OKText("delivered " + rec.id)
 
 	default:
 		return transport.Errorf(transport.StatusBadRequest, "unknown transfer kind %q", kind)
 	}
+}
+
+// reserveHandoff claims the handoff (rec.id, sentHop), inserts rec
+// into the agent table and advances the watermark — but the
+// reservation stays marked pending until commitHandoff, and a retry
+// arriving mid-commit gets StatusUnavailable (retryable) rather than
+// a duplicate-OK the first request might still roll back: acking a
+// handoff whose commit later fails would leave the agent existing
+// nowhere. The watermark is advanced here (not at commit) so the
+// journal write between reserve and commit records it durably. A nil
+// return means the reservation is held; otherwise the response to
+// send.
+func (s *Server) reserveHandoff(rec *record, sentHop int, refuseRunning bool) *transport.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The pending check must come first: while a commit is in flight
+	// the advanced watermark must not be visible as a duplicate-OK.
+	if _, inFlight := s.pending[rec.id]; inFlight {
+		return transport.Errorf(transport.StatusUnavailable,
+			"handoff of %s is mid-commit, retry", rec.id)
+	}
+	// Dedup before the resident-copy check: a retried handoff whose
+	// first copy already landed (and may be running) must get the
+	// idempotent commit-ack, not a conflict the sender cannot act on.
+	prevWM, hadPrev := s.accepted[rec.id]
+	if hadPrev && sentHop <= prevWM {
+		return dupResponse(rec.id, sentHop)
+	}
+	if old, exists := s.agents[rec.id]; refuseRunning && exists && old.state == StateRunning {
+		return transport.Errorf(transport.StatusConflict, "agent %s already running here", rec.id)
+	}
+	s.pending[rec.id] = pendingAccept{sentHop: sentHop, prevWM: prevWM, hadPrev: hadPrev}
+	s.accepted[rec.id] = sentHop
+	s.agents[rec.id] = rec
+	return nil
+}
+
+// commitHandoff releases the reservation taken by reserveHandoff,
+// making the already-advanced watermark answerable as a duplicate-OK.
+func (s *Server) commitHandoff(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, id)
+}
+
+// abortHandoff rolls the watermark back and releases the reservation,
+// optionally dropping the inserted record (dropRecord=false keeps it
+// for operator visibility, e.g. a stranded delivery).
+func (s *Server) abortHandoff(rec *record, dropRecord bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pending[rec.id]; ok {
+		if p.hadPrev {
+			s.accepted[rec.id] = p.prevWM
+		} else {
+			delete(s.accepted, rec.id)
+		}
+	}
+	delete(s.pending, rec.id)
+	if dropRecord {
+		delete(s.agents, rec.id)
+	}
+}
+
+// dupResponse is the idempotent commit-ack for a retried transfer the
+// server already accepted.
+func dupResponse(id string, sentHop int) *transport.Response {
+	resp := transport.OKText(fmt.Sprintf("duplicate transfer of %s (hop %d) ignored", id, sentHop))
+	resp.SetHeader("dedup", "1")
+	return resp
 }
 
 func (s *Server) handleStatus(_ context.Context, req *transport.Request) *transport.Response {
@@ -671,10 +901,18 @@ func (s *Server) handleClone(ctx context.Context, req *transport.Request) *trans
 	s.mu.Lock()
 	s.agents[newID] = cloneRec
 	s.mu.Unlock()
+	if err := s.journalPut(cloneRec, "", ""); err != nil {
+		// A clone has no sender holding a backup copy: admitting it
+		// unjournaled would let a crash erase it silently. Refuse.
+		s.mu.Lock()
+		delete(s.agents, newID)
+		s.mu.Unlock()
+		return transport.Errorf(transport.StatusServerError, "journaling clone %s: %v", newID, err)
+	}
 	// A clone of a migrating agent continues its journey; a running
 	// clone starts executing here.
 	if cloneVM.Status() == mavm.StatusMigrating {
-		s.cfg.Spawn(func() { s.shipAgent(context.WithoutCancel(ctx), cloneRec, cloneVM.MigrateTarget(), KindMigrate) })
+		s.spawn(func() { s.shipAgent(context.WithoutCancel(ctx), cloneRec, cloneVM.MigrateTarget(), KindMigrate) })
 	} else {
 		s.startLoop(ctx, cloneRec)
 	}
@@ -715,21 +953,30 @@ func (s *Server) handleDispose(_ context.Context, req *transport.Request) *trans
 		return transport.Errorf(transport.StatusNotFound, "no agent %q at %s", id, s.cfg.Addr)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch rec.state {
 	case StateRunning:
 		rec.disposeReq = true
+		s.mu.Unlock()
 		return transport.OKText("dispose scheduled")
 	case StateDeparted:
-		resp := transport.Errorf(transport.StatusGone, "agent %q moved to %s", id, rec.movedTo)
-		resp.SetHeader("moved-to", rec.movedTo)
+		movedTo := rec.movedTo
+		s.mu.Unlock()
+		resp := transport.Errorf(transport.StatusGone, "agent %q moved to %s", id, movedTo)
+		resp.SetHeader("moved-to", movedTo)
 		return resp
-	case StateDelivered, StateDisposed, StateStranded:
-		// Dropping bookkeeping for a finished agent is idempotent.
+	case StateDelivered, StateDisposed, StateStranded, StateParked:
+		// Dropping bookkeeping for a finished (or hopelessly parked)
+		// agent is idempotent. An explicit operator dispose forgets the
+		// journal entry outright — watermark included. The journal I/O
+		// happens after the lock is released.
 		rec.state = StateDisposed
+		s.mu.Unlock()
+		s.journalDrop(id)
 		return transport.OKText("disposed")
 	default:
-		return transport.Errorf(transport.StatusConflict, "agent %q is %s", id, rec.state)
+		state := rec.state
+		s.mu.Unlock()
+		return transport.Errorf(transport.StatusConflict, "agent %q is %s", id, state)
 	}
 }
 
@@ -767,6 +1014,218 @@ func (s *Server) handleLogs(_ context.Context, req *transport.Request) *transpor
 
 func containsAgent(line, id string) bool {
 	return len(line) > len(id) && line[1:1+len(id)] == id
+}
+
+// --- durability: journal writes, parked retries, crash recovery --------
+
+// journalPut snapshots rec into the journal (no-op without one).
+// target/kind record a pending transfer destination. Callers must not
+// be racing the VM (journal only at slice boundaries: arrival, admit,
+// suspend).
+func (s *Server) journalPut(rec *record, target, kind string) error {
+	if s.jr == nil {
+		return nil
+	}
+	prog, err := s.programBytes(rec)
+	if err != nil {
+		return err
+	}
+	state, err := mavm.MarshalState(rec.vm)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	wm, ok := s.accepted[rec.id]
+	if !ok {
+		wm = -1
+	}
+	e := &journalEntry{
+		ID: rec.id, Home: rec.home, CodeID: rec.codeID, Owner: rec.owner,
+		State: rec.state, Target: target, Kind: kind, LastErr: rec.lastErr,
+		Watermark: wm, Program: prog, VMState: state,
+	}
+	s.mu.Unlock()
+	_, err = s.jr.put(e) // full entries never trigger tombstone eviction
+	return err
+}
+
+// journalDrop removes an agent's journal entry (no-op without one).
+func (s *Server) journalDrop(id string) {
+	if s.jr == nil {
+		return
+	}
+	if err := s.jr.drop(id); err != nil {
+		s.logf("mas %s: dropping journal entry for %s: %v", s.cfg.Addr, id, err)
+	}
+}
+
+// journalFinish retires an agent's journal entry once it is no longer
+// resident (departed onward, delivered, disposed). If the agent was
+// accepted over /atp/transfer, the entry is replaced by a slim dedup
+// tombstone rather than deleted: the journaled watermark must outlive
+// the resident copy, or a crash here followed by a sender's retry of
+// the original handoff would land a second copy of an agent we
+// already forwarded. Locally admitted agents (no watermark) are
+// simply dropped.
+func (s *Server) journalFinish(rec *record, st AgentState) {
+	if s.jr == nil {
+		return
+	}
+	s.mu.Lock()
+	wm, ok := s.accepted[rec.id]
+	s.mu.Unlock()
+	if !ok {
+		s.journalDrop(rec.id)
+		return
+	}
+	e := &journalEntry{
+		ID: rec.id, Home: rec.home, CodeID: rec.codeID, Owner: rec.owner,
+		State: st, Watermark: wm,
+	}
+	evicted, err := s.jr.put(e)
+	if err != nil {
+		s.logf("mas %s: writing tombstone for %s: %v", s.cfg.Addr, rec.id, err)
+	}
+	if evicted != "" {
+		s.forgetHandoff(evicted)
+	}
+}
+
+// forgetHandoff prunes in-memory dedup state for an agent whose
+// tombstone was evicted from the journal, keeping the accepted map
+// (and terminal agent records) bounded in step with the store.
+func (s *Server) forgetHandoff(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.accepted, id)
+	if rec, ok := s.agents[id]; ok {
+		switch rec.state {
+		case StateDeparted, StateDelivered, StateDisposed:
+			delete(s.agents, id)
+		}
+	}
+}
+
+// RetryParked re-attempts the pending transfer of every parked agent —
+// called after a partition heals (cmd/masd does it on a timer). It
+// returns the number of retries started. Receiver-side dedup makes a
+// retry of an already-accepted handoff idempotent.
+func (s *Server) RetryParked(ctx context.Context) int {
+	type retry struct {
+		rec          *record
+		target, kind string
+	}
+	s.mu.Lock()
+	var todo []retry
+	for _, rec := range s.agents {
+		if rec.state == StateParked {
+			rec.state = StateRunning
+			todo = append(todo, retry{rec, rec.parkTarget, rec.parkKind})
+		}
+	}
+	s.mu.Unlock()
+	ctx = context.WithoutCancel(ctx)
+	for _, r := range todo {
+		r := r
+		s.spawn(func() { s.shipAgent(ctx, r.rec, r.target, r.kind) })
+	}
+	return len(todo)
+}
+
+// Resume re-hydrates journaled agents after a crash/restart and sets
+// their journeys moving again: runnable agents re-enter the execution
+// loop, suspended or parked transfers are retried (receiver-side dedup
+// makes the retry exactly-once), terminal agents are delivered home,
+// and delivered entries are kept as dedup bookkeeping only. It returns
+// the number of journeys set in motion.
+//
+// Recovery restarts an interrupted hop from its arrival snapshot, so
+// service calls within that hop may re-execute (at-least-once); the
+// agent itself is delivered exactly once.
+func (s *Server) Resume(ctx context.Context) (int, error) {
+	if s.jr == nil {
+		return 0, errors.New("mas: no journal configured")
+	}
+	entries, err := s.jr.loadAll()
+	if err != nil {
+		return 0, err
+	}
+	ctx = context.WithoutCancel(ctx)
+	resumed := 0
+	for _, e := range entries {
+		if e.tombstone() {
+			// Dedup bookkeeping only: restore the watermark so retried
+			// handoffs the dead server had accepted stay idempotent.
+			if e.Watermark >= 0 {
+				s.mu.Lock()
+				if wm, ok := s.accepted[e.ID]; !ok || e.Watermark > wm {
+					s.accepted[e.ID] = e.Watermark
+				}
+				s.mu.Unlock()
+			}
+			continue
+		}
+		prog, err := mavm.UnmarshalProgram(e.Program)
+		if err != nil {
+			s.logf("mas %s: journal entry %s: bad program: %v", s.cfg.Addr, e.ID, err)
+			continue
+		}
+		vm, err := mavm.UnmarshalState(prog, e.VMState)
+		if err != nil || vm.AgentID != e.ID {
+			s.logf("mas %s: journal entry %s: bad state: %v", s.cfg.Addr, e.ID, err)
+			continue
+		}
+		rec := &record{
+			id: e.ID, home: e.Home, codeID: e.CodeID, owner: e.Owner,
+			vm: vm, state: e.State, lastErr: e.LastErr,
+		}
+		s.mu.Lock()
+		if _, exists := s.agents[e.ID]; exists {
+			s.mu.Unlock()
+			continue
+		}
+		s.agents[e.ID] = rec
+		if e.Watermark >= 0 {
+			if wm, ok := s.accepted[e.ID]; !ok || e.Watermark > wm {
+				s.accepted[e.ID] = e.Watermark
+			}
+		}
+		s.mu.Unlock()
+
+		switch {
+		case e.Target != "":
+			// A transfer was in flight (or parked) when the server died:
+			// finish the handoff. The receiver dedups if the old server's
+			// send had actually landed.
+			rec.state = StateRunning
+			target, kind := e.Target, e.Kind
+			if kind == "" {
+				kind = KindMigrate
+			}
+			s.spawn(func() { s.shipAgent(ctx, rec, target, kind) })
+			resumed++
+		case vm.Status() == mavm.StatusMigrating:
+			rec.state = StateRunning
+			s.spawn(func() { s.shipAgent(ctx, rec, vm.MigrateTarget(), KindMigrate) })
+			resumed++
+		case vm.Status() == mavm.StatusDone:
+			rec.state = StateRunning
+			s.spawn(func() { s.finishAgent(ctx, rec, KindDone) })
+			resumed++
+		case vm.Status() == mavm.StatusFailed:
+			rec.state = StateRunning
+			s.spawn(func() { s.finishAgent(ctx, rec, KindFailed) })
+			resumed++
+		default: // mavm.StatusReady: mid-itinerary, re-enter the loop
+			rec.state = StateRunning
+			s.startLoop(ctx, rec)
+			resumed++
+		}
+	}
+	if resumed > 0 {
+		s.logf("mas %s: resumed %d journaled agent(s)", s.cfg.Addr, resumed)
+	}
+	return resumed, nil
 }
 
 // AgentStates returns a snapshot of known agent ids to states, for

@@ -1,0 +1,27 @@
+package mascript
+
+import "testing"
+
+// FuzzCompile throws arbitrary source at the MAScript front end
+// (lexer, parser, compiler): every input must produce a clean
+// (program, nil) or (nil, error) — no panics, no hangs, no stack
+// overflow from pathological nesting.
+func FuzzCompile(f *testing.F) {
+	for _, s := range corpus {
+		f.Add(s)
+	}
+	f.Add(`((((((((1))))))))`)
+	f.Add(`if 1 { } else if 2 { } else if 3 { } else { }`)
+	f.Add(`let l = [[[{"k": [1]}]]]; l[0][0]["k"] = -  - !true;`)
+	f.Add("let s = \"unterminated")
+	f.Add(`func f() { return f(); } f();`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep single fuzz executions fast
+		}
+		prog, err := Compile(src)
+		if (prog == nil) == (err == nil) {
+			t.Fatalf("Compile(%q) = (%v, %v): want exactly one of program/error", src, prog, err)
+		}
+	})
+}

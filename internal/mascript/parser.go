@@ -4,9 +4,25 @@ import "strconv"
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds statement/expression nesting so hostile input
+// (fuzzers, user code) cannot overflow the Go stack.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		c := p.cur()
+		return errAt(c.Line, c.Col, "nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses MAScript source into an AST.
 func Parse(src string) (*Program, error) {
@@ -114,6 +130,10 @@ func (p *parser) block() (*Block, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.cur().Type {
 	case tokLet:
 		return p.letStmt()
@@ -167,6 +187,10 @@ func (p *parser) letStmt() (Stmt, error) {
 }
 
 func (p *parser) ifStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	kw := p.advance()
 	cond, err := p.expr()
 	if err != nil {
@@ -374,6 +398,10 @@ func (p *parser) mulExpr() (Expr, error) {
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.at(tokBang) || p.at(tokMinus) {
 		op := p.advance()
 		x, err := p.unaryExpr()

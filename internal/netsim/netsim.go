@@ -113,6 +113,11 @@ var ErrLost = errors.New("netsim: message lost")
 // hosts that are down.
 var ErrUnreachable = errors.New("netsim: host unreachable")
 
+// ErrPartitioned is returned when the zones of sender and receiver are
+// partitioned. The sender is charged the uplink delay first — a
+// partitioned request looks like a timeout, not an instant refusal.
+var ErrPartitioned = errors.New("netsim: zone partitioned")
+
 type host struct {
 	zone    string
 	handler transport.Handler
@@ -125,6 +130,7 @@ type Stats struct {
 	BytesUp    int // request bytes
 	BytesDown  int // response bytes
 	Lost       int
+	Blocked    int           // messages refused by a zone partition
 	OnlineTime time.Duration // total delay charged to journey clocks
 }
 
@@ -136,6 +142,7 @@ type Network struct {
 	rng   *rand.Rand
 	hosts map[string]*host
 	links map[[2]string]Link
+	parts map[[2]string]bool // partitioned zone pairs (one direction each)
 	def   Link
 	stats Stats
 }
@@ -147,6 +154,7 @@ func New(seed int64) *Network {
 		rng:   rand.New(rand.NewSource(seed)),
 		hosts: make(map[string]*host),
 		links: make(map[[2]string]Link),
+		parts: make(map[[2]string]bool),
 	}
 }
 
@@ -176,6 +184,41 @@ func (n *Network) SetDown(addr string, down bool) error {
 	}
 	h.down = down
 	return nil
+}
+
+// KillHost marks a host as crashed: the address refuses every message
+// until ReviveHost. The registration is kept, so a replacement handler
+// (a restarted server) can be swapped in with AddHost before reviving.
+// Callers simulating a full process crash additionally discard the old
+// handler's in-memory state (see mas.Server.Kill).
+func (n *Network) KillHost(addr string) error { return n.SetDown(addr, true) }
+
+// ReviveHost brings a killed host back onto the fabric.
+func (n *Network) ReviveHost(addr string) error { return n.SetDown(addr, false) }
+
+// PartitionZones cuts traffic between two zones in both directions
+// (a == b cuts intra-zone traffic). Requests across the cut charge the
+// uplink delay and then fail with ErrPartitioned, like a timeout.
+func (n *Network) PartitionZones(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts[[2]string{a, b}] = true
+	n.parts[[2]string{b, a}] = true
+}
+
+// HealZones removes the partition between two zones (both directions).
+func (n *Network) HealZones(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, [2]string{a, b})
+	delete(n.parts, [2]string{b, a})
+}
+
+// Partitioned reports whether traffic from zone a to zone b is cut.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parts[[2]string{a, b}]
 }
 
 // SetLink defines the link parameters for messages from zone a to zone
@@ -266,6 +309,7 @@ func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transpor
 		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
 	}
+	partitioned := n.parts[[2]string{t.zone, h.zone}] || n.parts[[2]string{h.zone, t.zone}]
 	up := n.linkFor(t.zone, h.zone)
 	down := n.linkFor(h.zone, t.zone)
 	upJitter, downJitter := n.rng.Float64(), n.rng.Float64()
@@ -290,6 +334,12 @@ func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transpor
 	n.stats.Messages++
 	n.stats.BytesUp += req.Size()
 	n.mu.Unlock()
+	if partitioned {
+		n.mu.Lock()
+		n.stats.Blocked++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%s%s (%s -> %s): %w", addr, req.Path, t.zone, h.zone, ErrPartitioned)
+	}
 	if upLost {
 		n.mu.Lock()
 		n.stats.Lost++

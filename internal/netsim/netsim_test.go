@@ -262,3 +262,94 @@ func TestDefaultLinkProfiles(t *testing.T) {
 		t.Fatal("wireless bandwidth should be below wired")
 	}
 }
+
+func TestKillAndReviveHost(t *testing.T) {
+	n := New(3)
+	n.AddHost("site", ZoneWired, echoHandler())
+	tr := n.Transport(ZoneWired)
+	if _, err := tr.RoundTrip(context.Background(), "site", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.KillHost("site"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(context.Background(), "site", &transport.Request{Path: "/e"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("killed host error = %v", err)
+	}
+	if err := n.ReviveHost("site"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(context.Background(), "site", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatalf("revived host error = %v", err)
+	}
+	if err := n.KillHost("ghost"); err == nil {
+		t.Fatal("killing an unknown host succeeded")
+	}
+}
+
+func TestZonePartition(t *testing.T) {
+	n := New(4)
+	n.SetDefaultLink(Link{Latency: 10 * time.Millisecond})
+	n.AddHost("a", "za", echoHandler())
+	n.AddHost("b", "zb", echoHandler())
+
+	n.PartitionZones("za", "zb")
+	if !n.Partitioned("za", "zb") || !n.Partitioned("zb", "za") {
+		t.Fatal("partition not symmetric")
+	}
+
+	clock := NewClock()
+	ctx := WithClock(context.Background(), clock)
+	// Both directions are cut, and the failed attempt costs the uplink
+	// delay (a timeout, not an instant refusal).
+	if _, err := n.Transport("za").RoundTrip(ctx, "b", &transport.Request{Path: "/e"}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("za->zb error = %v", err)
+	}
+	if clock.Now() == 0 {
+		t.Fatal("partitioned attempt charged no time")
+	}
+	if _, err := n.Transport("zb").RoundTrip(ctx, "a", &transport.Request{Path: "/e"}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("zb->za error = %v", err)
+	}
+	if n.Stats().Blocked != 2 {
+		t.Fatalf("Blocked = %d, want 2", n.Stats().Blocked)
+	}
+	// Traffic inside an unpartitioned zone still flows.
+	n.AddHost("a2", "za", echoHandler())
+	if _, err := n.Transport("za").RoundTrip(ctx, "a2", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatalf("intra-zone traffic blocked: %v", err)
+	}
+
+	n.HealZones("za", "zb")
+	if n.Partitioned("za", "zb") {
+		t.Fatal("partition survived heal")
+	}
+	if _, err := n.Transport("za").RoundTrip(ctx, "b", &transport.Request{Path: "/e"}); err != nil {
+		t.Fatalf("healed path error = %v", err)
+	}
+}
+
+func TestQueueStep(t *testing.T) {
+	q := &Queue{}
+	var order []int
+	q.Go(func() { order = append(order, 1) })
+	q.Go(func() {
+		order = append(order, 2)
+		q.Go(func() { order = append(order, 3) })
+	})
+	if !q.Step() {
+		t.Fatal("Step ran nothing")
+	}
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order after one step = %v", order)
+	}
+	if n := q.Drain(); n != 2 {
+		t.Fatalf("Drain ran %d tasks, want 2", n)
+	}
+	if q.Step() {
+		t.Fatal("Step on empty queue reported work")
+	}
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("final order = %v", order)
+	}
+}

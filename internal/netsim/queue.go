@@ -27,20 +27,28 @@ func (q *Queue) Len() int {
 	return len(q.items)
 }
 
+// Step runs the single oldest queued task, reporting whether one ran.
+// It lets tests and experiments interleave fault injection (crash a
+// host between two hops) with the deterministic schedule.
+func (q *Queue) Step() bool {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return false
+	}
+	fn := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	fn()
+	return true
+}
+
 // Drain runs tasks in FIFO order until the queue is empty, returning
 // how many ran. Tasks enqueued during the drain are executed too.
 func (q *Queue) Drain() int {
 	ran := 0
-	for {
-		q.mu.Lock()
-		if len(q.items) == 0 {
-			q.mu.Unlock()
-			return ran
-		}
-		fn := q.items[0]
-		q.items = q.items[1:]
-		q.mu.Unlock()
-		fn()
+	for q.Step() {
 		ran++
 	}
+	return ran
 }

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdagent/internal/compress"
+	"pdagent/internal/mavm"
+	"pdagent/internal/pisec"
+)
+
+// Property tests: encode→decode→encode is the identity on the encoded
+// form for randomized documents. Byte-level comparison works because
+// every encoder is deterministic (map keys sort, params sort).
+
+// randValue generates a random acyclic mavm value of bounded depth.
+func randValue(r *rand.Rand, depth int) mavm.Value {
+	kinds := 7
+	if depth <= 0 {
+		kinds = 5 // leaves only
+	}
+	switch r.Intn(kinds) {
+	case 0:
+		return mavm.Nil()
+	case 1:
+		return mavm.Bool(r.Intn(2) == 0)
+	case 2:
+		return mavm.Int(r.Int63n(1<<40) - 1<<39)
+	case 3:
+		// Round floats survive the 'g' format exactly; so do all
+		// float64s, but keep the generator simple and explicit.
+		return mavm.Float(float64(r.Int63n(1<<30)) / 1024)
+	case 4:
+		return mavm.Str(randString(r))
+	case 5:
+		n := r.Intn(4)
+		items := make([]mavm.Value, n)
+		for i := range items {
+			items[i] = randValue(r, depth-1)
+		}
+		return mavm.NewList(items...)
+	default:
+		m := mavm.NewMap()
+		for i, n := 0, r.Intn(4); i < n; i++ {
+			m.MapEntries()[fmt.Sprintf("k%d-%s", i, randString(r))] = randValue(r, depth-1)
+		}
+		return m
+	}
+}
+
+// randString draws strings that stress XML escaping: quotes, angle
+// brackets, ampersands, newlines, unicode.
+func randString(r *rand.Rand) string {
+	alphabet := []rune(`abz019 <>&"'` + "\n\t" + `àπ漢`)
+	n := r.Intn(12)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+func randParams(r *rand.Rand) map[string]mavm.Value {
+	params := map[string]mavm.Value{}
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		params[fmt.Sprintf("p%d", i)] = randValue(r, 3)
+	}
+	return params
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for i := 0; i < 500; i++ {
+		v := randValue(r, 4)
+		n, err := ValueToXML(v)
+		if err != nil {
+			t.Fatalf("iter %d: ValueToXML: %v", i, err)
+		}
+		back, err := ValueFromXML(n)
+		if err != nil {
+			t.Fatalf("iter %d: ValueFromXML: %v\nvalue: %s", i, err, v)
+		}
+		n2, err := ValueToXML(back)
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(n.EncodeDocument(), n2.EncodeDocument()) {
+			t.Fatalf("iter %d: value round trip changed:\n%s\nvs\n%s",
+				i, n.EncodeDocument(), n2.EncodeDocument())
+		}
+	}
+}
+
+func TestPackedInformationRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2025))
+	for i := 0; i < 200; i++ {
+		pi := &PackedInformation{
+			CodeID:      fmt.Sprintf("app.%s", randString(r)) + "x", // never empty
+			DispatchKey: randString(r),
+			Owner:       randString(r),
+			Nonce:       randString(r),
+			Source:      `migrate("a"); deliver("x", ` + fmt.Sprint(r.Intn(100)) + `);`,
+			Params:      randParams(r),
+		}
+		doc, err := pi.EncodeXML()
+		if err != nil {
+			t.Fatalf("iter %d: EncodeXML: %v", i, err)
+		}
+		back, err := ParsePackedInformation(doc)
+		if err != nil {
+			t.Fatalf("iter %d: Parse: %v\ndoc: %s", i, err, doc)
+		}
+		doc2, err := back.EncodeXML()
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Fatalf("iter %d: PI round trip changed:\n%s\nvs\n%s", i, doc, doc2)
+		}
+	}
+}
+
+func TestResultDocumentRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	statuses := []string{"done", "failed", "retracted"}
+	for i := 0; i < 200; i++ {
+		rd := &ResultDocument{
+			AgentID: fmt.Sprintf("ag-%d", r.Intn(1000)),
+			CodeID:  "app." + randString(r),
+			Owner:   randString(r),
+			Status:  statuses[r.Intn(len(statuses))],
+			Hops:    r.Intn(64),
+			Steps:   uint64(r.Int63n(1 << 50)),
+		}
+		if rd.Status == "failed" {
+			rd.Error = "boom: " + randString(r)
+		}
+		for j, n := 0, r.Intn(4); j < n; j++ {
+			rd.Results = append(rd.Results, mavm.Result{
+				Key:   fmt.Sprintf("r%d", j),
+				Value: randValue(r, 3),
+			})
+		}
+		doc, err := rd.EncodeXML()
+		if err != nil {
+			t.Fatalf("iter %d: EncodeXML: %v", i, err)
+		}
+		back, err := ParseResultDocument(doc)
+		if err != nil {
+			t.Fatalf("iter %d: Parse: %v\ndoc: %s", i, err, doc)
+		}
+		doc2, err := back.EncodeXML()
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Fatalf("iter %d: result round trip changed:\n%s\nvs\n%s", i, doc, doc2)
+		}
+	}
+}
+
+// TestPackUnpackRoundTripProperty drives the whole device-side transfer
+// pipeline — XML, every compression flavour, and the sealed (encrypted)
+// variant — and demands the gateway side recover an identical document.
+func TestPackUnpackRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2027))
+	kp, err := pisec.GenerateKeyPair(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := []compress.Codec{compress.None, compress.LZSS, compress.Flate}
+	for i := 0; i < 60; i++ {
+		pi := &PackedInformation{
+			CodeID: fmt.Sprintf("app.rt%d", i),
+			Owner:  randString(r),
+			Source: `deliver("n", ` + fmt.Sprint(r.Intn(1000)) + `); // ` + randString(r),
+			Params: randParams(r),
+		}
+		want, err := pi.EncodeXML()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, codec := range codecs {
+			for _, sealed := range []bool{false, true} {
+				var key *pisec.PublicKey
+				if sealed {
+					key = kp.Public()
+				}
+				body, err := Pack(pi, codec, key)
+				if err != nil {
+					t.Fatalf("iter %d codec %s sealed=%v: Pack: %v", i, codec, sealed, err)
+				}
+				back, err := Unpack(body, kp)
+				if err != nil {
+					t.Fatalf("iter %d codec %s sealed=%v: Unpack: %v", i, codec, sealed, err)
+				}
+				got, err := back.EncodeXML()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("iter %d codec %s sealed=%v: pipeline changed the document", i, codec, sealed)
+				}
+			}
+		}
+	}
+}
