@@ -10,20 +10,16 @@
 package pdagent_test
 
 import (
-	"context"
 	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"pdagent/internal/benchkit"
 	"pdagent/internal/compress"
 	"pdagent/internal/experiments"
 	"pdagent/internal/gateway"
-	"pdagent/internal/netsim"
-	"pdagent/internal/pisec"
-	"pdagent/internal/transport"
-	"pdagent/internal/wire"
 )
 
 // E1 — Figure 12: Internet connection time vs. transactions.
@@ -396,63 +392,43 @@ func BenchmarkGatewayRegistryMixedParallel(b *testing.B) {
 	b.Run("sharded32", func(b *testing.B) { benchRegistryMixed(b, gateway.NewRegistry(32)) })
 }
 
-var (
-	benchKPOnce sync.Once
-	benchKP     *pisec.KeyPair
-)
+// G2 — dispatch fast path (ISSUE 3): compiled-program cache, zero-DOM
+// wire decode, pooled buffers. The drivers live in internal/benchkit so
+// cmd/bench measures exactly the same code and writes BENCH_3.json.
 
 // BenchmarkGatewayDispatchE2E pushes whole unsealed Packed Information
-// uploads through the dispatch handler in parallel: unpack, key check,
-// replay window, MAScript compile, document store, agent admission.
-// Spawn is a no-op so the measurement isolates the gateway hot path
-// from agent execution.
+// uploads through the dispatch handler in parallel: pack on the device
+// side; unpack, key check, replay window, compile (a program-cache hit
+// in steady state), document store and agent admission on the gateway
+// side. Spawn is a no-op so the measurement isolates the gateway hot
+// path from agent execution.
 func BenchmarkGatewayDispatchE2E(b *testing.B) {
-	benchKPOnce.Do(func() {
-		kp, err := pisec.GenerateKeyPair(1024)
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchKP = kp
-	})
-	gw, err := gateway.New(gateway.Config{
-		Addr:      "gw-bench",
-		KeyPair:   benchKP,
-		Transport: netsim.New(1).Transport(netsim.ZoneWired),
-		Spawn:     func(func()) {},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer gw.Close()
-	const src = `deliver("echo", params());`
-	if err := gw.AddCodePackage(&wire.CodePackage{CodeID: "echo", Name: "Echo", Version: "1", Source: src}); err != nil {
-		b.Fatal(err)
-	}
-	secret := []byte("bench-secret")
-	gw.Registry().SetSecret("echo", "dev-bench", secret)
-	key := pisec.DispatchKey("echo", secret)
-	handler := gw.Handler()
-	var seq atomic.Uint64
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			pi := &wire.PackedInformation{
-				CodeID:      "echo",
-				DispatchKey: key,
-				Owner:       "dev-bench",
-				Nonce:       fmt.Sprintf("n-%d", seq.Add(1)),
-				Source:      src,
-			}
-			body, err := wire.Pack(pi, compress.LZSS, nil)
-			if err != nil {
-				panic(err)
-			}
-			resp := handler.Serve(context.Background(), &transport.Request{
-				Path: "/pdagent/dispatch", Body: body,
-			})
-			if !resp.IsOK() {
-				panic(fmt.Sprintf("dispatch: %d %s", resp.Status, resp.Text()))
-			}
-		}
-	})
+	benchkit.DispatchE2E(b, true)
+}
+
+// BenchmarkGatewayDispatchE2ENoCache is the same pipeline with the
+// program cache disabled — every dispatch re-lexes, re-parses and
+// re-compiles the shipped source, the pre-ISSUE-3 behaviour.
+func BenchmarkGatewayDispatchE2ENoCache(b *testing.B) {
+	benchkit.DispatchE2E(b, false)
+}
+
+// BenchmarkCompileCache isolates the program cache: steady-state hits
+// against a pinned package versus compile-and-insert misses.
+func BenchmarkCompileCache(b *testing.B) {
+	b.Run("hit", func(b *testing.B) { benchkit.CompileCache(b, true) })
+	b.Run("miss", func(b *testing.B) { benchkit.CompileCache(b, false) })
+}
+
+// BenchmarkPIDecode measures the zero-DOM Packed Information decode; the
+// kxmlnodes/op metric must stay 0.
+func BenchmarkPIDecode(b *testing.B) {
+	benchkit.PIDecode(b)
+}
+
+// BenchmarkWireUnpack measures the gateway-side body decode (LZSS and
+// the sealed variant).
+func BenchmarkWireUnpack(b *testing.B) {
+	b.Run("lzss", func(b *testing.B) { benchkit.WireUnpack(b, compress.LZSS, false) })
+	b.Run("lzss/sealed", func(b *testing.B) { benchkit.WireUnpack(b, compress.LZSS, true) })
 }

@@ -1,0 +1,238 @@
+// Command bench is the machine-readable performance harness: it runs
+// the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
+// fast path) through the exact drivers `go test -bench` uses
+// (internal/benchkit) and writes the results as JSON so the repo's
+// performance trajectory is tracked as data, not prose.
+//
+// Usage:
+//
+//	bench                     # full run, writes BENCH_3.json
+//	bench -short              # CI run (shorter benchtime)
+//	bench -o out.json         # choose the output path
+//	bench -check BENCH_3.json # exit non-zero if dispatch-E2E allocs/op
+//	                          # regressed >20% vs the committed file
+//
+// The output carries the pre-ISSUE-3 dispatch baseline alongside the
+// current numbers, so the before/after of the fast-path work stays
+// recorded next to every fresh run. The -check gate compares allocs/op
+// (deterministic across machines), not wall-clock, so it is safe on
+// shared CI runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pdagent/internal/benchkit"
+	"pdagent/internal/compress"
+	"pdagent/internal/gateway"
+)
+
+// prePRBaseline is BenchmarkGatewayDispatchE2E at commit ccdba32 (the
+// last commit before the dispatch fast path), measured with -benchmem
+// on the reference machine that produced the committed BENCH_3.json.
+// ns/op and B/op are machine-relative; allocs/op is not.
+var prePRBaseline = Result{
+	Name:        "dispatch_e2e/pre-fast-path@ccdba32",
+	NsPerOp:     40375,
+	BytesPerOp:  9293,
+	AllocsPerOp: 134,
+}
+
+// Result is one benchmark row.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the BENCH_3.json schema.
+type Output struct {
+	Schema        string   `json:"schema"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	Short         bool     `json:"short"`
+	PrePRBaseline Result   `json:"pre_pr_baseline"`
+	Results       []Result `json:"results"`
+}
+
+// dispatchE2EName is the headline row the -check gate compares.
+const dispatchE2EName = "dispatch_e2e/cache=on"
+
+func run(name string, fn func(b *testing.B)) Result {
+	fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
+	r := testing.Benchmark(fn)
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+	}
+	if len(r.Extra) > 0 {
+		res.Metrics = map[string]float64{}
+		for k, v := range r.Extra {
+			res.Metrics[k] = v
+		}
+	}
+	return res
+}
+
+func main() {
+	short := flag.Bool("short", false, "CI mode: shorter benchtime")
+	out := flag.String("o", "BENCH_3.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_3.json to gate against (fail if dispatch-E2E allocs/op regress >20%)")
+	testing.Init()
+	flag.Parse()
+	benchtime := "1s"
+	if *short {
+		benchtime = "100ms"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: setting benchtime: %v\n", err)
+		os.Exit(2)
+	}
+
+	o := Output{
+		Schema:        "pdagent-bench/3",
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Short:         *short,
+		PrePRBaseline: prePRBaseline,
+	}
+
+	// G2 — the dispatch fast path, before/after the program cache.
+	o.Results = append(o.Results,
+		run(dispatchE2EName, func(b *testing.B) { benchkit.DispatchE2E(b, true) }),
+		run("dispatch_e2e/cache=off", func(b *testing.B) { benchkit.DispatchE2E(b, false) }),
+		run("compile_cache/hit", func(b *testing.B) { benchkit.CompileCache(b, true) }),
+		run("compile_cache/miss", func(b *testing.B) { benchkit.CompileCache(b, false) }),
+		run("pi_decode", benchkit.PIDecode),
+		run("wire_pack/lzss", func(b *testing.B) { benchkit.WirePack(b, compress.LZSS, false) }),
+		run("wire_unpack/lzss", func(b *testing.B) { benchkit.WireUnpack(b, compress.LZSS, false) }),
+		run("wire_unpack/lzss+sealed", func(b *testing.B) { benchkit.WireUnpack(b, compress.LZSS, true) }),
+	)
+
+	// G1 — registry scaling (striped registry vs single lock), kept in
+	// the harness so the whole G-series lands in one artifact.
+	o.Results = append(o.Results,
+		run("registry_dispatch/sharded32", func(b *testing.B) { registryDispatch(b, gateway.NewRegistry(32)) }),
+		run("registry_dispatch/striped1", func(b *testing.B) { registryDispatch(b, gateway.NewRegistry(1)) }),
+	)
+
+	// Zero-DOM evidence as data: a representative PI decode must
+	// allocate no kxml nodes.
+	allocs, nodes, err := benchkit.PIDecodeNodeAllocs()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: pi decode: %v\n", err)
+		os.Exit(2)
+	}
+	o.Results = append(o.Results, Result{
+		Name:        "pi_decode/allocs_per_run",
+		AllocsPerOp: allocs,
+		Metrics:     map[string]float64{"kxml_node_allocs": float64(nodes)},
+	})
+	if nodes != 0 {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: PI decode allocated %d kxml nodes, want 0\n", nodes)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+
+	cur := find(o.Results, dispatchE2EName)
+	if cur != nil {
+		fmt.Fprintf(os.Stderr, "bench: dispatch E2E %.0f ns/op %.0f allocs/op (pre-fast-path baseline %.0f ns/op %.0f allocs/op)\n",
+			cur.NsPerOp, cur.AllocsPerOp, prePRBaseline.NsPerOp, prePRBaseline.AllocsPerOp)
+	}
+
+	if *check != "" {
+		if err := gate(*check, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: regression gate passed against %s\n", *check)
+	}
+}
+
+func find(rs []Result, name string) *Result {
+	for i := range rs {
+		if rs[i].Name == name {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// gate fails when the current dispatch-E2E allocs/op exceed the
+// committed baseline by more than 20%.
+func gate(path string, cur *Result) error {
+	if cur == nil {
+		return fmt.Errorf("no %s result in current run", dispatchE2EName)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline: %w", err)
+	}
+	var committed Output
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("parsing committed baseline: %w", err)
+	}
+	base := find(committed.Results, dispatchE2EName)
+	if base == nil {
+		return fmt.Errorf("committed baseline has no %s result", dispatchE2EName)
+	}
+	limit := base.AllocsPerOp * 1.20
+	if cur.AllocsPerOp > limit {
+		return fmt.Errorf("dispatch E2E allocs/op regressed: %.0f > %.0f (committed %.0f +20%%)",
+			cur.AllocsPerOp, limit, base.AllocsPerOp)
+	}
+	return nil
+}
+
+// registryDispatch replays the G1 per-agent registry traffic of one
+// round trip (bench_test.go's benchRegistryDispatch, shared shape).
+func registryDispatch(b *testing.B, reg *gateway.Registry) {
+	const owners = 64
+	secret := []byte("secret")
+	names := make([]string, owners)
+	for i := range names {
+		names[i] = fmt.Sprintf("dev-%d", i)
+		reg.SetSecret("app.echo", names[i], secret)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owner := names[i%owners]
+		if _, ok := reg.Secret("app.echo", owner); !ok {
+			b.Fatal("secret lost")
+		}
+		reg.RememberNonce("app.echo", owner, fmt.Sprintf("n-%d", i))
+		id := reg.NextAgentID("gw-bench")
+		reg.CreateAgent(id, "app.echo", owner)
+		reg.CompleteAgent(id, "app.echo", owner, i, "")
+		if st, ok := reg.Agent(id); !ok || !st.Done {
+			b.Fatal("result lost")
+		}
+	}
+}

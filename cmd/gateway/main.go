@@ -14,6 +14,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"strings"
 
 	"pdagent/internal/core"
@@ -30,7 +31,20 @@ func main() {
 	keyBits := flag.Int("key-bits", pisec.DefaultKeyBits, "RSA key size")
 	workers := flag.Int("outbound-workers", 32, "bounded worker pool size for outbound calls (status chasing, management)")
 	maxConns := flag.Int("max-conns-per-host", transport.DefaultMaxPerDest, "outbound connection and in-flight limit per destination")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("gateway: pprof on http://%s/debug/pprof/", *pprofAddr)
+			// The pprof handlers live on DefaultServeMux; the gateway's
+			// own traffic uses a dedicated handler, so nothing else is
+			// exposed here.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("gateway: pprof server: %v", err)
+			}
+		}()
+	}
 
 	public := *addr
 	if public == "" {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"strings"
 	"time"
 
@@ -33,7 +34,19 @@ func main() {
 	svcList := flag.String("services", "bank", "comma-separated services to host: bank,food,docs")
 	journalPath := flag.String("journal", "", "agent journal file (enables crash recovery; agents resume on restart)")
 	retryEvery := flag.Duration("retry-interval", 30*time.Second, "how often parked transfers are retried (with -journal)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("masd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			// pprof handlers live on DefaultServeMux; agent traffic uses
+			// a dedicated handler below, so only profiling is exposed.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("masd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	public := *addr
 	if public == "" {

@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
+	"sync"
 )
 
 // Codec identifies a compression algorithm.
@@ -71,72 +73,152 @@ const MaxDecodedSize = 64 << 20
 var ErrCorrupt = errors.New("compress: corrupt frame")
 
 // Encode compresses data with the chosen codec and wraps it in a frame.
+// It is AppendEncode into a fresh buffer.
 func Encode(codec Codec, data []byte) ([]byte, error) {
-	var payload []byte
+	return AppendEncode(nil, codec, data)
+}
+
+// AppendEncode compresses data with the chosen codec, appends the frame
+// to dst and returns the extended slice. The hot transfer paths thread
+// pooled buffers through here so steady-state encoding performs no
+// allocation beyond occasional growth.
+func AppendEncode(dst []byte, codec Codec, data []byte) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, frameMagic, byte(codec))
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
 	switch codec {
 	case None:
-		payload = data
+		return append(dst, data...), nil
 	case LZSS:
-		payload = lzssCompress(data)
+		return lzssCompressAppend(dst, data), nil
 	case Flate:
-		var buf bytes.Buffer
-		fw, err := flate.NewWriter(&buf, flate.BestCompression)
+		out, err := flateCompressAppend(dst, data)
 		if err != nil {
-			return nil, fmt.Errorf("compress: flate init: %w", err)
+			return dst[:base], err
 		}
-		if _, err := fw.Write(data); err != nil {
-			return nil, fmt.Errorf("compress: flate write: %w", err)
-		}
-		if err := fw.Close(); err != nil {
-			return nil, fmt.Errorf("compress: flate close: %w", err)
-		}
-		payload = buf.Bytes()
+		return out, nil
 	default:
-		return nil, fmt.Errorf("compress: unknown codec %d", codec)
+		return dst[:base], fmt.Errorf("compress: unknown codec %d", codec)
 	}
-	head := make([]byte, 2, 2+binary.MaxVarintLen64+len(payload))
-	head[0] = frameMagic
-	head[1] = byte(codec)
-	head = binary.AppendUvarint(head, uint64(len(data)))
-	return append(head, payload...), nil
 }
 
 // Decode unwraps a frame produced by Encode and returns the original
-// bytes.
+// bytes. It is AppendDecode into a fresh buffer.
 func Decode(frame []byte) ([]byte, error) {
+	return AppendDecode(nil, frame)
+}
+
+// AppendDecode unwraps a frame, appends the decoded bytes to dst and
+// returns the extended slice. dst must not alias frame.
+func AppendDecode(dst []byte, frame []byte) ([]byte, error) {
+	base := len(dst)
 	codec, size, payload, err := parseFrame(frame)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	switch codec {
 	case None:
 		if len(payload) != size {
-			return nil, fmt.Errorf("%w: identity length mismatch", ErrCorrupt)
+			return dst, fmt.Errorf("%w: identity length mismatch", ErrCorrupt)
 		}
-		out := make([]byte, size)
-		copy(out, payload)
-		return out, nil
+		return append(dst, payload...), nil
 	case LZSS:
-		out, err := lzssDecompress(payload, size)
+		out, err := lzssDecompressAppend(dst, payload, size)
 		if err != nil {
-			return nil, err
+			return dst[:base], err
 		}
 		return out, nil
 	case Flate:
-		fr := flate.NewReader(bytes.NewReader(payload))
-		defer fr.Close()
-		out := make([]byte, 0, size)
-		buf := bytes.NewBuffer(out)
-		if _, err := io.Copy(buf, io.LimitReader(fr, int64(size)+1)); err != nil {
-			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		out, err := flateDecompressAppend(dst, payload, size)
+		if err != nil {
+			return dst[:base], err
 		}
-		if buf.Len() != size {
-			return nil, fmt.Errorf("%w: flate length %d, header said %d", ErrCorrupt, buf.Len(), size)
-		}
-		return buf.Bytes(), nil
+		return out, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
+		return dst, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
 	}
+}
+
+// appendWriter is an io.Writer appending into a byte slice, the shim
+// that lets the pooled flate writer emit straight into a caller buffer.
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// flateEnc bundles a reusable flate writer with its output shim so one
+// pool entry covers both.
+type flateEnc struct {
+	aw appendWriter
+	fw *flate.Writer
+}
+
+var flateEncPool = sync.Pool{New: func() any {
+	e := &flateEnc{}
+	fw, err := flate.NewWriter(&e.aw, flate.BestCompression)
+	if err != nil {
+		// BestCompression is a valid level; NewWriter cannot fail on it.
+		panic(err)
+	}
+	e.fw = fw
+	return e
+}}
+
+func flateCompressAppend(dst []byte, data []byte) ([]byte, error) {
+	e := flateEncPool.Get().(*flateEnc)
+	e.aw.buf = dst
+	e.fw.Reset(&e.aw)
+	if _, err := e.fw.Write(data); err != nil {
+		e.aw.buf = nil
+		flateEncPool.Put(e)
+		return nil, fmt.Errorf("compress: flate write: %w", err)
+	}
+	if err := e.fw.Close(); err != nil {
+		e.aw.buf = nil
+		flateEncPool.Put(e)
+		return nil, fmt.Errorf("compress: flate close: %w", err)
+	}
+	out := e.aw.buf
+	e.aw.buf = nil // never retain caller memory in the pool
+	flateEncPool.Put(e)
+	return out, nil
+}
+
+// flateDec bundles a reusable flate reader with its input shim.
+type flateDec struct {
+	br *bytes.Reader
+	fr io.ReadCloser
+}
+
+var flateDecPool = sync.Pool{New: func() any {
+	d := &flateDec{br: bytes.NewReader(nil)}
+	d.fr = flate.NewReader(d.br)
+	return d
+}}
+
+func flateDecompressAppend(dst []byte, payload []byte, size int) ([]byte, error) {
+	d := flateDecPool.Get().(*flateDec)
+	defer func() {
+		d.br.Reset(nil)
+		flateDecPool.Put(d)
+	}()
+	d.br.Reset(payload)
+	if err := d.fr.(flate.Resetter).Reset(d.br, nil); err != nil {
+		return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+	}
+	base := len(dst)
+	dst = slices.Grow(dst, size)[:base+size]
+	if _, err := io.ReadFull(d.fr, dst[base:]); err != nil {
+		return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+	}
+	// The stream must end exactly at the declared size.
+	var one [1]byte
+	if n, _ := d.fr.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: flate output exceeds header size %d", ErrCorrupt, size)
+	}
+	return dst, nil
 }
 
 // FrameCodec returns the codec id recorded in a frame without decoding.

@@ -3,6 +3,8 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
+	"sync"
 )
 
 // LZSS parameters: a 4 KiB sliding window with 12-bit offsets and 4-bit
@@ -26,19 +28,44 @@ func lzHash(b []byte) uint32 {
 	return (v * 2654435761) >> (32 - lzHashBits)
 }
 
-// lzssCompress encodes src as a token stream: each flag byte governs the
-// following 8 tokens (bit set = literal byte, bit clear = 2-byte
-// offset/length pair).
-func lzssCompress(src []byte) []byte {
+// lzEncState is the match-finder working set — the hash head table and
+// per-position chain links. Both are sized by the hash space or the
+// input, so they are pooled rather than reallocated per Encode; prev
+// needs no clearing because every slot read was written earlier in the
+// same run, and head is re-initialised below.
+type lzEncState struct {
+	head [lzHashSize]int32
+	prev []int32
+}
+
+var lzEncPool = sync.Pool{New: func() any { return new(lzEncState) }}
+
+// lzssCompress and lzssDecompress are the fresh-buffer forms of the
+// append pair below (tests exercise the primitives directly).
+func lzssCompress(src []byte) []byte { return lzssCompressAppend(nil, src) }
+
+func lzssDecompress(src []byte, size int) ([]byte, error) {
+	return lzssDecompressAppend(nil, src, size)
+}
+
+// lzssCompressAppend encodes src as a token stream appended to dst:
+// each flag byte governs the following 8 tokens (bit set = literal
+// byte, bit clear = 2-byte offset/length pair).
+func lzssCompressAppend(dst []byte, src []byte) []byte {
 	if len(src) == 0 {
-		return nil
+		return dst
 	}
-	out := make([]byte, 0, len(src)+len(src)/8+1)
-	head := make([]int32, lzHashSize)
-	prev := make([]int32, len(src))
+	out := slices.Grow(dst, len(src)/2+len(src)/8+16)
+	st := lzEncPool.Get().(*lzEncState)
+	defer lzEncPool.Put(st)
+	head := &st.head
 	for i := range head {
 		head[i] = -1
 	}
+	if cap(st.prev) < len(src) {
+		st.prev = make([]int32, len(src))
+	}
+	prev := st.prev[:len(src)]
 
 	var flagPos int
 	var flagBit uint
@@ -115,17 +142,20 @@ func lzssCompress(src []byte) []byte {
 	return out
 }
 
-// lzssDecompress decodes a token stream into exactly size bytes.
-func lzssDecompress(src []byte, size int) ([]byte, error) {
-	out := make([]byte, 0, size)
+// lzssDecompressAppend decodes a token stream into exactly size bytes
+// appended to dst. Back-references are resolved against the decoded
+// region only (never into dst's existing prefix).
+func lzssDecompressAppend(dst []byte, src []byte, size int) ([]byte, error) {
+	base := len(dst)
+	out := slices.Grow(dst, size)
 	i := 0
-	for len(out) < size {
+	for len(out)-base < size {
 		if i >= len(src) {
 			return nil, fmt.Errorf("%w: lzss truncated stream", ErrCorrupt)
 		}
 		flags := src[i]
 		i++
-		for bit := uint(0); bit < 8 && len(out) < size; bit++ {
+		for bit := uint(0); bit < 8 && len(out)-base < size; bit++ {
 			if flags&(1<<bit) != 0 {
 				if i >= len(src) {
 					return nil, fmt.Errorf("%w: lzss truncated literal", ErrCorrupt)
@@ -141,15 +171,22 @@ func lzssDecompress(src []byte, size int) ([]byte, error) {
 			i += 2
 			dist := int(v>>4) + 1
 			length := int(v&0xF) + lzMinMatch
-			if dist > len(out) {
-				return nil, fmt.Errorf("%w: lzss back-reference beyond start (dist %d at %d)", ErrCorrupt, dist, len(out))
+			if dist > len(out)-base {
+				return nil, fmt.Errorf("%w: lzss back-reference beyond start (dist %d at %d)", ErrCorrupt, dist, len(out)-base)
 			}
-			if len(out)+length > size {
+			if len(out)-base+length > size {
 				return nil, fmt.Errorf("%w: lzss output overruns declared size", ErrCorrupt)
 			}
 			from := len(out) - dist
-			for k := 0; k < length; k++ {
-				out = append(out, out[from+k])
+			if dist >= length {
+				// Source and destination cannot overlap: one bulk copy.
+				out = append(out, out[from:from+length]...)
+			} else {
+				// Overlapping run (RLE-style): the byte loop is the
+				// semantics — each copied byte may itself be a source.
+				for k := 0; k < length; k++ {
+					out = append(out, out[from+k])
+				}
 			}
 		}
 	}

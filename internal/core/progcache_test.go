@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"pdagent/internal/gateway"
+	"pdagent/internal/mascript"
+	"pdagent/internal/netsim"
+	"pdagent/internal/pisec"
+)
+
+// TestCachedCompilationMatchesDirect registers every standard example
+// application on a gateway (which compiles and pins each one in the
+// program cache) and demands the cached program be byte-identical —
+// same code digest — to a direct mascript.Compile of the same source.
+// Cached compilation must be indistinguishable from a fresh one for
+// every shipped script.
+func TestCachedCompilationMatchesDirect(t *testing.T) {
+	kp, err := pisec.GenerateKeyPair(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Addr:      "gw-cache",
+		KeyPair:   kp,
+		Transport: netsim.New(1).Transport(netsim.ZoneWired),
+		Spawn:     func(func()) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	apps := StandardApps()
+	if len(apps) == 0 {
+		t.Fatal("no standard apps")
+	}
+	for _, cp := range apps {
+		direct, err := mascript.Compile(cp.Source)
+		if err != nil {
+			t.Fatalf("%s: direct compile: %v", cp.CodeID, err)
+		}
+		if err := gw.AddCodePackage(cp); err != nil {
+			t.Fatalf("%s: register: %v", cp.CodeID, err)
+		}
+		cached, hit, err := gw.Programs().CompileString(cp.Source)
+		if err != nil || !hit {
+			t.Fatalf("%s: cache lookup hit=%v err=%v", cp.CodeID, hit, err)
+		}
+		if cached.Digest() != direct.Digest() {
+			t.Fatalf("%s: cached program differs from direct compilation", cp.CodeID)
+		}
+	}
+	pinned, _ := gw.Programs().Len()
+	if pinned != len(apps) {
+		t.Fatalf("pinned = %d, want one per app (%d)", pinned, len(apps))
+	}
+}

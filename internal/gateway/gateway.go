@@ -32,6 +32,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"pdagent/internal/atp"
 	"pdagent/internal/kxml"
@@ -39,6 +40,7 @@ import (
 	"pdagent/internal/mascript"
 	"pdagent/internal/mavm"
 	"pdagent/internal/pisec"
+	"pdagent/internal/progcache"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
@@ -79,6 +81,18 @@ type Config struct {
 	Services *services.Registry
 	// FuelSlice overrides the MAS execution slice.
 	FuelSlice uint64
+	// Programs is the compiled-program cache shared by the dispatch
+	// path and the embedded MAS (default: a fresh cache). Registered
+	// code packages are pinned in it at AddCodePackage time, so a
+	// dispatch of catalogue code performs no MAScript compilation at
+	// all; ad-hoc sources and transferred agent images ride its bounded
+	// LRU. Pass a shared cache when several gateways should share
+	// compilations (simulation, tests).
+	Programs *progcache.Cache
+	// NoProgramCache disables program caching entirely: every dispatch
+	// recompiles the shipped source and every arriving agent image is
+	// re-unmarshalled. Benchmarks use it as the pre-cache baseline.
+	NoProgramCache bool
 	// RegistryShards is the lock-stripe count of the state registry
 	// (default DefaultRegistryShards; 1 degenerates to a single lock).
 	RegistryShards int
@@ -95,11 +109,12 @@ const defaultOutboundWorkers = 16
 
 // Gateway is one gateway instance.
 type Gateway struct {
-	cfg  Config
-	mas  *mas.Server
-	mux  *transport.Mux
-	reg  *Registry
-	pool *workerPool
+	cfg   Config
+	mas   *mas.Server
+	mux   *transport.Mux
+	reg   *Registry
+	pool  *workerPool
+	progs *progcache.Cache // nil when Config.NoProgramCache
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -128,26 +143,34 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.OutboundWorkers == 0 {
 		cfg.OutboundWorkers = defaultOutboundWorkers
 	}
+	if cfg.NoProgramCache {
+		cfg.Programs = nil
+	} else if cfg.Programs == nil {
+		cfg.Programs = progcache.New(0)
+	}
 	codec, err := atp.ByName(cfg.Flavour)
 	if err != nil {
 		return nil, err
 	}
 
 	g := &Gateway{
-		cfg:  cfg,
-		reg:  NewRegistry(cfg.RegistryShards),
-		pool: newWorkerPool(cfg.OutboundWorkers, cfg.Logf),
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.RegistryShards),
+		pool:  newWorkerPool(cfg.OutboundWorkers, cfg.Logf),
+		progs: cfg.Programs,
 	}
 	masSrv, err := mas.NewServer(mas.Config{
-		Addr:        cfg.Addr,
-		Codec:       codec,
-		Transport:   cfg.Transport,
-		Services:    cfg.Services,
-		Spawn:       cfg.Spawn,
-		FuelSlice:   cfg.FuelSlice,
-		Journal:     cfg.Journal,
-		OnAgentHome: g.onAgentHome,
-		Logf:        cfg.Logf,
+		Addr:           cfg.Addr,
+		Codec:          codec,
+		Transport:      cfg.Transport,
+		Services:       cfg.Services,
+		Spawn:          cfg.Spawn,
+		FuelSlice:      cfg.FuelSlice,
+		Journal:        cfg.Journal,
+		Programs:       cfg.Programs,
+		NoProgramCache: cfg.NoProgramCache,
+		OnAgentHome:    g.onAgentHome,
+		Logf:           cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -210,19 +233,33 @@ func (g *Gateway) WatchResult(agentID string) (<-chan struct{}, bool) {
 }
 
 // AddCodePackage publishes an application in the subscription
-// catalogue.
+// catalogue. The compilation that validates the package also populates
+// the program cache: the compiled program is pinned under the code id,
+// so later dispatches of this source hit the cache instead of
+// recompiling. Re-registering a code id with new source swaps the pin
+// (the old program ages out of the ad-hoc LRU).
 func (g *Gateway) AddCodePackage(cp *wire.CodePackage) error {
 	if cp.CodeID == "" || cp.Source == "" {
 		return fmt.Errorf("gateway: code package needs id and source")
 	}
 	// Reject packages that do not compile: a broken catalogue entry
 	// would otherwise surface only at dispatch time.
-	if _, err := mascript.Compile(cp.Source); err != nil {
+	if g.progs != nil {
+		prog, _, err := g.progs.CompileString(cp.Source)
+		if err != nil {
+			return fmt.Errorf("gateway: package %q does not compile: %w", cp.CodeID, err)
+		}
+		g.progs.Pin(cp.CodeID, cp.Source, prog)
+	} else if _, err := mascript.Compile(cp.Source); err != nil {
 		return fmt.Errorf("gateway: package %q does not compile: %w", cp.CodeID, err)
 	}
 	g.reg.PutPackage(cp)
 	return nil
 }
+
+// Programs exposes the gateway's compiled-program cache (tests,
+// benchmarks); nil when caching is disabled.
+func (g *Gateway) Programs() *progcache.Cache { return g.progs }
 
 func (g *Gateway) logf(format string, args ...any) {
 	if g.cfg.Logf != nil {
@@ -345,20 +382,33 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	}
 
 	// Step 4: "generate mobile agent classes from the information" —
-	// compile the shipped source.
-	prog, err := mascript.Compile(pi.Source)
+	// compile the shipped source. Registered packages were compiled and
+	// pinned at AddCodePackage time, so the common case is a cache hit
+	// that performs no lexer or parser work at all.
+	var prog *mavm.Program
+	if g.progs != nil {
+		prog, _, err = g.progs.CompileString(pi.Source)
+	} else {
+		prog, err = mascript.Compile(pi.Source)
+	}
 	if err != nil {
 		return transport.Errorf(transport.StatusBadRequest, "agent code: %v", err)
 	}
 
 	// Step 5: the Document Creator materialises the request document
-	// and the File Directory allocates space for it.
+	// and the File Directory allocates space for it. The document is
+	// rendered into a pooled buffer; Documents.Add copies what it keeps.
 	agentID := g.reg.NextAgentID(g.cfg.Addr)
-	reqDoc, err := pi.EncodeXML()
+	docBuf := reqDocPool.Get().(*[]byte)
+	reqDoc, err := pi.AppendXML((*docBuf)[:0])
+	*docBuf = reqDoc[:0]
 	if err != nil {
+		putReqDocBuf(docBuf)
 		return transport.Errorf(transport.StatusServerError, "request document: %v", err)
 	}
-	if _, err := g.cfg.Documents.Add(reqDoc); err != nil {
+	_, err = g.cfg.Documents.Add(reqDoc)
+	putReqDocBuf(docBuf)
+	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "storing request document: %v", err)
 	}
 
@@ -569,4 +619,22 @@ func parseStatus(body []byte) (*statusFields, error) {
 
 func parseXML(body []byte) (*kxml.Node, error) {
 	return kxml.ParseBytes(body)
+}
+
+// reqDocPool recycles request-document render buffers on the dispatch
+// hot path; rms stores copy on Add, so the buffer never escapes.
+var reqDocPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// maxPooledReqDoc keeps one giant request document from pinning a
+// multi-megabyte buffer in the pool forever.
+const maxPooledReqDoc = 1 << 20
+
+func putReqDocBuf(b *[]byte) {
+	if cap(*b) > maxPooledReqDoc {
+		return
+	}
+	reqDocPool.Put(b)
 }

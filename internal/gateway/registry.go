@@ -1,8 +1,8 @@
 package gateway
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -207,9 +207,16 @@ type AgentStatus struct {
 	LastWhy string
 }
 
-// NextAgentID allocates a unique agent id for this gateway.
+// NextAgentID allocates a unique agent id for this gateway. It sits on
+// the dispatch hot path, so the id is assembled with strconv appends
+// (one allocation) instead of fmt.Sprintf.
 func (r *Registry) NextAgentID(gatewayAddr string) string {
-	return fmt.Sprintf("ag-%s-%d", gatewayAddr, r.agentSeq.Add(1))
+	b := make([]byte, 0, len("ag-")+len(gatewayAddr)+1+20)
+	b = append(b, "ag-"...)
+	b = append(b, gatewayAddr...)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, r.agentSeq.Add(1), 10)
+	return string(b)
 }
 
 // CreateAgent registers a freshly dispatched agent.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Attr is a single name="value" attribute. Order is preserved so that
@@ -38,11 +39,29 @@ type Node struct {
 	Text     string
 }
 
+// nodeAllocs counts every Node this package allocates, process-wide.
+// The wire package's fast-path decoders are required to build no DOM at
+// all; its zero-DOM tests read this counter around a decode to prove
+// it. The counter only ticks on the (now cold) tree paths, so the
+// atomic add never sits on a hot loop.
+var nodeAllocs atomic.Uint64
+
+// NodeAllocs returns the number of Nodes allocated so far. The absolute
+// value is meaningless; deltas around a region of interest are the
+// point.
+func NodeAllocs() uint64 { return nodeAllocs.Load() }
+
 // NewElement returns an element node with the given name.
-func NewElement(name string) *Node { return &Node{Name: name} }
+func NewElement(name string) *Node {
+	nodeAllocs.Add(1)
+	return &Node{Name: name}
+}
 
 // NewText returns a text node with the given character data.
-func NewText(text string) *Node { return &Node{Text: text} }
+func NewText(text string) *Node {
+	nodeAllocs.Add(1)
+	return &Node{Text: text}
+}
 
 // IsText reports whether n is a text node.
 func (n *Node) IsText() bool { return n.Name == "" }
@@ -160,6 +179,7 @@ func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
+	nodeAllocs.Add(1)
 	out := &Node{Name: n.Name, Text: n.Text}
 	if len(n.Attrs) > 0 {
 		out.Attrs = append([]Attr(nil), n.Attrs...)

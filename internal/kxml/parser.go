@@ -173,7 +173,89 @@ func (p *Parser) readName() (string, error) {
 	for !p.eof() && isNameChar(p.peek()) {
 		p.advance()
 	}
-	return string(p.src[start:p.pos]), nil
+	return internName(p.src[start:p.pos]), nil
+}
+
+// internName maps the element and attribute names of the PDAgent
+// dialect to shared string constants, so scanning a tag allocates
+// nothing on the pull fast path. The switch comparisons do not convert
+// b to a heap string; only unknown names pay the allocation.
+func internName(b []byte) string {
+	switch string(b) {
+	case "packed-information":
+		return "packed-information"
+	case "code":
+		return "code"
+	case "params":
+		return "params"
+	case "param":
+		return "param"
+	case "value":
+		return "value"
+	case "entry":
+		return "entry"
+	case "name":
+		return "name"
+	case "type":
+		return "type"
+	case "key":
+		return "key"
+	case "code-id":
+		return "code-id"
+	case "owner":
+		return "owner"
+	case "nonce":
+		return "nonce"
+	case "result-document":
+		return "result-document"
+	case "result":
+		return "result"
+	case "error":
+		return "error"
+	case "agent":
+		return "agent"
+	case "status":
+		return "status"
+	case "hops":
+		return "hops"
+	case "steps":
+		return "steps"
+	case "subscription":
+		return "subscription"
+	case "code-package":
+		return "code-package"
+	case "description":
+		return "description"
+	case "source":
+		return "source"
+	case "secret":
+		return "secret"
+	case "gateway-key":
+		return "gateway-key"
+	case "gateway":
+		return "gateway"
+	case "gateway-list":
+		return "gateway-list"
+	case "catalogue":
+		return "catalogue"
+	case "id":
+		return "id"
+	case "version":
+		return "version"
+	case "addr":
+		return "addr"
+	case "state":
+		return "state"
+	case "moved-to":
+		return "moved-to"
+	case "mas":
+		return "mas"
+	case "service":
+		return "service"
+	case "xml":
+		return "xml"
+	}
+	return string(b)
 }
 
 // Next returns the next event, or io.EOF after EndDocument was returned.
@@ -412,6 +494,7 @@ func buildTree(p *Parser) (*Node, error) {
 		}
 		switch ev.Type {
 		case StartElement:
+			nodeAllocs.Add(1)
 			n := &Node{Name: ev.Name, Attrs: ev.Attrs}
 			if len(stack) == 0 {
 				if root != nil {

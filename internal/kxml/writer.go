@@ -7,50 +7,95 @@ import (
 	"strings"
 )
 
-// EscapeText escapes character data for inclusion between tags.
-func EscapeText(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
+// needsTextEscape reports whether s contains character-data specials.
+func needsTextEscape(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&', '<', '>':
+			return true
+		}
+	}
+	return false
+}
+
+// needsAttrEscape reports whether s contains attribute-value specials.
+func needsAttrEscape(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&', '<', '>', '"', '\n', '\t', '\r':
+			return true
+		}
+	}
+	return false
+}
+
+// AppendEscapedText appends s to dst escaped as character data and
+// returns the extended slice. It is the allocation-free counterpart of
+// EscapeText for append-style encoders.
+func AppendEscapedText(dst []byte, s string) []byte {
+	if !needsTextEscape(s) {
+		return append(dst, s...)
+	}
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; c {
 		case '&':
-			b.WriteString("&amp;")
+			dst = append(dst, "&amp;"...)
 		case '<':
-			b.WriteString("&lt;")
+			dst = append(dst, "&lt;"...)
 		case '>':
-			b.WriteString("&gt;")
+			dst = append(dst, "&gt;"...)
 		default:
-			b.WriteByte(c)
+			dst = append(dst, c)
 		}
 	}
-	return b.String()
+	return dst
+}
+
+// AppendEscapedAttr appends s to dst escaped for a double-quoted
+// attribute value and returns the extended slice.
+func AppendEscapedAttr(dst []byte, s string) []byte {
+	if !needsAttrEscape(s) {
+		return append(dst, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		case '\n':
+			dst = append(dst, "&#10;"...)
+		case '\t':
+			dst = append(dst, "&#9;"...)
+		case '\r':
+			dst = append(dst, "&#13;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// EscapeText escapes character data for inclusion between tags. Strings
+// without specials are returned unchanged (no allocation).
+func EscapeText(s string) string {
+	if !needsTextEscape(s) {
+		return s
+	}
+	return string(AppendEscapedText(make([]byte, 0, len(s)+8), s))
 }
 
 // EscapeAttr escapes an attribute value for inclusion in double quotes.
+// Strings without specials are returned unchanged (no allocation).
 func EscapeAttr(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
-	for i := 0; i < len(s); i++ {
-		switch c := s[i]; c {
-		case '&':
-			b.WriteString("&amp;")
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		case '"':
-			b.WriteString("&quot;")
-		case '\n':
-			b.WriteString("&#10;")
-		case '\t':
-			b.WriteString("&#9;")
-		case '\r':
-			b.WriteString("&#13;")
-		default:
-			b.WriteByte(c)
-		}
+	if !needsAttrEscape(s) {
+		return s
 	}
-	return b.String()
+	return string(AppendEscapedAttr(make([]byte, 0, len(s)+8), s))
 }
 
 // Writer emits XML as a stream of calls, tracking open elements. It is

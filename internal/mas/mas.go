@@ -43,6 +43,7 @@ import (
 	"pdagent/internal/atp"
 	"pdagent/internal/kxml"
 	"pdagent/internal/mavm"
+	"pdagent/internal/progcache"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
@@ -111,6 +112,17 @@ type Config struct {
 	// becomes a two-phase handoff (the journal write is the commit, the
 	// OK response the ack; duplicates dedup on agent id + hop counter).
 	Journal rms.Store
+	// Programs is the compiled-program cache consulted when an agent
+	// arrives by /atp/transfer (and on journal Resume): an image whose
+	// bytecode was seen before skips deserialisation and re-validation.
+	// A gateway shares its own cache with the embedded MAS; standalone
+	// servers default to a private one.
+	Programs *progcache.Cache
+	// NoProgramCache disables the program cache: every arriving image
+	// (and every journal entry on Resume) is unmarshalled and
+	// re-validated from scratch. Benchmarks use it as the pre-cache
+	// baseline.
+	NoProgramCache bool
 	// OnAgentHome is invoked when an agent arrives at its home server
 	// (the gateway sets this to collect results).
 	OnAgentHome func(ctx context.Context, a *Arrival)
@@ -198,6 +210,11 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxHops == 0 {
 		cfg.MaxHops = 64
 	}
+	if cfg.NoProgramCache {
+		cfg.Programs = nil
+	} else if cfg.Programs == nil {
+		cfg.Programs = progcache.New(0)
+	}
 	s := &Server{
 		cfg:      cfg,
 		agents:   make(map[string]*record),
@@ -242,6 +259,16 @@ func (s *Server) Handler() transport.Handler {
 		}
 		return s.mux.Serve(ctx, req)
 	})
+}
+
+// unmarshalProgram deserialises agent bytecode through the program
+// cache, or directly when caching is disabled.
+func (s *Server) unmarshalProgram(b []byte) (*mavm.Program, error) {
+	if s.cfg.Programs == nil {
+		return mavm.UnmarshalProgram(b)
+	}
+	prog, _, err := s.cfg.Programs.UnmarshalBytes(b)
+	return prog, err
 }
 
 // Kill simulates a process crash: the server stops executing agents,
@@ -489,6 +516,15 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		s.mu.Unlock()
 		return
 	}
+	// Mark the departure BEFORE the image leaves. Once the receiver
+	// acks, it starts the agent immediately; a fast hop (program-cache
+	// hit, local service, migrate home) can bring the agent BACK here
+	// before our RoundTrip call even returns. If this record still read
+	// StateRunning at that moment, the homecoming transfer would bounce
+	// with a permanent conflict and strand the agent. Every failure
+	// path below overwrites the state (parked / failed home / local
+	// delivery / stranded), so a failed send never stays "departed".
+	s.setState(rec, StateDeparted, target)
 	if err := s.transferImage(ctx, im, target, kind); err != nil {
 		s.logf("mas %s: transfer of %s to %s failed: %v", s.cfg.Addr, rec.id, target, err)
 		s.setErr(rec, fmt.Sprintf("transfer to %s: %v", target, err))
@@ -518,8 +554,33 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		s.setState(rec, StateStranded, "")
 		return
 	}
-	s.setState(rec, StateDeparted, target)
-	s.journalFinish(rec, StateDeparted)
+	// Post-transfer bookkeeping must tolerate the agent having ALREADY
+	// returned here while the ack was in flight: a fast next hop can
+	// re-deliver the agent before this line runs, and the re-arrival
+	// replaced s.agents[id] with a fresh (journaled) record. Writing
+	// our departure tombstone then would overwrite the resident agent's
+	// journal entry, and a crash would lose the only copy.
+	s.mu.Lock()
+	if s.agents[rec.id] != rec {
+		// Superseded: the re-arrival owns the id (and its journal
+		// entry) now; our departure leaves no trace to write.
+		s.mu.Unlock()
+		return
+	}
+	if s.jr == nil {
+		s.mu.Unlock()
+	} else {
+		// Reserve the id while the tombstone is written: a re-arrival
+		// racing this block gets a retryable 503 from reserveHandoff
+		// (same as a handoff mid-commit) instead of interleaving its
+		// journal write with ours.
+		s.pending[rec.id] = pendingAccept{sentHop: -1}
+		s.mu.Unlock()
+		s.journalFinish(rec, StateDeparted)
+		s.mu.Lock()
+		delete(s.pending, rec.id)
+		s.mu.Unlock()
+	}
 	s.logf("mas %s: agent %s %s -> %s", s.cfg.Addr, rec.id, kind, target)
 }
 
@@ -639,7 +700,10 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 	if err != nil {
 		return transport.Errorf(transport.StatusBadRequest, "decoding agent (flavour %s): %v", s.cfg.Codec.Name(), err)
 	}
-	prog, err := mavm.UnmarshalProgram(im.Program)
+	// A program seen before (the same agent hopping through, a retry of
+	// this handoff, clones, or any agent of the same application) skips
+	// deserialisation and bytecode re-validation via the program cache.
+	prog, err := s.unmarshalProgram(im.Program)
 	if err != nil {
 		return transport.Errorf(transport.StatusBadRequest, "agent program: %v", err)
 	}
@@ -1165,7 +1229,7 @@ func (s *Server) Resume(ctx context.Context) (int, error) {
 			}
 			continue
 		}
-		prog, err := mavm.UnmarshalProgram(e.Program)
+		prog, err := s.unmarshalProgram(e.Program)
 		if err != nil {
 			s.logf("mas %s: journal entry %s: bad program: %v", s.cfg.Addr, e.ID, err)
 			continue

@@ -8,6 +8,12 @@ import (
 	"pdagent/internal/mavm"
 )
 
+// CompileEntry is the compiler entry point the compiled-program cache
+// (internal/progcache) drives. It exists as a variable so tests can
+// poison it and prove that a cache-hit dispatch performs zero lexer or
+// parser work; production code never reassigns it.
+var CompileEntry func(src string) (*mavm.Program, error) = Compile
+
 // Compile parses and compiles MAScript source into an executable
 // mavm.Program. The original source is retained in Program.Source.
 func Compile(src string) (*mavm.Program, error) {

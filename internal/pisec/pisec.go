@@ -62,6 +62,11 @@ func GenerateKeyPair(bits int) (*KeyPair, error) {
 	return &KeyPair{priv: priv}, nil
 }
 
+// KeyPairFromRSA wraps an existing RSA private key as a gateway
+// identity (fixed test and fuzz identities; production keys come from
+// GenerateKeyPair).
+func KeyPairFromRSA(priv *rsa.PrivateKey) *KeyPair { return &KeyPair{priv: priv} }
+
 // Public returns the shareable public half.
 func (kp *KeyPair) Public() *PublicKey { return &PublicKey{key: &kp.priv.PublicKey} }
 
@@ -120,6 +125,9 @@ type Envelope struct {
 
 const envelopeMagic = "PISEC1"
 
+// envelopeMagicBytes avoids a string→[]byte conversion per digest.
+var envelopeMagicBytes = []byte(envelopeMagic)
+
 // Seal encrypts plaintext to the gateway's public key per Figure 7.
 func Seal(pk *PublicKey, plaintext []byte) (*Envelope, error) {
 	sessionKey := make([]byte, 32)
@@ -130,7 +138,7 @@ func Seal(pk *PublicKey, plaintext []byte) (*Envelope, error) {
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("pisec: iv: %w", err)
 	}
-	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pk.key, sessionKey, []byte(envelopeMagic))
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pk.key, sessionKey, envelopeMagicBytes)
 	if err != nil {
 		return nil, fmt.Errorf("pisec: wrapping session key: %w", err)
 	}
@@ -147,14 +155,20 @@ func Seal(pk *PublicKey, plaintext []byte) (*Envelope, error) {
 
 // computeDigest hashes everything except the digest itself.
 func (e *Envelope) computeDigest() [md5.Size]byte {
+	return digestParts(e.WrappedKey, e.IV, e.Ciphertext)
+}
+
+// digestParts is the envelope digest over its raw fields, shared by the
+// struct form and the parse-in-place fast path.
+func digestParts(wrapped, iv, ciphertext []byte) [md5.Size]byte {
 	h := md5.New()
-	h.Write([]byte(envelopeMagic))
+	h.Write(envelopeMagicBytes)
 	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], uint32(len(e.WrappedKey)))
+	binary.BigEndian.PutUint32(n[:], uint32(len(wrapped)))
 	h.Write(n[:])
-	h.Write(e.WrappedKey)
-	h.Write(e.IV)
-	h.Write(e.Ciphertext)
+	h.Write(wrapped)
+	h.Write(iv)
+	h.Write(ciphertext)
 	var out [md5.Size]byte
 	h.Sum(out[:0])
 	return out
@@ -173,7 +187,7 @@ func Open(kp *KeyPair, e *Envelope) ([]byte, error) {
 	if err := e.Verify(); err != nil {
 		return nil, err
 	}
-	sessionKey, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, kp.priv, e.WrappedKey, []byte(envelopeMagic))
+	sessionKey, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, kp.priv, e.WrappedKey, envelopeMagicBytes)
 	if err != nil {
 		return nil, fmt.Errorf("pisec: unwrapping session key: %w", err)
 	}
@@ -202,27 +216,105 @@ func (e *Envelope) Marshal() []byte {
 	return out
 }
 
-// UnmarshalEnvelope parses the binary form produced by Marshal.
-func UnmarshalEnvelope(b []byte) (*Envelope, error) {
+// envelopeRef parses the binary envelope form without copying: the
+// returned slices alias b. The gateway's Unpack fast path uses it so a
+// dispatch decode never duplicates the wrapped key or ciphertext.
+func envelopeRef(b []byte) (wrapped, iv, digest, ciphertext []byte, err error) {
 	min := len(envelopeMagic) + 2 + aes.BlockSize + md5.Size
 	if len(b) < min || string(b[:len(envelopeMagic)]) != envelopeMagic {
-		return nil, ErrMalformed
+		return nil, nil, nil, nil, ErrMalformed
 	}
 	p := len(envelopeMagic)
 	klen := int(binary.BigEndian.Uint16(b[p : p+2]))
 	p += 2
 	if len(b) < p+klen+aes.BlockSize+md5.Size {
-		return nil, ErrMalformed
+		return nil, nil, nil, nil, ErrMalformed
+	}
+	wrapped = b[p : p+klen]
+	p += klen
+	iv = b[p : p+aes.BlockSize]
+	p += aes.BlockSize
+	digest = b[p : p+md5.Size]
+	p += md5.Size
+	return wrapped, iv, digest, b[p:], nil
+}
+
+// UnmarshalEnvelope parses the binary form produced by Marshal.
+func UnmarshalEnvelope(b []byte) (*Envelope, error) {
+	wrapped, iv, digest, ct, err := envelopeRef(b)
+	if err != nil {
+		return nil, err
 	}
 	e := &Envelope{}
-	e.WrappedKey = append([]byte(nil), b[p:p+klen]...)
-	p += klen
-	e.IV = append([]byte(nil), b[p:p+aes.BlockSize]...)
-	p += aes.BlockSize
-	copy(e.Digest[:], b[p:p+md5.Size])
-	p += md5.Size
-	e.Ciphertext = append([]byte(nil), b[p:]...)
+	e.WrappedKey = append([]byte(nil), wrapped...)
+	e.IV = append([]byte(nil), iv...)
+	copy(e.Digest[:], digest)
+	e.Ciphertext = append([]byte(nil), ct...)
 	return e, nil
+}
+
+// AppendSeal seals plaintext to pk per Figure 7 and appends the
+// marshalled envelope to dst, skipping the intermediate Envelope struct
+// and its Marshal copy. Old callers keep Seal+Marshal; the wire fast
+// path threads pooled buffers through here.
+func AppendSeal(dst []byte, pk *PublicKey, plaintext []byte) ([]byte, error) {
+	var sessionKey [32]byte
+	if _, err := rand.Read(sessionKey[:]); err != nil {
+		return dst, fmt.Errorf("pisec: session key: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	if _, err := rand.Read(iv[:]); err != nil {
+		return dst, fmt.Errorf("pisec: iv: %w", err)
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pk.key, sessionKey[:], envelopeMagicBytes)
+	if err != nil {
+		return dst, fmt.Errorf("pisec: wrapping session key: %w", err)
+	}
+	block, err := aes.NewCipher(sessionKey[:])
+	if err != nil {
+		return dst, fmt.Errorf("pisec: cipher init: %w", err)
+	}
+	dst = append(dst, envelopeMagic...)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(wrapped)))
+	dst = append(dst, l[:]...)
+	dst = append(dst, wrapped...)
+	dst = append(dst, iv[:]...)
+	digestAt := len(dst)
+	var zero [md5.Size]byte
+	dst = append(dst, zero[:]...)
+	ctAt := len(dst)
+	dst = append(dst, plaintext...)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(dst[ctAt:], dst[ctAt:])
+	sum := digestParts(wrapped, iv[:], dst[ctAt:])
+	copy(dst[digestAt:], sum[:])
+	return dst, nil
+}
+
+// AppendOpen verifies and decrypts a marshalled envelope, appending the
+// plaintext to dst. The envelope is parsed in place — nothing from body
+// is copied except the recovered plaintext itself.
+func AppendOpen(dst []byte, kp *KeyPair, body []byte) ([]byte, error) {
+	wrapped, iv, digest, ct, err := envelopeRef(body)
+	if err != nil {
+		return dst, err
+	}
+	sum := digestParts(wrapped, iv, ct)
+	if string(sum[:]) != string(digest) {
+		return dst, ErrDigestMismatch
+	}
+	sessionKey, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, kp.priv, wrapped, envelopeMagicBytes)
+	if err != nil {
+		return dst, fmt.Errorf("pisec: unwrapping session key: %w", err)
+	}
+	block, err := aes.NewCipher(sessionKey)
+	if err != nil {
+		return dst, fmt.Errorf("pisec: cipher init: %w", err)
+	}
+	base := len(dst)
+	dst = append(dst, ct...)
+	cipher.NewCTR(block, iv).XORKeyStream(dst[base:], dst[base:])
+	return dst, nil
 }
 
 // MarshalBase64 returns the envelope as base64 text for embedding in an

@@ -1,0 +1,269 @@
+// Package progcache caches compiled agent programs by content hash.
+//
+// Every /pdagent/dispatch used to re-lex, re-parse and re-compile the
+// shipped MAScript source even though the same source was compiled and
+// validated when its code package was registered; every /atp/transfer
+// re-unmarshalled and re-validated the agent's bytecode even when the
+// same program had just passed through. This cache removes both taxes:
+// programs are keyed by an FNV-1a hash of their content (source text
+// for MAScript, serialised bytecode for transfer images), entries
+// populated at AddCodePackage time are pinned for the lifetime of the
+// registration, and ad-hoc entries (unregistered sources, transferred
+// images) live in a bounded LRU.
+//
+// A hash hit is confirmed by comparing the stored content with the
+// probe before the cached program is returned, so an FNV collision can
+// cost a recompile but never run the wrong program. Cached programs are
+// shared across agents; that is safe because a mavm.Program is
+// immutable after compilation (the VM only reads it).
+package progcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"pdagent/internal/mascript"
+	"pdagent/internal/mavm"
+)
+
+// key identifies program content: a 64-bit FNV-1a hash plus the length,
+// so colliding contents must also collide in size before the (cheap,
+// allocation-free) content comparison runs. kind separates the MAScript
+// source namespace from the serialised-bytecode namespace: a dispatch
+// source that is byte-identical to some cached transfer image (or vice
+// versa) must never be answered with the other derivation's program —
+// that would bypass the compiler (or the unmarshal validation) for
+// content that only ever passed the other path.
+type key struct {
+	hash uint64
+	size int
+	kind contentKind
+}
+
+type contentKind byte
+
+const (
+	kindSource  contentKind = 1 // MAScript text, compiled
+	kindProgram contentKind = 2 // mavm.MarshalProgram bytes, unmarshalled
+)
+
+func fnv64a[T ~string | ~[]byte](content T) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(content); i++ {
+		h ^= uint64(content[i])
+		h *= prime64
+	}
+	return h
+}
+
+func keyOf(src string) key {
+	return key{hash: fnv64a(src), size: len(src), kind: kindSource}
+}
+
+func keyOfBytes(b []byte) key {
+	return key{hash: fnv64a(b), size: len(b), kind: kindProgram}
+}
+
+// entry is one cached program. pins counts registrations holding it
+// resident; elem is its LRU position while unpinned.
+type entry struct {
+	content string
+	prog    *mavm.Program
+	pins    int
+	elem    *list.Element
+}
+
+// DefaultAdhocEntries bounds the unpinned LRU when New is given no
+// bound. At the paper's 1–8 KB per source, the default costs at most a
+// few megabytes.
+const DefaultAdhocEntries = 256
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Cache is a concurrency-safe compiled-program cache. One instance is
+// shared between a gateway's dispatch path and its embedded MAS; a
+// standalone MAS owns its own.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[key]*entry
+	names   map[string]key // pin name (code id) -> pinned content key
+	lru     *list.List     // of key; front = most recently used, unpinned only
+	max     int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// New returns a cache whose unpinned (ad-hoc) population is bounded to
+// maxAdhoc entries; non-positive means DefaultAdhocEntries.
+func New(maxAdhoc int) *Cache {
+	if maxAdhoc <= 0 {
+		maxAdhoc = DefaultAdhocEntries
+	}
+	return &Cache{
+		entries: map[key]*entry{},
+		names:   map[string]key{},
+		lru:     list.New(),
+		max:     maxAdhoc,
+	}
+}
+
+// CompileString returns the compiled program for src, consulting the
+// cache first; hit reports whether compilation was skipped. Concurrent
+// misses on the same new source may compile it more than once (the
+// compiler runs outside the lock); exactly one result is kept.
+func (c *Cache) CompileString(src string) (prog *mavm.Program, hit bool, err error) {
+	k := keyOf(src)
+	if p := c.get(k, src); p != nil {
+		return p, true, nil
+	}
+	prog, err = mascript.CompileEntry(src)
+	if err != nil {
+		return nil, false, err
+	}
+	c.putAdhoc(k, src, prog)
+	return prog, false, nil
+}
+
+// UnmarshalBytes returns the program deserialised from a transfer
+// image's bytecode, consulting the cache first. The probe never copies
+// b unless the entry is actually inserted.
+func (c *Cache) UnmarshalBytes(b []byte) (prog *mavm.Program, hit bool, err error) {
+	k := keyOfBytes(b)
+	if p := c.getBytes(k, b); p != nil {
+		return p, true, nil
+	}
+	prog, err = mavm.UnmarshalProgram(b)
+	if err != nil {
+		return nil, false, err
+	}
+	c.putAdhoc(k, string(b), prog)
+	return prog, false, nil
+}
+
+// Pin makes prog resident under name (a code id) for as long as the
+// registration stands. Re-pinning a name whose content changed — a code
+// package re-registered with new source — releases the old pin: the old
+// program is demoted to the ad-hoc LRU (in-flight dispatches of the old
+// source still hit while it ages out) and the new one is pinned.
+func (c *Cache) Pin(name, src string, prog *mavm.Program) {
+	k := keyOf(src)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, pinned := c.names[name]; pinned {
+		if old == k {
+			if e := c.entries[old]; e != nil && e.content == src {
+				return // same content re-registered; nothing to do
+			}
+		}
+		c.unpinLocked(old)
+	}
+	c.names[name] = k
+	if e, ok := c.entries[k]; ok && e.content == src {
+		e.pins++
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		return
+	}
+	// Absent (or an FNV collision, which the new pin wins): install.
+	if e, ok := c.entries[k]; ok && e.elem != nil {
+		c.lru.Remove(e.elem)
+	}
+	c.entries[k] = &entry{content: src, prog: prog, pins: 1}
+}
+
+// get returns the cached program for (k, src), or nil.
+func (c *Cache) get(k key, src string) *mavm.Program {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok && e.content == src {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		p := e.prog
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return p
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil
+}
+
+// getBytes is get with a []byte probe; the conversion in the comparison
+// below does not allocate.
+func (c *Cache) getBytes(k key, b []byte) *mavm.Program {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok && e.content == string(b) {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		p := e.prog
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return p
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil
+}
+
+// putAdhoc inserts an unpinned entry, evicting from the LRU tail past
+// the bound. A racing insert of the same key keeps the first result.
+func (c *Cache) putAdhoc(k key, content string, prog *mavm.Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; exists {
+		return
+	}
+	e := &entry{content: content, prog: prog}
+	e.elem = c.lru.PushFront(k)
+	c.entries[k] = e
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		bk := back.Value.(key)
+		c.lru.Remove(back)
+		delete(c.entries, bk)
+	}
+}
+
+// unpinLocked drops one pin from the entry under k; the last unpin
+// demotes the entry to the ad-hoc LRU.
+func (c *Cache) unpinLocked(k key) {
+	e, ok := c.entries[k]
+	if !ok || e.pins == 0 {
+		return
+	}
+	e.pins--
+	if e.pins == 0 {
+		e.elem = c.lru.PushFront(k)
+		c.evictLocked()
+	}
+}
+
+// Len reports the pinned and ad-hoc entry counts.
+func (c *Cache) Len() (pinned, adhoc int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	adhoc = c.lru.Len()
+	return len(c.entries) - adhoc, adhoc
+}
+
+// Stats returns the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

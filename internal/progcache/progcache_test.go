@@ -1,0 +1,201 @@
+package progcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pdagent/internal/mascript"
+	"pdagent/internal/mavm"
+)
+
+const src = `deliver("n", 1);`
+
+func TestCompileStringHitAndMiss(t *testing.T) {
+	c := New(0)
+	p1, hit, err := c.CompileString(src)
+	if err != nil || hit {
+		t.Fatalf("first compile: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := c.CompileString(src)
+	if err != nil || !hit {
+		t.Fatalf("second compile: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache returned a different program for identical source")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+	if _, _, err := c.CompileString(`let = broken`); err == nil {
+		t.Fatal("compile error not surfaced")
+	}
+}
+
+// TestCachedMatchesDirect proves a cached compile and a direct
+// mascript.Compile of every standard application source produce
+// byte-identical programs (same code digest). The sources live in
+// internal/core, but importing core here would cycle; the gateway test
+// suite covers the full catalogue — this covers representative shapes.
+func TestCachedMatchesDirect(t *testing.T) {
+	sources := []string{
+		src,
+		`let total = 0;
+func add(n) { total = total + n; return total; }
+add(2); add(3); deliver("total", total);`,
+		`migrate("a"); deliver("x", params());`,
+	}
+	c := New(0)
+	for i, s := range sources {
+		direct, err := mascript.Compile(s)
+		if err != nil {
+			t.Fatalf("source %d: direct compile: %v", i, err)
+		}
+		cached, _, err := c.CompileString(s)
+		if err != nil {
+			t.Fatalf("source %d: cached compile: %v", i, err)
+		}
+		if direct.Digest() != cached.Digest() {
+			t.Fatalf("source %d: cached program digest differs from direct compile", i)
+		}
+	}
+}
+
+func TestUnmarshalBytes(t *testing.T) {
+	prog, err := mascript.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := mavm.MarshalProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(0)
+	p1, hit, err := c.UnmarshalBytes(bin)
+	if err != nil || hit {
+		t.Fatalf("first unmarshal: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := c.UnmarshalBytes(bin)
+	if err != nil || !hit {
+		t.Fatalf("second unmarshal: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache returned a different program for identical bytes")
+	}
+	if p1.Digest() != prog.Digest() {
+		t.Fatal("unmarshalled program digest differs from original")
+	}
+	if _, _, err := c.UnmarshalBytes([]byte("not a program")); err == nil {
+		t.Fatal("unmarshal error not surfaced")
+	}
+}
+
+func TestLRUEvictionBound(t *testing.T) {
+	c := New(8)
+	pinnedProg, _, err := c.CompileString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Pin("app", src, pinnedProg)
+	for i := 0; i < 100; i++ {
+		if _, _, err := c.CompileString(fmt.Sprintf(`deliver("n", %d);`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned, adhoc := c.Len()
+	if adhoc > 8 {
+		t.Fatalf("adhoc population %d exceeds bound 8", adhoc)
+	}
+	if pinned != 1 {
+		t.Fatalf("pinned = %d, want 1 (pins must survive eviction pressure)", pinned)
+	}
+	// The pinned entry still hits.
+	if _, hit, _ := c.CompileString(src); !hit {
+		t.Fatal("pinned entry evicted")
+	}
+	// Oldest ad-hoc entries must be gone, newest still resident.
+	if _, hit, _ := c.CompileString(`deliver("n", 0);`); hit {
+		t.Fatal("oldest ad-hoc entry not evicted")
+	}
+	if _, hit, _ := c.CompileString(`deliver("n", 99);`); !hit {
+		t.Fatal("newest ad-hoc entry was evicted")
+	}
+}
+
+func TestPinReplacementDemotesOld(t *testing.T) {
+	c := New(4)
+	v1, v2 := `deliver("v", 1);`, `deliver("v", 2);`
+	p1, _, err := c.CompileString(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Pin("app", v1, p1)
+	p2, _, err := c.CompileString(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Pin("app", v2, p2)
+	pinned, _ := c.Len()
+	if pinned != 1 {
+		t.Fatalf("pinned = %d after re-pin, want 1", pinned)
+	}
+	// New source is pinned; old source is merely cached and must age
+	// out under pressure while the pin survives.
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.CompileString(fmt.Sprintf(`deliver("x", %d);`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, hit, _ := c.CompileString(v1); hit {
+		t.Fatal("old pinned source still resident after demotion + pressure")
+	}
+	if _, hit, _ := c.CompileString(v2); !hit {
+		t.Fatal("new pinned source missing")
+	}
+}
+
+func TestSharedPinRefCount(t *testing.T) {
+	c := New(2)
+	prog, _, err := c.CompileString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Pin("a", src, prog)
+	c.Pin("b", src, prog)
+	// Re-pin "a" to different content: the shared entry keeps b's pin.
+	other := `deliver("n", 2);`
+	p2, _, err := c.CompileString(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Pin("a", other, p2)
+	for i := 0; i < 5; i++ {
+		c.CompileString(fmt.Sprintf(`deliver("z", %d);`, i))
+	}
+	if _, hit, _ := c.CompileString(src); !hit {
+		t.Fatal("entry still pinned by b was evicted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := fmt.Sprintf(`deliver("n", %d);`, i%20)
+				p, _, err := c.CompileString(s)
+				if err != nil || p == nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if i%50 == 0 {
+					c.Pin(fmt.Sprintf("app-%d", g), s, p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

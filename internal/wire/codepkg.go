@@ -72,45 +72,110 @@ type Subscription struct {
 	Gateway string
 }
 
-// EncodeXML renders the subscription document.
+// EncodeXML renders the subscription document (AppendXML into a fresh
+// buffer).
 func (s *Subscription) EncodeXML() ([]byte, error) {
-	if s.Package == nil {
-		return nil, fmt.Errorf("wire: subscription missing package")
-	}
-	root := kxml.NewElement("subscription")
-	root.SetAttr("gateway", s.Gateway)
-	root.Add(s.Package.EncodeXML())
-	root.AddElement("secret").AddText(hex.EncodeToString(s.Secret))
-	root.AddElement("gateway-key").AddText(s.GatewayKey)
-	return root.EncodeDocument(), nil
+	return s.AppendXML(nil)
 }
 
-// ParseSubscription parses a subscription document.
+// ParseSubscription parses a subscription document on the zero-DOM
+// fast path (no *kxml.Node tree; see pull.go).
 func ParseSubscription(doc []byte) (*Subscription, error) {
-	root, err := kxml.ParseBytes(doc)
-	if err != nil {
-		return nil, fmt.Errorf("wire: subscription: %w", err)
-	}
-	if root.Name != "subscription" {
-		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
-	}
-	pkg, err := ParseCodePackage(root.Find("code-package"))
+	s := newScanner(doc)
+	root, err := s.root("subscription", "subscription")
 	if err != nil {
 		return nil, err
 	}
-	secret, err := hex.DecodeString(root.ChildText("secret"))
+	sub := &Subscription{Gateway: evAttrDefault(root, "gateway", "")}
+	var secretHex string
+	sawSecret, sawKey := false, false
+	for {
+		ev, ok, err := s.child()
+		if err != nil {
+			return nil, fmt.Errorf("wire: subscription: %w", err)
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case ev.Name == "code-package" && sub.Package == nil:
+			if sub.Package, err = parseCodePackagePull(&s, ev); err != nil {
+				return nil, err
+			}
+		case ev.Name == "secret" && !sawSecret:
+			sawSecret = true
+			if secretHex, err = s.text(); err != nil {
+				return nil, fmt.Errorf("wire: subscription: %w", err)
+			}
+		case ev.Name == "gateway-key" && !sawKey:
+			sawKey = true
+			if sub.GatewayKey, err = s.text(); err != nil {
+				return nil, fmt.Errorf("wire: subscription: %w", err)
+			}
+		default:
+			if err := s.skip(); err != nil {
+				return nil, fmt.Errorf("wire: subscription: %w", err)
+			}
+		}
+	}
+	if err := s.finish(); err != nil {
+		return nil, fmt.Errorf("wire: subscription: %w", err)
+	}
+	if sub.Package == nil {
+		return nil, fmt.Errorf("wire: expected <code-package>")
+	}
+	secret, err := hex.DecodeString(secretHex)
 	if err != nil {
 		return nil, fmt.Errorf("wire: subscription secret: %w", err)
 	}
 	if len(secret) == 0 {
 		return nil, fmt.Errorf("wire: subscription missing secret")
 	}
-	return &Subscription{
-		Package:    pkg,
-		Secret:     secret,
-		GatewayKey: root.ChildText("gateway-key"),
-		Gateway:    root.AttrDefault("gateway", ""),
-	}, nil
+	sub.Secret = secret
+	return sub, nil
+}
+
+// parseCodePackagePull decodes a just-opened <code-package> element on
+// the pull path, mirroring ParseCodePackage.
+func parseCodePackagePull(s *scanner, ev kxml.Event) (*CodePackage, error) {
+	cp := &CodePackage{
+		CodeID:  evAttrDefault(ev, "id", ""),
+		Name:    evAttrDefault(ev, "name", ""),
+		Version: evAttrDefault(ev, "version", ""),
+	}
+	sawDesc, sawSrc := false, false
+	for {
+		cev, ok, err := s.child()
+		if err != nil {
+			return nil, fmt.Errorf("wire: code package: %w", err)
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case cev.Name == "description" && !sawDesc:
+			sawDesc = true
+			if cp.Description, err = s.text(); err != nil {
+				return nil, fmt.Errorf("wire: code package: %w", err)
+			}
+		case cev.Name == "source" && !sawSrc:
+			sawSrc = true
+			if cp.Source, err = s.text(); err != nil {
+				return nil, fmt.Errorf("wire: code package: %w", err)
+			}
+		default:
+			if err := s.skip(); err != nil {
+				return nil, fmt.Errorf("wire: code package: %w", err)
+			}
+		}
+	}
+	if cp.CodeID == "" {
+		return nil, fmt.Errorf("wire: code package missing id")
+	}
+	if cp.Source == "" {
+		return nil, fmt.Errorf("wire: code package %q missing source", cp.CodeID)
+	}
+	return cp, nil
 }
 
 // Catalogue is the gateway's list of downloadable applications.

@@ -5,10 +5,8 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"sort"
 
 	"pdagent/internal/compress"
-	"pdagent/internal/kxml"
 	"pdagent/internal/mavm"
 	"pdagent/internal/pisec"
 )
@@ -45,49 +43,55 @@ func NewNonce() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// EncodeXML renders the PI document.
+// EncodeXML renders the PI document (AppendXML into a fresh buffer).
 func (pi *PackedInformation) EncodeXML() ([]byte, error) {
-	root := kxml.NewElement("packed-information")
-	root.SetAttr("code-id", pi.CodeID)
-	root.SetAttr("key", pi.DispatchKey)
-	root.SetAttr("owner", pi.Owner)
-	if pi.Nonce != "" {
-		root.SetAttr("nonce", pi.Nonce)
-	}
-	root.AddElement("code").AddText(pi.Source)
-	params := root.AddElement("params")
-	keys := make([]string, 0, len(pi.Params))
-	for k := range pi.Params {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		p := params.AddElement("param").SetAttr("name", k)
-		v, err := ValueToXML(pi.Params[k])
-		if err != nil {
-			return nil, fmt.Errorf("wire: param %q: %w", k, err)
-		}
-		p.Add(v)
-	}
-	return root.EncodeDocument(), nil
+	return pi.AppendXML(nil)
 }
 
-// ParsePackedInformation parses a PI document.
+// ParsePackedInformation parses a PI document on the zero-DOM fast
+// path: it drives the kxml pull parser directly and never builds a
+// *kxml.Node tree (see pull.go).
 func ParsePackedInformation(doc []byte) (*PackedInformation, error) {
-	root, err := kxml.ParseBytes(doc)
+	s := newScanner(doc)
+	root, err := s.root("packed-information", "packed information")
 	if err != nil {
-		return nil, fmt.Errorf("wire: packed information: %w", err)
-	}
-	if root.Name != "packed-information" {
-		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
+		return nil, err
 	}
 	pi := &PackedInformation{
-		CodeID:      root.AttrDefault("code-id", ""),
-		DispatchKey: root.AttrDefault("key", ""),
-		Owner:       root.AttrDefault("owner", ""),
-		Nonce:       root.AttrDefault("nonce", ""),
-		Source:      root.ChildText("code"),
+		CodeID:      evAttrDefault(root, "code-id", ""),
+		DispatchKey: evAttrDefault(root, "key", ""),
+		Owner:       evAttrDefault(root, "owner", ""),
+		Nonce:       evAttrDefault(root, "nonce", ""),
 		Params:      map[string]mavm.Value{},
+	}
+	sawCode, sawParams := false, false
+	for {
+		ev, ok, err := s.child()
+		if err != nil {
+			return nil, fmt.Errorf("wire: packed information: %w", err)
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case ev.Name == "code" && !sawCode:
+			sawCode = true
+			if pi.Source, err = s.text(); err != nil {
+				return nil, fmt.Errorf("wire: packed information: %w", err)
+			}
+		case ev.Name == "params" && !sawParams:
+			sawParams = true
+			if err := parseParams(&s, pi.Params); err != nil {
+				return nil, err
+			}
+		default:
+			if err := s.skip(); err != nil {
+				return nil, fmt.Errorf("wire: packed information: %w", err)
+			}
+		}
+	}
+	if err := s.finish(); err != nil {
+		return nil, fmt.Errorf("wire: packed information: %w", err)
 	}
 	if pi.CodeID == "" {
 		return nil, fmt.Errorf("wire: packed information missing code-id")
@@ -95,43 +99,79 @@ func ParsePackedInformation(doc []byte) (*PackedInformation, error) {
 	if pi.Source == "" {
 		return nil, fmt.Errorf("wire: packed information missing code")
 	}
-	if params := root.Find("params"); params != nil {
-		for _, p := range params.FindAll("param") {
-			name, ok := p.Attr("name")
-			if !ok {
-				return nil, fmt.Errorf("wire: param missing name")
-			}
-			v, err := ValueFromXML(p.Find("value"))
-			if err != nil {
-				return nil, fmt.Errorf("wire: param %q: %w", name, err)
-			}
-			pi.Params[name] = v
-		}
-	}
 	return pi, nil
+}
+
+// parseParams decodes the children of a just-opened <params> element.
+func parseParams(s *scanner, out map[string]mavm.Value) error {
+	for {
+		ev, ok, err := s.child()
+		if err != nil {
+			return fmt.Errorf("wire: packed information: %w", err)
+		}
+		if !ok {
+			return nil
+		}
+		if ev.Name != "param" {
+			if err := s.skip(); err != nil {
+				return fmt.Errorf("wire: packed information: %w", err)
+			}
+			continue
+		}
+		name, haveName := evAttr(ev, "name")
+		if !haveName {
+			return fmt.Errorf("wire: param missing name")
+		}
+		val, found, err := s.firstValueChild(0)
+		if err != nil {
+			return fmt.Errorf("wire: param %q: %w", name, err)
+		}
+		if !found {
+			return fmt.Errorf("wire: param %q: %w", name, errExpectedValue)
+		}
+		out[name] = val
+	}
 }
 
 // Pack applies the device-side transfer pipeline to a PI: XML encode,
 // compress with the chosen codec, and (when gatewayKey is non-nil)
 // seal to the gateway per Figure 7. The result is the HTTP body the
-// Network Manager uploads.
+// Network Manager uploads. It is AppendPack into a fresh buffer.
 func Pack(pi *PackedInformation, codec compress.Codec, gatewayKey *pisec.PublicKey) ([]byte, error) {
-	doc, err := pi.EncodeXML()
+	return AppendPack(nil, pi, codec, gatewayKey)
+}
+
+// AppendPack is Pack appending the upload body to dst: the intermediate
+// XML document and compressed frame live in pooled scratch buffers, so
+// a device (or benchmark) reusing its body buffer allocates nothing per
+// upload in steady state.
+func AppendPack(dst []byte, pi *PackedInformation, codec compress.Codec, gatewayKey *pisec.PublicKey) ([]byte, error) {
+	docBuf := getScratch()
+	defer putScratch(docBuf)
+	doc, err := pi.AppendXML((*docBuf)[:0])
+	*docBuf = doc[:0]
 	if err != nil {
-		return nil, err
-	}
-	framed, err := compress.Encode(codec, doc)
-	if err != nil {
-		return nil, fmt.Errorf("wire: compressing packed information: %w", err)
+		return dst, err
 	}
 	if gatewayKey == nil {
-		return framed, nil
+		out, err := compress.AppendEncode(dst, codec, doc)
+		if err != nil {
+			return dst, fmt.Errorf("wire: compressing packed information: %w", err)
+		}
+		return out, nil
 	}
-	env, err := pisec.Seal(gatewayKey, framed)
+	frameBuf := getScratch()
+	defer putScratch(frameBuf)
+	framed, err := compress.AppendEncode((*frameBuf)[:0], codec, doc)
+	*frameBuf = framed[:0]
 	if err != nil {
-		return nil, fmt.Errorf("wire: sealing packed information: %w", err)
+		return dst, fmt.Errorf("wire: compressing packed information: %w", err)
 	}
-	return env.Marshal(), nil
+	out, err := pisec.AppendSeal(dst, gatewayKey, framed)
+	if err != nil {
+		return dst, fmt.Errorf("wire: sealing packed information: %w", err)
+	}
+	return out, nil
 }
 
 // sealedPrefix sniffs pisec envelopes (pisec.envelopeMagic).
@@ -139,24 +179,30 @@ var sealedPrefix = []byte("PISEC1")
 
 // Unpack reverses Pack at the gateway: verify + decrypt when sealed,
 // then decompress and parse. kp may be nil only for unsealed bodies.
+// The opened plaintext and decompressed document live in pooled scratch
+// buffers — safe because the zero-DOM parser copies every string it
+// returns — so the dispatch hot path allocates only the PI itself.
 func Unpack(body []byte, kp *pisec.KeyPair) (*PackedInformation, error) {
 	payload := body
 	if bytes.HasPrefix(body, sealedPrefix) {
 		if kp == nil {
 			return nil, fmt.Errorf("wire: sealed packed information but gateway has no key pair")
 		}
-		env, err := pisec.UnmarshalEnvelope(body)
-		if err != nil {
-			return nil, fmt.Errorf("wire: envelope: %w", err)
-		}
-		payload, err = pisec.Open(kp, env)
+		openBuf := getScratch()
+		defer putScratch(openBuf)
+		pt, err := pisec.AppendOpen((*openBuf)[:0], kp, body)
 		if err != nil {
 			return nil, fmt.Errorf("wire: opening packed information: %w", err)
 		}
+		*openBuf = pt[:0]
+		payload = pt
 	}
-	doc, err := compress.Decode(payload)
+	docBuf := getScratch()
+	defer putScratch(docBuf)
+	doc, err := compress.AppendDecode((*docBuf)[:0], payload)
 	if err != nil {
 		return nil, fmt.Errorf("wire: decompressing packed information: %w", err)
 	}
+	*docBuf = doc[:0]
 	return ParsePackedInformation(doc)
 }

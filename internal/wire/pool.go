@@ -1,0 +1,28 @@
+package wire
+
+import "sync"
+
+// scratch is the byte-buffer pool threaded through Pack and Unpack: the
+// intermediate XML document, compressed frame and opened-envelope
+// plaintext all live in pooled buffers, so a steady stream of
+// dispatches recycles the same scratch memory instead of allocating it
+// per request. Buffers are safe to recycle because the kxml parser
+// copies every string it hands out.
+var scratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// maxPooledBuf keeps one-off giant documents from pinning memory in the
+// pool forever.
+const maxPooledBuf = 1 << 20
+
+func getScratch() *[]byte { return scratch.Get().(*[]byte) }
+
+func putScratch(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	scratch.Put(b)
+}

@@ -1,0 +1,330 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+)
+
+// This file is the zero-DOM decode fast path: ParsePackedInformation,
+// ParseResultDocument, ParseSubscription and ParseValue drive the kxml
+// pull parser directly, never building a *kxml.Node tree. The decoders
+// preserve the old DOM decoders' semantics exactly — first-named-child
+// selection, TextContent (descendant text) for scalar content, unknown
+// elements ignored — which the wire fuzz target checks differentially
+// against a DOM reference while both implementations exist.
+
+// errExpectedValue mirrors the DOM decoder's message for a missing or
+// mis-named <value> element.
+var errExpectedValue = errors.New("wire: expected <value> element")
+
+// scanner drives the kxml pull parser over one document.
+type scanner struct {
+	p *kxml.Parser
+}
+
+func newScanner(doc []byte) scanner {
+	return scanner{p: kxml.NewParserBytes(doc)}
+}
+
+// next returns the next structural event, skipping comments, processing
+// instructions and the StartDocument marker — the constructs the DOM
+// builder dropped.
+func (s *scanner) next() (kxml.Event, error) {
+	for {
+		ev, err := s.p.Next()
+		if err != nil {
+			return kxml.Event{}, err
+		}
+		switch ev.Type {
+		case kxml.Comment, kxml.ProcInst, kxml.StartDocument:
+			continue
+		default:
+			return ev, nil
+		}
+	}
+}
+
+// root consumes events up to the root StartElement and checks its name;
+// what labels parse errors ("packed information", "subscription", ...).
+func (s *scanner) root(name, what string) (kxml.Event, error) {
+	ev, err := s.next()
+	if err != nil {
+		return ev, fmt.Errorf("wire: %s: %w", what, err)
+	}
+	if ev.Type != kxml.StartElement {
+		return ev, fmt.Errorf("wire: %s: %w", what, kxml.ErrNoElement)
+	}
+	if ev.Name != name {
+		return ev, fmt.Errorf("wire: unexpected root <%s>", ev.Name)
+	}
+	return ev, nil
+}
+
+// child returns the next direct child element of the open element,
+// skipping character data between children (the DOM decoders ignored
+// non-element children); ok=false when the element's end tag was
+// consumed instead.
+func (s *scanner) child() (kxml.Event, bool, error) {
+	for {
+		ev, err := s.next()
+		if err != nil {
+			return ev, false, err
+		}
+		switch ev.Type {
+		case kxml.StartElement:
+			return ev, true, nil
+		case kxml.EndElement:
+			return ev, false, nil
+		case kxml.EndDocument:
+			return ev, false, fmt.Errorf("wire: document ended inside element")
+		}
+	}
+}
+
+// skip consumes the remainder of the element whose StartElement was
+// just returned, including nested elements.
+func (s *scanner) skip() error {
+	depth := 0
+	for {
+		ev, err := s.next()
+		if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case kxml.StartElement:
+			depth++
+		case kxml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		case kxml.EndDocument:
+			return fmt.Errorf("wire: document ended inside element")
+		}
+	}
+}
+
+// text consumes the remainder of the just-opened element and returns
+// its concatenated character data, descending into nested elements —
+// Node.TextContent semantics. Single-chunk content (the common case on
+// the dispatch path) returns the parser's string without building.
+func (s *scanner) text() (string, error) {
+	var first string
+	var b *strings.Builder
+	depth := 0
+	for {
+		ev, err := s.next()
+		if err != nil {
+			return "", err
+		}
+		switch ev.Type {
+		case kxml.StartElement:
+			depth++
+		case kxml.EndElement:
+			if depth == 0 {
+				if b != nil {
+					return b.String(), nil
+				}
+				return first, nil
+			}
+			depth--
+		case kxml.Text, kxml.CData:
+			switch {
+			case b != nil:
+				b.WriteString(ev.Text)
+			case first == "":
+				first = ev.Text
+			default:
+				b = &strings.Builder{}
+				b.WriteString(first)
+				b.WriteString(ev.Text)
+			}
+		case kxml.EndDocument:
+			return "", fmt.Errorf("wire: document ended inside element")
+		}
+	}
+}
+
+// finish drains the document after the root element closed, erroring on
+// a second root like the DOM builder did.
+func (s *scanner) finish() error {
+	for {
+		ev, err := s.next()
+		if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case kxml.EndDocument:
+			return nil
+		case kxml.StartElement:
+			return &kxml.SyntaxError{Line: ev.Line, Col: ev.Col, Msg: "multiple root elements"}
+		}
+	}
+}
+
+// evAttr looks up an attribute on a StartElement event.
+func evAttr(ev kxml.Event, name string) (string, bool) {
+	for _, a := range ev.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func evAttrDefault(ev kxml.Event, name, def string) string {
+	if v, ok := evAttr(ev, name); ok {
+		return v
+	}
+	return def
+}
+
+// valueFromScanner decodes the just-opened <value> element without
+// building a DOM; it mirrors valueFromXML exactly.
+func valueFromScanner(s *scanner, ev kxml.Event, depth int) (mavm.Value, error) {
+	if depth > maxValueDepth {
+		return mavm.Nil(), fmt.Errorf("wire: value nesting exceeds %d", maxValueDepth)
+	}
+	if ev.Name != "value" {
+		return mavm.Nil(), errExpectedValue
+	}
+	typ := evAttrDefault(ev, "type", "")
+	switch typ {
+	case "nil":
+		if err := s.skip(); err != nil {
+			return mavm.Nil(), err
+		}
+		return mavm.Nil(), nil
+	case "bool", "int", "float", "str":
+		text, err := s.text()
+		if err != nil {
+			return mavm.Nil(), err
+		}
+		switch typ {
+		case "bool":
+			b, err := strconv.ParseBool(text)
+			if err != nil {
+				return mavm.Nil(), fmt.Errorf("wire: bad bool %q", text)
+			}
+			return mavm.Bool(b), nil
+		case "int":
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return mavm.Nil(), fmt.Errorf("wire: bad int %q", text)
+			}
+			return mavm.Int(i), nil
+		case "float":
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return mavm.Nil(), fmt.Errorf("wire: bad float %q", text)
+			}
+			return mavm.Float(f), nil
+		}
+		return mavm.Str(text), nil
+	case "list":
+		var items []mavm.Value
+		for {
+			cev, ok, err := s.child()
+			if err != nil {
+				return mavm.Nil(), err
+			}
+			if !ok {
+				break
+			}
+			if cev.Name != "value" {
+				if err := s.skip(); err != nil {
+					return mavm.Nil(), err
+				}
+				continue
+			}
+			v, err := valueFromScanner(s, cev, depth+1)
+			if err != nil {
+				return mavm.Nil(), err
+			}
+			items = append(items, v)
+		}
+		return mavm.NewList(items...), nil
+	case "map":
+		m := mavm.NewMap()
+		for {
+			eev, ok, err := s.child()
+			if err != nil {
+				return mavm.Nil(), err
+			}
+			if !ok {
+				break
+			}
+			if eev.Name != "entry" {
+				if err := s.skip(); err != nil {
+					return mavm.Nil(), err
+				}
+				continue
+			}
+			key, haveKey := evAttr(eev, "key")
+			if !haveKey {
+				return mavm.Nil(), fmt.Errorf("wire: map entry missing key")
+			}
+			val, found, err := s.firstValueChild(depth + 1)
+			if err != nil {
+				return mavm.Nil(), err
+			}
+			if !found {
+				return mavm.Nil(), errExpectedValue
+			}
+			m.MapEntries()[key] = val
+		}
+		return m, nil
+	default:
+		return mavm.Nil(), fmt.Errorf("wire: unknown value type %q", typ)
+	}
+}
+
+// firstValueChild consumes the remainder of the just-opened element and
+// decodes its first direct <value> child (the DOM decoders' Find
+// semantics), skipping every other child.
+func (s *scanner) firstValueChild(depth int) (mavm.Value, bool, error) {
+	var val mavm.Value
+	found := false
+	for {
+		ev, ok, err := s.child()
+		if err != nil {
+			return mavm.Nil(), false, err
+		}
+		if !ok {
+			return val, found, nil
+		}
+		if ev.Name == "value" && !found {
+			if val, err = valueFromScanner(s, ev, depth); err != nil {
+				return mavm.Nil(), false, err
+			}
+			found = true
+			continue
+		}
+		if err := s.skip(); err != nil {
+			return mavm.Nil(), false, err
+		}
+	}
+}
+
+// ParseValue decodes a standalone <value> document on the pull-parser
+// fast path (the inverse of AppendValueXML as a document).
+func ParseValue(doc []byte) (mavm.Value, error) {
+	s := newScanner(doc)
+	ev, err := s.root("value", "value")
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	v, err := valueFromScanner(&s, ev, 0)
+	if err != nil {
+		return mavm.Nil(), err
+	}
+	if err := s.finish(); err != nil {
+		return mavm.Nil(), fmt.Errorf("wire: value: %w", err)
+	}
+	return v, nil
+}

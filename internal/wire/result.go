@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strconv"
 
-	"pdagent/internal/kxml"
 	"pdagent/internal/mavm"
 )
 
@@ -44,61 +43,66 @@ func (rd *ResultDocument) Get(key string) (mavm.Value, bool) {
 // OK reports whether the journey completed normally.
 func (rd *ResultDocument) OK() bool { return rd.Status == "done" }
 
-// EncodeXML renders the result document.
+// EncodeXML renders the result document (AppendXML into a fresh
+// buffer).
 func (rd *ResultDocument) EncodeXML() ([]byte, error) {
-	root := kxml.NewElement("result-document")
-	root.SetAttr("agent", rd.AgentID)
-	root.SetAttr("code-id", rd.CodeID)
-	root.SetAttr("owner", rd.Owner)
-	root.SetAttr("status", rd.Status)
-	root.SetAttr("hops", strconv.Itoa(rd.Hops))
-	root.SetAttr("steps", strconv.FormatUint(rd.Steps, 10))
-	if rd.Error != "" {
-		root.AddElement("error").AddText(rd.Error)
-	}
-	for _, r := range rd.Results {
-		e := root.AddElement("result").SetAttr("key", r.Key)
-		v, err := ValueToXML(r.Value)
-		if err != nil {
-			return nil, fmt.Errorf("wire: result %q: %w", r.Key, err)
-		}
-		e.Add(v)
-	}
-	return root.EncodeDocument(), nil
+	return rd.AppendXML(nil)
 }
 
-// ParseResultDocument parses a result document.
+// ParseResultDocument parses a result document on the zero-DOM fast
+// path (no *kxml.Node tree; see pull.go).
 func ParseResultDocument(doc []byte) (*ResultDocument, error) {
-	root, err := kxml.ParseBytes(doc)
+	s := newScanner(doc)
+	root, err := s.root("result-document", "result document")
 	if err != nil {
-		return nil, fmt.Errorf("wire: result document: %w", err)
+		return nil, err
 	}
-	if root.Name != "result-document" {
-		return nil, fmt.Errorf("wire: unexpected root <%s>", root.Name)
-	}
-	hops, _ := strconv.Atoi(root.AttrDefault("hops", "0"))
-	steps, _ := strconv.ParseUint(root.AttrDefault("steps", "0"), 10, 64)
+	hops, _ := strconv.Atoi(evAttrDefault(root, "hops", "0"))
+	steps, _ := strconv.ParseUint(evAttrDefault(root, "steps", "0"), 10, 64)
 	rd := &ResultDocument{
-		AgentID: root.AttrDefault("agent", ""),
-		CodeID:  root.AttrDefault("code-id", ""),
-		Owner:   root.AttrDefault("owner", ""),
-		Status:  root.AttrDefault("status", ""),
+		AgentID: evAttrDefault(root, "agent", ""),
+		CodeID:  evAttrDefault(root, "code-id", ""),
+		Owner:   evAttrDefault(root, "owner", ""),
+		Status:  evAttrDefault(root, "status", ""),
 		Hops:    hops,
 		Steps:   steps,
 	}
-	if e := root.Find("error"); e != nil {
-		rd.Error = e.TextContent()
-	}
-	for _, r := range root.FindAll("result") {
-		key, ok := r.Attr("key")
-		if !ok {
-			return nil, fmt.Errorf("wire: result entry missing key")
-		}
-		v, err := ValueFromXML(r.Find("value"))
+	sawError := false
+	for {
+		ev, ok, err := s.child()
 		if err != nil {
-			return nil, fmt.Errorf("wire: result %q: %w", key, err)
+			return nil, fmt.Errorf("wire: result document: %w", err)
 		}
-		rd.Results = append(rd.Results, mavm.Result{Key: key, Value: v})
+		if !ok {
+			break
+		}
+		switch {
+		case ev.Name == "error" && !sawError:
+			sawError = true
+			if rd.Error, err = s.text(); err != nil {
+				return nil, fmt.Errorf("wire: result document: %w", err)
+			}
+		case ev.Name == "result":
+			key, haveKey := evAttr(ev, "key")
+			if !haveKey {
+				return nil, fmt.Errorf("wire: result entry missing key")
+			}
+			v, found, err := s.firstValueChild(0)
+			if err != nil {
+				return nil, fmt.Errorf("wire: result %q: %w", key, err)
+			}
+			if !found {
+				return nil, fmt.Errorf("wire: result %q: %w", key, errExpectedValue)
+			}
+			rd.Results = append(rd.Results, mavm.Result{Key: key, Value: v})
+		default:
+			if err := s.skip(); err != nil {
+				return nil, fmt.Errorf("wire: result document: %w", err)
+			}
+		}
+	}
+	if err := s.finish(); err != nil {
+		return nil, fmt.Errorf("wire: result document: %w", err)
 	}
 	if rd.AgentID == "" {
 		return nil, fmt.Errorf("wire: result document missing agent id")

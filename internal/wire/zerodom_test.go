@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/mavm"
+)
+
+// representativePI is the shape a real handheld uploads: registered
+// code id, dispatch key, nonce, an agent script and a small mixed
+// parameter set.
+func representativePI() *PackedInformation {
+	return &PackedInformation{
+		CodeID:      "app.ebanking",
+		DispatchKey: "4af1c9d2e80b7a6612f3c5d49e0b8a71",
+		Owner:       "dev-42",
+		Nonce:       "0011223344556677",
+		Source:      `migrate("hk-bank-a"); deliver("balance", query("alice")); `,
+		Params: map[string]mavm.Value{
+			"account": mavm.Str("alice"),
+			"amount":  mavm.Int(250),
+			"rate":    mavm.Float(1.25),
+			"targets": mavm.NewList(mavm.Str("hk-a"), mavm.Str("hk-b")),
+		},
+	}
+}
+
+// TestPIDecodeZeroDOM is the acceptance check: decoding a
+// representative dispatch body performs zero kxml *Node allocations,
+// measured both by the package's node counter and by
+// testing.AllocsPerRun staying far below what a DOM build would cost.
+func TestPIDecodeZeroDOM(t *testing.T) {
+	doc, err := representativePI().EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pools and code paths.
+	if _, err := ParsePackedInformation(doc); err != nil {
+		t.Fatal(err)
+	}
+
+	before := kxml.NodeAllocs()
+	for i := 0; i < 50; i++ {
+		pi, err := ParsePackedInformation(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi.CodeID != "app.ebanking" || len(pi.Params) != 4 {
+			t.Fatalf("decode mangled the PI: %+v", pi)
+		}
+	}
+	if got := kxml.NodeAllocs() - before; got != 0 {
+		t.Fatalf("PI decode allocated %d kxml nodes, want 0", got)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ParsePackedInformation(doc); err != nil {
+			panic(err)
+		}
+	})
+	t.Logf("ParsePackedInformation: %.1f allocs/op", allocs)
+	// The representative document holds ~14 elements and ~13 attributes.
+	// The pull path measures ~44 allocs/op — attribute values, text
+	// runs, the attr slices and the decoded values themselves — where
+	// the DOM path paid all of that plus a Node per element, the tree
+	// slices and un-interned tag names (~100). The bound guards the
+	// fast path against regressing toward tree building without being
+	// flaky-tight.
+	if allocs > 48 {
+		t.Fatalf("PI decode costs %.1f allocs/op, want <= 48", allocs)
+	}
+}
+
+// TestResultAndSubscriptionDecodeZeroDOM extends the node-allocation
+// guarantee to the other two rewritten decoders.
+func TestResultAndSubscriptionDecodeZeroDOM(t *testing.T) {
+	rd := &ResultDocument{
+		AgentID: "ag-gw-1", CodeID: "app.e", Owner: "dev-1", Status: "done",
+		Hops: 3, Steps: 1234,
+		Results: []mavm.Result{
+			{Key: "balance", Value: mavm.Int(100)},
+			{Key: "log", Value: mavm.NewList(mavm.Str("a"), mavm.Str("b"))},
+		},
+	}
+	rdoc, err := rd.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &Subscription{
+		Package: &CodePackage{
+			CodeID: "app.e", Name: "E", Version: "1",
+			Description: "desc", Source: `deliver("x", 1);`,
+		},
+		Secret:     []byte{1, 2, 3, 4},
+		GatewayKey: "QUJD",
+		Gateway:    "gw-1",
+	}
+	sdoc, err := sub.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := kxml.NodeAllocs()
+	for i := 0; i < 20; i++ {
+		if _, err := ParseResultDocument(rdoc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSubscription(sdoc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := kxml.NodeAllocs() - before; got != 0 {
+		t.Fatalf("result/subscription decode allocated %d kxml nodes, want 0", got)
+	}
+}
+
+// --- DOM reference encoders -------------------------------------------
+//
+// These replicate the pre-fast-path kxml.Node encoders verbatim; the
+// compat tests below hold the AppendXML writers to byte-identical
+// output, so on-the-wire documents are unchanged by the rewrite.
+
+func domEncodePI(pi *PackedInformation) ([]byte, error) {
+	root := kxml.NewElement("packed-information")
+	root.SetAttr("code-id", pi.CodeID)
+	root.SetAttr("key", pi.DispatchKey)
+	root.SetAttr("owner", pi.Owner)
+	if pi.Nonce != "" {
+		root.SetAttr("nonce", pi.Nonce)
+	}
+	root.AddElement("code").AddText(pi.Source)
+	params := root.AddElement("params")
+	keys := make([]string, 0, len(pi.Params))
+	for k := range pi.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := params.AddElement("param").SetAttr("name", k)
+		v, err := ValueToXML(pi.Params[k])
+		if err != nil {
+			return nil, err
+		}
+		p.Add(v)
+	}
+	return root.EncodeDocument(), nil
+}
+
+func domEncodeResult(rd *ResultDocument) ([]byte, error) {
+	root := kxml.NewElement("result-document")
+	root.SetAttr("agent", rd.AgentID)
+	root.SetAttr("code-id", rd.CodeID)
+	root.SetAttr("owner", rd.Owner)
+	root.SetAttr("status", rd.Status)
+	root.SetAttr("hops", fmt.Sprint(rd.Hops))
+	root.SetAttr("steps", fmt.Sprint(rd.Steps))
+	if rd.Error != "" {
+		root.AddElement("error").AddText(rd.Error)
+	}
+	for _, r := range rd.Results {
+		e := root.AddElement("result").SetAttr("key", r.Key)
+		v, err := ValueToXML(r.Value)
+		if err != nil {
+			return nil, err
+		}
+		e.Add(v)
+	}
+	return root.EncodeDocument(), nil
+}
+
+func domEncodeSubscription(s *Subscription) ([]byte, error) {
+	root := kxml.NewElement("subscription")
+	root.SetAttr("gateway", s.Gateway)
+	root.Add(s.Package.EncodeXML())
+	root.AddElement("secret").AddText(fmt.Sprintf("%x", s.Secret))
+	root.AddElement("gateway-key").AddText(s.GatewayKey)
+	return root.EncodeDocument(), nil
+}
+
+// TestAppendXMLMatchesDOMEncoders drives randomized documents through
+// both encoder generations and requires byte-identical output.
+func TestAppendXMLMatchesDOMEncoders(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		pi := &PackedInformation{
+			CodeID:      "app." + randString(r) + "x",
+			DispatchKey: randString(r),
+			Owner:       randString(r),
+			Nonce:       randString(r),
+			Source:      `deliver("x", ` + fmt.Sprint(r.Intn(100)) + `); // ` + randString(r),
+			Params:      randParams(r),
+		}
+		want, err := domEncodePI(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pi.AppendXML(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("iter %d: PI encodings diverge:\nDOM:    %s\nAppend: %s", i, want, got)
+		}
+
+		rd := &ResultDocument{
+			AgentID: "ag-" + randString(r) + "1",
+			CodeID:  "app." + randString(r),
+			Owner:   randString(r),
+			Status:  "done",
+			Hops:    r.Intn(64),
+			Steps:   uint64(r.Int63n(1 << 40)),
+		}
+		if r.Intn(2) == 0 {
+			rd.Error = "err: " + randString(r)
+		}
+		for j, n := 0, r.Intn(4); j < n; j++ {
+			rd.Results = append(rd.Results, mavm.Result{
+				Key: fmt.Sprintf("r%d", j), Value: randValue(r, 3),
+			})
+		}
+		want, err = domEncodeResult(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = rd.AppendXML(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("iter %d: result encodings diverge:\nDOM:    %s\nAppend: %s", i, want, got)
+		}
+
+		sub := &Subscription{
+			Package: &CodePackage{
+				CodeID: "app." + randString(r) + "x", Name: randString(r),
+				Version: "1", Description: randString(r),
+				Source: `deliver("y", 1); // ` + randString(r),
+			},
+			Secret:     []byte(randString(r) + "s"),
+			GatewayKey: randString(r),
+			Gateway:    "gw-" + randString(r),
+		}
+		want, err = domEncodeSubscription(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = sub.AppendXML(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("iter %d: subscription encodings diverge:\nDOM:    %s\nAppend: %s", i, want, got)
+		}
+	}
+}
+
+// TestParseValueRoundTrip covers the standalone value fast path.
+func TestParseValueRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for i := 0; i < 200; i++ {
+		v := randValue(r, 3)
+		doc, err := AppendValueXML(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseValue(append([]byte(xmlDecl), doc...))
+		if err != nil {
+			t.Fatalf("iter %d: ParseValue: %v\ndoc: %s", i, err, doc)
+		}
+		d1, err := AppendValueXML(nil, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(doc, d1) {
+			t.Fatalf("iter %d: value round trip changed:\n%s\nvs\n%s", i, doc, d1)
+		}
+	}
+}
+
+// TestAppendPackPrefix verifies append-style Pack/Unpack compose with a
+// non-empty destination prefix (the pooled-buffer contract).
+func TestAppendPackPrefix(t *testing.T) {
+	pi := representativePI()
+	prefix := []byte("PREFIX")
+	body, err := AppendPack(append([]byte(nil), prefix...), pi, 1 /* LZSS */, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(body, prefix) {
+		t.Fatal("AppendPack clobbered the destination prefix")
+	}
+	plain, err := Pack(pi, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body[len(prefix):], plain) {
+		t.Fatal("AppendPack payload differs from Pack")
+	}
+}
