@@ -394,7 +394,7 @@ func BenchmarkGatewayRegistryMixedParallel(b *testing.B) {
 
 // G2 — dispatch fast path (ISSUE 3): compiled-program cache, zero-DOM
 // wire decode, pooled buffers. The drivers live in internal/benchkit so
-// cmd/bench measures exactly the same code and writes BENCH_3.json.
+// cmd/bench measures exactly the same code and writes BENCH_4.json.
 
 // BenchmarkGatewayDispatchE2E pushes whole unsealed Packed Information
 // uploads through the dispatch handler in parallel: pack on the device
@@ -431,4 +431,24 @@ func BenchmarkPIDecode(b *testing.B) {
 func BenchmarkWireUnpack(b *testing.B) {
 	b.Run("lzss", func(b *testing.B) { benchkit.WireUnpack(b, compress.LZSS, false) })
 	b.Run("lzss/sealed", func(b *testing.B) { benchkit.WireUnpack(b, compress.LZSS, true) })
+}
+
+// BenchmarkClusterDispatch measures G3 aggregate dispatch throughput
+// over an n-member federation (routed: each upload goes to its key's
+// ring home, the fleet fast path; naive: round-robin spray, most
+// dispatches pay a cross-member forward hop).
+func BenchmarkClusterDispatch(b *testing.B) {
+	for _, n := range []int{1, 2, 3, 4} {
+		n := n
+		b.Run(fmt.Sprintf("gateways=%d", n), func(b *testing.B) { benchkit.ClusterDispatch(b, n, true) })
+	}
+	b.Run("gateways=3/naive", func(b *testing.B) { benchkit.ClusterDispatch(b, 3, false) })
+}
+
+// BenchmarkClusterJourney measures one complete dispatch→result round
+// trip through a 3-member federation, with and without cross-member
+// forwarding and the result relay.
+func BenchmarkClusterJourney(b *testing.B) {
+	b.Run("local", func(b *testing.B) { benchkit.ClusterJourney(b, 3, false) })
+	b.Run("forwarded", func(b *testing.B) { benchkit.ClusterJourney(b, 3, true) })
 }

@@ -1,15 +1,16 @@
 // Command bench is the machine-readable performance harness: it runs
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
-// fast path) through the exact drivers `go test -bench` uses
-// (internal/benchkit) and writes the results as JSON so the repo's
-// performance trajectory is tracked as data, not prose.
+// fast path, G3 federation scaling) through the exact drivers
+// `go test -bench` uses (internal/benchkit) and writes the results as
+// JSON so the repo's performance trajectory is tracked as data, not
+// prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_3.json
+//	bench                     # full run, writes BENCH_4.json
 //	bench -short              # CI run (shorter benchtime)
 //	bench -o out.json         # choose the output path
-//	bench -check BENCH_3.json # exit non-zero if dispatch-E2E allocs/op
+//	bench -check BENCH_4.json # exit non-zero if dispatch-E2E allocs/op
 //	                          # regressed >20% vs the committed file
 //
 // The output carries the pre-ISSUE-3 dispatch baseline alongside the
@@ -53,7 +54,7 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_3.json schema.
+// Output is the BENCH_4.json schema.
 type Output struct {
 	Schema        string   `json:"schema"`
 	GoVersion     string   `json:"go_version"`
@@ -89,8 +90,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_3.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_3.json to gate against (fail if dispatch-E2E allocs/op regress >20%)")
+	out := flag.String("o", "BENCH_4.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_4.json to gate against (fail if dispatch-E2E allocs/op regress >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -103,7 +104,7 @@ func main() {
 	}
 
 	o := Output{
-		Schema:        "pdagent-bench/3",
+		Schema:        "pdagent-bench/4",
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
@@ -129,6 +130,23 @@ func main() {
 	o.Results = append(o.Results,
 		run("registry_dispatch/sharded32", func(b *testing.B) { registryDispatch(b, gateway.NewRegistry(32)) }),
 		run("registry_dispatch/striped1", func(b *testing.B) { registryDispatch(b, gateway.NewRegistry(1)) }),
+	)
+
+	// G3 — gateway federation: aggregate dispatch throughput at 1/2/3/4
+	// members (routed: devices upload to their key's home member), the
+	// mis-homed worst case (round-robin spray, most dispatches pay a
+	// forward hop), and the complete journey latency with and without
+	// cross-member forwarding + result relay.
+	for _, n := range []int{1, 2, 3, 4} {
+		n := n
+		o.Results = append(o.Results, run(
+			fmt.Sprintf("cluster_dispatch/gateways=%d", n),
+			func(b *testing.B) { benchkit.ClusterDispatch(b, n, true) }))
+	}
+	o.Results = append(o.Results,
+		run("cluster_dispatch/gateways=3,naive", func(b *testing.B) { benchkit.ClusterDispatch(b, 3, false) }),
+		run("cluster_journey/local", func(b *testing.B) { benchkit.ClusterJourney(b, 3, false) }),
+		run("cluster_journey/forwarded", func(b *testing.B) { benchkit.ClusterJourney(b, 3, true) }),
 	)
 
 	// Zero-DOM evidence as data: a representative PI decode must

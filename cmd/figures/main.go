@@ -8,7 +8,7 @@
 //
 //	figures            # all experiments, ASCII tables
 //	figures -csv       # CSV output
-//	figures -only fig12,fig13,claims,select,ablations
+//	figures -only fig12,fig13,claims,select,ablations,faults,cluster
 package main
 
 import (
@@ -17,26 +17,32 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"pdagent/internal/experiments"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster")
 	seed := flag.Int64("seed", 1, "base seed for the simulated network")
 	maxN := flag.Int("n", experiments.DefaultMaxN, "maximum number of transactions")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults"} {
+		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster"} {
 			want[k] = true
 		}
 	} else {
 		for _, k := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(k)] = true
 		}
+	}
+	// "selection" is an accepted alias for the E6/A4 gateway-selection
+	// experiment.
+	if want["selection"] {
+		want["select"] = true
 	}
 
 	emit := func(t *experiments.Table) {
@@ -127,6 +133,18 @@ func main() {
 			log.Fatalf("figures: E7: %v", err)
 		}
 		emit(experiments.E7Table(rows))
+	}
+	if want["cluster"] {
+		rows, err := experiments.ClusterScaling(*seed, []int{1, 2, 3}, 6)
+		if err != nil {
+			log.Fatalf("figures: G3 scaling: %v", err)
+		}
+		emit(experiments.G3Table(rows))
+		fo, err := experiments.ClusterFailover(*seed, 2*time.Second)
+		if err != nil {
+			log.Fatalf("figures: G3 failover: %v", err)
+		}
+		emit(experiments.FailoverTable(fo))
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "figures: nothing selected")

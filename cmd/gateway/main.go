@@ -6,17 +6,35 @@
 //
 //	gateway -listen :8080 -addr localhost:8080 -flavour aglets -peers gw2:8080
 //
+// Clustered middle tier (DESIGN.md §6): point every member at the same
+// seed list and they federate — live membership replaces the static
+// §3.5 list, dispatches are homed by consistent hashing, and results
+// are relayed to the member the device talks to:
+//
+//	gateway -listen :8080 -advertise host1:8080 -cluster-seeds host1:8080,host2:8080
+//	gateway -listen :8080 -advertise host2:8080 -cluster-seeds host1:8080,host2:8080
+//
+// On SIGTERM the gateway drains: it stops accepting dispatches,
+// deregisters from the cluster, waits (bounded by -drain-timeout) for
+// resident agents to finish or ship out, then exits.
+//
 // The standard example applications (e-banking, food search, mobile
 // office, echo) are published in the subscription catalogue.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"pdagent/internal/cluster"
 	"pdagent/internal/core"
 	"pdagent/internal/gateway"
 	"pdagent/internal/pisec"
@@ -26,9 +44,15 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	addr := flag.String("addr", "", "public address other components use to reach this gateway (default: listen address)")
+	advertise := flag.String("advertise", "", "address advertised to cluster peers and served in directories (default: -addr, then -listen)")
 	flavour := flag.String("flavour", "aglets", "embedded MAS codec flavour (aglets|voyager)")
-	peers := flag.String("peers", "", "comma-separated peer gateway addresses for /pdagent/gateways")
+	peers := flag.String("peers", "", "comma-separated peer gateway addresses for /pdagent/gateways (static fallback)")
+	clusterSeeds := flag.String("cluster-seeds", "", "comma-separated seed members; non-empty enables gateway federation (requires -cluster-secret)")
+	clusterSecret := flag.String("cluster-secret", "", "shared secret authenticating intra-cluster traffic; every member must use the same value")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "cluster heartbeat interval")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for resident agents to drain")
 	keyBits := flag.Int("key-bits", pisec.DefaultKeyBits, "RSA key size")
+	shards := flag.Int("shards", gateway.DefaultRegistryShards, "registry lock-stripe count (rounded up to a power of two)")
 	workers := flag.Int("outbound-workers", 32, "bounded worker pool size for outbound calls (status chasing, management)")
 	maxConns := flag.Int("max-conns-per-host", transport.DefaultMaxPerDest, "outbound connection and in-flight limit per destination")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -46,15 +70,50 @@ func main() {
 		}()
 	}
 
-	public := *addr
+	public := *advertise
+	if public == "" {
+		public = *addr
+	}
 	if public == "" {
 		public = *listen
+	}
+	if *shards < 1 {
+		log.Fatalf("gateway: -shards must be >= 1, got %d", *shards)
+	}
+	if rounded := nextPow2(*shards); rounded != *shards {
+		log.Printf("gateway: -shards %d rounded up to %d (power of two)", *shards, rounded)
+		*shards = rounded
 	}
 	var peerList []string
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
 			peerList = append(peerList, strings.TrimSpace(p))
 		}
+	}
+
+	rt := transport.NewPooled(transport.NewPooledHTTPClient(*maxConns), *maxConns)
+	var node *cluster.Node
+	if *clusterSeeds != "" {
+		if *clusterSecret == "" {
+			// The /cluster/ endpoints share the public listener and
+			// transport headers are client-settable: an open cluster
+			// would let anyone inject unauthenticated dispatches or
+			// evict members. Refuse to federate without a credential.
+			log.Fatalf("gateway: -cluster-seeds requires -cluster-secret (same value on every member)")
+		}
+		var seeds []string
+		for _, s := range strings.Split(*clusterSeeds, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		node = cluster.NewNode(cluster.Config{
+			Self:      public,
+			Seeds:     seeds,
+			Transport: rt,
+			Secret:    *clusterSecret,
+			Logf:      log.Printf,
+		})
 	}
 
 	kp, err := pisec.GenerateKeyPair(*keyBits)
@@ -64,9 +123,11 @@ func main() {
 	gw, err := gateway.New(gateway.Config{
 		Addr:            public,
 		KeyPair:         kp,
-		Transport:       transport.NewPooled(transport.NewPooledHTTPClient(*maxConns), *maxConns),
+		Transport:       rt,
 		Flavour:         *flavour,
 		Peers:           peerList,
+		Shards:          *shards,
+		Cluster:         node,
 		OutboundWorkers: *workers,
 		Logf:            log.Printf,
 	})
@@ -76,9 +137,54 @@ func main() {
 	if err := core.RegisterStandardApps(gw); err != nil {
 		log.Fatalf("gateway: %v", err)
 	}
-	log.Printf("gateway %s: %s flavour, key %s, listening on %s",
-		public, *flavour, kp.Public().Fingerprint(), *listen)
-	if err := http.ListenAndServe(*listen, transport.NewHTTPHandler(gw.Handler())); err != nil {
-		log.Fatalf("gateway: %v", err)
+	if node != nil {
+		node.Start(*heartbeat)
+		log.Printf("gateway %s: clustered, %d seed(s), heartbeat %v", public, len(strings.Split(*clusterSeeds, ",")), *heartbeat)
 	}
+	log.Printf("gateway %s: %s flavour, key %s, %d registry shards, listening on %s",
+		public, *flavour, kp.Public().Fingerprint(), *shards, *listen)
+
+	srv := &http.Server{Addr: *listen, Handler: transport.NewHTTPHandler(gw.Handler())}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("gateway: %v", err)
+	case s := <-sig:
+		// Graceful shutdown: refuse new dispatches, announce the
+		// departure to the cluster, drain resident agents, then stop
+		// serving. In-flight journeys finish or ship out; anything left
+		// after the timeout is reported (a journaled gateway recovers
+		// it on the next start).
+		log.Printf("gateway %s: %v received, draining (timeout %v)", public, s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if left := gw.Drain(ctx); left > 0 {
+			log.Printf("gateway %s: drain timeout with %d resident agent(s)", public, left)
+		} else {
+			log.Printf("gateway %s: drained clean", public)
+		}
+		cancel()
+		// The HTTP shutdown gets its own deadline: after a drain
+		// timeout the drain context is already expired, and reusing it
+		// would abort in-flight device requests instantly.
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("gateway %s: http shutdown: %v", public, err)
+		}
+		shutCancel()
+		gw.Close()
+	}
+}
+
+// nextPow2 rounds n up to the next power of two (matching the
+// registry's own rounding, surfaced here so the operator sees it).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }

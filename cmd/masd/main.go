@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pdagent/internal/atp"
+	"pdagent/internal/cluster"
 	"pdagent/internal/mas"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
@@ -33,6 +34,8 @@ func main() {
 	flavour := flag.String("flavour", "aglets", "MAS codec flavour (aglets|voyager)")
 	svcList := flag.String("services", "bank", "comma-separated services to host: bank,food,docs")
 	journalPath := flag.String("journal", "", "agent journal file (enables crash recovery; agents resume on restart)")
+	announceLocs := flag.Bool("announce-locations", true, "relay agent arrival/departure events to each agent's home gateway (/cluster/loc) for the federation's location directory")
+	clusterSecret := flag.String("cluster-secret", "", "shared cluster secret stamped on location relays (clustered home gateways refuse unauthenticated ones)")
 	retryEvery := flag.Duration("retry-interval", 30*time.Second, "how often parked transfers are retried (with -journal)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables")
 	flag.Parse()
@@ -95,14 +98,22 @@ func main() {
 		journal = fs
 	}
 
-	srv, err := mas.NewServer(mas.Config{
+	rt := transport.NewPooledHTTPClient(0)
+	masCfg := mas.Config{
 		Addr:      public,
 		Codec:     codec,
-		Transport: transport.NewPooledHTTPClient(0),
+		Transport: rt,
 		Services:  reg,
 		Journal:   journal,
 		Logf:      log.Printf,
-	})
+	}
+	if *announceLocs {
+		// Best-effort: clustered home gateways fold the event into the
+		// replicated location directory; standalone gateways 404 it and
+		// clustered ones refuse it without the matching -cluster-secret.
+		masCfg.OnAgentMove = cluster.LocationRelay(rt, public, *clusterSecret)
+	}
+	srv, err := mas.NewServer(masCfg)
 	if err != nil {
 		log.Fatalf("masd: %v", err)
 	}

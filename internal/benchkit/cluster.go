@@ -1,0 +1,219 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"pdagent/internal/cluster"
+	"pdagent/internal/compress"
+	"pdagent/internal/gateway"
+	"pdagent/internal/netsim"
+	"pdagent/internal/pisec"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// G3 — gateway federation benchmarks. The drivers build an n-member
+// clustered middle tier over the simulated wired fabric and measure
+// the dispatch pipeline end to end: ClusterDispatch for aggregate
+// throughput (parallel), ClusterJourney for complete dispatch→result
+// latency including cross-member forwarding and the result relay.
+
+// benchOwners spreads subscription keys over the ring so every member
+// owns a share.
+const benchOwners = 64
+
+// benchCluster is an n-member federation wired for benchmarking.
+type benchCluster struct {
+	net      *netsim.Network
+	queue    *netsim.Queue
+	gws      []*gateway.Gateway
+	nodes    []*cluster.Node
+	handlers []transport.Handler
+	// homeIdx maps each bench owner to the member index owning its
+	// subscription key (the routed client's placement table).
+	homeIdx []int
+	key     string
+}
+
+// newBenchCluster builds n federated gateways sharing one RSA key and
+// one program cache, with the echo package and every bench owner's
+// secret registered fleet-wide (the edge does the §3.2 security check
+// wherever the dispatch lands). serial=true wires the embedded MAS
+// spawns through a drainable queue (ClusterJourney); serial=false
+// drops agent execution (ClusterDispatch measures the gateway
+// pipeline, like DispatchE2E).
+func newBenchCluster(n int, serial bool) (*benchCluster, error) {
+	kp, err := keyPair()
+	if err != nil {
+		return nil, err
+	}
+	c := &benchCluster{net: netsim.New(1), queue: &netsim.Queue{}}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("gw-%d", i)
+	}
+	spawn := func(func()) {}
+	if serial {
+		spawn = c.queue.Go
+	}
+	for _, addr := range addrs {
+		node := cluster.NewNode(cluster.Config{
+			Self:           addr,
+			Seeds:          addrs,
+			Transport:      c.net.Transport(netsim.ZoneWired),
+			Secret:         "bench-cluster-secret",
+			NoLocationPush: true, // isolate forwarding cost; piggyback still replicates
+		})
+		gw, err := gateway.New(gateway.Config{
+			Addr:      addr,
+			KeyPair:   kp,
+			Transport: c.net.Transport(netsim.ZoneWired),
+			Spawn:     spawn,
+			Cluster:   node,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := gw.AddCodePackage(&wire.CodePackage{
+			CodeID: "echo", Name: "Echo", Version: "1", Source: EchoSource,
+		}); err != nil {
+			return nil, err
+		}
+		c.net.AddHost(addr, netsim.ZoneWired, gw.Handler())
+		c.gws = append(c.gws, gw)
+		c.nodes = append(c.nodes, node)
+		c.handlers = append(c.handlers, gw.Handler())
+	}
+	secret := []byte("bench-secret")
+	c.key = pisec.DispatchKey("echo", secret)
+	c.homeIdx = make([]int, benchOwners)
+	for o := 0; o < benchOwners; o++ {
+		owner := benchOwner(o)
+		for _, gw := range c.gws {
+			gw.Registry().SetSecret("echo", owner, secret)
+		}
+		home := c.nodes[0].Home(cluster.SubscriptionKey("echo", owner))
+		for i, addr := range addrs {
+			if addr == home {
+				c.homeIdx[o] = i
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *benchCluster) close() {
+	for _, gw := range c.gws {
+		gw.Close()
+	}
+}
+
+func benchOwner(o int) string { return "dev-" + strconv.Itoa(o) }
+
+// appendBenchPI packs an echo PI for one owner with a unique nonce
+// into dst (unsealed, like DispatchE2E — G3 measures routing, not RSA).
+func (c *benchCluster) appendBenchPI(dst []byte, owner string, n uint64) ([]byte, error) {
+	var nonce [24]byte
+	nb := strconv.AppendUint(append(nonce[:0], 'n', '-'), n, 10)
+	pi := &wire.PackedInformation{
+		CodeID:      "echo",
+		DispatchKey: c.key,
+		Owner:       owner,
+		Nonce:       string(nb),
+		Source:      EchoSource,
+	}
+	return wire.AppendPack(dst, pi, compress.LZSS, nil)
+}
+
+// ClusterDispatch measures aggregate dispatch throughput over an
+// n-member federation in parallel. routed=true models devices that
+// probed the live directory and upload to their key's home member
+// (every dispatch is admitted where it lands — the fleet's aggregate
+// fast path, which is what must scale with members). routed=false
+// sprays members round-robin, so most dispatches pay a cross-member
+// forward hop — the mis-homed worst case.
+func ClusterDispatch(b *testing.B, nGateways int, routed bool) {
+	c, err := newBenchCluster(nGateways, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.close()
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var body []byte
+		for pb.Next() {
+			n := seq.Add(1)
+			o := int(n) % benchOwners
+			var err error
+			body, err = c.appendBenchPI(body[:0], benchOwner(o), n)
+			if err != nil {
+				panic(err)
+			}
+			idx := c.homeIdx[o]
+			if !routed {
+				idx = int(n) % len(c.handlers)
+			}
+			resp := c.handlers[idx].Serve(context.Background(), &transport.Request{
+				Path: "/pdagent/dispatch", Body: body,
+			})
+			if !resp.IsOK() {
+				panic(fmt.Sprintf("dispatch: %d %s", resp.Status, resp.Text()))
+			}
+		}
+	})
+}
+
+// ClusterJourney measures one complete dispatch→result round trip:
+// upload at an edge member, agent execution at the home member's MAS,
+// result relay back to the edge, result download from the edge.
+// forwarded=false picks an edge that IS the home (single-member fast
+// path); forwarded=true always uploads at a mis-homed edge, adding the
+// forward and relay hops.
+func ClusterJourney(b *testing.B, nGateways int, forwarded bool) {
+	c, err := newBenchCluster(nGateways, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.close()
+	// Pick an owner + edge pair with the wanted homing relationship.
+	owner, edge := -1, -1
+	for o := 0; o < benchOwners && owner < 0; o++ {
+		for i := range c.handlers {
+			if (c.homeIdx[o] == i) != forwarded {
+				owner, edge = o, i
+				break
+			}
+		}
+	}
+	if owner < 0 {
+		b.Fatal("no owner/edge pair with the requested homing")
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var body []byte
+	for i := 0; i < b.N; i++ {
+		body, err = c.appendBenchPI(body[:0], benchOwner(owner), uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp := c.handlers[edge].Serve(ctx, &transport.Request{Path: "/pdagent/dispatch", Body: body})
+		if !resp.IsOK() {
+			b.Fatalf("dispatch: %d %s", resp.Status, resp.Text())
+		}
+		agentID := resp.GetHeader("agent")
+		c.queue.Drain() // the agent journey, incl. the result relay
+		rreq := &transport.Request{Path: "/pdagent/result"}
+		rreq.SetHeader("agent", agentID)
+		rresp := c.handlers[edge].Serve(ctx, rreq)
+		if !rresp.IsOK() {
+			b.Fatalf("result at edge: %d %s", rresp.Status, rresp.Text())
+		}
+	}
+}

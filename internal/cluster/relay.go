@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"context"
+
+	"pdagent/internal/mas"
+	"pdagent/internal/transport"
+)
+
+// LocationRelay builds a mas.Config.OnAgentMove hook for a NON-member
+// MAS host (a network site): every location event is relayed to the
+// agent's home gateway's /cluster/loc endpoint, stamped with the
+// shared cluster secret, so mid-itinerary hops between hosts reach
+// the replicated directory. Best-effort by design — a missed or
+// refused relay only costs chase hops, and unclustered home gateways
+// simply 404 it. Used by cmd/masd and core.SimWorld; cluster members
+// themselves publish through Node.PublishLocation instead.
+func LocationRelay(rt transport.RoundTripper, selfAddr, secret string) func(context.Context, mas.AgentMove) {
+	return func(ctx context.Context, mv mas.AgentMove) {
+		if mv.Home == "" || mv.Home == selfAddr {
+			return
+		}
+		req := &transport.Request{
+			Path: "/cluster/loc",
+			Body: EncodeUpdate(Location{
+				AgentID: mv.AgentID, Addr: mv.Addr, HomeGW: mv.Home,
+				Seq: mv.Seq, Terminal: mv.Terminal,
+			}),
+		}
+		req.SetHeader(tokenHeader, secret)
+		pushCtx, cancel := context.WithTimeout(ctx, locationPushTimeout)
+		_, _ = rt.RoundTrip(pushCtx, mv.Home, req)
+		cancel()
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keysFor(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = SubscriptionKey("app.echo", fmt.Sprintf("dev-%d", i))
+	}
+	return keys
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	members := []string{"gw-0", "gw-1", "gw-2"}
+	a := NewRing(members, 0)
+	b := NewRing([]string{"gw-2", "gw-0", "gw-1"}, 0) // order must not matter
+	for _, k := range keysFor(500) {
+		oa, ob := a.Owner(k), b.Owner(k)
+		if oa != ob {
+			t.Fatalf("owner differs by construction order: %s vs %s", oa, ob)
+		}
+		if oa == "" {
+			t.Fatalf("no owner for %q", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"gw-0", "gw-1", "gw-2", "gw-3"}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	keys := keysFor(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.0f%% of keys, want roughly 25%%", m, 100*share)
+		}
+	}
+}
+
+// TestRingRebalance is the satellite requirement: a join or leave must
+// move at most ~K/N keys (consistent hashing's defining property), not
+// reshuffle the space like modulo hashing would.
+func TestRingRebalance(t *testing.T) {
+	keys := keysFor(3000)
+	three := NewRing([]string{"gw-0", "gw-1", "gw-2"}, 0)
+	four := NewRing([]string{"gw-0", "gw-1", "gw-2", "gw-3"}, 0)
+
+	moved := 0
+	for _, k := range keys {
+		before, after := three.Owner(k), four.Owner(k)
+		if before != after {
+			if after != "gw-3" {
+				t.Fatalf("key %q moved %s -> %s on a join; only moves onto the joiner are allowed", k, before, after)
+			}
+			moved++
+		}
+	}
+	// Expected share for the joiner is K/N = 1/4; allow generous slack
+	// for hash variance but far below a reshuffle.
+	if limit := len(keys) / 2; moved > limit {
+		t.Fatalf("join moved %d of %d keys (> %d): not consistent", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys; the new member gets no load")
+	}
+
+	// Leave: removing gw-3 must restore exactly the old assignment.
+	for _, k := range keys {
+		if three.Owner(k) != NewRing([]string{"gw-2", "gw-1", "gw-0"}, 0).Owner(k) {
+			t.Fatal("leave did not restore prior placement")
+		}
+		break // one spot check of reconstruction; full sweep below
+	}
+	movedBack := 0
+	for _, k := range keys {
+		if three.Owner(k) != four.Owner(k) {
+			movedBack++
+		}
+	}
+	if movedBack != moved {
+		t.Fatalf("leave moved %d keys, join moved %d; they must mirror", movedBack, moved)
+	}
+}
+
+func TestOwnerSkipping(t *testing.T) {
+	r := NewRing([]string{"gw-0", "gw-1", "gw-2"}, 0)
+	key := SubscriptionKey("app.echo", "alice")
+	primary := r.Owner(key)
+
+	spilled := r.OwnerSkipping(key, func(addr string) bool { return addr == primary })
+	if spilled == primary || spilled == "" {
+		t.Fatalf("skip of %s still placed on %q", primary, spilled)
+	}
+	// Skipping everything falls back to the primary rather than failing.
+	all := r.OwnerSkipping(key, func(string) bool { return true })
+	if all != primary {
+		t.Fatalf("all-skipped fallback = %q, want primary %q", all, primary)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := r.OwnerSkipping("k", func(string) bool { return false }); got != "" {
+		t.Fatalf("empty ring spill owner = %q", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pdagent/internal/atp"
+	"pdagent/internal/cluster"
 	"pdagent/internal/compress"
 	"pdagent/internal/device"
 	"pdagent/internal/gateway"
@@ -68,6 +69,17 @@ type SimConfig struct {
 	// RestartHost crash-recovery drills. The per-address stores are
 	// exposed through SimWorld.Journals.
 	Journal bool
+	// Cluster federates the gateways into one clustered middle tier
+	// (DESIGN.md §6): each gateway gets a cluster.Node seeded with the
+	// full gateway list, dispatches route to their consistent-hash home
+	// member, agent locations replicate, results relay to the edge, and
+	// the central directory serves the live membership view. Drive
+	// heartbeats manually with SimWorld.TickCluster (deterministic);
+	// kill and recover members with CrashGateway / RestartGateway.
+	Cluster bool
+	// ClusterSpillThreshold overrides the load-aware spill threshold
+	// (0: cluster.DefaultSpillThreshold; negative disables spill).
+	ClusterSpillThreshold int
 }
 
 // SimWorld is a fully wired simulated deployment.
@@ -83,9 +95,16 @@ type SimWorld struct {
 	// Journals holds the per-address agent journals when
 	// SimConfig.Journal is set (keys: host and gateway addresses).
 	Journals map[string]rms.Store
+	// Nodes are the gateways' cluster nodes, aligned with Gateways
+	// (nil entries when SimConfig.Cluster is off).
+	Nodes []*cluster.Node
 
-	keyBits   int
-	hostSpecs map[string]HostSpec // retained for RestartHost
+	cfg        SimConfig
+	keyBits    int
+	hostSpecs  map[string]HostSpec       // retained for RestartHost
+	gwKeys     map[string]*pisec.KeyPair // retained for RestartGateway
+	crashedGW  map[string]bool           // members whose process is down
+	clusterKey string                    // shared cluster secret (Cluster worlds)
 }
 
 // CentralAddr is the simulated central server's address.
@@ -105,8 +124,11 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 		Hosts:     map[string]*mas.Server{},
 		Banks:     map[string]*services.Bank{},
 		Journals:  map[string]rms.Store{},
+		cfg:       cfg,
 		keyBits:   cfg.KeyBits,
 		hostSpecs: map[string]HostSpec{},
+		gwKeys:    map[string]*pisec.KeyPair{},
+		crashedGW: map[string]bool{},
 	}
 	journalFor := func(addr string) rms.Store {
 		if !cfg.Journal {
@@ -127,8 +149,24 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 	w.Net.SetLinkBoth(netsim.ZoneWireless, netsim.ZoneWired, wireless)
 	w.Net.SetLinkBoth(netsim.ZoneWired, netsim.ZoneWired, wired)
 
-	// Central directory.
+	if cfg.Cluster {
+		// One shared cluster secret for the whole world: members accept
+		// each other's heartbeats/forwards, and anything without the
+		// token (e.g. a simulated rogue client) is refused.
+		secret, err := pisec.NewSubscriptionSecret()
+		if err != nil {
+			return nil, err
+		}
+		w.clusterKey = fmt.Sprintf("%x", secret)
+	}
+
+	// Central directory. Clustered worlds serve the live membership
+	// view (the §3.5 list follows joins, leaves and evictions); the
+	// static list remains the fallback.
 	w.Directory = gateway.NewDirectory(cfg.GatewayAddrs...)
+	if cfg.Cluster {
+		w.Directory.SetProvider(w.liveGatewayView)
+	}
 	w.Net.AddHost(CentralAddr, netsim.ZoneWired, w.Directory.Handler())
 
 	// Gateways.
@@ -137,30 +175,14 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		var peers []string
-		for j, a := range cfg.GatewayAddrs {
-			if j != i {
-				peers = append(peers, a)
-			}
-		}
-		gw, err := gateway.New(gateway.Config{
-			Addr:      addr,
-			KeyPair:   kp,
-			Transport: w.Net.Transport(netsim.ZoneWired),
-			Spawn:     w.Queue.Go,
-			Peers:     peers,
-			Journal:   journalFor(addr),
-		})
+		w.gwKeys[addr] = kp
+		gw, node, err := w.buildGateway(i, addr, kp, journalFor(addr))
 		if err != nil {
 			return nil, err
 		}
-		if !cfg.SkipStandardApps {
-			if err := RegisterStandardApps(gw); err != nil {
-				return nil, err
-			}
-		}
 		w.Net.AddHost(addr, netsim.ZoneWired, gw.Handler())
 		w.Gateways = append(w.Gateways, gw)
+		w.Nodes = append(w.Nodes, node)
 	}
 
 	// Network hosts.
@@ -183,6 +205,60 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 	return w, nil
 }
 
+// buildGateway assembles one gateway (and its cluster node when the
+// world is clustered); index i orders it among cfg.GatewayAddrs.
+func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal rms.Store) (*gateway.Gateway, *cluster.Node, error) {
+	var peers []string
+	for j, a := range w.cfg.GatewayAddrs {
+		if j != i {
+			peers = append(peers, a)
+		}
+	}
+	var node *cluster.Node
+	if w.cfg.Cluster {
+		node = cluster.NewNode(cluster.Config{
+			Self:           addr,
+			Seeds:          w.cfg.GatewayAddrs,
+			Transport:      w.Net.Transport(netsim.ZoneWired),
+			Secret:         w.clusterKey,
+			SpillThreshold: w.cfg.ClusterSpillThreshold,
+		})
+	}
+	gw, err := gateway.New(gateway.Config{
+		Addr:      addr,
+		KeyPair:   kp,
+		Transport: w.Net.Transport(netsim.ZoneWired),
+		Spawn:     w.Queue.Go,
+		Peers:     peers,
+		Journal:   journal,
+		Cluster:   node,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !w.cfg.SkipStandardApps {
+		if err := RegisterStandardApps(gw); err != nil {
+			return nil, nil, err
+		}
+	}
+	return gw, node, nil
+}
+
+// liveGatewayView serves the central directory in clustered worlds:
+// the first running member's live view (members answer for each other
+// through gossip, so any one view is the fleet view).
+func (w *SimWorld) liveGatewayView() []string {
+	for i, gw := range w.Gateways {
+		if w.crashedGW[gw.Addr()] || w.Nodes[i] == nil {
+			continue
+		}
+		if addrs := w.Nodes[i].Membership().AliveAddrs(); len(addrs) > 0 {
+			return addrs
+		}
+	}
+	return nil
+}
+
 // buildHost assembles one network site's MAS over the world fabric.
 // The service registry is rebuilt from the spec each time, so a
 // restarted host reattaches to the same service state (the bank's
@@ -199,14 +275,24 @@ func (w *SimWorld) buildHost(addr string, spec HostSpec, journal rms.Store) (*ma
 	if err != nil {
 		return nil, fmt.Errorf("core: host %s: %w", addr, err)
 	}
-	srv, err := mas.NewServer(mas.Config{
+	masCfg := mas.Config{
 		Addr:      addr,
 		Codec:     codec,
 		Transport: w.Net.Transport(netsim.ZoneWired),
 		Services:  reg,
 		Spawn:     w.Queue.Go,
 		Journal:   journal,
-	})
+	}
+	if w.cfg.Cluster {
+		// Network hosts are not cluster members, but they relay their
+		// location events to each agent's home gateway, which folds them
+		// into the replicated directory — so mid-itinerary hops between
+		// hosts are visible fleet-wide, not just the gateway-side ones.
+		// Best-effort: a missed update costs a longer chase, and the
+		// home gateway's own hooks re-anchor the pointer chain.
+		masCfg.OnAgentMove = cluster.LocationRelay(w.Net.Transport(netsim.ZoneWired), addr, w.clusterKey)
+	}
+	srv, err := mas.NewServer(masCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +350,73 @@ func (w *SimWorld) RestartHost(ctx context.Context, addr string) (int, error) {
 		return 0, nil
 	}
 	return srv.Resume(ctx)
+}
+
+// TickCluster runs one heartbeat round on every running member's node
+// (deterministic member order) and returns the total peer answers —
+// drive it between Run calls to advance failure suspicion, eviction
+// and gossip convergence in virtual time.
+func (w *SimWorld) TickCluster(ctx context.Context) int {
+	total := 0
+	for i, gw := range w.Gateways {
+		if w.Nodes[i] == nil || w.crashedGW[gw.Addr()] {
+			continue
+		}
+		total += w.Nodes[i].Tick(ctx)
+	}
+	return total
+}
+
+// CrashGateway simulates a gateway process crash: the embedded MAS
+// dies with all in-memory state, the address drops off the network and
+// the member stops heartbeating (peers will suspect and evict it).
+// Only the journal survives; bring the member back with
+// RestartGateway.
+func (w *SimWorld) CrashGateway(addr string) error {
+	i := w.gatewayIndex(addr)
+	if i < 0 {
+		return fmt.Errorf("core: no gateway %q to crash", addr)
+	}
+	w.Gateways[i].MAS().Kill()
+	w.crashedGW[addr] = true
+	return w.Net.KillHost(addr)
+}
+
+// RestartGateway replaces a crashed gateway with a fresh instance over
+// the same key pair and journal, rejoins it to the cluster (a fresh
+// node re-bootstraps from the seed list) and resumes journaled agent
+// journeys. It returns the number of journeys resumed. Subscriptions
+// issued by the dead instance are lost — devices re-subscribe, as with
+// a real middle-tier restart.
+func (w *SimWorld) RestartGateway(ctx context.Context, addr string) (int, error) {
+	i := w.gatewayIndex(addr)
+	if i < 0 {
+		return 0, fmt.Errorf("core: no gateway %q to restart", addr)
+	}
+	gw, node, err := w.buildGateway(i, addr, w.gwKeys[addr], w.Journals[addr])
+	if err != nil {
+		return 0, err
+	}
+	w.Net.AddHost(addr, netsim.ZoneWired, gw.Handler())
+	if err := w.Net.ReviveHost(addr); err != nil {
+		return 0, err
+	}
+	w.Gateways[i] = gw
+	w.Nodes[i] = node
+	delete(w.crashedGW, addr)
+	if w.Journals[addr] == nil {
+		return 0, nil
+	}
+	return gw.MAS().Resume(ctx)
+}
+
+func (w *SimWorld) gatewayIndex(addr string) int {
+	for i, gw := range w.Gateways {
+		if gw.Addr() == addr {
+			return i
+		}
+	}
+	return -1
 }
 
 // DefaultHosts returns the paper's evaluation topology: two bank sites

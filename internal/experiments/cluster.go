@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pdagent/internal/cluster"
+	"pdagent/internal/core"
+	"pdagent/internal/mas"
+)
+
+// G3 — gateway federation (DESIGN.md §6). Two virtual-time series
+// complement the wall-clock throughput numbers in BENCH_4.json:
+// ClusterScaling measures completion time as the middle tier grows
+// (forwarded dispatches pay visible extra wired hops), and
+// ClusterFailover measures the cost of losing the home member mid-
+// itinerary (journal recovery + reroute, exactly-once).
+
+// G3Row is one member-count point of the scaling series.
+type G3Row struct {
+	Members int
+	// Journeys is the number of measured dispatches.
+	Journeys int
+	// Forwarded counts dispatches whose ring home differed from the
+	// edge member the device uploaded through.
+	Forwarded int
+	// MeanCompletion is the mean dispatch→result virtual time.
+	MeanCompletion time.Duration
+}
+
+// ClusterScaling runs the same e-banking journeys against clustered
+// middle tiers of growing size. Devices upload round-robin across the
+// members (the worst case for mis-homing: no directory-aware client),
+// so the forwarded share grows with the fleet while completion time
+// stays within a few wired RTTs of the single-gateway baseline.
+func ClusterScaling(seed int64, memberCounts []int, journeys int) ([]G3Row, error) {
+	wireless, wired := experimentLinks()
+	var rows []G3Row
+	for _, n := range memberCounts {
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("gw-%d", i)
+		}
+		world, err := core.NewSimWorld(core.SimConfig{
+			Seed:         seed,
+			GatewayAddrs: addrs,
+			Wireless:     &wireless,
+			Wired:        &wired,
+			KeyBits:      1024,
+			Cluster:      true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := G3Row{Members: n, Journeys: journeys}
+		var total time.Duration
+		for j := 0; j < journeys; j++ {
+			owner := fmt.Sprintf("g3-dev-%d", j)
+			edge := addrs[j%n]
+			dev, err := world.NewDevice(owner)
+			if err != nil {
+				return nil, err
+			}
+			ctx, clock := world.NewJourney()
+			if err := dev.Subscribe(ctx, edge, core.AppEBanking); err != nil {
+				return nil, err
+			}
+			key := cluster.SubscriptionKey(core.AppEBanking, owner)
+			if home := world.Nodes[0].Home(key); home != edge {
+				row.Forwarded++
+			}
+			t0 := clock.Now()
+			agentID, err := dev.Dispatch(ctx, core.AppEBanking, ebankingParams([]string{"bank-a", "bank-b"}, 1))
+			if err != nil {
+				return nil, err
+			}
+			world.Run()
+			rd, err := dev.Collect(ctx, agentID)
+			if err != nil {
+				return nil, err
+			}
+			if !rd.OK() {
+				return nil, fmt.Errorf("experiments: G3 journey failed: %s", rd.Error)
+			}
+			total += clock.Now() - t0
+		}
+		row.MeanCompletion = total / time.Duration(journeys)
+		rows = append(rows, row)
+		world.Close()
+	}
+	return rows, nil
+}
+
+// G3Table renders the scaling series.
+func G3Table(rows []G3Row) *Table {
+	t := &Table{
+		Title:   "G3 — federation scaling: completion time vs middle-tier size (round-robin edges)",
+		Columns: []string{"members", "journeys", "forwarded", "mean completion"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Members), fmt.Sprint(r.Journeys), fmt.Sprint(r.Forwarded), secs(r.MeanCompletion))
+	}
+	return t
+}
+
+// FailoverReport is the member-kill rerouting result.
+type FailoverReport struct {
+	// Baseline is the undisturbed completion time.
+	Baseline time.Duration
+	// WithKill is the completion time when the agent's home member is
+	// crashed mid-itinerary and restarted after RestartOutage.
+	WithKill time.Duration
+	// RestartOutage is how long the member stayed down.
+	RestartOutage time.Duration
+	// ExactlyOnce reports whether the bank ledgers saw each transfer
+	// exactly once despite the crash and the retried handoffs.
+	ExactlyOnce bool
+	// EdgeCollected reports whether the device collected through its
+	// original edge member after the home member's restart.
+	EdgeCollected bool
+}
+
+// ClusterFailover kills the agent's home member while the agent is at
+// bank-a, restarts it after outage, retries parked transfers and
+// measures the end-to-end completion against an undisturbed run of the
+// same seed.
+func ClusterFailover(seed int64, outage time.Duration) (*FailoverReport, error) {
+	const txns = 2
+	run := func(kill bool) (time.Duration, bool, bool, error) {
+		wireless, wired := experimentLinks()
+		world, err := core.NewSimWorld(core.SimConfig{
+			Seed:         seed,
+			GatewayAddrs: []string{"gw-0", "gw-1", "gw-2"},
+			Wireless:     &wireless,
+			Wired:        &wired,
+			KeyBits:      1024,
+			Cluster:      true,
+			Journal:      true,
+		})
+		if err != nil {
+			return 0, false, false, err
+		}
+		defer world.Close()
+		owner := "alice"
+		key := cluster.SubscriptionKey(core.AppEBanking, owner)
+		home := world.Nodes[0].Home(key)
+		edge := ""
+		for _, a := range world.GatewayAddrs() {
+			if a != home {
+				edge = a
+				break
+			}
+		}
+		dev, err := world.NewDevice(owner)
+		if err != nil {
+			return 0, false, false, err
+		}
+		ctx, clock := world.NewJourney()
+		if err := dev.Subscribe(ctx, edge, core.AppEBanking); err != nil {
+			return 0, false, false, err
+		}
+		t0 := clock.Now()
+		agentID, err := dev.Dispatch(ctx, core.AppEBanking, ebankingParams([]string{"bank-a", "bank-b"}, txns))
+		if err != nil {
+			return 0, false, false, err
+		}
+		if kill {
+			for world.Hosts["bank-a"].AgentStates()[agentID] != mas.StateRunning {
+				if !world.Queue.Step() {
+					return 0, false, false, fmt.Errorf("experiments: agent never reached bank-a")
+				}
+			}
+			if err := world.CrashGateway(home); err != nil {
+				return 0, false, false, err
+			}
+			world.Run()
+			clock.Advance(outage) // the member stays down this long
+			if _, err := world.RestartGateway(ctx, home); err != nil {
+				return 0, false, false, err
+			}
+			world.RetryParked(ctx)
+		}
+		world.Run()
+		rd, err := dev.Collect(ctx, agentID)
+		if err != nil {
+			return 0, false, false, err
+		}
+		if !rd.OK() {
+			return 0, false, false, fmt.Errorf("experiments: failover journey failed: %s", rd.Error)
+		}
+		exactly := true
+		for _, b := range []string{"bank-a", "bank-b"} {
+			if bal, _ := world.Banks[b].Balance("alice"); bal != 10_000-5*txns {
+				exactly = false
+			}
+		}
+		return clock.Now() - t0, exactly, true, nil
+	}
+
+	base, _, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	killed, exactly, collected, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &FailoverReport{
+		Baseline:      base,
+		WithKill:      killed,
+		RestartOutage: outage,
+		ExactlyOnce:   exactly,
+		EdgeCollected: collected,
+	}, nil
+}
+
+// FailoverTable renders the member-kill experiment.
+func FailoverTable(r *FailoverReport) *Table {
+	t := &Table{
+		Title:   "G3 — member-kill rerouting (home member crashes mid-itinerary)",
+		Columns: []string{"scenario", "completion", "exactly-once", "edge collect"},
+	}
+	t.AddRow("undisturbed", secs(r.Baseline), "-", "-")
+	t.AddRow(fmt.Sprintf("home killed (%.0fs outage)", r.RestartOutage.Seconds()),
+		secs(r.WithKill), fmt.Sprint(r.ExactlyOnce), fmt.Sprint(r.EdgeCollected))
+	return t
+}

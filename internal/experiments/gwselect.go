@@ -16,8 +16,10 @@ type SelectReport struct {
 	Chosen    string
 	ChosenRTT time.Duration
 	ProbeCost time.Duration
-	// Refreshed reports whether the §3.5 threshold policy triggered a
-	// list refresh from the central server in the stale-list scenario.
+	// Refreshed reports whether the probed list came from the central
+	// directory (the live membership view in clustered worlds) rather
+	// than the device's static preload — in the stale-list scenario it
+	// means the §3.5 threshold policy triggered the refresh.
 	Refreshed bool
 }
 
@@ -30,8 +32,12 @@ var gatewayZoneLatencies = []time.Duration{
 	1400 * time.Millisecond,
 }
 
-// GatewaySelection builds a five-gateway world with heterogeneous
-// latencies and runs the Figure 8 nearest-gateway selection.
+// GatewaySelection builds a five-gateway clustered world with
+// heterogeneous latencies and runs the Figure 8 nearest-gateway
+// selection. The probed list is the LIVE membership view downloaded
+// from the central directory (the §3.5 path the deployed system
+// takes), not the device's baked-in static list; if the refresh fails
+// the preloaded static list is the fallback.
 func GatewaySelection(seed int64) (*SelectReport, error) {
 	addrs := make([]string, len(gatewayZoneLatencies))
 	for i := range addrs {
@@ -41,6 +47,7 @@ func GatewaySelection(seed int64) (*SelectReport, error) {
 		Seed:         seed,
 		GatewayAddrs: addrs,
 		KeyBits:      1024,
+		Cluster:      true,
 	})
 	if err != nil {
 		return nil, err
@@ -61,6 +68,13 @@ func GatewaySelection(seed int64) (*SelectReport, error) {
 	}
 	ctx, clock := world.NewJourney()
 
+	// Download the live member view from the central directory; the
+	// static list preloaded by NewDevice stays as the fallback.
+	refreshed := false
+	if err := dev.RefreshGateways(ctx, core.CentralAddr); err == nil {
+		refreshed = true
+	}
+
 	t0 := clock.Now()
 	probes, err := dev.ProbeGateways(ctx)
 	if err != nil {
@@ -77,6 +91,7 @@ func GatewaySelection(seed int64) (*SelectReport, error) {
 		Chosen:    chosen,
 		ChosenRTT: rtt,
 		ProbeCost: probeCost,
+		Refreshed: refreshed,
 	}, nil
 }
 

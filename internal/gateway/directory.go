@@ -12,8 +12,9 @@ import (
 // address list that devices download before RTT-probing for the
 // nearest gateway. Run it standalone (cmd/central) or embed it.
 type Directory struct {
-	mu    sync.RWMutex
-	addrs []string
+	mu       sync.RWMutex
+	addrs    []string
+	provider func() []string
 }
 
 // NewDirectory creates a directory with an initial gateway list.
@@ -40,14 +41,30 @@ func (d *Directory) Add(addr string) {
 	d.addrs = append(d.addrs, addr)
 }
 
+// SetProvider installs a live gateway-list source (e.g. a cluster
+// membership view); the static list remains the fallback whenever the
+// provider returns nothing.
+func (d *Directory) SetProvider(fn func() []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.provider = fn
+}
+
 // Handler serves /pdagent/gateways (and /pdagent/ping so devices can
 // probe the directory itself).
 func (d *Directory) Handler() transport.Handler {
 	m := transport.NewMux()
 	m.HandleFunc("/pdagent/gateways", func(_ context.Context, _ *transport.Request) *transport.Response {
 		d.mu.RLock()
-		list := &wire.GatewayList{Addresses: append([]string(nil), d.addrs...)}
+		provider := d.provider
+		addrs := append([]string(nil), d.addrs...)
 		d.mu.RUnlock()
+		if provider != nil {
+			if live := provider(); len(live) > 0 {
+				addrs = live
+			}
+		}
+		list := &wire.GatewayList{Addresses: addrs}
 		return transport.OK(list.EncodeXML())
 	})
 	m.HandleFunc("/pdagent/ping", func(_ context.Context, _ *transport.Request) *transport.Response {

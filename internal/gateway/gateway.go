@@ -33,8 +33,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pdagent/internal/atp"
+	"pdagent/internal/cluster"
 	"pdagent/internal/kxml"
 	"pdagent/internal/mas"
 	"pdagent/internal/mascript"
@@ -93,9 +95,19 @@ type Config struct {
 	// recompiles the shipped source and every arriving agent image is
 	// re-unmarshalled. Benchmarks use it as the pre-cache baseline.
 	NoProgramCache bool
-	// RegistryShards is the lock-stripe count of the state registry
-	// (default DefaultRegistryShards; 1 degenerates to a single lock).
-	RegistryShards int
+	// Shards is the lock-stripe count of the state registry, rounded up
+	// to the next power of two (default DefaultRegistryShards; 1
+	// degenerates to a single lock).
+	Shards int
+	// Cluster, when set, federates this gateway into a clustered middle
+	// tier (DESIGN.md §6): the node's live membership replaces the
+	// static §3.5 list, dispatches whose consistent-hash home is
+	// another member are forwarded there, agent locations are published
+	// to the replicated directory, and results of forwarded dispatches
+	// are relayed back to the edge member the device talks to. The
+	// embedder builds the node (over the same transport) and drives its
+	// heartbeats — Node.Start in daemons, manual Tick in simulations.
+	Cluster *cluster.Node
 	// OutboundWorkers bounds concurrent outbound work — status chasing,
 	// management calls, result fan-out (default 16).
 	OutboundWorkers int
@@ -115,6 +127,8 @@ type Gateway struct {
 	reg   *Registry
 	pool  *workerPool
 	progs *progcache.Cache // nil when Config.NoProgramCache
+	// draining refuses new dispatches during graceful shutdown.
+	draining atomic.Bool
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -137,8 +151,8 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Services == nil {
 		cfg.Services = services.NewRegistry()
 	}
-	if cfg.RegistryShards == 0 {
-		cfg.RegistryShards = DefaultRegistryShards
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultRegistryShards
 	}
 	if cfg.OutboundWorkers == 0 {
 		cfg.OutboundWorkers = defaultOutboundWorkers
@@ -155,11 +169,11 @@ func New(cfg Config) (*Gateway, error) {
 
 	g := &Gateway{
 		cfg:   cfg,
-		reg:   NewRegistry(cfg.RegistryShards),
+		reg:   NewRegistry(cfg.Shards),
 		pool:  newWorkerPool(cfg.OutboundWorkers, cfg.Logf),
 		progs: cfg.Programs,
 	}
-	masSrv, err := mas.NewServer(mas.Config{
+	masCfg := mas.Config{
 		Addr:           cfg.Addr,
 		Codec:          codec,
 		Transport:      cfg.Transport,
@@ -171,7 +185,12 @@ func New(cfg Config) (*Gateway, error) {
 		NoProgramCache: cfg.NoProgramCache,
 		OnAgentHome:    g.onAgentHome,
 		Logf:           cfg.Logf,
-	})
+	}
+	if cfg.Cluster != nil {
+		masCfg.OnAgentMove = g.onAgentMove
+		cfg.Cluster.SetLoadFunc(g.load)
+	}
+	masSrv, err := mas.NewServer(masCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +210,14 @@ func New(cfg Config) (*Gateway, error) {
 	m.HandleFunc("/pdagent/manage/retract", g.handleRetract)
 	m.HandleFunc("/pdagent/manage/dispose", g.handleDispose)
 	m.HandleFunc("/pdagent/manage/clone", g.handleClone)
+	if cfg.Cluster != nil {
+		// Federation endpoints: the exact paths below are gateway-level
+		// (they need registry/MAS access); everything else under
+		// /cluster/ (heartbeat, location gossip) goes to the node.
+		m.HandleFunc("/cluster/dispatch", g.handleClusterDispatch)
+		m.HandleFunc("/cluster/result", g.handleClusterResult)
+		m.Handle("/cluster/", cfg.Cluster.Handler())
+	}
 	g.mux = m
 	return g, nil
 }
@@ -216,6 +243,9 @@ func (g *Gateway) PublicKey() *pisec.PublicKey { return g.cfg.KeyPair.Public() }
 // finish; queued work is abandoned. The gateway must not serve further
 // requests needing outbound calls after Close.
 func (g *Gateway) Close() {
+	if g.cfg.Cluster != nil {
+		g.cfg.Cluster.Stop()
+	}
 	g.pool.Close()
 	for _, ch := range g.reg.ReleaseAllWatchers() {
 		close(ch)
@@ -269,7 +299,7 @@ func (g *Gateway) logf(format string, args ...any) {
 
 // --- result intake (the agent coming home, §3.3) -----------------------
 
-func (g *Gateway) onAgentHome(_ context.Context, a *mas.Arrival) {
+func (g *Gateway) onAgentHome(ctx context.Context, a *mas.Arrival) {
 	status := "done"
 	switch a.Kind {
 	case mas.KindFailed:
@@ -304,6 +334,14 @@ func (g *Gateway) onAgentHome(_ context.Context, a *mas.Arrival) {
 	// result fetch on their own goroutines after the signal.
 	for _, ch := range g.reg.CompleteAgent(rd.AgentID, rd.CodeID, rd.Owner, docID, rd.Error) {
 		close(ch)
+	}
+	// Federation: a forwarded dispatch's device talks to the edge
+	// member it uploaded through — relay the result document there so
+	// collection needs no extra cross-member hop.
+	if g.cfg.Cluster != nil {
+		if origin, ok := g.reg.Origin(rd.AgentID); ok && origin != "" && origin != g.cfg.Addr {
+			g.relayResult(ctx, origin, rd, doc)
+		}
 	}
 	g.logf("gateway %s: result ready for agent %s (%s)", g.cfg.Addr, rd.AgentID, status)
 }
@@ -352,6 +390,11 @@ func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *tr
 // dispatches for unrelated subscriptions and agents proceed in
 // parallel.
 func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *transport.Response {
+	if g.draining.Load() {
+		// Graceful shutdown: refuse new work with a retryable status so
+		// devices (and forwarding peers) go elsewhere.
+		return transport.Errorf(transport.StatusUnavailable, "gateway %s is draining", g.cfg.Addr)
+	}
 	// Step 1-2: security check and decryption (Figure 7), then
 	// decompression and XML parsing (the XML Writer).
 	pi, err := wire.Unpack(req.Body, g.cfg.KeyPair)
@@ -381,11 +424,28 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 			"replayed packed information (nonce already used)")
 	}
 
+	// Federation: the security check happened here at the edge; if the
+	// consistent-hash ring homes this subscription on another member,
+	// hand the authenticated PI over and track the agent remotely.
+	if g.cfg.Cluster != nil {
+		if resp, routed := g.routeDispatch(ctx, pi); routed {
+			return resp
+		}
+	}
+	return g.admitDispatch(ctx, pi, "")
+}
+
+// admitDispatch is steps 4–6 of the Agent Dispatch Handler: compile,
+// materialise the request document, create and admit the agent. origin
+// is the edge member that forwarded the dispatch ("" for direct ones);
+// the result document will be relayed back to it.
+func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation, origin string) *transport.Response {
 	// Step 4: "generate mobile agent classes from the information" —
 	// compile the shipped source. Registered packages were compiled and
 	// pinned at AddCodePackage time, so the common case is a cache hit
 	// that performs no lexer or parser work at all.
 	var prog *mavm.Program
+	var err error
 	if g.progs != nil {
 		prog, _, err = g.progs.CompileString(pi.Source)
 	} else {
@@ -417,8 +477,15 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "creating agent: %v", err)
 	}
-	g.reg.CreateAgent(agentID, pi.CodeID, pi.Owner)
+	g.reg.CreateRoutedAgent(agentID, pi.CodeID, pi.Owner, origin, "")
 	if err := g.mas.AdmitAgent(ctx, vm, pi.CodeID, pi.Owner, g.cfg.Addr); err != nil {
+		// Retire the tracking entry so a failed admission does not
+		// inflate the in-flight load gauge forever (which would make
+		// the cluster spill this member's keys for no reason).
+		watchers, _ := g.reg.ReleaseAgent(agentID, "admission failed: "+err.Error())
+		for _, ch := range watchers {
+			close(ch)
+		}
 		return transport.Errorf(transport.StatusServerError, "admitting agent: %v", err)
 	}
 	g.logf("gateway %s: dispatched agent %s (code %s, owner %s)", g.cfg.Addr, agentID, pi.CodeID, pi.Owner)
@@ -428,7 +495,7 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	return resp
 }
 
-func (g *Gateway) handleResult(_ context.Context, req *transport.Request) *transport.Response {
+func (g *Gateway) handleResult(ctx context.Context, req *transport.Request) *transport.Response {
 	agentID := req.GetHeader("agent")
 	st, ok := g.reg.Agent(agentID)
 	if !ok {
@@ -437,6 +504,12 @@ func (g *Gateway) handleResult(_ context.Context, req *transport.Request) *trans
 	if !st.Done {
 		if st.Gone {
 			return transport.Errorf(transport.StatusGone, "agent %q has no result: %s", agentID, st.LastWhy)
+		}
+		if st.HomeGW != "" && g.cfg.Cluster != nil {
+			// Forwarded dispatch whose result relay has not landed yet
+			// (or was lost to a member restart): fetch from the home
+			// member and adopt the document locally.
+			return g.fetchRemoteResult(ctx, agentID, st)
 		}
 		return transport.Errorf(transport.StatusConflict, "agent %q still travelling", agentID)
 	}
@@ -468,7 +541,8 @@ func (g *Gateway) handleStatus(ctx context.Context, req *transport.Request) *tra
 		resp.SetHeader("agent-state", "disposed")
 		return resp
 	}
-	addr, body, err := g.locate(ctx, agentID)
+	start, fallback := g.chaseStart(agentID, st)
+	addr, body, err := g.locate(ctx, agentID, start, fallback)
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
 	}
@@ -486,7 +560,7 @@ func (g *Gateway) handleStatus(ctx context.Context, req *transport.Request) *tra
 // job may keep writing res, so the caller must not touch it. Plain
 // locals or named returns would race here, because the early return
 // itself writes them.
-func (g *Gateway) locate(ctx context.Context, agentID string) (string, []byte, error) {
+func (g *Gateway) locate(ctx context.Context, agentID, start, fallback string) (string, []byte, error) {
 	type chaseResult struct {
 		addr string
 		body []byte
@@ -494,28 +568,45 @@ func (g *Gateway) locate(ctx context.Context, agentID string) (string, []byte, e
 	}
 	res := &chaseResult{}
 	if derr := g.pool.Do(ctx, func(ctx context.Context) {
-		res.addr, res.body, res.err = g.chase(ctx, agentID)
+		res.addr, res.body, res.err = g.chase(ctx, agentID, start, fallback)
 	}); derr != nil {
 		return "", nil, derr
 	}
 	return res.addr, res.body, res.err
 }
 
-// chase follows moved-to pointers from the home MAS until it finds the
-// host currently holding the agent; it returns that host's status
-// document. It runs on a pool worker.
-func (g *Gateway) chase(ctx context.Context, agentID string) (addr string, status []byte, err error) {
+// chase follows moved-to pointers from start (usually the home MAS; a
+// clustered gateway may seed it from the location directory) until it
+// finds the host currently holding the agent; it returns that host's
+// status document. A stale directory hint that no longer knows the
+// agent restarts the chase from fallback — the agent's home MAS,
+// which always has the first pointer. It runs on a pool worker.
+func (g *Gateway) chase(ctx context.Context, agentID, start, fallback string) (addr string, status []byte, err error) {
 	const maxHops = 16
-	addr = g.cfg.Addr
+	if fallback == "" {
+		fallback = g.cfg.Addr
+	}
+	addr = start
+	if addr == "" {
+		addr = fallback
+	}
+	hinted := addr != fallback
 	var lastBody []byte
 	for i := 0; i < maxHops; i++ {
 		sreq := &transport.Request{Path: "/atp/status"}
 		sreq.SetHeader("agent", agentID)
 		resp, rerr := g.cfg.Transport.RoundTrip(ctx, addr, sreq)
-		if rerr != nil {
-			return addr, nil, rerr
-		}
-		if !resp.IsOK() {
+		if rerr != nil || !resp.IsOK() {
+			if hinted && i == 0 {
+				// The directory hint went stale (host gone, or the agent
+				// already forwarded past it and forgotten): restart from
+				// the home MAS, which always has the first pointer.
+				addr, hinted = fallback, false
+				continue
+			}
+			if rerr != nil {
+				return addr, nil, rerr
+			}
 			return addr, nil, fmt.Errorf("status at %s: %s", addr, resp.Text())
 		}
 		root, perr := parseStatus(resp.Body)
@@ -536,12 +627,14 @@ func (g *Gateway) chase(ctx context.Context, agentID string) (addr string, statu
 // agent (§3.6: clone, retract, dispose). The whole remote interaction
 // — chase plus verb — occupies one pool worker.
 func (g *Gateway) manage(ctx context.Context, agentID, verb string, extra map[string]string) *transport.Response {
-	if !g.reg.KnownAgent(agentID) {
+	st, known := g.reg.Agent(agentID)
+	if !known {
 		return transport.Errorf(transport.StatusNotFound, "unknown agent %q", agentID)
 	}
+	start, fallback := g.chaseStart(agentID, st)
 	var resp *transport.Response
 	derr := g.pool.Do(ctx, func(ctx context.Context) {
-		addr, _, err := g.chase(ctx, agentID)
+		addr, _, err := g.chase(ctx, agentID, start, fallback)
 		if err != nil {
 			resp = transport.Errorf(transport.StatusServerError, "locating agent: %v", err)
 			return
@@ -594,8 +687,19 @@ func (g *Gateway) handleClone(ctx context.Context, req *transport.Request) *tran
 	return resp
 }
 
+// handleGateways serves the §3.5 directory. A clustered gateway
+// answers with the live membership view (self first), so devices probe
+// real members instead of a stale static list; the static Peers list
+// is the fallback for unclustered deployments.
 func (g *Gateway) handleGateways(_ context.Context, _ *transport.Request) *transport.Response {
-	list := &wire.GatewayList{Addresses: append([]string{g.cfg.Addr}, g.cfg.Peers...)}
+	var addrs []string
+	if g.cfg.Cluster != nil {
+		addrs = g.cfg.Cluster.Membership().AliveAddrs()
+	}
+	if len(addrs) == 0 {
+		addrs = append([]string{g.cfg.Addr}, g.cfg.Peers...)
+	}
+	list := &wire.GatewayList{Addresses: addrs}
 	return transport.OK(list.EncodeXML())
 }
 

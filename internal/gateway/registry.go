@@ -25,6 +25,9 @@ type Registry struct {
 	shards   []registryShard
 	mask     uint32
 	agentSeq atomic.Uint64
+	// inFlight gauges dispatched-but-unfinished agents; heartbeats
+	// gossip it as the cluster's load-aware-spill signal.
+	inFlight atomic.Int64
 	// closed is set by ReleaseAllWatchers (gateway shutdown); checked
 	// under the shard lock so no watcher can register after its shard
 	// was swept.
@@ -195,6 +198,12 @@ type agentMeta struct {
 	gone    bool // terminal without a result (disposed by owner)
 	docID   int  // record id of the result document in Documents
 	lastWhy string
+	// origin, on a clustered home gateway, is the edge member that
+	// forwarded the dispatch; the result document is relayed there.
+	origin string
+	// homeGW, on a clustered edge gateway, is the member whose MAS is
+	// the agent's home; result/status requests are routed there.
+	homeGW string
 }
 
 // AgentStatus is a snapshot of one dispatched agent's bookkeeping.
@@ -205,6 +214,8 @@ type AgentStatus struct {
 	Gone    bool
 	DocID   int
 	LastWhy string
+	Origin  string
+	HomeGW  string
 }
 
 // NextAgentID allocates a unique agent id for this gateway. It sits on
@@ -221,10 +232,50 @@ func (r *Registry) NextAgentID(gatewayAddr string) string {
 
 // CreateAgent registers a freshly dispatched agent.
 func (r *Registry) CreateAgent(id, codeID, owner string) {
+	r.CreateRoutedAgent(id, codeID, owner, "", "")
+}
+
+// CreateRoutedAgent registers a dispatched agent with federation
+// routing metadata: origin is the edge member that forwarded the
+// dispatch here (home gateways relay the result back to it), homeGW is
+// the member owning the agent (edge gateways route result and status
+// requests there). Either may be empty. An existing entry is never
+// replaced — a fast agent's relayed result can land before the edge
+// processes the forward response, and resetting the meta would orphan
+// the stored document — only missing routing metadata is filled in.
+// Remotely-homed entries (homeGW != "") are pure bookkeeping and do
+// not count toward this member's in-flight load: the home member
+// counts the real work, and double-counting would make pass-through
+// edges spill spuriously.
+func (r *Registry) CreateRoutedAgent(id, codeID, owner, origin, homeGW string) {
 	s := r.shardFor(id)
 	s.mu.Lock()
-	s.dispatch[id] = &agentMeta{codeID: codeID, owner: owner}
+	if meta, exists := s.dispatch[id]; exists {
+		if meta.origin == "" {
+			meta.origin = origin
+		}
+		if meta.homeGW == "" {
+			meta.homeGW = homeGW
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.dispatch[id] = &agentMeta{codeID: codeID, owner: owner, origin: origin, homeGW: homeGW}
 	s.mu.Unlock()
+	if homeGW == "" {
+		r.inFlight.Add(1)
+	}
+}
+
+// InFlight returns the number of dispatched agents that have neither
+// completed nor been released — the gateway's contribution to the
+// cluster load signal.
+func (r *Registry) InFlight() int {
+	n := r.inFlight.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }
 
 // CompleteAgent marks an agent's result as ready, adopting agents this
@@ -239,13 +290,30 @@ func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string
 		meta = &agentMeta{codeID: codeID, owner: owner}
 		s.dispatch[id] = meta
 	}
+	wasLive := ok && !meta.done && !meta.gone && meta.homeGW == ""
 	meta.done = true
 	meta.docID = docID
 	meta.lastWhy = why
 	watchers := s.watchers[id]
 	delete(s.watchers, id)
 	s.mu.Unlock()
+	if wasLive {
+		r.inFlight.Add(-1)
+	}
 	return watchers
+}
+
+// Origin returns the routing metadata of one agent: the edge member
+// that forwarded its dispatch (if any).
+func (r *Registry) Origin(id string) (origin string, ok bool) {
+	s := r.shardFor(id)
+	s.mu.RLock()
+	meta, ok := s.dispatch[id]
+	if ok {
+		origin = meta.origin
+	}
+	s.mu.RUnlock()
+	return origin, ok
 }
 
 // Agent returns the status snapshot for one agent id.
@@ -255,7 +323,8 @@ func (r *Registry) Agent(id string) (AgentStatus, bool) {
 	meta, ok := s.dispatch[id]
 	var st AgentStatus
 	if ok {
-		st = AgentStatus{CodeID: meta.codeID, Owner: meta.owner, Done: meta.done, Gone: meta.gone, DocID: meta.docID, LastWhy: meta.lastWhy}
+		st = AgentStatus{CodeID: meta.codeID, Owner: meta.owner, Done: meta.done, Gone: meta.gone,
+			DocID: meta.docID, LastWhy: meta.lastWhy, Origin: meta.origin, HomeGW: meta.homeGW}
 	}
 	s.mu.RUnlock()
 	return st, ok
@@ -282,11 +351,15 @@ func (r *Registry) ReleaseAgent(id, why string) ([]chan struct{}, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
+	wasLive := !meta.done && !meta.gone && meta.homeGW == ""
 	meta.gone = true
 	meta.lastWhy = why
 	watchers := s.watchers[id]
 	delete(s.watchers, id)
 	s.mu.Unlock()
+	if wasLive {
+		r.inFlight.Add(-1)
+	}
 	return watchers, true
 }
 
@@ -302,10 +375,14 @@ func (r *Registry) AdoptClone(srcID, cloneID string) bool {
 	}
 	s := r.shardFor(cloneID)
 	s.mu.Lock()
-	if _, exists := s.dispatch[cloneID]; !exists {
+	_, exists := s.dispatch[cloneID]
+	if !exists {
 		s.dispatch[cloneID] = &agentMeta{codeID: st.CodeID, owner: st.Owner}
 	}
 	s.mu.Unlock()
+	if !exists {
+		r.inFlight.Add(1)
+	}
 	return true
 }
 

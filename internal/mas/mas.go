@@ -70,6 +70,20 @@ const (
 	StateParked    AgentState = "parked"    // journaled transfer failed; awaiting RetryParked
 )
 
+// AgentMove is one location event passed to OnAgentMove: the agent
+// identified by AgentID is now at (or headed to) Addr. Seq totally
+// orders the events of one agent across hosts — departures publish
+// 2*hops+1, arrivals 2*(hops+1), terminal delivery 2*hops+3 — so a
+// replicated location directory converges regardless of delivery
+// order. Terminal marks the journey over.
+type AgentMove struct {
+	AgentID  string
+	Addr     string
+	Home     string
+	Seq      int
+	Terminal bool
+}
+
 // Arrival describes an agent coming home, passed to OnAgentHome.
 type Arrival struct {
 	// Kind is the transfer kind (done, failed, retracted).
@@ -126,6 +140,14 @@ type Config struct {
 	// OnAgentHome is invoked when an agent arrives at its home server
 	// (the gateway sets this to collect results).
 	OnAgentHome func(ctx context.Context, a *Arrival)
+	// OnAgentMove, when set, is invoked after every location change of
+	// an agent this server admits, receives or ships: admission and
+	// arrival (the agent is here), departure (a forwarding pointer to
+	// the destination) and terminal delivery. Clustered gateways feed
+	// these events into the federation's location directory; network
+	// hosts can relay them to the agent's home gateway. The callback
+	// runs synchronously on the agent path and is panic-isolated.
+	OnAgentMove func(ctx context.Context, mv AgentMove)
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -345,6 +367,9 @@ func (s *Server) AdmitAgent(ctx context.Context, vm *mavm.VM, codeID, owner, hom
 		s.mu.Unlock()
 		return fmt.Errorf("mas: journaling agent %s: %w", rec.id, err)
 	}
+	s.notifyMove(ctx, AgentMove{
+		AgentID: rec.id, Addr: s.cfg.Addr, Home: rec.home, Seq: 2 * vm.Hops,
+	})
 	s.startLoop(ctx, rec)
 	return nil
 }
@@ -434,6 +459,24 @@ func (s *Server) deliverLocal(ctx context.Context, rec *record, kind string) {
 	}
 	s.setState(rec, StateDelivered, "")
 	s.journalFinish(rec, StateDelivered)
+	s.notifyMove(ctx, AgentMove{
+		AgentID: rec.id, Addr: s.cfg.Addr, Home: rec.home,
+		Seq: 2*rec.vm.Hops + 3, Terminal: true,
+	})
+}
+
+// notifyMove invokes the OnAgentMove callback, isolated from panics
+// like notifyHome (a location-directory bug must not kill a journey).
+func (s *Server) notifyMove(ctx context.Context, mv AgentMove) {
+	if s.cfg.OnAgentMove == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("mas %s: OnAgentMove panic for agent %s: %v", s.cfg.Addr, mv.AgentID, r)
+		}
+	}()
+	s.cfg.OnAgentMove(ctx, mv)
 }
 
 // notifyHome invokes the OnAgentHome callback, isolating the agent
@@ -498,6 +541,7 @@ func (s *Server) encodeImage(rec *record) (*atp.Image, error) {
 // journal the legacy best-effort path applies: a failed migration is
 // failed home, and if even home is unreachable the record strands.
 func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string) {
+	sentHops := rec.vm.Hops // as serialised into the departing image
 	im, err := s.encodeImage(rec)
 	if err != nil {
 		s.setErr(rec, "encoding agent: "+err.Error())
@@ -554,6 +598,12 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		s.setState(rec, StateStranded, "")
 		return
 	}
+	// Publish the forwarding pointer (seq 2h+1 sorts after our arrival
+	// at 2h and before the destination's arrival at 2h+2, so a racing
+	// re-arrival here can never be overwritten by this stale event).
+	s.notifyMove(ctx, AgentMove{
+		AgentID: rec.id, Addr: target, Home: rec.home, Seq: 2*sentHops + 1,
+	})
 	// Post-transfer bookkeeping must tolerate the agent having ALREADY
 	// returned here while the ack was in flight: a fast next hop can
 	// re-deliver the agent before this line runs, and the re-arrival
@@ -782,6 +832,12 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 			return transport.Errorf(transport.StatusUnavailable, "journaling agent %s: %v", rec.id, err)
 		}
 		s.commitHandoff(rec.id)
+		// ClearMigration counted the hop, so this arrival's seq (2h+2
+		// relative to the sender's h) supersedes the sender's departure
+		// pointer (2h+1).
+		s.notifyMove(ctx, AgentMove{
+			AgentID: rec.id, Addr: s.cfg.Addr, Home: rec.home, Seq: 2 * vm.Hops,
+		})
 		s.startLoop(ctx, rec)
 		return transport.OKText("accepted " + rec.id)
 
@@ -816,6 +872,10 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 		// sender's retry redeliver (the gateway's result intake is
 		// idempotent); a crash after it dedups cleanly.
 		s.journalFinish(rec, StateDelivered)
+		s.notifyMove(ctx, AgentMove{
+			AgentID: rec.id, Addr: s.cfg.Addr, Home: rec.home,
+			Seq: 2*sentHop + 3, Terminal: true,
+		})
 		return transport.OKText("delivered " + rec.id)
 
 	default:
@@ -1290,6 +1350,21 @@ func (s *Server) Resume(ctx context.Context) (int, error) {
 		s.logf("mas %s: resumed %d journaled agent(s)", s.cfg.Addr, resumed)
 	}
 	return resumed, nil
+}
+
+// ResidentCount returns the number of agents currently held by this
+// server (running or parked) — the queue-depth half of the cluster
+// load signal, and the quantity a draining gateway waits on.
+func (s *Server) ResidentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rec := range s.agents {
+		if rec.state == StateRunning || rec.state == StateParked {
+			n++
+		}
+	}
+	return n
 }
 
 // AgentStates returns a snapshot of known agent ids to states, for

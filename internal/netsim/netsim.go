@@ -307,7 +307,8 @@ func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transpor
 	h, ok := n.hosts[addr]
 	if !ok || h.down {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+		// Provably never delivered: safe to replay elsewhere.
+		return nil, transport.MarkNotDelivered(fmt.Errorf("%w: %s", ErrUnreachable, addr))
 	}
 	partitioned := n.parts[[2]string{t.zone, h.zone}] || n.parts[[2]string{h.zone, t.zone}]
 	up := n.linkFor(t.zone, h.zone)
@@ -338,13 +339,17 @@ func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transpor
 		n.mu.Lock()
 		n.stats.Blocked++
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%s%s (%s -> %s): %w", addr, req.Path, t.zone, h.zone, ErrPartitioned)
+		// The cut is before the handler: provably not delivered.
+		return nil, transport.MarkNotDelivered(
+			fmt.Errorf("%s%s (%s -> %s): %w", addr, req.Path, t.zone, h.zone, ErrPartitioned))
 	}
 	if upLost {
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%s%s: %w", addr, req.Path, ErrLost)
+		// The REQUEST was dropped (unlike the response-lost case below,
+		// which is ambiguous to the caller): provably not delivered.
+		return nil, transport.MarkNotDelivered(fmt.Errorf("%s%s: %w", addr, req.Path, ErrLost))
 	}
 
 	resp := handler.Serve(ctx, req)

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -65,7 +67,16 @@ func (c *HTTPClient) RoundTrip(ctx context.Context, addr string, req *Request) (
 	}
 	hresp, err := cl.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("transport: %s%s: %w", addr, req.Path, err)
+		werr := fmt.Errorf("transport: %s%s: %w", addr, req.Path, err)
+		// A dial failure (connection refused, no route) happens before
+		// any byte reaches the server: provably not delivered, safe for
+		// callers to replay elsewhere. Anything after the dial — reset,
+		// timeout, EOF mid-response — is ambiguous and stays unmarked.
+		var opErr *net.OpError
+		if errors.As(err, &opErr) && opErr.Op == "dial" {
+			werr = MarkNotDelivered(werr)
+		}
+		return nil, werr
 	}
 	defer hresp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))

@@ -19,6 +19,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -158,6 +159,34 @@ type StatusError struct {
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("transport: status %d: %s", e.Status, e.Body)
+}
+
+// MarkNotDelivered wraps a round-trip error to assert that the request
+// provably never reached the destination handler (connection refused,
+// host down, request lost before delivery). Callers deciding whether a
+// failed request is safe to REPLAY ELSEWHERE (e.g. the cluster's
+// dispatch reroute) must only do so when NotDelivered reports true —
+// any other failure is ambiguous: the destination may have processed
+// the request and only the response was lost, so a replay would
+// double-execute.
+func MarkNotDelivered(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &notDeliveredError{err}
+}
+
+type notDeliveredError struct{ err error }
+
+func (e *notDeliveredError) Error() string             { return e.err.Error() }
+func (e *notDeliveredError) Unwrap() error             { return e.err }
+func (e *notDeliveredError) RequestNotDelivered() bool { return true }
+
+// NotDelivered reports whether err carries the MarkNotDelivered
+// guarantee anywhere in its chain.
+func NotDelivered(err error) bool {
+	var nd interface{ RequestNotDelivered() bool }
+	return errors.As(err, &nd) && nd.RequestNotDelivered()
 }
 
 // Mux routes requests by path. Exact matches win; otherwise the longest
