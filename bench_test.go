@@ -452,3 +452,16 @@ func BenchmarkClusterJourney(b *testing.B) {
 	b.Run("local", func(b *testing.B) { benchkit.ClusterJourney(b, 3, false) })
 	b.Run("forwarded", func(b *testing.B) { benchkit.ClusterJourney(b, 3, true) })
 }
+
+// BenchmarkMailboxEnqueueDrain measures the G4 store-and-forward cycle:
+// enqueue into a durable per-device mailbox, poll, cursor ack.
+func BenchmarkMailboxEnqueueDrain(b *testing.B) { benchkit.MailboxEnqueueDrain(b) }
+
+// BenchmarkMailboxFanout measures long-poll fan-out: parked consumers
+// woken wait-free by enqueues, at device-fleet scale.
+func BenchmarkMailboxFanout(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) { benchkit.MailboxFanout(b, n) })
+	}
+}

@@ -1,16 +1,16 @@
 // Command bench is the machine-readable performance harness: it runs
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
-// fast path, G3 federation scaling) through the exact drivers
-// `go test -bench` uses (internal/benchkit) and writes the results as
-// JSON so the repo's performance trajectory is tracked as data, not
-// prose.
+// fast path, G3 federation scaling, G4 mailbox delivery) through the
+// exact drivers `go test -bench` uses (internal/benchkit) and writes
+// the results as JSON so the repo's performance trajectory is tracked
+// as data, not prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_4.json
+//	bench                     # full run, writes BENCH_5.json
 //	bench -short              # CI run (shorter benchtime)
 //	bench -o out.json         # choose the output path
-//	bench -check BENCH_4.json # exit non-zero if dispatch-E2E allocs/op
+//	bench -check BENCH_5.json # exit non-zero if dispatch-E2E allocs/op
 //	                          # regressed >20% vs the committed file
 //
 // The output carries the pre-ISSUE-3 dispatch baseline alongside the
@@ -54,7 +54,7 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_4.json schema.
+// Output is the BENCH_5.json schema.
 type Output struct {
 	Schema        string   `json:"schema"`
 	GoVersion     string   `json:"go_version"`
@@ -90,8 +90,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_4.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_4.json to gate against (fail if dispatch-E2E allocs/op regress >20%)")
+	out := flag.String("o", "BENCH_5.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_5.json to gate against (fail if dispatch-E2E allocs/op regress >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -104,7 +104,7 @@ func main() {
 	}
 
 	o := Output{
-		Schema:        "pdagent-bench/4",
+		Schema:        "pdagent-bench/5",
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
@@ -147,6 +147,14 @@ func main() {
 		run("cluster_dispatch/gateways=3,naive", func(b *testing.B) { benchkit.ClusterDispatch(b, 3, false) }),
 		run("cluster_journey/local", func(b *testing.B) { benchkit.ClusterJourney(b, 3, false) }),
 		run("cluster_journey/forwarded", func(b *testing.B) { benchkit.ClusterJourney(b, 3, true) }),
+	)
+
+	// G4 — the mailbox subsystem: store-and-forward enqueue/drain
+	// throughput, and long-poll fan-out at device-fleet scale.
+	o.Results = append(o.Results,
+		run("mailbox_enqueue_drain", benchkit.MailboxEnqueueDrain),
+		run("mailbox_fanout/devices=100", func(b *testing.B) { benchkit.MailboxFanout(b, 100) }),
+		run("mailbox_fanout/devices=1000", func(b *testing.B) { benchkit.MailboxFanout(b, 1000) }),
 	)
 
 	// Zero-DOM evidence as data: a representative PI decode must

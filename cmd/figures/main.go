@@ -8,7 +8,7 @@
 //
 //	figures            # all experiments, ASCII tables
 //	figures -csv       # CSV output
-//	figures -only fig12,fig13,claims,select,ablations,faults,cluster
+//	figures -only fig12,fig13,claims,select,ablations,faults,cluster,push
 package main
 
 import (
@@ -24,14 +24,14 @@ import (
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster,push")
 	seed := flag.Int64("seed", 1, "base seed for the simulated network")
 	maxN := flag.Int("n", experiments.DefaultMaxN, "maximum number of transactions")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster"} {
+		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster", "push"} {
 			want[k] = true
 		}
 	} else {
@@ -145,6 +145,13 @@ func main() {
 			log.Fatalf("figures: G3 failover: %v", err)
 		}
 		emit(experiments.FailoverTable(fo))
+	}
+	if want["push"] {
+		rows, err := experiments.E8(*seed, experiments.DefaultE8Outages)
+		if err != nil {
+			log.Fatalf("figures: E8: %v", err)
+		}
+		emit(experiments.E8Table(rows))
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "figures: nothing selected")

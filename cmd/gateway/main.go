@@ -14,6 +14,14 @@
 //	gateway -listen :8080 -advertise host1:8080 -cluster-seeds host1:8080,host2:8080
 //	gateway -listen :8080 -advertise host2:8080 -cluster-seeds host1:8080,host2:8080
 //
+// With -mailbox-dir the gateway keeps a durable per-device mailbox
+// (DESIGN.md §7): results, status changes and management notifications
+// are enqueued the moment they happen and delivered through
+// /pdagent/mailbox[/poll] when the device reconnects — intermittently
+// connected devices are first-class. -mailbox-ttl, -mailbox-quota and
+// -result-ttl bound retention; a background sweeper (-sweep-every)
+// enforces them.
+//
 // On SIGTERM the gateway drains: it stops accepting dispatches,
 // deregisters from the cluster, waits (bounded by -drain-timeout) for
 // resident agents to finish or ship out, then exits.
@@ -30,6 +38,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +47,8 @@ import (
 	"pdagent/internal/core"
 	"pdagent/internal/gateway"
 	"pdagent/internal/pisec"
+	"pdagent/internal/push"
+	"pdagent/internal/rms"
 	"pdagent/internal/transport"
 )
 
@@ -51,6 +62,11 @@ func main() {
 	clusterSecret := flag.String("cluster-secret", "", "shared secret authenticating intra-cluster traffic; every member must use the same value")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "cluster heartbeat interval")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for resident agents to drain")
+	mailboxDir := flag.String("mailbox-dir", "", "directory for the durable per-device mailbox store; empty disables the device-session mailbox subsystem")
+	mailboxTTL := flag.Duration("mailbox-ttl", 72*time.Hour, "expire undelivered mailbox entries after this long (0 keeps them until quota eviction)")
+	mailboxQuota := flag.Int("mailbox-quota", push.DefaultQuota, "max pending mailbox entries per device (oldest expendable evicted first)")
+	resultTTL := flag.Duration("result-ttl", 0, "expire stored result documents this long after completion (0 keeps them forever; requires -mailbox-dir)")
+	sweepEvery := flag.Duration("sweep-every", time.Minute, "how often the mailbox/result TTL sweeper runs")
 	keyBits := flag.Int("key-bits", pisec.DefaultKeyBits, "RSA key size")
 	shards := flag.Int("shards", gateway.DefaultRegistryShards, "registry lock-stripe count (rounded up to a power of two)")
 	workers := flag.Int("outbound-workers", 32, "bounded worker pool size for outbound calls (status chasing, management)")
@@ -116,6 +132,28 @@ func main() {
 		})
 	}
 
+	var mailbox *gateway.MailboxConfig
+	if *mailboxDir != "" {
+		if err := os.MkdirAll(*mailboxDir, 0o755); err != nil {
+			log.Fatalf("gateway: creating mailbox dir: %v", err)
+		}
+		store, err := rms.OpenFileStore(filepath.Join(*mailboxDir, "mailbox.rms"))
+		if err != nil {
+			log.Fatalf("gateway: opening mailbox store: %v", err)
+		}
+		mailbox = &gateway.MailboxConfig{
+			Store:     store,
+			TTL:       *mailboxTTL,
+			Quota:     *mailboxQuota,
+			ResultTTL: *resultTTL,
+		}
+	} else if *resultTTL > 0 {
+		// The result sweeper shares the mailbox subsystem (expiry notes
+		// land in the owners' mailboxes); require the flag pairing
+		// instead of silently keeping results forever.
+		log.Fatalf("gateway: -result-ttl requires -mailbox-dir")
+	}
+
 	kp, err := pisec.GenerateKeyPair(*keyBits)
 	if err != nil {
 		log.Fatalf("gateway: generating key pair: %v", err)
@@ -128,6 +166,7 @@ func main() {
 		Peers:           peerList,
 		Shards:          *shards,
 		Cluster:         node,
+		Mailbox:         mailbox,
 		OutboundWorkers: *workers,
 		Logf:            log.Printf,
 	})
@@ -140,6 +179,28 @@ func main() {
 	if node != nil {
 		node.Start(*heartbeat)
 		log.Printf("gateway %s: clustered, %d seed(s), heartbeat %v", public, len(strings.Split(*clusterSeeds, ",")), *heartbeat)
+	}
+	sweepDone := make(chan struct{})
+	if mailbox != nil && (*mailboxTTL > 0 || *resultTTL > 0) {
+		if *sweepEvery <= 0 {
+			log.Fatalf("gateway: -sweep-every must be positive, got %v", *sweepEvery)
+		}
+		go func() {
+			t := time.NewTicker(*sweepEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-sweepDone:
+					return
+				case <-t.C:
+					if results, entries := gw.Sweep(); results > 0 || entries > 0 {
+						log.Printf("gateway %s: swept %d expired result doc(s), %d mailbox entr(ies)", public, results, entries)
+					}
+				}
+			}
+		}()
+		log.Printf("gateway %s: mailbox at %s (ttl %v, quota %d, result ttl %v, sweep %v)",
+			public, *mailboxDir, *mailboxTTL, *mailboxQuota, *resultTTL, *sweepEvery)
 	}
 	log.Printf("gateway %s: %s flavour, key %s, %d registry shards, listening on %s",
 		public, *flavour, kp.Public().Fingerprint(), *shards, *listen)
@@ -175,6 +236,7 @@ func main() {
 			log.Printf("gateway %s: http shutdown: %v", public, err)
 		}
 		shutCancel()
+		close(sweepDone)
 		gw.Close()
 	}
 }

@@ -17,7 +17,10 @@ import (
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pdagent/internal/atp"
@@ -117,8 +120,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("masd: %v", err)
 	}
+	// Background work (parked-transfer retries, journal compaction)
+	// runs under a context cancelled on SIGTERM, so a shutdown never
+	// races a half-finished retry round.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if journal != nil {
-		n, err := srv.Resume(context.Background())
+		n, err := srv.Resume(ctx)
 		if err != nil {
 			log.Fatalf("masd: resuming journaled agents: %v", err)
 		}
@@ -129,8 +137,15 @@ func main() {
 			// bounded on disk, not just in live records.
 			const compactThreshold = 1 << 20
 			fs := journal.(*rms.FileStore)
-			for range time.Tick(*retryEvery) {
-				if n := srv.RetryParked(context.Background()); n > 0 {
+			t := time.NewTicker(*retryEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				if n := srv.RetryParked(ctx); n > 0 {
 					log.Printf("masd %s: retrying %d parked transfer(s)", public, n)
 				}
 				if fs.Garbage() > compactThreshold {
@@ -143,7 +158,25 @@ func main() {
 	}
 	log.Printf("masd %s: %s flavour, services %v, listening on %s",
 		public, *flavour, reg.Names(), *listen)
-	if err := http.ListenAndServe(*listen, transport.NewHTTPHandler(srv.Handler())); err != nil {
+
+	httpSrv := &http.Server{Addr: *listen, Handler: transport.NewHTTPHandler(srv.Handler())}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
 		log.Fatalf("masd: %v", err)
+	case s := <-sig:
+		// Graceful stop: cancel background work, then give in-flight
+		// agent transfers a bounded window to finish (a journaled host
+		// recovers anything left on the next start).
+		log.Printf("masd %s: %v received, shutting down", public, s)
+		cancel()
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("masd %s: http shutdown: %v", public, err)
+		}
+		shutCancel()
 	}
 }

@@ -45,6 +45,8 @@ Commands:
   subscribe  download a code package  (-gateway ADDR -code ID)
   list       show stored subscriptions and pending agents
   dispatch   launch an application  (-code ID -param k=v ...)
+  queue      queue an execution offline for the next session  (-code ID -param ...)
+  session    reconnect: drain the offline queue and pull the mailbox  (-gateway ADDR optional)
   status     agent progress  (-agent ID)
   collect    download the result document  (-agent ID)
   retract    pull the agent back to the gateway  (-agent ID)
@@ -149,6 +151,34 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(id)
+	case "queue":
+		// Entirely offline: the Packed Information is built and stored
+		// now, uploaded by the next `session`.
+		need(*code != "", "-code")
+		id, err := plat.QueueDispatch(*code, params.values)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("queued %s (%d in queue; run `pdagent session` when connected)\n", id, len(plat.QueuedDispatches()))
+	case "session":
+		// The §7 reconnection ritual: drain queued dispatches, then
+		// pull everything the gateway mailbox accumulated while away.
+		s, err := plat.OpenSessionAt(ctx, *gw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("session at %s: %d queued dispatch(es) sent, %d left, %d delivered, %d evicted\n",
+			s.Gateway, len(s.Dispatched), s.QueuedLeft, len(s.Deliveries), s.Evicted)
+		for _, id := range s.Dispatched {
+			fmt.Println("dispatched: " + id)
+		}
+		for _, d := range s.Deliveries {
+			if d.Result != nil {
+				printResult(d.Result)
+				continue
+			}
+			fmt.Printf("%s %s: %s\n", d.Kind, d.AgentID, d.Note)
+		}
 	case "status":
 		need(*agent != "", "-agent")
 		state, body, err := plat.AgentStatus(ctx, *agent)

@@ -1,0 +1,108 @@
+package benchkit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pdagent/internal/push"
+	"pdagent/internal/rms"
+)
+
+// G4 — mailbox subsystem benchmarks (DESIGN.md §7): the store-and-
+// forward enqueue/drain pipeline and the long-poll fan-out path at
+// fleet scale.
+
+// benchResultDoc is a representative mailbox payload (a small result
+// document), built once.
+var benchResultDoc = []byte(`<result-document agent="ag-bench" code-id="echo" owner="dev" status="done" hops="2" steps="120"><result key="echo"><str>ok</str></result></result-document>`)
+
+// MailboxEnqueueDrain measures the full store-and-forward cycle over an
+// in-memory store: enqueue (dedup window, quota check, record write,
+// meta write) followed by a poll and cursor ack, rotating across 64
+// devices so per-device state stays warm but not trivial.
+func MailboxEnqueueDrain(b *testing.B) {
+	hub, err := push.NewHub(push.Config{Store: rms.NewMemStore("mb-bench", 0), Quota: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const devices = 64
+	names := make([]string, devices)
+	cursors := make([]uint64, devices)
+	for i := range names {
+		names[i] = fmt.Sprintf("dev-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := i % devices
+		event := fmt.Sprintf("result:ag-%d", i)
+		if _, dup, err := hub.Enqueue(names[d], push.KindResult, "ag-bench", event, benchResultDoc); err != nil || dup {
+			b.Fatalf("enqueue: dup=%v err=%v", dup, err)
+		}
+		entries, watermark, _, err := hub.Poll(names[d], cursors[d], 8)
+		if err != nil || len(entries) == 0 {
+			b.Fatalf("poll: %d entries, %v", len(entries), err)
+		}
+		cursors[d] = watermark
+	}
+	b.StopTimer()
+	st := hub.Stats()
+	if st.Enqueued != uint64(b.N) {
+		b.Fatalf("enqueued %d, want %d", st.Enqueued, b.N)
+	}
+}
+
+// MailboxFanout measures end-to-end long-poll fan-out: `devices`
+// consumers each park on Wait (the wait-free signal channel a gateway
+// long-poll parks on), the producer enqueues round-robin, and the
+// measurement covers enqueue → wakeup → poll → ack for every delivery.
+func MailboxFanout(b *testing.B, devices int) {
+	hub, err := push.NewHub(push.Config{Store: rms.NewMemStore("mb-bench", 0), Quota: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := make(chan struct{}, devices)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		dev := fmt.Sprintf("dev-%d", d)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cursor uint64
+			for {
+				entries, watermark, _, err := hub.Poll(dev, cursor, 8)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				cursor = watermark
+				for range entries {
+					delivered <- struct{}{}
+				}
+				if len(entries) == 0 {
+					select {
+					case <-hub.Wait(dev):
+					case <-stop:
+						return
+					}
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := fmt.Sprintf("dev-%d", i%devices)
+		event := fmt.Sprintf("result:ag-%d", i)
+		if _, _, err := hub.Enqueue(dev, push.KindResult, "ag-bench", event, benchResultDoc); err != nil {
+			b.Fatal(err)
+		}
+		<-delivered
+	}
+	b.StopTimer()
+	close(stop)
+	hub.Close() // wake any parked waiters so the goroutines exit
+	wg.Wait()
+}

@@ -80,6 +80,20 @@ type SimConfig struct {
 	// ClusterSpillThreshold overrides the load-aware spill threshold
 	// (0: cluster.DefaultSpillThreshold; negative disables spill).
 	ClusterSpillThreshold int
+	// Mailbox enables the disconnection-tolerant device sessions
+	// (DESIGN.md §7) on every gateway: results, status changes and
+	// management notifications are enqueued into durable per-device
+	// mailboxes and delivered through /pdagent/mailbox. The per-gateway
+	// stores are exposed through SimWorld.Mailboxes and survive
+	// CrashGateway / RestartGateway, like the journals.
+	Mailbox bool
+	// MailboxTTL / MailboxQuota tune the mailboxes (0: keep until
+	// quota / push.DefaultQuota).
+	MailboxTTL   time.Duration
+	MailboxQuota int
+	// ResultTTL expires stored result documents (0 keeps them forever);
+	// enforced by Gateway.Sweep. Requires Mailbox.
+	ResultTTL time.Duration
 }
 
 // SimWorld is a fully wired simulated deployment.
@@ -98,13 +112,18 @@ type SimWorld struct {
 	// Nodes are the gateways' cluster nodes, aligned with Gateways
 	// (nil entries when SimConfig.Cluster is off).
 	Nodes []*cluster.Node
+	// Mailboxes holds the per-gateway mailbox stores when
+	// SimConfig.Mailbox is set; they survive CrashGateway /
+	// RestartGateway like the journals do.
+	Mailboxes map[string]rms.Store
 
-	cfg        SimConfig
-	keyBits    int
-	hostSpecs  map[string]HostSpec       // retained for RestartHost
-	gwKeys     map[string]*pisec.KeyPair // retained for RestartGateway
-	crashedGW  map[string]bool           // members whose process is down
-	clusterKey string                    // shared cluster secret (Cluster worlds)
+	cfg         SimConfig
+	keyBits     int
+	hostSpecs   map[string]HostSpec       // retained for RestartHost
+	gwKeys      map[string]*pisec.KeyPair // retained for RestartGateway
+	crashedGW   map[string]bool           // members whose process is down
+	clusterKey  string                    // shared cluster secret (Cluster worlds)
+	deviceZones map[string]string         // device owner -> private aliased zone
 }
 
 // CentralAddr is the simulated central server's address.
@@ -119,16 +138,18 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 		cfg.KeyBits = pisec.DefaultKeyBits
 	}
 	w := &SimWorld{
-		Net:       netsim.New(cfg.Seed),
-		Queue:     &netsim.Queue{},
-		Hosts:     map[string]*mas.Server{},
-		Banks:     map[string]*services.Bank{},
-		Journals:  map[string]rms.Store{},
-		cfg:       cfg,
-		keyBits:   cfg.KeyBits,
-		hostSpecs: map[string]HostSpec{},
-		gwKeys:    map[string]*pisec.KeyPair{},
-		crashedGW: map[string]bool{},
+		Net:         netsim.New(cfg.Seed),
+		Queue:       &netsim.Queue{},
+		Hosts:       map[string]*mas.Server{},
+		Banks:       map[string]*services.Bank{},
+		Journals:    map[string]rms.Store{},
+		Mailboxes:   map[string]rms.Store{},
+		cfg:         cfg,
+		keyBits:     cfg.KeyBits,
+		hostSpecs:   map[string]HostSpec{},
+		gwKeys:      map[string]*pisec.KeyPair{},
+		crashedGW:   map[string]bool{},
+		deviceZones: map[string]string{},
 	}
 	journalFor := func(addr string) rms.Store {
 		if !cfg.Journal {
@@ -224,7 +245,7 @@ func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal r
 			SpillThreshold: w.cfg.ClusterSpillThreshold,
 		})
 	}
-	gw, err := gateway.New(gateway.Config{
+	gwCfg := gateway.Config{
 		Addr:      addr,
 		KeyPair:   kp,
 		Transport: w.Net.Transport(netsim.ZoneWired),
@@ -232,7 +253,24 @@ func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal r
 		Peers:     peers,
 		Journal:   journal,
 		Cluster:   node,
-	})
+	}
+	if w.cfg.Mailbox {
+		// The mailbox store outlives the gateway process (like the
+		// journal): RestartGateway reattaches the replacement instance
+		// to the same store, so undelivered mail survives the crash.
+		store, ok := w.Mailboxes[addr]
+		if !ok {
+			store = rms.NewMemStore("mailbox-"+addr, 0)
+			w.Mailboxes[addr] = store
+		}
+		gwCfg.Mailbox = &gateway.MailboxConfig{
+			Store:     store,
+			TTL:       w.cfg.MailboxTTL,
+			Quota:     w.cfg.MailboxQuota,
+			ResultTTL: w.cfg.ResultTTL,
+		}
+	}
+	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -441,11 +479,20 @@ func (w *SimWorld) GatewayAddrs() []string {
 }
 
 // NewDevice creates a handheld platform attached to the wireless side
-// of the world, preloaded with the gateway list.
+// of the world, preloaded with the gateway list. Each device gets its
+// own wireless zone (same link model as the shared one), so
+// DisconnectDevice / ReconnectDevice can churn one device's uplink
+// without touching its neighbours.
 func (w *SimWorld) NewDevice(owner string) (*device.Platform, error) {
+	zone, ok := w.deviceZones[owner]
+	if !ok {
+		zone = "wl:" + owner
+		w.Net.AliasZone(zone, netsim.ZoneWireless)
+		w.deviceZones[owner] = zone
+	}
 	p, err := device.NewPlatform(device.Config{
 		Owner:     owner,
-		Transport: w.Net.Transport(netsim.ZoneWireless),
+		Transport: w.Net.Transport(zone),
 		Codec:     compress.LZSS,
 		Secure:    true,
 		Central:   CentralAddr,
@@ -457,6 +504,30 @@ func (w *SimWorld) NewDevice(owner string) (*device.Platform, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// DisconnectDevice cuts one device's wireless uplink: its requests
+// charge the uplink delay and fail like timeouts (the rest of the world
+// keeps running). The device's gateway mailbox keeps accumulating
+// whatever happens meanwhile.
+func (w *SimWorld) DisconnectDevice(owner string) error {
+	zone, ok := w.deviceZones[owner]
+	if !ok {
+		return fmt.Errorf("core: no device %q to disconnect", owner)
+	}
+	w.Net.PartitionZones(zone, netsim.ZoneWired)
+	return nil
+}
+
+// ReconnectDevice heals a device's uplink; the application typically
+// follows with OpenSession to drain queued work and collect mail.
+func (w *SimWorld) ReconnectDevice(owner string) error {
+	zone, ok := w.deviceZones[owner]
+	if !ok {
+		return fmt.Errorf("core: no device %q to reconnect", owner)
+	}
+	w.Net.HealZones(zone, netsim.ZoneWired)
+	return nil
 }
 
 // NewJourney returns a context carrying a fresh virtual clock, plus

@@ -22,7 +22,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,6 +74,13 @@ type Config struct {
 	Central string
 	// Retries bounds network attempts per operation (default 3).
 	Retries int
+	// RetryBase is the first retry's backoff; later attempts double it
+	// (jittered to 50–100% of the nominal value) up to RetryMax, so a
+	// flapping uplink never hot-loops. In simulations the backoff is
+	// charged to the journey clock instead of sleeping. Default 200ms.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff (default 5s).
+	RetryMax time.Duration
 	// Logf, when set, receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +102,35 @@ type Platform struct {
 	pending  map[string]pendingInfo   // agent id -> info
 	pendIDs  map[string]int           // agent id -> record id
 	listRec  int                      // record id of the gateway list, 0 = none
+
+	// Device-session state (§7): the gateway whose mailbox holds this
+	// device's notifications, per-gateway delivery cursors, and the
+	// offline dispatch queue that drains on reconnect.
+	sessionGW string
+	cursors   map[string]uint64 // gateway -> acked mailbox watermark
+	tokens    map[string]string // gateway -> mailbox access token
+	mboxRec   int               // record id of the mailbox-state record
+	queued    map[string]*queuedDispatch
+	queueIDs  []string // queue order (dispatch ids, FIFO)
+	// collected remembers journeys whose results were obtained OUTSIDE
+	// mailbox delivery (direct or repair Collect), so a mailbox copy of
+	// the same result arriving later is recognisable as a duplicate —
+	// and a result for a journey in neither pending nor collected
+	// (e.g. a clone whose clone response was lost) is still delivered.
+	collected      map[string]bool
+	collectedOrder []string // FIFO for the bounded window
+	collectedRec   int      // record id of the collected record
+
+	// rng drives retry jitter; seeded from the owner so simulations
+	// stay reproducible across runs.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// queuedDispatch is one offline-queued service execution.
+type queuedDispatch struct {
+	recID int
+	pi    *wire.PackedInformation
 }
 
 type pendingInfo struct {
@@ -117,11 +156,22 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.Retries == 0 {
 		cfg.Retries = 3
 	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
 	p := &Platform{
-		cfg:     cfg,
-		subs:    map[string]*subscription{},
-		pending: map[string]pendingInfo{},
-		pendIDs: map[string]int{},
+		cfg:       cfg,
+		subs:      map[string]*subscription{},
+		pending:   map[string]pendingInfo{},
+		pendIDs:   map[string]int{},
+		cursors:   map[string]uint64{},
+		tokens:    map[string]string{},
+		queued:    map[string]*queuedDispatch{},
+		collected: map[string]bool{},
+		rng:       rand.New(rand.NewSource(int64(hashOwner(cfg.Owner)))),
 	}
 	if err := p.load(); err != nil {
 		return nil, err
@@ -199,6 +249,37 @@ func (p *Platform) load() error {
 				p.gateways = gl.Addresses
 				p.listRec = id
 			}
+		case "mbox-state":
+			p.sessionGW = root.AttrDefault("gateway", "")
+			for _, c := range root.FindAll("cursor") {
+				if gw := c.AttrDefault("gw", ""); gw != "" {
+					seq, _ := strconv.ParseUint(c.AttrDefault("seq", "0"), 10, 64)
+					p.cursors[gw] = seq
+				}
+			}
+			for _, c := range root.FindAll("token") {
+				if gw := c.AttrDefault("gw", ""); gw != "" {
+					p.tokens[gw] = c.AttrDefault("v", "")
+				}
+			}
+			p.mboxRec = id
+		case "collected":
+			for _, c := range root.FindAll("a") {
+				if agent := c.TextContent(); agent != "" && !p.collected[agent] {
+					p.collected[agent] = true
+					p.collectedOrder = append(p.collectedOrder, agent)
+				}
+			}
+			p.collectedRec = id
+		case "queued-dispatch":
+			qid := root.AttrDefault("id", "")
+			pi, err := wire.ParsePackedInformation([]byte(root.TextContent()))
+			if qid == "" || err != nil {
+				p.logf("device %s: dropping bad queued dispatch record %d: %v", p.cfg.Owner, id, err)
+				continue
+			}
+			p.queued[qid] = &queuedDispatch{recID: id, pi: pi}
+			p.queueIDs = append(p.queueIDs, qid)
 		default:
 			p.logf("device %s: unknown record type %q", p.cfg.Owner, root.Name)
 		}
@@ -212,20 +293,55 @@ func (p *Platform) Footprint() (int, error) { return p.cfg.Store.Size() }
 
 // --- network manager ------------------------------------------------------
 
-// roundTrip sends with bounded retries; lost messages (netsim.ErrLost)
-// and transient transport failures are retried, each attempt costing
-// journey-clock time.
+// hashOwner seeds the per-device jitter source. Runs once per
+// Platform, so the stdlib hash is fine (no need for a fourth inlined
+// FNV in this repo).
+func hashOwner(owner string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(owner))
+	return h.Sum32()
+}
+
+// backoff returns the jittered exponential delay before retry attempt
+// (attempt >= 1): nominal RetryBase<<(attempt-1) capped at RetryMax,
+// drawn uniformly from 50–100% of nominal so a fleet of devices on the
+// same flapping uplink never retries in lockstep.
+func (p *Platform) backoff(attempt int) time.Duration {
+	d := p.cfg.RetryBase
+	for i := 1; i < attempt && d < p.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > p.cfg.RetryMax {
+		d = p.cfg.RetryMax
+	}
+	p.rngMu.Lock()
+	j := p.rng.Float64()
+	p.rngMu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+// roundTrip sends with bounded retries: lost messages (netsim.ErrLost),
+// partition timeouts and transient transport failures are retried
+// behind a jittered exponential backoff, honouring context
+// cancellation between attempts. Each attempt and each backoff costs
+// journey-clock time, so a flapping uplink in a simulation never
+// hot-loops the virtual schedule either.
 func (p *Platform) roundTrip(ctx context.Context, addr string, req *transport.Request) (*transport.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if err := netsim.Sleep(ctx, p.backoff(attempt)); err != nil {
+				return nil, fmt.Errorf("device: %s%s cancelled during retry backoff: %w", addr, req.Path, err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("device: %s%s: %w", addr, req.Path, err)
+		}
 		resp, err := p.cfg.Transport.RoundTrip(ctx, addr, req)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
-		if !errors.Is(err, netsim.ErrLost) && attempt+1 >= p.cfg.Retries {
-			break
-		}
 	}
 	return nil, fmt.Errorf("device: %s%s after %d attempt(s): %w", addr, req.Path, p.cfg.Retries, lastErr)
 }

@@ -20,28 +20,53 @@ import (
 // agent id assigned by the gateway. This is the only online step of a
 // service invocation besides result collection.
 func (p *Platform) Dispatch(ctx context.Context, codeID string, params map[string]mavm.Value) (string, error) {
+	pi, err := p.buildPI(codeID, params)
+	if err != nil {
+		return "", err
+	}
+	return p.uploadPI(ctx, pi)
+}
+
+// buildPI assembles the Packed Information for a service execution:
+// code, parameters, a fresh nonce and the derived dispatch key. The
+// offline part of §3.2 — no network involved, so it also backs the
+// offline dispatch queue.
+func (p *Platform) buildPI(codeID string, params map[string]mavm.Value) (*wire.PackedInformation, error) {
 	p.mu.Lock()
 	entry, ok := p.subs[codeID]
 	p.mu.Unlock()
 	if !ok {
-		return "", fmt.Errorf("%w: %q", ErrNotSubscribed, codeID)
+		return nil, fmt.Errorf("%w: %q", ErrNotSubscribed, codeID)
 	}
 	nonce, err := wire.NewNonce()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	pi := &wire.PackedInformation{
+	return &wire.PackedInformation{
 		CodeID:      codeID,
 		DispatchKey: pisec.DispatchKey(codeID, entry.sub.Secret),
 		Owner:       p.cfg.Owner,
 		Nonce:       nonce,
 		Source:      entry.sub.Package.Source,
 		Params:      params,
+	}, nil
+}
+
+// uploadPI performs the online part of a dispatch: pack (compress +
+// seal), upload, record the pending journey and remember the gateway as
+// this device's session home (its mailbox collects our notifications).
+// The PI's nonce makes a retried upload idempotent at the gateway.
+func (p *Platform) uploadPI(ctx context.Context, pi *wire.PackedInformation) (string, error) {
+	p.mu.Lock()
+	entry, ok := p.subs[pi.CodeID]
+	p.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotSubscribed, pi.CodeID)
 	}
 	var key *pisec.PublicKey
 	if p.cfg.Secure {
 		if entry.key == nil {
-			return "", fmt.Errorf("device: subscription %q has no gateway key for sealing", codeID)
+			return "", fmt.Errorf("device: subscription %q has no gateway key for sealing", pi.CodeID)
 		}
 		key = entry.key
 	}
@@ -55,7 +80,7 @@ func (p *Platform) Dispatch(ctx context.Context, codeID string, params map[strin
 		return "", err
 	}
 	if !resp.IsOK() {
-		return "", fmt.Errorf("device: dispatching %q: %w", codeID, resp.Err())
+		return "", fmt.Errorf("device: dispatching %q: %w", pi.CodeID, resp.Err())
 	}
 	agentID := resp.Text()
 	if agentID == "" {
@@ -64,17 +89,32 @@ func (p *Platform) Dispatch(ctx context.Context, codeID string, params map[strin
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	rec := kxml.NewElement("pending")
-	rec.SetAttr("agent", agentID)
-	rec.SetAttr("gateway", gw)
-	rec.SetAttr("code-id", codeID)
-	recID, err := p.putRecord(rec.EncodeDocument())
-	if err != nil {
-		return "", fmt.Errorf("device: recording dispatch: %w", err)
+	if _, exists := p.pending[agentID]; !exists {
+		// A retried upload (lost response, crash before this record)
+		// answers idempotently with the same agent id — don't write a
+		// second pending record for it.
+		rec := kxml.NewElement("pending")
+		rec.SetAttr("agent", agentID)
+		rec.SetAttr("gateway", gw)
+		rec.SetAttr("code-id", pi.CodeID)
+		recID, err := p.putRecord(rec.EncodeDocument())
+		if err != nil {
+			return "", fmt.Errorf("device: recording dispatch: %w", err)
+		}
+		p.pending[agentID] = pendingInfo{Gateway: gw, CodeID: pi.CodeID}
+		p.pendIDs[agentID] = recID
 	}
-	p.pending[agentID] = pendingInfo{Gateway: gw, CodeID: codeID}
-	p.pendIDs[agentID] = recID
-	p.logf("device %s: dispatched %q as agent %s via %s", p.cfg.Owner, codeID, agentID, gw)
+	tok := resp.GetHeader("mailbox-token")
+	if p.sessionGW != gw || (tok != "" && p.tokens[gw] != tok) {
+		p.sessionGW = gw
+		if tok != "" {
+			p.tokens[gw] = tok
+		}
+		if err := p.storeMailboxStateLocked(); err != nil {
+			p.logf("device %s: persisting session gateway: %v", p.cfg.Owner, err)
+		}
+	}
+	p.logf("device %s: dispatched %q as agent %s via %s", p.cfg.Owner, pi.CodeID, agentID, gw)
 	return agentID, nil
 }
 
@@ -124,7 +164,6 @@ func (p *Platform) Collect(ctx context.Context, agentID string) (*wire.ResultDoc
 		return nil, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if recID, ok := p.pendIDs[agentID]; ok {
 		if err := p.cfg.Store.Delete(recID); err != nil && !errors.Is(err, rms.ErrNotFound) {
 			p.logf("device %s: dropping pending record for %s: %v", p.cfg.Owner, agentID, err)
@@ -132,6 +171,11 @@ func (p *Platform) Collect(ctx context.Context, agentID string) (*wire.ResultDoc
 		delete(p.pendIDs, agentID)
 	}
 	delete(p.pending, agentID)
+	p.mu.Unlock()
+	// Remember the direct collection so a mailbox copy of this result
+	// (enqueued before the gateway saw the collect) is recognisable as
+	// a duplicate by the next session.
+	p.markCollected(agentID)
 	return rd, nil
 }
 

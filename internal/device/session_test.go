@@ -1,0 +1,438 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdagent/internal/compress"
+	"pdagent/internal/gateway"
+	"pdagent/internal/mavm"
+	"pdagent/internal/netsim"
+	"pdagent/internal/pisec"
+	"pdagent/internal/push"
+	"pdagent/internal/rms"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// newSessionFixture is newFixture with the gateway's mailbox subsystem
+// enabled (device sessions need somewhere to deliver from).
+func newSessionFixture(t *testing.T, cfgMut func(*Config)) *fixture {
+	t.Helper()
+	f := &fixture{
+		net:   netsim.New(2),
+		queue: &netsim.Queue{},
+		store: rms.NewMemStore("dev-db", 0),
+	}
+	f.net.SetLinkBoth(netsim.ZoneWireless, netsim.ZoneWired, netsim.Link{Latency: 50 * time.Millisecond})
+	f.net.SetLinkBoth(netsim.ZoneWired, netsim.ZoneWired, netsim.Link{Latency: time.Millisecond})
+	kpOnce.Do(func() {
+		k, err := pisec.GenerateKeyPair(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp = k
+	})
+	gw, err := gateway.New(gateway.Config{
+		Addr:      "gw-d",
+		KeyPair:   kp,
+		Transport: f.net.Transport(netsim.ZoneWired),
+		Spawn:     f.queue.Go,
+		Mailbox:   &gateway.MailboxConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.AddCodePackage(&wire.CodePackage{
+		CodeID: "echo", Name: "Echo", Version: "1",
+		Source: `deliver("echo", params()); deliver("id", agentid());`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.gw = gw
+	f.net.AddHost("gw-d", netsim.ZoneWired, gw.Handler())
+
+	cfg := Config{
+		Owner:     "test-dev",
+		Transport: f.net.Transport(netsim.ZoneWireless),
+		Store:     f.store,
+		Codec:     compress.LZSS,
+		Secure:    true,
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	plat, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plat.SetGateways([]string{"gw-d"}); err != nil {
+		t.Fatal(err)
+	}
+	f.plat = plat
+	return f
+}
+
+// TestSessionDeliversResultViaMailbox: the device never calls Collect —
+// the result arrives through the session mailbox, exactly once.
+func TestSessionDeliversResultViaMailbox(t *testing.T) {
+	f := newSessionFixture(t, nil)
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.plat.Dispatch(ctx, "echo", map[string]mavm.Value{"k": mavm.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.queue.Drain()
+
+	s, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gateway != "gw-d" || len(s.Deliveries) != 1 {
+		t.Fatalf("session = %+v", s)
+	}
+	d := s.Deliveries[0]
+	if d.Kind != push.KindResult || d.AgentID != id || d.Result == nil || !d.Result.OK() {
+		t.Fatalf("delivery = %+v", d)
+	}
+	echo, _ := d.Result.Get("echo")
+	if echo.MapEntries()["k"].AsInt() != 7 {
+		t.Fatalf("echo = %v", echo)
+	}
+	// The delivered journey is closed like a Collect.
+	if got := f.plat.Pending(); len(got) != 0 {
+		t.Fatalf("pending after delivery = %v", got)
+	}
+	// Exactly once: a second session delivers nothing.
+	s2, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Deliveries) != 0 {
+		t.Fatalf("second session redelivered: %+v", s2.Deliveries)
+	}
+}
+
+// TestQueueDispatchDrainsOnReconnect: executions queued while the
+// uplink is down are uploaded by the next session, and their results
+// come back through the mailbox.
+func TestQueueDispatchDrainsOnReconnect(t *testing.T) {
+	f := newSessionFixture(t, nil)
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uplink down: a live dispatch fails, queueing does not (offline).
+	if err := f.net.SetDown("gw-d", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.plat.Dispatch(ctx, "echo", nil); err == nil {
+		t.Fatal("dispatch succeeded with the gateway down")
+	}
+	qid, err := f.plat.QueueDispatch("echo", map[string]mavm.Value{"k": mavm.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := f.plat.QueuedDispatches(); len(q) != 1 || q[0] != qid {
+		t.Fatalf("queued = %v", q)
+	}
+	// A session with the uplink still down keeps the queue intact.
+	if s, err := f.plat.OpenSession(ctx); err == nil {
+		t.Fatalf("session succeeded offline: %+v", s)
+	}
+	if q := f.plat.QueuedDispatches(); len(q) != 1 {
+		t.Fatalf("offline session lost the queue: %v", q)
+	}
+
+	// Reconnect: the session drains the queue...
+	if err := f.net.SetDown("gw-d", false); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dispatched) != 1 || s.QueuedLeft != 0 || len(f.plat.QueuedDispatches()) != 0 {
+		t.Fatalf("drain = %+v", s)
+	}
+	// ...and the next session delivers the result.
+	f.queue.Drain()
+	s2, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Deliveries) != 1 || s2.Deliveries[0].AgentID != s.Dispatched[0] {
+		t.Fatalf("deliveries = %+v", s2.Deliveries)
+	}
+}
+
+// TestSessionStateSurvivesPlatformRestart: cursor, session gateway and
+// the offline queue live in the RMS database; a fresh platform instance
+// over the same store resumes exactly where the old one stopped.
+func TestSessionStateSurvivesPlatformRestart(t *testing.T) {
+	f := newSessionFixture(t, nil)
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.plat.Dispatch(ctx, "echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	f.queue.Drain()
+	if s, err := f.plat.OpenSession(ctx); err != nil || len(s.Deliveries) != 1 {
+		t.Fatalf("first session: %+v, %v", s, err)
+	}
+	if _, err := f.plat.QueueDispatch("echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	cursor := f.plat.Cursor("gw-d")
+	if cursor == 0 {
+		t.Fatal("cursor not advanced")
+	}
+
+	// "Restart" the device: new platform, same database.
+	plat2, err := NewPlatform(Config{
+		Owner:     "test-dev",
+		Transport: f.net.Transport(netsim.ZoneWireless),
+		Store:     f.store,
+		Codec:     compress.LZSS,
+		Secure:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plat2.SessionGateway() != "gw-d" || plat2.Cursor("gw-d") != cursor {
+		t.Fatalf("restart lost session state: gw %q cursor %d", plat2.SessionGateway(), plat2.Cursor("gw-d"))
+	}
+	if q := plat2.QueuedDispatches(); len(q) != 1 {
+		t.Fatalf("restart lost the offline queue: %v", q)
+	}
+	s, err := plat2.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queued dispatch went out; no duplicate delivery of the old
+	// result (the cursor survived).
+	if len(s.Dispatched) != 1 || len(s.Deliveries) != 0 {
+		t.Fatalf("restarted session = %+v", s)
+	}
+}
+
+// TestBackoffChargesJourneyClock: retries behind a lossy uplink charge
+// the virtual clock (latency + jittered exponential backoff) instead of
+// hot-looping.
+func TestBackoffChargesJourneyClock(t *testing.T) {
+	f := newSessionFixture(t, func(c *Config) {
+		c.RetryBase = 200 * time.Millisecond
+		c.RetryMax = time.Second
+	})
+	f.net.SetLinkBoth(netsim.ZoneWireless, netsim.ZoneWired,
+		netsim.Link{Latency: 50 * time.Millisecond, Loss: 1.0})
+
+	clock := netsim.NewClock()
+	ctx := netsim.WithClock(context.Background(), clock)
+	_, err := f.plat.roundTrip(ctx, "gw-d", &transport.Request{Path: "/pdagent/ping"})
+	if err == nil || !errors.Is(err, netsim.ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", err)
+	}
+	// 3 attempts charge 3 uplink latencies plus two backoffs: the
+	// first in [100ms,200ms], the second in [200ms,400ms].
+	min := 3*50*time.Millisecond + 100*time.Millisecond + 200*time.Millisecond
+	max := 3*(50+300)*time.Millisecond + 200*time.Millisecond + 400*time.Millisecond
+	if got := clock.Now(); got < min || got > max {
+		t.Fatalf("clock charged %v, want within [%v, %v]", got, min, max)
+	}
+}
+
+// TestBackoffHonoursCancellation: without a virtual clock the backoff
+// waits real time, and a context cancellation cuts it short instead of
+// finishing the full exponential schedule.
+func TestBackoffHonoursCancellation(t *testing.T) {
+	f := newSessionFixture(t, func(c *Config) {
+		c.RetryBase = 30 * time.Second // would block ~45s without cancellation
+		c.Retries = 5
+	})
+	if err := f.net.SetDown("gw-d", true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := f.plat.roundTrip(ctx, "gw-d", &transport.Request{Path: "/pdagent/ping"})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, backoff not interruptible", elapsed)
+	}
+}
+
+// lossyDispatch wraps a transport and swallows the response of the
+// first successful /pdagent/dispatch: the gateway processed the upload
+// but the device never heard back — the classic wireless failure the
+// offline queue must survive.
+type lossyDispatch struct {
+	inner   transport.RoundTripper
+	tripped bool
+}
+
+func (l *lossyDispatch) RoundTrip(ctx context.Context, addr string, req *transport.Request) (*transport.Response, error) {
+	resp, err := l.inner.RoundTrip(ctx, addr, req)
+	if err == nil && req.Path == "/pdagent/dispatch" && !l.tripped {
+		l.tripped = true
+		return nil, errors.New("simulated lost dispatch response")
+	}
+	return resp, err
+}
+
+// TestQueueDrainSurvivesLostDispatchResponse is the queue-wedge
+// regression: the upload reaches the gateway but the response is lost.
+// The retry re-sends the same nonce and must receive the ORIGINAL
+// agent id back (idempotent dispatch), draining the queue with exactly
+// one agent created — not a permanent replay refusal, not a second
+// agent.
+func TestQueueDrainSurvivesLostDispatchResponse(t *testing.T) {
+	f := newSessionFixture(t, func(c *Config) {
+		c.Transport = &lossyDispatch{inner: c.Transport}
+	})
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.plat.QueueDispatch("echo", map[string]mavm.Value{"k": mavm.Int(9)}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatalf("session wedged on lost response: %v", err)
+	}
+	if len(s.Dispatched) != 1 || s.QueuedLeft != 0 {
+		t.Fatalf("drain = %+v, want 1 dispatched / 0 left", s)
+	}
+	if n := f.gw.Registry().NumAgents(); n != 1 {
+		t.Fatalf("gateway has %d agents, want exactly 1 (retry must not double-admit)", n)
+	}
+	// The journey completes and delivers once.
+	f.queue.Drain()
+	s2, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Deliveries) != 1 || s2.Deliveries[0].AgentID != s.Dispatched[0] {
+		t.Fatalf("deliveries = %+v", s2.Deliveries)
+	}
+}
+
+// TestResultWithoutPendingRecordStillDelivered is the lost-clone
+// regression: a result arrives for a journey the device has no pending
+// record of (e.g. the clone response was lost on the wireless leg).
+// It must be DELIVERED — only results the device already collected
+// directly are duplicates to drop.
+func TestResultWithoutPendingRecordStillDelivered(t *testing.T) {
+	f := newSessionFixture(t, nil)
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	// Make the device known to the mailbox, then file a result for an
+	// agent it never recorded (the lost-clone shape).
+	id, err := f.plat.Dispatch(ctx, "echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.queue.Drain()
+	orphan := &wire.ResultDocument{AgentID: "ag-lost-clone", CodeID: "echo", Owner: "test-dev", Status: "done"}
+	doc, err := orphan.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.gw.Mailbox().Enqueue("test-dev", push.KindResult, orphan.AgentID, "result:"+orphan.AgentID, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := map[string]bool{}
+	for _, d := range s.Deliveries {
+		if d.Kind == push.KindResult && d.Result != nil {
+			agents[d.AgentID] = true
+		}
+	}
+	if !agents[id] || !agents["ag-lost-clone"] || len(agents) != 2 {
+		t.Fatalf("deliveries = %+v, want both the dispatched result and the orphan clone result", s.Deliveries)
+	}
+
+	// The duplicate path still works: a directly collected result's
+	// mailbox copy is dropped. Dispatch, complete, Collect directly,
+	// then open a session — the mailbox entry for it must not deliver.
+	id2, err := f.plat.Dispatch(ctx, "echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.queue.Drain()
+	if _, err := f.plat.Collect(ctx, id2); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Deliveries) != 0 {
+		t.Fatalf("directly collected result redelivered: %+v", s2.Deliveries)
+	}
+}
+
+// TestPoisonQueuedDispatchDoesNotBlockQueue: a queued dispatch that is
+// permanently rejected (its subscription secret was rotated while it
+// sat in the queue) is dropped with a visible note — the dispatches
+// queued behind it still go out.
+func TestPoisonQueuedDispatchDoesNotBlockQueue(t *testing.T) {
+	f := newSessionFixture(t, nil)
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	// Queue with the current secret, then rotate it (re-subscribe):
+	// the queued PI's dispatch key is now permanently invalid.
+	if _, err := f.plat.QueueDispatch("echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.plat.QueueDispatch("echo", mavmParams(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatalf("session halted on the poison entry: %v", err)
+	}
+	if len(s.Dispatched) != 1 || s.QueuedLeft != 0 || len(f.plat.QueuedDispatches()) != 0 {
+		t.Fatalf("drain = %+v: the healthy dispatch behind the poison entry never went out", s)
+	}
+	var notes int
+	for _, d := range s.Deliveries {
+		if d.Kind == push.KindStatus && d.Result == nil {
+			notes++
+		}
+	}
+	if notes != 1 {
+		t.Fatalf("rejection not surfaced: %+v", s.Deliveries)
+	}
+}
+
+func mavmParams(k int64) map[string]mavm.Value {
+	return map[string]mavm.Value{"k": mavm.Int(k)}
+}

@@ -355,3 +355,36 @@ func TestE7CrashRecovery(t *testing.T) {
 		t.Fatalf("table shape: %+v", tbl)
 	}
 }
+
+func TestE8DisconnectedDelivery(t *testing.T) {
+	outages := []time.Duration{time.Second, 4 * time.Second}
+	rows, err := E8(7, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The disconnected device pays exactly its outage on top of the
+	// always-on total (the result waited in the mailbox), up to the
+	// nonce-compressibility tolerance of the E7 test.
+	const tol = 100 * time.Millisecond
+	for _, r := range rows {
+		if r.AlwaysOn <= 0 || r.Disconnected <= r.AlwaysOn {
+			t.Fatalf("outage=%v: totals %+v", r.Outage, r)
+		}
+		extra := r.Disconnected - r.AlwaysOn
+		if extra < r.Outage-tol || extra > r.Outage+tol {
+			t.Fatalf("outage=%v: disconnection cost %v, want ~%v", r.Outage, extra, r.Outage)
+		}
+		// Delivery lag is the outage plus the session round trips —
+		// strictly more than the outage, well under outage + 10s.
+		if r.DeliveryLag <= r.Outage || r.DeliveryLag > r.Outage+10*time.Second {
+			t.Fatalf("outage=%v: delivery lag %v out of range", r.Outage, r.DeliveryLag)
+		}
+	}
+	tbl := E8Table(rows)
+	if len(tbl.Rows) != 2 || len(tbl.Columns) != 4 {
+		t.Fatalf("table shape: %+v", tbl)
+	}
+}

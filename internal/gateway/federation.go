@@ -78,9 +78,17 @@ func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation)
 					agentID = resp.Text()
 				}
 				// Track the remote agent so result/status requests from
-				// the device route to its home member.
+				// the device route to its home member, and bind the nonce
+				// so a device retry of this upload answers idempotently.
 				g.reg.CreateRoutedAgent(agentID, pi.CodeID, pi.Owner, "", home)
+				g.reg.BindNonce(pi.CodeID, pi.Owner, pi.Nonce, agentID)
 				g.logf("gateway %s: dispatch %s homed on %s (agent %s)", g.cfg.Addr, pi.CodeID, home, agentID)
+			} else {
+				// The home refused the admission outright: release the
+				// edge's nonce record so a retry of the same upload is
+				// not refused as a replay of a dispatch that never
+				// happened.
+				g.reg.ForgetNonce(pi.CodeID, pi.Owner, pi.Nonce)
 			}
 			return resp, true
 		}
@@ -149,6 +157,14 @@ func (g *Gateway) handleClusterDispatch(ctx context.Context, req *transport.Requ
 		origin = cluster.Chain(req)[0]
 	}
 	if pi.Nonce != "" && !g.reg.RememberNonce(pi.CodeID, pi.Owner, pi.Nonce) {
+		// An edge retrying a forward whose ack was lost: if the earlier
+		// admission completed, answer with the original agent id so the
+		// retry dedups instead of erroring.
+		if agentID := g.reg.NonceAgent(pi.CodeID, pi.Owner, pi.Nonce); agentID != "" {
+			resp := transport.OKText(agentID)
+			resp.SetHeader("agent", agentID)
+			return resp
+		}
 		return transport.Errorf(transport.StatusConflict,
 			"replayed packed information (nonce already used)")
 	}
@@ -197,7 +213,9 @@ func (g *Gateway) handleClusterResult(_ context.Context, req *transport.Request)
 
 // adoptResult stores a result document produced on another member and
 // marks the agent complete locally. Idempotent: a second copy of an
-// already-completed agent's document is ignored.
+// already-completed agent's document is ignored — and the mailbox
+// enqueue dedups on the agent id, so a relay retry racing an on-demand
+// fetch still files exactly one mailbox entry.
 func (g *Gateway) adoptResult(rd *wire.ResultDocument, doc []byte) error {
 	if st, ok := g.reg.Agent(rd.AgentID); ok && st.Done {
 		return nil
@@ -209,6 +227,9 @@ func (g *Gateway) adoptResult(rd *wire.ResultDocument, doc []byte) error {
 	for _, ch := range g.reg.CompleteAgent(rd.AgentID, rd.CodeID, rd.Owner, docID, rd.Error) {
 		close(ch)
 	}
+	// This member is the edge the device talks to: the result lands in
+	// its mailbox here, ready for the next (re)connection.
+	g.enqueueResult(rd, doc)
 	g.logf("gateway %s: adopted result for agent %s", g.cfg.Addr, rd.AgentID)
 	return nil
 }

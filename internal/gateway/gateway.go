@@ -43,6 +43,7 @@ import (
 	"pdagent/internal/mavm"
 	"pdagent/internal/pisec"
 	"pdagent/internal/progcache"
+	"pdagent/internal/push"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
@@ -108,6 +109,15 @@ type Config struct {
 	// embedder builds the node (over the same transport) and drives its
 	// heartbeats — Node.Start in daemons, manual Tick in simulations.
 	Cluster *cluster.Node
+	// Mailbox, when set, enables the disconnection-tolerant device
+	// sessions of DESIGN.md §7: every device gets a durable,
+	// quota-bounded mailbox into which result documents, status changes
+	// and management notifications are enqueued the moment they happen,
+	// served through /pdagent/mailbox (fetch+ack) and
+	// /pdagent/mailbox/poll (long-poll with resumable cursors). Back it
+	// with a persistent store and mailboxes survive gateway crashes
+	// like the agent journal does.
+	Mailbox *MailboxConfig
 	// OutboundWorkers bounds concurrent outbound work — status chasing,
 	// management calls, result fan-out (default 16).
 	OutboundWorkers int
@@ -127,8 +137,11 @@ type Gateway struct {
 	reg   *Registry
 	pool  *workerPool
 	progs *progcache.Cache // nil when Config.NoProgramCache
+	hub   *push.Hub        // nil when Config.Mailbox is unset
 	// draining refuses new dispatches during graceful shutdown.
 	draining atomic.Bool
+	// resultsSwept counts result documents reclaimed by the TTL sweep.
+	resultsSwept atomic.Uint64
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -173,6 +186,22 @@ func New(cfg Config) (*Gateway, error) {
 		pool:  newWorkerPool(cfg.OutboundWorkers, cfg.Logf),
 		progs: cfg.Programs,
 	}
+	if cfg.Mailbox != nil {
+		store := cfg.Mailbox.Store
+		if store == nil {
+			store = rms.NewMemStore("mailbox-"+cfg.Addr, 0)
+		}
+		hub, err := push.NewHub(push.Config{
+			Store: store,
+			TTL:   cfg.Mailbox.TTL,
+			Quota: cfg.Mailbox.Quota,
+			Logf:  cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gateway: opening mailbox store: %w", err)
+		}
+		g.hub = hub
+	}
 	masCfg := mas.Config{
 		Addr:           cfg.Addr,
 		Codec:          codec,
@@ -210,12 +239,20 @@ func New(cfg Config) (*Gateway, error) {
 	m.HandleFunc("/pdagent/manage/retract", g.handleRetract)
 	m.HandleFunc("/pdagent/manage/dispose", g.handleDispose)
 	m.HandleFunc("/pdagent/manage/clone", g.handleClone)
+	if g.hub != nil {
+		m.HandleFunc("/pdagent/mailbox", g.handleMailbox)
+		m.HandleFunc("/pdagent/mailbox/poll", g.handleMailboxPoll)
+	}
 	if cfg.Cluster != nil {
 		// Federation endpoints: the exact paths below are gateway-level
 		// (they need registry/MAS access); everything else under
 		// /cluster/ (heartbeat, location gossip) goes to the node.
 		m.HandleFunc("/cluster/dispatch", g.handleClusterDispatch)
 		m.HandleFunc("/cluster/result", g.handleClusterResult)
+		if g.hub != nil {
+			m.HandleFunc("/cluster/mailbox/export", g.handleClusterMailboxExport)
+			m.HandleFunc("/cluster/mailbox/ack", g.handleClusterMailboxAck)
+		}
 		m.Handle("/cluster/", cfg.Cluster.Handler())
 	}
 	g.mux = m
@@ -245,6 +282,11 @@ func (g *Gateway) PublicKey() *pisec.PublicKey { return g.cfg.KeyPair.Public() }
 func (g *Gateway) Close() {
 	if g.cfg.Cluster != nil {
 		g.cfg.Cluster.Stop()
+	}
+	if g.hub != nil {
+		// Wake parked mailbox long-polls so devices racing shutdown get
+		// an (empty) answer instead of hanging on a dead gateway.
+		g.hub.Close()
 	}
 	g.pool.Close()
 	for _, ch := range g.reg.ReleaseAllWatchers() {
@@ -337,11 +379,14 @@ func (g *Gateway) onAgentHome(ctx context.Context, a *mas.Arrival) {
 	}
 	// Federation: a forwarded dispatch's device talks to the edge
 	// member it uploaded through — relay the result document there so
-	// collection needs no extra cross-member hop.
-	if g.cfg.Cluster != nil {
-		if origin, ok := g.reg.Origin(rd.AgentID); ok && origin != "" && origin != g.cfg.Addr {
-			g.relayResult(ctx, origin, rd, doc)
-		}
+	// collection needs no extra cross-member hop. The device's mailbox
+	// lives at the edge too, so the enqueue happens there (in
+	// adoptResult); for direct dispatches it happens here.
+	origin, _ := g.reg.Origin(rd.AgentID)
+	if g.cfg.Cluster != nil && origin != "" && origin != g.cfg.Addr {
+		g.relayResult(ctx, origin, rd, doc)
+	} else {
+		g.enqueueResult(rd, doc)
 	}
 	g.logf("gateway %s: result ready for agent %s (%s)", g.cfg.Addr, rd.AgentID, status)
 }
@@ -412,6 +457,22 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 		return transport.Errorf(transport.StatusUnauthorized,
 			"invalid dispatch key for code %q", pi.CodeID)
 	}
+	// The device just proved a subscription (dispatch key verified):
+	// open its mailbox here — this is the member it talks to — so its
+	// long-polls park even before the first notification lands, and
+	// hand it the mailbox token the delivery endpoints demand (on
+	// fresh-nonce admissions only; see the replay path below).
+	mailboxToken := ""
+	if g.hub != nil {
+		mailboxToken = g.hub.Touch(pi.Owner)
+	}
+	stamped := func(resp *transport.Response) *transport.Response {
+		if mailboxToken != "" && resp.IsOK() {
+			resp.SetHeader("mailbox-token", mailboxToken)
+		}
+		return resp
+	}
+
 	// Replay protection (extension beyond the paper's Figure 7): every
 	// PI must carry a fresh nonce; a captured upload replayed verbatim
 	// is refused instead of re-dispatching the agent.
@@ -420,6 +481,22 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 			"packed information missing dispatch nonce")
 	}
 	if !g.reg.RememberNonce(pi.CodeID, pi.Owner, pi.Nonce) {
+		// A seen nonce whose admission completed is a device retrying a
+		// dispatch whose response was lost: answer idempotently with the
+		// original agent id. Anything else is a replay (or a still
+		// in-flight admission) and is refused. Deliberately NOT stamped
+		// with the mailbox token: a wire-captured PI replayed by an
+		// attacker takes this exact path, and the token gates mailbox
+		// reads and destructive acks — only first admissions (fresh
+		// nonces the attacker cannot mint without the subscription
+		// secret) hand it out. The legitimate device that lost the
+		// original response falls back to the pull-repair collect until
+		// its next fresh dispatch re-delivers the token.
+		if agentID := g.reg.NonceAgent(pi.CodeID, pi.Owner, pi.Nonce); agentID != "" {
+			resp := transport.OKText(agentID)
+			resp.SetHeader("agent", agentID)
+			return resp
+		}
 		return transport.Errorf(transport.StatusConflict,
 			"replayed packed information (nonce already used)")
 	}
@@ -429,17 +506,25 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	// hand the authenticated PI over and track the agent remotely.
 	if g.cfg.Cluster != nil {
 		if resp, routed := g.routeDispatch(ctx, pi); routed {
-			return resp
+			return stamped(resp)
 		}
 	}
-	return g.admitDispatch(ctx, pi, "")
+	return stamped(g.admitDispatch(ctx, pi, ""))
 }
 
 // admitDispatch is steps 4–6 of the Agent Dispatch Handler: compile,
 // materialise the request document, create and admit the agent. origin
 // is the edge member that forwarded the dispatch ("" for direct ones);
-// the result document will be relayed back to it.
+// the result document will be relayed back to it. Every failure path
+// releases the PI's nonce: it was consumed by the replay check before
+// admission, and keeping it burned would turn each retry of this
+// upload into a 409 forever (the exact wedge the idempotent-retry
+// machinery exists to prevent).
 func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation, origin string) *transport.Response {
+	fail := func(resp *transport.Response) *transport.Response {
+		g.reg.ForgetNonce(pi.CodeID, pi.Owner, pi.Nonce)
+		return resp
+	}
 	// Step 4: "generate mobile agent classes from the information" —
 	// compile the shipped source. Registered packages were compiled and
 	// pinned at AddCodePackage time, so the common case is a cache hit
@@ -452,7 +537,7 @@ func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation,
 		prog, err = mascript.Compile(pi.Source)
 	}
 	if err != nil {
-		return transport.Errorf(transport.StatusBadRequest, "agent code: %v", err)
+		return fail(transport.Errorf(transport.StatusBadRequest, "agent code: %v", err))
 	}
 
 	// Step 5: the Document Creator materialises the request document
@@ -464,20 +549,21 @@ func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation,
 	*docBuf = reqDoc[:0]
 	if err != nil {
 		putReqDocBuf(docBuf)
-		return transport.Errorf(transport.StatusServerError, "request document: %v", err)
+		return fail(transport.Errorf(transport.StatusServerError, "request document: %v", err))
 	}
-	_, err = g.cfg.Documents.Add(reqDoc)
+	reqDocID, err := g.cfg.Documents.Add(reqDoc)
 	putReqDocBuf(docBuf)
 	if err != nil {
-		return transport.Errorf(transport.StatusServerError, "storing request document: %v", err)
+		return fail(transport.Errorf(transport.StatusServerError, "storing request document: %v", err))
 	}
 
 	// Step 6: signal the MAS to create and dispatch the agent.
 	vm, err := mavm.New(prog, agentID, pi.Params)
 	if err != nil {
-		return transport.Errorf(transport.StatusServerError, "creating agent: %v", err)
+		return fail(transport.Errorf(transport.StatusServerError, "creating agent: %v", err))
 	}
 	g.reg.CreateRoutedAgent(agentID, pi.CodeID, pi.Owner, origin, "")
+	g.reg.SetRequestDoc(agentID, reqDocID)
 	if err := g.mas.AdmitAgent(ctx, vm, pi.CodeID, pi.Owner, g.cfg.Addr); err != nil {
 		// Retire the tracking entry so a failed admission does not
 		// inflate the in-flight load gauge forever (which would make
@@ -486,8 +572,12 @@ func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation,
 		for _, ch := range watchers {
 			close(ch)
 		}
-		return transport.Errorf(transport.StatusServerError, "admitting agent: %v", err)
+		return fail(transport.Errorf(transport.StatusServerError, "admitting agent: %v", err))
 	}
+	// Bind the nonce to the admitted agent so a device retrying this
+	// upload (lost response, crash before recording) gets the same
+	// agent id back instead of a replay refusal.
+	g.reg.BindNonce(pi.CodeID, pi.Owner, pi.Nonce, agentID)
 	g.logf("gateway %s: dispatched agent %s (code %s, owner %s)", g.cfg.Addr, agentID, pi.CodeID, pi.Owner)
 
 	resp := transport.OKText(agentID)
@@ -672,6 +762,9 @@ func (g *Gateway) handleDispose(ctx context.Context, req *transport.Request) *tr
 		for _, ch := range watchers {
 			close(ch)
 		}
+		// Status change into the mailbox: any other session of this
+		// owner learns the journey is over without polling status.
+		g.enqueueNote(agentID, "", push.KindStatus, "disposed:"+agentID, "disposed by owner")
 	}
 	return resp
 }
@@ -682,7 +775,11 @@ func (g *Gateway) handleClone(ctx context.Context, req *transport.Request) *tran
 	if resp.IsOK() {
 		// Track the clone like our own dispatch so its results are
 		// collectable.
-		g.reg.AdoptClone(agentID, resp.Text())
+		cloneID := resp.Text()
+		g.reg.AdoptClone(agentID, cloneID)
+		// Management notification: the clone id reaches the owner even
+		// if this response is lost on the wireless leg.
+		g.enqueueNote(agentID, "", push.KindManage, "clone:"+cloneID, "cloned as "+cloneID)
 	}
 	return resp
 }

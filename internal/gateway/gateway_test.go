@@ -33,7 +33,11 @@ var (
 	testKP     *pisec.KeyPair
 )
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t *testing.T) *fixture { return newFixtureCfg(t, nil) }
+
+// newFixtureCfg builds the fixture with an optional config mutation
+// (e.g. enabling the mailbox subsystem).
+func newFixtureCfg(t *testing.T, mut func(*Config)) *fixture {
 	t.Helper()
 	testKPOnce.Do(func() {
 		kp, err := pisec.GenerateKeyPair(1024)
@@ -50,14 +54,18 @@ func newFixture(t *testing.T) *fixture {
 	}
 	f.net.SetLinkBoth(netsim.ZoneWired, netsim.ZoneWired, netsim.Link{Latency: time.Millisecond})
 	f.net.SetLinkBoth(netsim.ZoneWireless, netsim.ZoneWired, netsim.Link{Latency: 10 * time.Millisecond})
-	gw, err := New(Config{
+	cfg := Config{
 		Addr:      "gw-t",
 		KeyPair:   f.kp,
 		Transport: f.net.Transport(netsim.ZoneWired),
 		Spawn:     f.queue.Go,
 		Peers:     []string{"gw-peer"},
 		Documents: f.docs,
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	gw, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,22 +299,31 @@ func TestReplayedPIRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First upload succeeds.
-	if resp := f.dispatchBody(t, body); !resp.IsOK() {
-		t.Fatalf("first dispatch: %d %s", resp.Status, resp.Text())
+	first := f.dispatchBody(t, body)
+	if !first.IsOK() {
+		t.Fatalf("first dispatch: %d %s", first.Status, first.Text())
 	}
-	// The captured body replayed verbatim is refused.
+	agentID := first.Text()
+	// The captured body replayed verbatim never creates a second
+	// agent: the gateway answers idempotently with the original agent
+	// id (a device retrying an upload whose response was lost must not
+	// wedge, and a replaying attacker re-executes nothing).
 	resp := f.dispatchBody(t, body)
-	if resp.Status != transport.StatusConflict || !strings.Contains(resp.Text(), "replayed") {
-		t.Fatalf("replay: %d %s", resp.Status, resp.Text())
+	if !resp.IsOK() || resp.Text() != agentID {
+		t.Fatalf("replay: %d %q, want idempotent %q", resp.Status, resp.Text(), agentID)
 	}
-	// So is a re-sealed copy with the same nonce.
+	// Same for a re-sealed copy with the same nonce.
 	body2, _ := wire.Pack(pi, compress.LZSS, f.kp.Public())
-	if resp := f.dispatchBody(t, body2); resp.Status != transport.StatusConflict {
-		t.Fatalf("re-sealed replay: %d %s", resp.Status, resp.Text())
+	if resp := f.dispatchBody(t, body2); !resp.IsOK() || resp.Text() != agentID {
+		t.Fatalf("re-sealed replay: %d %q, want idempotent %q", resp.Status, resp.Text(), agentID)
 	}
-	// A fresh nonce goes through.
+	// Exactly one agent exists for the nonce.
+	if n := f.gw.Registry().NumAgents(); n != 1 {
+		t.Fatalf("replays created agents: %d, want 1", n)
+	}
+	// A fresh nonce goes through as a new agent.
 	pi.Nonce, _ = wire.NewNonce()
-	if resp := f.dispatchPI(t, pi, true); !resp.IsOK() {
+	if resp := f.dispatchPI(t, pi, true); !resp.IsOK() || resp.Text() == agentID {
 		t.Fatalf("fresh nonce: %d %s", resp.Status, resp.Text())
 	}
 	// A PI without any nonce is refused outright.
@@ -320,7 +337,7 @@ func TestReplayedPIRejected(t *testing.T) {
 }
 
 func TestNonceWindowBounded(t *testing.T) {
-	w := &nonceWindow{seen: map[string]bool{}}
+	w := &nonceWindow{seen: map[string]string{}}
 	for i := 0; i < nonceWindowSize+100; i++ {
 		if !w.remember(fmt.Sprint("n-", i)) {
 			t.Fatalf("fresh nonce %d rejected", i)

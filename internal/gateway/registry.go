@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pdagent/internal/wire"
 )
@@ -154,7 +155,7 @@ func (r *Registry) RememberNonce(codeID, owner, nonce string) bool {
 	s.mu.Lock()
 	win := s.replay[k]
 	if win == nil {
-		win = &nonceWindow{seen: map[string]bool{}}
+		win = &nonceWindow{seen: map[string]string{}}
 		s.replay[k] = win
 	}
 	fresh := win.remember(nonce)
@@ -162,11 +163,64 @@ func (r *Registry) RememberNonce(codeID, owner, nonce string) bool {
 	return fresh
 }
 
+// BindNonce records the agent a nonce's dispatch admitted, making the
+// upload idempotent: a device whose dispatch response was lost retries
+// the same nonce and receives the original agent id back instead of a
+// replay refusal (which would wedge its offline queue forever).
+func (r *Registry) BindNonce(codeID, owner, nonce, agentID string) {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.Lock()
+	if win := s.replay[k]; win != nil {
+		if _, seen := win.seen[nonce]; seen {
+			win.seen[nonce] = agentID
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ForgetNonce releases a nonce whose admission failed, so the device
+// can retry the same PI instead of collecting 409s forever: a consumed
+// nonce with no bound agent would otherwise refuse every retry of an
+// upload the gateway itself failed to admit.
+func (r *Registry) ForgetNonce(codeID, owner, nonce string) {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.Lock()
+	if win := s.replay[k]; win != nil {
+		if agent, seen := win.seen[nonce]; seen && agent == "" {
+			delete(win.seen, nonce)
+			for i, n := range win.order {
+				if n == nonce {
+					win.order = append(win.order[:i], win.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// NonceAgent returns the agent id a previously seen nonce admitted
+// ("" if the nonce is unknown here, or was seen but its admission
+// never completed).
+func (r *Registry) NonceAgent(codeID, owner, nonce string) string {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if win := s.replay[k]; win != nil {
+		return win.seen[nonce]
+	}
+	return ""
+}
+
 // nonceWindow remembers the most recent dispatch nonces of one
-// subscription so a captured PI cannot be replayed. Bounded FIFO;
-// callers must hold the owning shard's lock.
+// subscription so a captured PI cannot be replayed, each mapped to the
+// agent its dispatch admitted ("" until admission completes). Bounded
+// FIFO; callers must hold the owning shard's lock.
 type nonceWindow struct {
-	seen  map[string]bool
+	seen  map[string]string
 	order []string
 }
 
@@ -175,10 +229,10 @@ const nonceWindowSize = 1024
 
 // remember records a nonce, reporting false if it was already seen.
 func (w *nonceWindow) remember(nonce string) bool {
-	if w.seen[nonce] {
+	if _, ok := w.seen[nonce]; ok {
 		return false
 	}
-	w.seen[nonce] = true
+	w.seen[nonce] = ""
 	w.order = append(w.order, nonce)
 	if len(w.order) > nonceWindowSize {
 		delete(w.seen, w.order[0])
@@ -198,6 +252,12 @@ type agentMeta struct {
 	gone    bool // terminal without a result (disposed by owner)
 	docID   int  // record id of the result document in Documents
 	lastWhy string
+	// reqDocID is the request document's record id in Documents; the
+	// TTL sweeper reclaims it together with the result document.
+	reqDocID int
+	// doneAt stamps when the result became collectable (drives the
+	// result-document TTL sweep).
+	doneAt time.Time
 	// origin, on a clustered home gateway, is the edge member that
 	// forwarded the dispatch; the result document is relayed there.
 	origin string
@@ -294,6 +354,7 @@ func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string
 	meta.done = true
 	meta.docID = docID
 	meta.lastWhy = why
+	meta.doneAt = time.Now()
 	watchers := s.watchers[id]
 	delete(s.watchers, id)
 	s.mu.Unlock()
@@ -301,6 +362,50 @@ func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string
 		r.inFlight.Add(-1)
 	}
 	return watchers
+}
+
+// SetRequestDoc records the request document's storage id for an
+// agent, so the TTL sweeper can reclaim it alongside the result.
+func (r *Registry) SetRequestDoc(id string, docID int) {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	if meta, ok := s.dispatch[id]; ok {
+		meta.reqDocID = docID
+	}
+	s.mu.Unlock()
+}
+
+// ExpiredResult names the storage still held by one expired agent.
+type ExpiredResult struct {
+	AgentID  string
+	DocID    int // result document record id
+	ReqDocID int // request document record id (0 = none recorded)
+}
+
+// ExpireResults retires every completed agent whose result became
+// collectable at or before cutoff: the agent flips to the terminal
+// "gone" state (result requests answer StatusGone with the reason) and
+// the document ids are returned so the caller can delete them from the
+// File Directory. Uncompleted and already-expired agents are untouched.
+func (r *Registry) ExpireResults(cutoff time.Time) []ExpiredResult {
+	var out []ExpiredResult
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for id, meta := range s.dispatch {
+			if !meta.done || meta.doneAt.After(cutoff) {
+				continue
+			}
+			out = append(out, ExpiredResult{AgentID: id, DocID: meta.docID, ReqDocID: meta.reqDocID})
+			meta.done = false
+			meta.gone = true
+			meta.docID = 0
+			meta.reqDocID = 0
+			meta.lastWhy = "result expired (retention TTL)"
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Origin returns the routing metadata of one agent: the edge member

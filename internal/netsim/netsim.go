@@ -64,6 +64,29 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 	c.mu.Unlock()
 }
 
+// Sleep waits d of journey time: with a virtual clock in the context it
+// advances the clock and returns immediately (no goroutine ever
+// sleeps), otherwise it waits real time, honouring ctx cancellation.
+// Device-side backoff uses it so the same retry code runs in
+// simulations and against real gateways.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if c := ClockFrom(ctx); c != nil {
+		c.Advance(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 type clockKey struct{}
 
 // WithClock attaches a journey clock to a context.
@@ -138,23 +161,25 @@ type Stats struct {
 // use, but deterministic replay additionally requires a deterministic
 // caller schedule (the experiment harness is single-threaded).
 type Network struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	hosts map[string]*host
-	links map[[2]string]Link
-	parts map[[2]string]bool // partitioned zone pairs (one direction each)
-	def   Link
-	stats Stats
+	mu      sync.Mutex
+	rng     *rand.Rand
+	hosts   map[string]*host
+	links   map[[2]string]Link
+	parts   map[[2]string]bool // partitioned zone pairs (one direction each)
+	aliases map[string]string  // zone -> base zone it inherits from
+	def     Link
+	stats   Stats
 }
 
 // New returns an empty network whose randomness (jitter, loss) derives
 // from seed.
 func New(seed int64) *Network {
 	return &Network{
-		rng:   rand.New(rand.NewSource(seed)),
-		hosts: make(map[string]*host),
-		links: make(map[[2]string]Link),
-		parts: make(map[[2]string]bool),
+		rng:     rand.New(rand.NewSource(seed)),
+		hosts:   make(map[string]*host),
+		links:   make(map[[2]string]Link),
+		parts:   make(map[[2]string]bool),
+		aliases: make(map[string]string),
 	}
 }
 
@@ -278,11 +303,50 @@ func (n *Network) ResetStats() {
 	n.stats = Stats{}
 }
 
+// AliasZone makes zone inherit the links and partitions of base
+// wherever no more specific entry exists. Core gives every device its
+// own aliased wireless zone: the device behaves exactly like the shared
+// wireless zone (same links, hit by the same zone-wide partitions),
+// but can additionally be partitioned alone — one device's uplink
+// churns without touching its neighbours.
+func (n *Network) AliasZone(zone, base string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.aliases[zone] = base
+}
+
+// baseOf resolves one aliasing step ("" if zone has no base). Callers
+// hold n.mu.
+func (n *Network) baseOf(zone string) string { return n.aliases[zone] }
+
 func (n *Network) linkFor(from, to string) Link {
-	if l, ok := n.links[[2]string{from, to}]; ok {
-		return l
+	for _, f := range []string{from, n.baseOf(from)} {
+		for _, t := range []string{to, n.baseOf(to)} {
+			if f == "" || t == "" {
+				continue
+			}
+			if l, ok := n.links[[2]string{f, t}]; ok {
+				return l
+			}
+		}
 	}
 	return n.def
+}
+
+// partitioned reports whether traffic between the two zones is cut in
+// either direction, resolving aliases. Callers hold n.mu.
+func (n *Network) partitioned(a, b string) bool {
+	for _, pa := range []string{a, n.baseOf(a)} {
+		for _, pb := range []string{b, n.baseOf(b)} {
+			if pa == "" || pb == "" {
+				continue
+			}
+			if n.parts[[2]string{pa, pb}] || n.parts[[2]string{pb, pa}] {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Transport returns a RoundTripper through this network originating
@@ -310,7 +374,7 @@ func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transpor
 		// Provably never delivered: safe to replay elsewhere.
 		return nil, transport.MarkNotDelivered(fmt.Errorf("%w: %s", ErrUnreachable, addr))
 	}
-	partitioned := n.parts[[2]string{t.zone, h.zone}] || n.parts[[2]string{h.zone, t.zone}]
+	partitioned := n.partitioned(t.zone, h.zone)
 	up := n.linkFor(t.zone, h.zone)
 	down := n.linkFor(h.zone, t.zone)
 	upJitter, downJitter := n.rng.Float64(), n.rng.Float64()

@@ -1,0 +1,758 @@
+// Package push is the disconnection-tolerant device-session subsystem:
+// a durable, quota-bounded mailbox per device, plus the delivery
+// machinery the gateway layers on top of it (DESIGN.md §7).
+//
+// PDAgent's premise is that wireless devices are resource-poor and
+// intermittently connected — the agent roams so the device does not
+// have to stay online. The mailbox closes the last synchronous gap in
+// that story: result documents, status changes and management
+// notifications are enqueued the moment they happen, whether or not the
+// device is reachable, and survive gateway crashes when the Hub is
+// backed by a persistent rms.Store (exactly like the agent journal).
+//
+// Delivery model:
+//
+//   - every entry gets a per-device, monotonically increasing sequence
+//     number; the device acknowledges a watermark ("cursor") and is
+//     then served only entries beyond it, so a reconnecting device
+//     never sees a duplicate within one mailbox;
+//   - enqueues are deduplicated by a caller-supplied event id (bounded
+//     per-device window, persisted), so a crash-replayed journey or a
+//     retried cluster relay cannot create a second copy of the same
+//     result;
+//   - connected devices get wait-free fan-out: Wait hands out one
+//     shared channel per device that Enqueue closes, so a parked
+//     long-poll wakes the instant mail arrives without queueing;
+//   - disconnected devices accumulate store-and-forward entries,
+//     bounded by a per-device quota (oldest expendable — non-result —
+//     entries evicted first, then oldest overall) and an optional TTL;
+//     every eviction is counted and surfaced to the device, so a lost
+//     notification is visible, never silent.
+//
+// The Hub also supports mailbox migration between clustered gateways
+// (Export / Import / Ack): the mailbox follows the device to whichever
+// member it reconnects through, with on-demand pull as repair.
+package push
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdagent/internal/rms"
+)
+
+// Entry kinds.
+const (
+	// KindResult carries a result document; never evicted before
+	// expendable kinds.
+	KindResult = "result"
+	// KindStatus carries an agent status change (disposed, expired...).
+	KindStatus = "status"
+	// KindManage carries a management notification (e.g. a clone id).
+	KindManage = "manage"
+)
+
+// DefaultQuota bounds each device's pending entries when the config
+// does not say otherwise.
+const DefaultQuota = 256
+
+// dedupWindow is the minimum per-device window of remembered event
+// ids. The effective window is max(dedupWindow, 2×quota) — it must
+// exceed the quota, or a still-pending entry could outlive its own
+// dedup memory and a retried relay would enqueue a second copy.
+const dedupWindow = 512
+
+// Config configures a Hub.
+type Config struct {
+	// Store is the backing record store. A persistent store (e.g.
+	// rms.FileStore) makes mailboxes survive gateway crashes; required.
+	Store rms.Store
+	// TTL expires entries that sat undelivered longer than this
+	// (0 = keep until acked or evicted by quota).
+	TTL time.Duration
+	// Quota bounds each device's pending entries (default DefaultQuota).
+	Quota int
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+	// Logf, when set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Entry is one mailbox item.
+type Entry struct {
+	// Seq is the per-device sequence number (1-based, monotonic).
+	Seq uint64
+	// Kind is one of KindResult, KindStatus, KindManage.
+	Kind string
+	// AgentID names the journey the entry is about.
+	AgentID string
+	// EventID identifies the underlying event for enqueue dedup
+	// (e.g. "result:ag-...").
+	EventID string
+	// Body is the payload (a result document, a short note).
+	Body []byte
+	// Enqueued is when the entry was created (drives TTL).
+	Enqueued time.Time
+
+	recID int // backing record, 0 for wire-decoded entries
+}
+
+// Stats is a snapshot of hub counters.
+type Stats struct {
+	// Enqueued counts accepted entries (duplicates excluded).
+	Enqueued uint64
+	// Delivered counts entries acknowledged by devices (including
+	// entries handed to a migrating peer).
+	Delivered uint64
+	// Duplicates counts enqueues suppressed by the event-id window.
+	Duplicates uint64
+	// EvictedQuota / EvictedTTL count entries dropped before delivery.
+	EvictedQuota uint64
+	EvictedTTL   uint64
+	// Devices is the number of mailboxes; Connected the number of
+	// devices with an active session (e.g. a parked long-poll).
+	Devices   int
+	Connected int
+	// Pending is the total undelivered entries across devices.
+	Pending int
+}
+
+// Hub manages every device mailbox over one backing store.
+type Hub struct {
+	cfg Config
+	// dedupLimit is the effective per-device dedup window:
+	// max(dedupWindow, 2×quota).
+	dedupLimit int
+
+	mu     sync.Mutex
+	boxes  map[string]*mailbox
+	closed bool
+
+	enqueued  atomic.Uint64
+	delivered atomic.Uint64
+	dups      atomic.Uint64
+	evQuota   atomic.Uint64
+	evTTL     atomic.Uint64
+	connected atomic.Int64
+}
+
+// mailbox is one device's state. Guarded by its own mutex so traffic
+// for unrelated devices never contends (the hub lock only guards the
+// device map).
+type mailbox struct {
+	mu      sync.Mutex
+	device  string
+	entries []*Entry // pending, ascending seq
+	nextSeq uint64   // next sequence number to assign
+	cursor  uint64   // highest acknowledged seq
+	evicted uint64   // entries this device lost to quota/TTL, ever
+	metaRec int      // record id of the meta record (0 = not yet written)
+	// token authenticates the device to the delivery endpoints. Minted
+	// on the authenticated dispatch path, returned to the device in the
+	// dispatch response, persisted with the meta record, and carried
+	// along by mailbox migration — so only the device that proved a
+	// subscription can read or acknowledge (destroy) its mail.
+	token string
+
+	dedup      map[string]uint64 // event id -> seq
+	dedupOrder []string          // FIFO for the bounded window
+
+	signal chan struct{} // shared waiter channel, lazily created
+	conns  int           // active sessions (presence)
+}
+
+// NewHub opens a hub over the store, replaying any mailboxes already in
+// it (entries at or below a device's persisted cursor — a crash between
+// the cursor write and the entry deletes — are completed, not
+// resurrected).
+func NewHub(cfg Config) (*Hub, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("push: config missing Store")
+	}
+	if cfg.Quota <= 0 {
+		cfg.Quota = DefaultQuota
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	h := &Hub{cfg: cfg, dedupLimit: dedupWindow, boxes: map[string]*mailbox{}}
+	if min := 2 * cfg.Quota; min > h.dedupLimit {
+		h.dedupLimit = min
+	}
+	if err := h.replay(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// replay rebuilds the in-memory mailboxes from the store.
+func (h *Hub) replay() error {
+	ids, err := h.cfg.Store.IDs()
+	if err != nil {
+		return fmt.Errorf("push: reading store: %w", err)
+	}
+	for _, id := range ids {
+		data, err := h.cfg.Store.Get(id)
+		if err != nil {
+			return fmt.Errorf("push: record %d: %w", id, err)
+		}
+		dev, entry, meta, err := parseRecord(data)
+		if err != nil {
+			h.logf("push: dropping unparseable record %d: %v", id, err)
+			_ = h.cfg.Store.Delete(id)
+			continue
+		}
+		mb := h.box(dev)
+		switch {
+		case entry != nil:
+			entry.recID = id
+			mb.entries = append(mb.entries, entry)
+		case meta != nil:
+			// Later meta records supersede earlier ones (there should
+			// be exactly one, but a crash can tear a rewrite).
+			if mb.metaRec != 0 {
+				_ = h.cfg.Store.Delete(mb.metaRec)
+			}
+			mb.metaRec = id
+			mb.cursor = meta.cursor
+			mb.evicted = meta.evicted
+			mb.token = meta.token
+			if meta.next > mb.nextSeq {
+				mb.nextSeq = meta.next
+			}
+			for _, ev := range meta.dedup {
+				h.rememberLocked(mb, ev.id, ev.seq)
+			}
+		}
+	}
+	for _, mb := range h.boxes {
+		sort.Slice(mb.entries, func(i, j int) bool { return mb.entries[i].Seq < mb.entries[j].Seq })
+		// Drop entries already acknowledged (crash between the meta
+		// write and the entry delete) and rebuild the dedup window from
+		// whatever is still pending.
+		kept := mb.entries[:0]
+		for _, e := range mb.entries {
+			if e.Seq <= mb.cursor {
+				_ = h.cfg.Store.Delete(e.recID)
+				continue
+			}
+			kept = append(kept, e)
+			h.rememberLocked(mb, e.EventID, e.Seq)
+			if e.Seq >= mb.nextSeq {
+				mb.nextSeq = e.Seq + 1
+			}
+		}
+		mb.entries = kept
+		if mb.nextSeq == 0 {
+			mb.nextSeq = mb.cursor + 1
+		}
+	}
+	return nil
+}
+
+// box returns (or creates) the mailbox for a device. Caller must hold
+// no mailbox lock.
+func (h *Hub) box(device string) *mailbox {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mb, ok := h.boxes[device]
+	if !ok {
+		mb = &mailbox{device: device, nextSeq: 1, dedup: map[string]uint64{}}
+		h.boxes[device] = mb
+	}
+	return mb
+}
+
+// lookup returns the mailbox without creating one.
+func (h *Hub) lookup(device string) (*mailbox, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mb, ok := h.boxes[device]
+	return mb, ok
+}
+
+// rememberLocked records an event id in the bounded dedup window.
+// Caller holds mb.mu (or has exclusive access during replay).
+func (h *Hub) rememberLocked(mb *mailbox, eventID string, seq uint64) {
+	if eventID == "" {
+		return
+	}
+	if _, ok := mb.dedup[eventID]; ok {
+		return
+	}
+	mb.dedup[eventID] = seq
+	mb.dedupOrder = append(mb.dedupOrder, eventID)
+	for len(mb.dedupOrder) > h.dedupLimit {
+		delete(mb.dedup, mb.dedupOrder[0])
+		mb.dedupOrder = mb.dedupOrder[1:]
+	}
+}
+
+// Enqueue appends an entry to a device's mailbox and wakes any parked
+// waiters. A non-empty eventID dedups: if the same event was already
+// enqueued (pending or within the remembered window), the original seq
+// is returned with dup=true and nothing is written. The write order is
+// entry record first, meta second — a crash between the two is repaired
+// at replay (the pending entry re-seeds the dedup window).
+func (h *Hub) Enqueue(device, kind, agentID, eventID string, body []byte) (seq uint64, dup bool, err error) {
+	return h.enqueueAt(device, kind, agentID, eventID, body, h.cfg.Clock())
+}
+
+// enqueueAt is Enqueue with an explicit enqueue time (Import preserves
+// the source gateway's timestamps so TTL counts from the real event).
+func (h *Hub) enqueueAt(device, kind, agentID, eventID string, body []byte, at time.Time) (seq uint64, dup bool, err error) {
+	mb := h.box(device)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+
+	if eventID != "" {
+		if prev, ok := mb.dedup[eventID]; ok {
+			h.dups.Add(1)
+			return prev, true, nil
+		}
+	}
+
+	now := h.cfg.Clock()
+	h.expireLocked(mb, now)
+	for len(mb.entries) >= h.cfg.Quota {
+		h.evictOneLocked(mb)
+	}
+
+	e := &Entry{
+		Seq:      mb.nextSeq,
+		Kind:     kind,
+		AgentID:  agentID,
+		EventID:  eventID,
+		Body:     body,
+		Enqueued: at,
+	}
+	recID, err := h.cfg.Store.Add(encodeEntryRecord(device, e))
+	if err != nil {
+		return 0, false, fmt.Errorf("push: storing entry for %s: %w", device, err)
+	}
+	e.recID = recID
+	mb.nextSeq++
+	mb.entries = append(mb.entries, e)
+	h.rememberLocked(mb, eventID, e.Seq)
+	h.writeMetaLocked(mb)
+	h.enqueued.Add(1)
+
+	// Wait-free fan-out: closing the shared signal channel wakes every
+	// parked long-poll for this device at once.
+	if mb.signal != nil {
+		close(mb.signal)
+		mb.signal = nil
+	}
+	return e.Seq, false, nil
+}
+
+// evictOneLocked drops one pending entry to make room: the oldest
+// expendable (non-result) entry if any, else the oldest overall. The
+// loss is counted and surfaced through the device's evicted counter.
+func (h *Hub) evictOneLocked(mb *mailbox) {
+	if len(mb.entries) == 0 {
+		return
+	}
+	victim := 0
+	for i, e := range mb.entries {
+		if e.Kind != KindResult {
+			victim = i
+			break
+		}
+	}
+	e := mb.entries[victim]
+	_ = h.cfg.Store.Delete(e.recID)
+	mb.entries = append(mb.entries[:victim], mb.entries[victim+1:]...)
+	mb.evicted++
+	h.evQuota.Add(1)
+	h.logf("push: mailbox %s over quota, evicted seq %d (%s %s)", mb.device, e.Seq, e.Kind, e.AgentID)
+}
+
+// expireLocked lazily drops entries past the TTL.
+func (h *Hub) expireLocked(mb *mailbox, now time.Time) {
+	if h.cfg.TTL <= 0 {
+		return
+	}
+	kept := mb.entries[:0]
+	for _, e := range mb.entries {
+		if now.Sub(e.Enqueued) > h.cfg.TTL {
+			_ = h.cfg.Store.Delete(e.recID)
+			mb.evicted++
+			h.evTTL.Add(1)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(kept) != len(mb.entries) {
+		mb.entries = kept
+		h.writeMetaLocked(mb)
+	}
+}
+
+// writeMetaLocked persists the device's watermark/cursor/dedup state.
+// Best-effort beyond the entry records themselves: a torn meta is
+// rebuilt from the pending entries at replay.
+func (h *Hub) writeMetaLocked(mb *mailbox) {
+	doc := encodeMetaRecord(mb)
+	if mb.metaRec != 0 {
+		if err := h.cfg.Store.Set(mb.metaRec, doc); err == nil {
+			return
+		}
+		// Fall through: the record may be gone (store swapped in tests).
+	}
+	id, err := h.cfg.Store.Add(doc)
+	if err != nil {
+		h.logf("push: writing meta for %s: %v", mb.device, err)
+		return
+	}
+	mb.metaRec = id
+}
+
+// Ack acknowledges every entry with seq <= upTo: the cursor advances
+// (persisted first) and the entries are deleted. Returns how many
+// entries were retired. Acking an unknown device or an old watermark is
+// a no-op.
+func (h *Hub) Ack(device string, upTo uint64) (int, error) {
+	mb, ok := h.lookup(device)
+	if !ok {
+		return 0, nil
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return h.ackLocked(mb, upTo), nil
+}
+
+func (h *Hub) ackLocked(mb *mailbox, upTo uint64) int {
+	if upTo <= mb.cursor {
+		return 0
+	}
+	if upTo >= mb.nextSeq {
+		// No entry with this seq was ever assigned here: the watermark
+		// belongs to another mailbox generation (e.g. the gateway lost
+		// a volatile store and restarted its seq space while the device
+		// kept its durable cursor). Ignore it — clamping would advance
+		// the cursor past, and delete, mail the device never saw.
+		return 0
+	}
+	mb.cursor = upTo
+	// Cursor first, deletes second: if we crash in between, replay
+	// drops the already-acked entries instead of resurrecting them.
+	h.writeMetaLocked(mb)
+	n := 0
+	kept := mb.entries[:0]
+	for _, e := range mb.entries {
+		if e.Seq <= upTo {
+			_ = h.cfg.Store.Delete(e.recID)
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	mb.entries = kept
+	h.delivered.Add(uint64(n))
+	return n
+}
+
+// Poll acknowledges `after` as the device's new cursor, then returns up
+// to max pending entries beyond it (copies — callers own them), the
+// watermark the device should persist once it processed them, and the
+// device's lifetime eviction count (so lost entries are visible, never
+// silent). max <= 0 means no bound.
+func (h *Hub) Poll(device string, after uint64, max int) (entries []*Entry, watermark, evicted uint64, err error) {
+	mb := h.box(device)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	h.ackLocked(mb, after)
+	h.expireLocked(mb, h.cfg.Clock())
+	watermark = mb.cursor
+	for _, e := range mb.entries {
+		if e.Seq <= mb.cursor {
+			continue
+		}
+		if max > 0 && len(entries) >= max {
+			break
+		}
+		cp := *e
+		cp.recID = 0
+		entries = append(entries, &cp)
+		watermark = e.Seq
+	}
+	return entries, watermark, mb.evicted, nil
+}
+
+// Wait returns a channel that is closed when the device's mailbox has
+// (or receives) pending mail beyond the cursor. If mail is already
+// pending the channel comes back closed, so the arm-then-poll race of a
+// long-poll loop cannot miss a wakeup.
+func (h *Hub) Wait(device string) <-chan struct{} {
+	mb := h.box(device)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if h.closedNow() || pendingLocked(mb) > 0 {
+		return closedChan
+	}
+	if mb.signal == nil {
+		mb.signal = make(chan struct{})
+	}
+	return mb.signal
+}
+
+func (h *Hub) closedNow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+func pendingLocked(mb *mailbox) int {
+	n := 0
+	for _, e := range mb.entries {
+		if e.Seq > mb.cursor {
+			n++
+		}
+	}
+	return n
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Connect marks a device session open (presence) and returns the
+// matching disconnect. Long-polls hold it while parked.
+func (h *Hub) Connect(device string) (disconnect func()) {
+	mb := h.box(device)
+	mb.mu.Lock()
+	mb.conns++
+	mb.mu.Unlock()
+	h.connected.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			mb.mu.Lock()
+			mb.conns--
+			mb.mu.Unlock()
+			h.connected.Add(-1)
+		})
+	}
+}
+
+// Connected reports whether the device has at least one open session.
+func (h *Hub) Connected(device string) bool {
+	mb, ok := h.lookup(device)
+	if !ok {
+		return false
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.conns > 0
+}
+
+// Known reports whether the device has a mailbox. The gateway's
+// unauthenticated delivery endpoints check it so a scanner looping
+// over made-up device names cannot grow the hub.
+func (h *Hub) Known(device string) bool {
+	_, ok := h.lookup(device)
+	return ok
+}
+
+// Touch creates the device's (empty) mailbox if it does not exist and
+// returns its access token, minting one on first use. The gateway
+// calls it from the authenticated dispatch path, so a device becomes
+// Known — and its long-polls park properly, even before its first
+// notification — exactly when it proves a subscription, and receives
+// the token the delivery endpoints demand.
+func (h *Hub) Touch(device string) string {
+	mb := h.box(device)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.token == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			h.logf("push: minting token for %s: %v", device, err)
+			return ""
+		}
+		mb.token = hex.EncodeToString(b[:])
+		h.writeMetaLocked(mb)
+	}
+	return mb.token
+}
+
+// CheckToken reports whether tok is the device's mailbox token
+// (constant-time). Unknown devices and empty tokens never match.
+func (h *Hub) CheckToken(device, tok string) bool {
+	mb, ok := h.lookup(device)
+	if !ok || tok == "" {
+		return false
+	}
+	mb.mu.Lock()
+	want := mb.token
+	mb.mu.Unlock()
+	return want != "" && subtle.ConstantTimeCompare([]byte(want), []byte(tok)) == 1
+}
+
+// AdoptToken installs a token migrated from another gateway, if the
+// local mailbox has none — the device keeps authenticating with the
+// token its original edge minted.
+func (h *Hub) AdoptToken(device, tok string) {
+	if tok == "" {
+		return
+	}
+	mb := h.box(device)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.token == "" {
+		mb.token = tok
+		h.writeMetaLocked(mb)
+	}
+}
+
+// TokenOf returns the device's current token ("" if none) — for the
+// migration export.
+func (h *Hub) TokenOf(device string) string {
+	mb, ok := h.lookup(device)
+	if !ok {
+		return ""
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.token
+}
+
+// Pending returns the device's undelivered entry count.
+func (h *Hub) Pending(device string) int {
+	mb, ok := h.lookup(device)
+	if !ok {
+		return 0
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return pendingLocked(mb)
+}
+
+// SweepExpired drops every entry past the TTL across all devices and
+// returns how many were dropped. A no-op without a TTL.
+func (h *Hub) SweepExpired() int {
+	if h.cfg.TTL <= 0 {
+		return 0
+	}
+	before := h.evTTL.Load()
+	now := h.cfg.Clock()
+	for _, mb := range h.boxesSnapshot() {
+		mb.mu.Lock()
+		h.expireLocked(mb, now)
+		mb.mu.Unlock()
+	}
+	return int(h.evTTL.Load() - before)
+}
+
+func (h *Hub) boxesSnapshot() []*mailbox {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*mailbox, 0, len(h.boxes))
+	for _, mb := range h.boxes {
+		out = append(out, mb)
+	}
+	return out
+}
+
+// Stats returns a counter snapshot.
+func (h *Hub) Stats() Stats {
+	s := Stats{
+		Enqueued:     h.enqueued.Load(),
+		Delivered:    h.delivered.Load(),
+		Duplicates:   h.dups.Load(),
+		EvictedQuota: h.evQuota.Load(),
+		EvictedTTL:   h.evTTL.Load(),
+		Connected:    int(h.connected.Load()),
+	}
+	for _, mb := range h.boxesSnapshot() {
+		mb.mu.Lock()
+		s.Devices++
+		s.Pending += pendingLocked(mb)
+		mb.mu.Unlock()
+	}
+	return s
+}
+
+// Close wakes every parked waiter (their channels close) so long-polls
+// racing a shutdown return instead of hanging. The store is left to its
+// owner.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	boxes := make([]*mailbox, 0, len(h.boxes))
+	for _, mb := range h.boxes {
+		boxes = append(boxes, mb)
+	}
+	h.mu.Unlock()
+	for _, mb := range boxes {
+		mb.mu.Lock()
+		if mb.signal != nil {
+			close(mb.signal)
+			mb.signal = nil
+		}
+		mb.mu.Unlock()
+	}
+}
+
+// --- migration (the mailbox follows the device) -------------------------
+
+// Export returns copies of the device's pending entries, for a peer
+// gateway pulling the mailbox to wherever the device reconnected. The
+// entries stay here until the peer acknowledges the transfer (AckExport
+// / Ack), so a lost response cannot lose mail.
+func (h *Hub) Export(device string) []*Entry {
+	entries, _, _, _ := h.Poll(device, 0, 0)
+	return entries
+}
+
+// Import adopts entries exported by another gateway into the device's
+// local mailbox. Entries are re-sequenced onto the local seq space (the
+// device's cursor is per-gateway, so source seqs mean nothing here) and
+// deduplicated by event id, making a re-pulled export idempotent. The
+// original enqueue times are kept so TTL keeps counting from the real
+// event. Returns how many entries were adopted.
+func (h *Hub) Import(device string, entries []*Entry) (int, error) {
+	n := 0
+	for _, e := range entries {
+		at := e.Enqueued
+		if at.IsZero() {
+			at = h.cfg.Clock()
+		}
+		_, dup, err := h.enqueueAt(device, e.Kind, e.AgentID, e.EventID, e.Body, at)
+		if err != nil {
+			return n, err
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Devices lists every device with a mailbox, sorted.
+func (h *Hub) Devices() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.boxes))
+	for d := range h.boxes {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,216 @@
+package push
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pdagent/internal/kxml"
+)
+
+// Storage and wire formats. Everything is XML, like the rest of the
+// platform's documents:
+//
+//	<mb-entry device="d" seq="3" kind="result" agent="ag-1"
+//	          event="result:ag-1" enq="1234">body</mb-entry>
+//	<mb-meta device="d" next="7" cursor="2" evicted="1">
+//	  <e seq="3">result:ag-1</e> ...
+//	</mb-meta>
+//	<mailbox device="d" next="5" evicted="1">
+//	  <entry seq=... kind=... agent=... event=... enq=...>body</entry>
+//	</mailbox>
+//
+// Bodies are text payloads (result documents, short notes); they ride
+// as escaped character data. Timestamps are unix nanoseconds.
+
+// encodeEntryRecord renders one entry's backing record. Like the meta
+// record it sits on the enqueue path, so it is append-built.
+func encodeEntryRecord(device string, e *Entry) []byte {
+	b := make([]byte, 0, 128+len(e.Body))
+	b = append(b, `<mb-entry device="`...)
+	b = kxml.AppendEscapedAttr(b, device)
+	b = append(b, `" seq="`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `" kind="`...)
+	b = kxml.AppendEscapedAttr(b, e.Kind)
+	b = append(b, `" agent="`...)
+	b = kxml.AppendEscapedAttr(b, e.AgentID)
+	b = append(b, `" event="`...)
+	b = kxml.AppendEscapedAttr(b, e.EventID)
+	b = append(b, `" enq="`...)
+	b = strconv.AppendInt(b, e.Enqueued.UnixNano(), 10)
+	b = append(b, `">`...)
+	b = kxml.AppendEscapedText(b, string(e.Body))
+	b = append(b, `</mb-entry>`...)
+	return b
+}
+
+func fillEntry(n *kxml.Node, e *Entry) {
+	n.SetAttr("seq", strconv.FormatUint(e.Seq, 10))
+	n.SetAttr("kind", e.Kind)
+	n.SetAttr("agent", e.AgentID)
+	n.SetAttr("event", e.EventID)
+	n.SetAttr("enq", strconv.FormatInt(e.Enqueued.UnixNano(), 10))
+	if len(e.Body) > 0 {
+		n.AddText(string(e.Body))
+	}
+}
+
+func entryFrom(n *kxml.Node) (*Entry, error) {
+	seq, err := strconv.ParseUint(n.AttrDefault("seq", ""), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("push: entry seq: %w", err)
+	}
+	enq, _ := strconv.ParseInt(n.AttrDefault("enq", "0"), 10, 64)
+	e := &Entry{
+		Seq:     seq,
+		Kind:    n.AttrDefault("kind", ""),
+		AgentID: n.AttrDefault("agent", ""),
+		EventID: n.AttrDefault("event", ""),
+	}
+	if enq != 0 {
+		e.Enqueued = time.Unix(0, enq)
+	}
+	if txt := n.TextContent(); txt != "" {
+		e.Body = []byte(txt)
+	}
+	return e, nil
+}
+
+// metaState is the decoded form of a device's meta record.
+type metaState struct {
+	next    uint64
+	cursor  uint64
+	evicted uint64
+	token   string
+	dedup   []dedupEvent
+}
+
+type dedupEvent struct {
+	id  string
+	seq uint64
+}
+
+// metaDedupPersist bounds how many dedup event ids the meta record
+// carries. The full in-memory window (dedupWindow) still filters
+// replays while the process lives; the persisted tail only needs to
+// cover replays arriving shortly after a crash (a journal-resumed
+// journey re-delivering its result), so a small bound keeps the
+// meta rewrite — which happens on every enqueue and ack — cheap.
+const metaDedupPersist = 64
+
+// encodeMetaRecord renders a device's watermark/cursor/dedup state.
+// It sits on the enqueue/ack path, so the document is built with
+// direct byte appends instead of a node tree. Caller holds mb.mu.
+func encodeMetaRecord(mb *mailbox) []byte {
+	b := make([]byte, 0, 160+metaDedupPersist*32)
+	b = append(b, `<mb-meta device="`...)
+	b = kxml.AppendEscapedAttr(b, mb.device)
+	b = append(b, `" next="`...)
+	b = strconv.AppendUint(b, mb.nextSeq, 10)
+	b = append(b, `" cursor="`...)
+	b = strconv.AppendUint(b, mb.cursor, 10)
+	b = append(b, `" evicted="`...)
+	b = strconv.AppendUint(b, mb.evicted, 10)
+	b = append(b, `" token="`...)
+	b = kxml.AppendEscapedAttr(b, mb.token)
+	b = append(b, `">`...)
+	order := mb.dedupOrder
+	if len(order) > metaDedupPersist {
+		order = order[len(order)-metaDedupPersist:]
+	}
+	for _, id := range order {
+		b = append(b, `<e seq="`...)
+		b = strconv.AppendUint(b, mb.dedup[id], 10)
+		b = append(b, `">`...)
+		b = kxml.AppendEscapedText(b, id)
+		b = append(b, `</e>`...)
+	}
+	b = append(b, `</mb-meta>`...)
+	return b
+}
+
+// parseRecord decodes one backing-store record into either an entry or
+// a meta state (the other return is nil).
+func parseRecord(data []byte) (device string, e *Entry, meta *metaState, err error) {
+	root, err := kxml.ParseBytes(data)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	device = root.AttrDefault("device", "")
+	if device == "" {
+		return "", nil, nil, fmt.Errorf("push: record missing device")
+	}
+	switch root.Name {
+	case "mb-entry":
+		e, err = entryFrom(root)
+		return device, e, nil, err
+	case "mb-meta":
+		m := &metaState{}
+		m.next, _ = strconv.ParseUint(root.AttrDefault("next", "0"), 10, 64)
+		m.cursor, _ = strconv.ParseUint(root.AttrDefault("cursor", "0"), 10, 64)
+		m.evicted, _ = strconv.ParseUint(root.AttrDefault("evicted", "0"), 10, 64)
+		m.token = root.AttrDefault("token", "")
+		for _, c := range root.FindAll("e") {
+			seq, _ := strconv.ParseUint(c.AttrDefault("seq", "0"), 10, 64)
+			m.dedup = append(m.dedup, dedupEvent{id: c.TextContent(), seq: seq})
+		}
+		return device, nil, m, nil
+	default:
+		return "", nil, nil, fmt.Errorf("push: unknown record type %q", root.Name)
+	}
+}
+
+// EncodeEntries renders the mailbox document a gateway serves to a
+// polling device: the pending entries, the watermark the reader should
+// ack once processed, and the device's lifetime eviction count.
+func EncodeEntries(device string, entries []*Entry, watermark, evicted uint64) []byte {
+	return encodeMailboxDoc(device, entries, watermark, evicted, "")
+}
+
+// EncodeExport renders the migration document one gateway serves to a
+// peer pulling a device's mailbox: EncodeEntries plus the device's
+// access token, so the device keeps authenticating at its new edge.
+// Export documents travel only on the secret-authenticated /cluster/
+// channel — never to devices.
+func EncodeExport(device string, entries []*Entry, watermark uint64, token string) []byte {
+	return encodeMailboxDoc(device, entries, watermark, 0, token)
+}
+
+func encodeMailboxDoc(device string, entries []*Entry, watermark, evicted uint64, token string) []byte {
+	n := kxml.NewElement("mailbox")
+	n.SetAttr("device", device)
+	n.SetAttr("next", strconv.FormatUint(watermark, 10))
+	n.SetAttr("evicted", strconv.FormatUint(evicted, 10))
+	if token != "" {
+		n.SetAttr("token", token)
+	}
+	for _, e := range entries {
+		fillEntry(n.AddElement("entry"), e)
+	}
+	return n.EncodeDocument()
+}
+
+// ParseEntries decodes a mailbox document. token is only present on
+// migration exports.
+func ParseEntries(doc []byte) (device string, entries []*Entry, watermark, evicted uint64, token string, err error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return "", nil, 0, 0, "", err
+	}
+	if root.Name != "mailbox" {
+		return "", nil, 0, 0, "", fmt.Errorf("push: expected mailbox document, got %q", root.Name)
+	}
+	device = root.AttrDefault("device", "")
+	watermark, _ = strconv.ParseUint(root.AttrDefault("next", "0"), 10, 64)
+	evicted, _ = strconv.ParseUint(root.AttrDefault("evicted", "0"), 10, 64)
+	token = root.AttrDefault("token", "")
+	for _, c := range root.FindAll("entry") {
+		e, err := entryFrom(c)
+		if err != nil {
+			return "", nil, 0, 0, "", err
+		}
+		entries = append(entries, e)
+	}
+	return device, entries, watermark, evicted, token, nil
+}
