@@ -465,3 +465,15 @@ func BenchmarkMailboxFanout(b *testing.B) {
 		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) { benchkit.MailboxFanout(b, n) })
 	}
 }
+
+// BenchmarkChurnStorm measures the G5 reconnect storm: a seed-pinned
+// fleet drains its mailboxes through the real delivery endpoints over
+// a capacity-limited simulated network, entirely on virtual time. The
+// vp50/vp99/vp999 metrics are virtual drain latencies (deterministic);
+// ns/op is the wall cost of simulating the storm.
+func BenchmarkChurnStorm(b *testing.B) {
+	for _, n := range []int{5_000, 20_000} {
+		n := n
+		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) { benchkit.ChurnStormBench(b, n) })
+	}
+}

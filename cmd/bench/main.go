@@ -1,23 +1,25 @@
 // Command bench is the machine-readable performance harness: it runs
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
-// fast path, G3 federation scaling, G4 mailbox delivery) through the
-// exact drivers `go test -bench` uses (internal/benchkit) and writes
-// the results as JSON so the repo's performance trajectory is tracked
-// as data, not prose.
+// fast path, G3 federation scaling, G4 mailbox delivery, G5 scale and
+// churn) through the exact drivers `go test -bench` uses
+// (internal/benchkit) and writes the results as JSON so the repo's
+// performance trajectory is tracked as data, not prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_5.json
+//	bench                     # full run, writes BENCH_6.json
 //	bench -short              # CI run (shorter benchtime)
 //	bench -o out.json         # choose the output path
-//	bench -check BENCH_5.json # exit non-zero if dispatch-E2E allocs/op
-//	                          # regressed >20% vs the committed file
+//	bench -check BENCH_6.json # exit non-zero on regression vs the
+//	                          # committed file
 //
-// The output carries the pre-ISSUE-3 dispatch baseline alongside the
-// current numbers, so the before/after of the fast-path work stays
-// recorded next to every fresh run. The -check gate compares allocs/op
-// (deterministic across machines), not wall-clock, so it is safe on
-// shared CI runners.
+// The output carries the pre-PR baselines alongside the current
+// numbers, so each optimisation's before/after stays recorded next to
+// every fresh run. The -check gate compares only machine-portable
+// quantities — dispatch-E2E allocs/op, the 100k-storm virtual-time p99
+// drain latency (deterministic under its pinned seed), and
+// bytes-per-idle-device — never wall-clock, so it is safe on shared CI
+// runners.
 package main
 
 import (
@@ -44,6 +46,21 @@ var prePRBaseline = Result{
 	AllocsPerOp: 134,
 }
 
+// prePR6Baseline is the hub's per-device cost measured at commit
+// 0644582 (the last commit before the PR-6 idle-device work), on the
+// machine that produced the committed BENCH_6.json: the dedup window of
+// a drained 64-entry history lingered forever (~8.9 KB/device), and
+// SweepExpired scanned every mailbox the hub ever opened (~1.9 ms per
+// 20k idle devices per sweep).
+var prePR6Baseline = []Result{
+	{Name: "mailbox_idle_bytes/devices=100000@pre-pr6",
+		Metrics: map[string]float64{"bytes_per_idle_device": 543.4}},
+	{Name: "mailbox_drained_bytes/history=64@pre-pr6",
+		Metrics: map[string]float64{"bytes_per_drained_device": 8863.2, "devices": 20000}},
+	{Name: "mailbox_idle_sweep/devices=20000@pre-pr6",
+		Metrics: map[string]float64{"sweep_ms": 1.93}},
+}
+
 // Result is one benchmark row.
 type Result struct {
 	Name        string             `json:"name"`
@@ -54,20 +71,25 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_5.json schema.
+// Output is the BENCH_6.json schema.
 type Output struct {
-	Schema        string   `json:"schema"`
-	GoVersion     string   `json:"go_version"`
-	GOOS          string   `json:"goos"`
-	GOARCH        string   `json:"goarch"`
-	NumCPU        int      `json:"num_cpu"`
-	Short         bool     `json:"short"`
-	PrePRBaseline Result   `json:"pre_pr_baseline"`
-	Results       []Result `json:"results"`
+	Schema         string   `json:"schema"`
+	GoVersion      string   `json:"go_version"`
+	GOOS           string   `json:"goos"`
+	GOARCH         string   `json:"goarch"`
+	NumCPU         int      `json:"num_cpu"`
+	Short          bool     `json:"short"`
+	PrePRBaseline  Result   `json:"pre_pr_baseline"`
+	PrePR6Baseline []Result `json:"pre_pr6_baseline"`
+	Results        []Result `json:"results"`
 }
 
-// dispatchE2EName is the headline row the -check gate compares.
-const dispatchE2EName = "dispatch_e2e/cache=on"
+// The rows the -check gate compares (all machine-portable).
+const (
+	dispatchE2EName = "dispatch_e2e/cache=on"
+	churnStormName  = "churn_storm/devices=100000"
+	idleBytesName   = "mailbox_idle_bytes/devices=100000"
+)
 
 func run(name string, fn func(b *testing.B)) Result {
 	fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
@@ -90,8 +112,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_5.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_5.json to gate against (fail if dispatch-E2E allocs/op regress >20%)")
+	out := flag.String("o", "BENCH_6.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_6.json to gate against (fail on dispatch-E2E allocs/op, storm p99 drain, or idle-device bytes drifting >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -104,13 +126,14 @@ func main() {
 	}
 
 	o := Output{
-		Schema:        "pdagent-bench/5",
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		NumCPU:        runtime.NumCPU(),
-		Short:         *short,
-		PrePRBaseline: prePRBaseline,
+		Schema:         "pdagent-bench/6",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		Short:          *short,
+		PrePRBaseline:  prePRBaseline,
+		PrePR6Baseline: prePR6Baseline,
 	}
 
 	// G2 — the dispatch fast path, before/after the program cache.
@@ -157,6 +180,16 @@ func main() {
 		run("mailbox_fanout/devices=1000", func(b *testing.B) { benchkit.MailboxFanout(b, 1000) }),
 	)
 
+	// G5 — scale and churn: the 100k-device reconnect storm on virtual
+	// time (drain percentiles are deterministic under the pinned seed,
+	// wall-clock is just the cost of simulating it), a smaller clustered
+	// storm where every mailbox migrates under load, and the hub's
+	// marginal per-device memory — the numbers the PR-6 idle-device
+	// fixes moved.
+	for _, row := range churnRows(*short) {
+		o.Results = append(o.Results, row)
+	}
+
 	// Zero-DOM evidence as data: a representative PI decode must
 	// allocate no kxml nodes.
 	allocs, nodes, err := benchkit.PIDecodeNodeAllocs()
@@ -193,12 +226,91 @@ func main() {
 	}
 
 	if *check != "" {
-		if err := gate(*check, cur); err != nil {
+		if err := gate(*check, o); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: FAIL: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bench: regression gate passed against %s\n", *check)
 	}
+}
+
+// churnRows runs the G5 scenarios and memory probes. These are
+// scenario measurements, not testing.Benchmark loops: one seeded storm
+// is the measurement.
+func churnRows(short bool) []Result {
+	var out []Result
+
+	fmt.Fprintf(os.Stderr, "bench: %s...\n", churnStormName)
+	storm, err := benchkit.ChurnStorm(100_000, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: churn storm: %v\n", err)
+		os.Exit(2)
+	}
+	out = append(out, Result{
+		Name:    churnStormName,
+		NsPerOp: float64(storm.WallTime.Nanoseconds()),
+		Metrics: map[string]float64{
+			"drain_vp50_ms":  float64(storm.Drain.Quantile(0.50)) / 1e6,
+			"drain_vp99_ms":  float64(storm.Drain.Quantile(0.99)) / 1e6,
+			"drain_vp999_ms": float64(storm.Drain.Quantile(0.999)) / 1e6,
+			"queue_vsec":     storm.QueueTime.Seconds(),
+			"delivered":      float64(storm.Delivered),
+		},
+	})
+
+	fmt.Fprintf(os.Stderr, "bench: churn_storm/members=3...\n")
+	cstorm, err := benchkit.ChurnStorm(5_000, 3)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: clustered churn storm: %v\n", err)
+		os.Exit(2)
+	}
+	out = append(out, Result{
+		Name:    "churn_storm/devices=5000,members=3",
+		NsPerOp: float64(cstorm.WallTime.Nanoseconds()),
+		Metrics: map[string]float64{
+			"drain_vp50_ms":   float64(cstorm.Drain.Quantile(0.50)) / 1e6,
+			"drain_vp99_ms":   float64(cstorm.Drain.Quantile(0.99)) / 1e6,
+			"migration_pulls": float64(cstorm.MigrationPulls),
+			"delivered":       float64(cstorm.Delivered),
+		},
+	})
+
+	fmt.Fprintf(os.Stderr, "bench: %s...\n", idleBytesName)
+	idle, err := benchkit.IdleDeviceBytes(100_000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: idle bytes: %v\n", err)
+		os.Exit(2)
+	}
+	out = append(out, Result{
+		Name:    idleBytesName,
+		Metrics: map[string]float64{"bytes_per_idle_device": idle},
+	})
+
+	drainedN := 20_000
+	if short {
+		drainedN = 5_000
+	}
+	fmt.Fprintf(os.Stderr, "bench: mailbox_drained_bytes (n=%d)...\n", drainedN)
+	drained, err := benchkit.DrainedDeviceBytes(drainedN, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: drained bytes: %v\n", err)
+		os.Exit(2)
+	}
+	out = append(out, Result{
+		Name:    "mailbox_drained_bytes/history=64",
+		Metrics: map[string]float64{"bytes_per_drained_device": drained, "devices": float64(drainedN)},
+	})
+
+	sweep, err := benchkit.IdleSweepDuration(20_000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: idle sweep: %v\n", err)
+		os.Exit(2)
+	}
+	out = append(out, Result{
+		Name:    "mailbox_idle_sweep/devices=20000",
+		Metrics: map[string]float64{"sweep_ms": float64(sweep.Nanoseconds()) / 1e6},
+	})
+	return out
 }
 
 func find(rs []Result, name string) *Result {
@@ -210,12 +322,12 @@ func find(rs []Result, name string) *Result {
 	return nil
 }
 
-// gate fails when the current dispatch-E2E allocs/op exceed the
-// committed baseline by more than 20%.
-func gate(path string, cur *Result) error {
-	if cur == nil {
-		return fmt.Errorf("no %s result in current run", dispatchE2EName)
-	}
+// gate fails when a machine-portable metric drifted from the committed
+// baseline: dispatch-E2E allocs/op up more than 20%, or the 100k-storm
+// p99 drain latency / bytes-per-idle-device outside ±20%. The storm
+// percentiles are virtual-time quantities from a pinned seed, so drift
+// means the delivery path changed, not that the runner was slow.
+func gate(path string, o Output) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading committed baseline: %w", err)
@@ -224,14 +336,36 @@ func gate(path string, cur *Result) error {
 	if err := json.Unmarshal(raw, &committed); err != nil {
 		return fmt.Errorf("parsing committed baseline: %w", err)
 	}
+
+	cur := find(o.Results, dispatchE2EName)
 	base := find(committed.Results, dispatchE2EName)
-	if base == nil {
-		return fmt.Errorf("committed baseline has no %s result", dispatchE2EName)
+	if cur == nil || base == nil {
+		return fmt.Errorf("missing %s result (current %v, committed %v)", dispatchE2EName, cur != nil, base != nil)
 	}
-	limit := base.AllocsPerOp * 1.20
-	if cur.AllocsPerOp > limit {
+	if limit := base.AllocsPerOp * 1.20; cur.AllocsPerOp > limit {
 		return fmt.Errorf("dispatch E2E allocs/op regressed: %.0f > %.0f (committed %.0f +20%%)",
 			cur.AllocsPerOp, limit, base.AllocsPerOp)
+	}
+
+	checks := []struct{ row, metric string }{
+		{churnStormName, "drain_vp99_ms"},
+		{idleBytesName, "bytes_per_idle_device"},
+	}
+	for _, c := range checks {
+		cur := find(o.Results, c.row)
+		base := find(committed.Results, c.row)
+		if cur == nil || base == nil {
+			return fmt.Errorf("missing %s result (current %v, committed %v)", c.row, cur != nil, base != nil)
+		}
+		cv, cok := cur.Metrics[c.metric]
+		bv, bok := base.Metrics[c.metric]
+		if !cok || !bok || bv == 0 {
+			return fmt.Errorf("missing metric %s on %s", c.metric, c.row)
+		}
+		if drift := (cv - bv) / bv; drift > 0.20 || drift < -0.20 {
+			return fmt.Errorf("%s %s drifted %.1f%%: %.2f vs committed %.2f (±20%% allowed; if intentional, refresh the committed file)",
+				c.row, c.metric, drift*100, cv, bv)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,67 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+
+	"pdagent/internal/churnsim"
+)
+
+// G5 — scale and churn (DESIGN.md §8): the reconnect-storm scenario on
+// virtual time, and the hub's marginal per-device memory cost. The
+// scenario logic lives in internal/churnsim; these wrappers exist so
+// cmd/bench and the -bench suite drive exactly the same code.
+
+// ChurnStorm runs the canonical reconnect storm — the fleet's mail
+// accumulates while it is dark, then every device reconnects inside a
+// 30-second virtual window — and returns the full result. Seed-pinned:
+// the drain percentiles are virtual-time quantities, deterministic
+// across machines, which is what makes them safe to gate in CI.
+func ChurnStorm(devices, members int) (*churnsim.StormResult, error) {
+	return churnsim.ReconnectStorm(churnsim.StormConfig{
+		Devices: devices,
+		Members: members,
+		Window:  30 * time.Second,
+		Seed:    1,
+	})
+}
+
+// ChurnStormBench adapts the storm to testing.B: each iteration replays
+// the same seed-pinned storm, and the virtual drain percentiles are
+// reported as custom metrics next to the wall-clock cost of simulating
+// it.
+func ChurnStormBench(b *testing.B, devices int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *churnsim.StormResult
+	for i := 0; i < b.N; i++ {
+		res, err := ChurnStorm(devices, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Drain.Quantile(0.50))/1e6, "vp50ms")
+	b.ReportMetric(float64(last.Drain.Quantile(0.99))/1e6, "vp99ms")
+	b.ReportMetric(float64(last.Drain.Quantile(0.999))/1e6, "vp999ms")
+}
+
+// IdleDeviceBytes is the marginal live-heap cost of a fresh idle
+// device (Touch + parked long-poll, no mail ever).
+func IdleDeviceBytes(devices int) (float64, error) {
+	return churnsim.IdleDeviceBytes(devices)
+}
+
+// DrainedDeviceBytes is the steady-state live-heap cost of a device
+// that received and acknowledged `history` entries and now sits idle,
+// after dedup aging has run.
+func DrainedDeviceBytes(devices, history int) (float64, error) {
+	return churnsim.DrainedDeviceBytes(devices, history)
+}
+
+// IdleSweepDuration times one SweepExpired pass over n idle mailboxes
+// with nothing to reclaim (the dirty set makes it O(0) regardless of n).
+func IdleSweepDuration(devices int) (time.Duration, error) {
+	return churnsim.IdleSweepDuration(devices)
+}

@@ -1,0 +1,94 @@
+package churnsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistogramExactBelowSubRange: values under 32µs land in exact
+// 1µs buckets.
+func TestHistogramExactBelowSubRange(t *testing.T) {
+	var h Histogram
+	for us := 0; us < 32; us++ {
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	if h.Count() != 32 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %v, want 0", q)
+	}
+	if q := h.Quantile(1); q != 31*time.Microsecond {
+		t.Fatalf("p100 = %v, want 31µs", q)
+	}
+}
+
+// TestHistogramRelativeError: any recorded value is reproduced by its
+// bucket midpoint within the advertised ~3% relative error.
+func TestHistogramRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		us := uint64(rng.Int63n(int64(10 * time.Minute / time.Microsecond)))
+		b := bucketOf(us)
+		mid := bucketMid(b)
+		var relErr float64
+		if us > 0 {
+			diff := float64(mid) - float64(us)
+			if diff < 0 {
+				diff = -diff
+			}
+			relErr = diff / float64(us)
+		}
+		if us >= 32 && relErr > 1.0/32 {
+			t.Fatalf("value %dµs -> bucket %d mid %dµs, rel err %.4f", us, b, mid, relErr)
+		}
+		if us < 32 && mid != us {
+			t.Fatalf("small value %dµs not exact (mid %dµs)", us, mid)
+		}
+	}
+}
+
+// TestHistogramQuantiles: quantiles of a known uniform distribution
+// come back within bucket resolution.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100_000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond) // uniform 1µs..100ms
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{0.999, 99_900 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := time.Duration(float64(c.want) * 0.95)
+		hi := time.Duration(float64(c.want) * 1.05)
+		if got < lo || got > hi {
+			t.Fatalf("p%g = %v, want ~%v", c.q*100, got, c.want)
+		}
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 49*time.Millisecond || m > 51*time.Millisecond {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+// TestHistogramMonotoneBuckets: bucket indexes are monotone in the
+// value, so quantile rank walks are order-correct.
+func TestHistogramMonotoneBuckets(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<20; us += 97 {
+		b := bucketOf(us)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", us, b, prev)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,55 @@
+package churnsim
+
+import "testing"
+
+// Per-device memory budgets, gated in CI. These are ~1.5x the values
+// measured on the CI container (go1.24, 64-bit) after the PR-6 hub
+// fixes, leaving room for runtime jitter but catching a regression
+// class, not a few stray bytes:
+//
+//   - idle: ~520 B/device = mailbox struct + boxes map slot + token
+//     string + wait channel (lazy dedup map: a device that never got
+//     mail allocates none).
+//   - drained: ~730 B/device after dedup aging — before PR 6 a drained
+//     64-entry history cost ~8.9 KB/device forever (dedup ids plus the
+//     map buckets holding them); the TTL sweep must reclaim it or a
+//     fleet that got mail yesterday stays 12x as expensive for good.
+const (
+	idleDeviceBudgetBytes    = 820
+	drainedDeviceBudgetBytes = 1700
+)
+
+// TestIdleDeviceMemoryBudget gates the marginal cost of a fresh parked
+// device: Touch + armed long-poll, no mail ever.
+func TestIdleDeviceMemoryBudget(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 20_000
+	}
+	got, err := IdleDeviceBytes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("idle device: %.1f B/device (n=%d, budget %d)", got, n, idleDeviceBudgetBytes)
+	if got > idleDeviceBudgetBytes {
+		t.Fatalf("idle device costs %.1f B, budget %d B", got, idleDeviceBudgetBytes)
+	}
+}
+
+// TestDrainedDeviceMemoryBudget gates the steady-state cost of a
+// device that received and acked a 64-entry history yesterday: the
+// dedup window must age out and be reclaimed, not linger forever.
+func TestDrainedDeviceMemoryBudget(t *testing.T) {
+	n := 20_000
+	if testing.Short() {
+		n = 5_000
+	}
+	got, err := DrainedDeviceBytes(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drained device: %.1f B/device (n=%d, history=64, budget %d)", got, n, drainedDeviceBudgetBytes)
+	if got > drainedDeviceBudgetBytes {
+		t.Fatalf("drained device costs %.1f B, budget %d B", got, drainedDeviceBudgetBytes)
+	}
+}

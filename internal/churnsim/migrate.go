@@ -1,0 +1,133 @@
+package churnsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"pdagent/internal/push"
+	"pdagent/internal/rms"
+)
+
+// MigrationConfig configures a hub-level migration scenario: devices
+// fill mailboxes at their home member, then each reconnects through a
+// different member and its mailbox follows it (Export / Import / Ack),
+// with a configurable fraction of transfer acks lost in flight so the
+// re-pull repair path is exercised too.
+type MigrationConfig struct {
+	Devices          int
+	EntriesPerDevice int
+	Members          int // hubs (>= 2)
+	Seed             int64
+	// LoseAckFrac is the probability a transfer ack is lost, forcing a
+	// re-pull of an already-imported export (which must dedup cleanly).
+	LoseAckFrac float64
+}
+
+// RunMigration moves every device's mailbox between hubs and checks
+// the invariants the churn property suite cares about:
+//
+//   - exactly-once: after migration and drain, every entry was
+//     delivered once, re-pulls after lost acks included;
+//   - one live owner: once the destination acknowledges the transfer,
+//     the source holds nothing for the device, and before the drain
+//     the destination holds everything — a mailbox is never split or
+//     duplicated across members.
+func RunMigration(cfg MigrationConfig) error {
+	if cfg.Members < 2 {
+		return fmt.Errorf("churnsim: migration needs >= 2 members")
+	}
+	if cfg.EntriesPerDevice <= 0 {
+		cfg.EntriesPerDevice = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hubs := make([]*push.Hub, cfg.Members)
+	for i := range hubs {
+		hub, err := push.NewHub(push.Config{
+			Store: rms.NewMemStore("mig-"+strconv.Itoa(i), 0),
+			Clock: func() time.Time { return simEpoch },
+		})
+		if err != nil {
+			return err
+		}
+		defer hub.Close()
+		hubs[i] = hub
+	}
+
+	led := newLedger()
+	for d := 0; d < cfg.Devices; d++ {
+		dev := "dev-" + strconv.Itoa(d)
+		home := d % cfg.Members
+		src := hubs[home]
+		src.Touch(dev)
+		for k := 0; k < cfg.EntriesPerDevice; k++ {
+			event := "m:" + dev + ":" + strconv.Itoa(k)
+			if _, dup, err := src.Enqueue(dev, push.KindResult, "ag-"+dev, event, churnBody); err != nil || dup {
+				return fmt.Errorf("churnsim: preload %s: dup=%v err=%v", event, dup, err)
+			}
+			led.enqueue(event)
+		}
+
+		// The device reconnects through another member; the mailbox
+		// follows it (what gateway.pullMailboxFrom does over the wire).
+		dst := hubs[(home+1+rng.Intn(cfg.Members-1))%cfg.Members]
+		pull := func() (uint64, error) {
+			entries := src.Export(dev)
+			if _, err := dst.Import(dev, entries); err != nil {
+				return 0, err
+			}
+			dst.AdoptToken(dev, src.TokenOf(dev))
+			if len(entries) == 0 {
+				return 0, nil
+			}
+			return entries[len(entries)-1].Seq, nil
+		}
+		watermark, err := pull()
+		if err != nil {
+			return err
+		}
+		if rng.Float64() < cfg.LoseAckFrac {
+			// The ack never reached the source: the next session re-pulls
+			// the same export, and import dedup must absorb it.
+			if watermark, err = pull(); err != nil {
+				return err
+			}
+		}
+		if _, err := src.Ack(dev, watermark); err != nil {
+			return err
+		}
+
+		// One live owner: the transfer is acknowledged, so the source is
+		// empty and the destination holds the full mailbox.
+		if p := src.Pending(dev); p != 0 {
+			return fmt.Errorf("churnsim: %s: source still owns %d entries after acked transfer", dev, p)
+		}
+		if p := dst.Pending(dev); p != cfg.EntriesPerDevice {
+			return fmt.Errorf("churnsim: %s: destination owns %d entries, want %d", dev, p, cfg.EntriesPerDevice)
+		}
+
+		// Drain at the new edge; the ledger catches double delivery.
+		entries, watermark2, _, err := dst.Poll(dev, 0, 0)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			led.deliver(e.EventID)
+		}
+		if _, err := dst.Ack(dev, watermark2); err != nil {
+			return err
+		}
+	}
+
+	if led.delivered != led.enqueued || led.redelivered != 0 {
+		return fmt.Errorf("churnsim: migration delivered %d/%d, %d redelivered",
+			led.delivered, led.enqueued, led.redelivered)
+	}
+	for i, hub := range hubs {
+		if st := hub.Stats(); st.Pending != 0 {
+			return fmt.Errorf("churnsim: member %d still holds %d entries after full drain", i, st.Pending)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package churnsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// A Script is a schedule of fleet churn: an ordered list of phases,
+// each mixing device joins, disconnections, reconnections, mail
+// arrivals and gateway crashes over a stretch of virtual time. Scripts
+// are plain data — the same script replays identically under the same
+// seed, and the property suite generates random ones to hunt for
+// conservation violations.
+type Script struct {
+	// Seed drives every random choice made while running the script
+	// (which device joins, who gets mail, reconnect order).
+	Seed int64
+	// Phases run back to back on the virtual clock.
+	Phases []Phase
+}
+
+// Phase is one stretch of a churn script. Its operations are spread
+// uniformly across Duration and interleaved deterministically.
+type Phase struct {
+	// Name labels the phase in logs and failures ("storm", "night").
+	Name string
+	// Duration is the phase's virtual-time length.
+	Duration time.Duration
+	// Joins is how many new devices join the fleet (their mailbox is
+	// opened on the authenticated path, as a dispatch would).
+	Joins int
+	// Leaves is how many online devices disconnect (their mail then
+	// accumulates store-and-forward).
+	Leaves int
+	// Reconnects is how many offline devices reconnect and drain their
+	// mailbox to empty.
+	Reconnects int
+	// Mail is how many result entries are enqueued to random known
+	// devices (online devices drain them on their next poll tick).
+	Mail int
+	// CrashGateway, when true, crashes the hub at the phase start and
+	// restarts it from its durable store (mail, cursors, tokens and
+	// dedup state must all survive the replay).
+	CrashGateway bool
+}
+
+// Ops returns the total operation count of a phase.
+func (p Phase) Ops() int { return p.Joins + p.Leaves + p.Reconnects + p.Mail }
+
+// Validate rejects scripts that cannot run (no phases, negative
+// counts).
+func (s Script) Validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("churnsim: script has no phases")
+	}
+	for i, p := range s.Phases {
+		if p.Joins < 0 || p.Leaves < 0 || p.Reconnects < 0 || p.Mail < 0 {
+			return fmt.Errorf("churnsim: phase %d (%s) has negative counts", i, p.Name)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("churnsim: phase %d (%s) has no duration", i, p.Name)
+		}
+	}
+	return nil
+}
+
+// Generate produces a random but well-formed churn script of n phases
+// sized to roughly maxDevices, for the property suite: every phase
+// mixes joins, leaves, reconnects and mail; crashes appear with
+// probability 1/4 per phase; the final phase reconnects generously so
+// runs end with most mail drained (RunScript reconnects the remainder
+// itself before checking conservation).
+func Generate(rng *rand.Rand, phases, maxDevices int) Script {
+	if phases < 1 {
+		phases = 1
+	}
+	if maxDevices < 4 {
+		maxDevices = 4
+	}
+	s := Script{Seed: rng.Int63()}
+	per := maxDevices / phases
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < phases; i++ {
+		p := Phase{
+			Name:       fmt.Sprintf("phase-%d", i),
+			Duration:   time.Duration(1+rng.Intn(120)) * time.Second,
+			Joins:      rng.Intn(per + 1),
+			Leaves:     rng.Intn(per + 1),
+			Reconnects: rng.Intn(per + 1),
+			Mail:       rng.Intn(3*per + 1),
+			// Crashes exercise replay of mail, cursors and dedup state.
+			CrashGateway: rng.Intn(4) == 0,
+		}
+		s.Phases = append(s.Phases, p)
+	}
+	return s
+}
+
+// StormScript returns the canonical reconnect-storm schedule: the
+// fleet joins, goes dark while mail accumulates, then every device
+// reconnects inside one window — the cell-tower-comes-back shape.
+func StormScript(devices, entriesPerDevice int, window time.Duration) Script {
+	return Script{
+		Seed: 1,
+		Phases: []Phase{
+			{Name: "join", Duration: time.Minute, Joins: devices},
+			// The whole fleet disconnects before the mail builds up, so
+			// every entry store-and-forwards (mail to a still-online
+			// device would drain instantly and dilute the storm).
+			{Name: "dark", Duration: time.Minute, Leaves: devices},
+			{Name: "accumulate", Duration: 5 * time.Minute, Mail: devices * entriesPerDevice},
+			{Name: "storm", Duration: window, Reconnects: devices},
+		},
+	}
+}
+
+// DiurnalScript returns a day-shaped open-loop wave: mail volume rises
+// and falls across periods while a stable fleet stays mostly
+// connected, with a churn fringe joining and leaving each period.
+func DiurnalScript(devices, periods int) Script {
+	s := Script{Seed: 2, Phases: []Phase{
+		{Name: "bootstrap", Duration: time.Minute, Joins: devices},
+	}}
+	fringe := devices / 10
+	for i := 0; i < periods; i++ {
+		// Triangle wave: load peaks mid-cycle.
+		frac := 1.0 - float64(abs(2*i+1-periods))/float64(periods)
+		mail := int(float64(devices) * (0.2 + 0.8*frac))
+		s.Phases = append(s.Phases, Phase{
+			Name:       fmt.Sprintf("wave-%d", i),
+			Duration:   time.Hour / time.Duration(periods),
+			Joins:      fringe,
+			Leaves:     fringe,
+			Reconnects: fringe,
+			Mail:       mail,
+		})
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

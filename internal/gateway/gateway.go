@@ -142,6 +142,13 @@ type Gateway struct {
 	draining atomic.Bool
 	// resultsSwept counts result documents reclaimed by the TTL sweep.
 	resultsSwept atomic.Uint64
+	// Migration-pull herd protection (see pullMailboxFrom): per-device
+	// singleflight plus a global concurrency bound.
+	mbPullMu       sync.Mutex
+	mbPullInflight map[string]chan struct{}
+	mbPullSem      chan struct{}
+	mbPullStarted  atomic.Uint64
+	mbPullShared   atomic.Uint64
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -192,15 +199,18 @@ func New(cfg Config) (*Gateway, error) {
 			store = rms.NewMemStore("mailbox-"+cfg.Addr, 0)
 		}
 		hub, err := push.NewHub(push.Config{
-			Store: store,
-			TTL:   cfg.Mailbox.TTL,
-			Quota: cfg.Mailbox.Quota,
-			Logf:  cfg.Logf,
+			Store:    store,
+			TTL:      cfg.Mailbox.TTL,
+			DedupTTL: cfg.Mailbox.DedupTTL,
+			Quota:    cfg.Mailbox.Quota,
+			Logf:     cfg.Logf,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("gateway: opening mailbox store: %w", err)
 		}
 		g.hub = hub
+		g.mbPullInflight = map[string]chan struct{}{}
+		g.mbPullSem = make(chan struct{}, maxConcurrentMailboxPulls)
 	}
 	masCfg := mas.Config{
 		Addr:           cfg.Addr,

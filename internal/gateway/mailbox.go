@@ -38,6 +38,9 @@ type MailboxConfig struct {
 	// Quota bounds each device's pending entries (default
 	// push.DefaultQuota).
 	Quota int
+	// DedupTTL ages delivered event ids out of the hub's dedup windows
+	// (see push.Config.DedupTTL; 0 = push.DefaultDedupTTL).
+	DedupTTL time.Duration
 	// ResultTTL expires stored result documents from the gateway's File
 	// Directory once collectable for this long (0 = keep forever). The
 	// Sweep method enforces it together with the mailbox TTL.
@@ -74,6 +77,15 @@ func (g *Gateway) Sweep() (results, mailbox int) {
 				"result expired (retention TTL)")
 		}
 		g.resultsSwept.Add(uint64(results))
+		// Expired agents leave tombstones so a late status/result request
+		// answers "expired", not "unknown". Reclaim the tombstones
+		// themselves once well past any plausible client retry — without
+		// this the registry grows by every agent ever dispatched.
+		retain := goneTombstoneRetention * mc.ResultTTL
+		if retain < minGoneTombstoneRetention {
+			retain = minGoneTombstoneRetention
+		}
+		g.reg.PruneGone(time.Now().Add(-retain))
 	}
 	if g.hub != nil {
 		mailbox = g.hub.SweepExpired()
@@ -240,13 +252,75 @@ func (g *Gateway) isClusterMember(addr string) bool {
 // edge must not stall it for the transport's full default timeout.
 const mailboxPullTimeout = 5 * time.Second
 
+// maxConcurrentMailboxPulls bounds how many migration pulls one
+// gateway runs at once. In a reconnect storm — a cell tower comes
+// back and 100k devices land on a new edge inside seconds — every
+// poll would otherwise fan an export request at the devices' previous
+// member, and the herd would take down exactly the node the fleet is
+// failing away from.
+const maxConcurrentMailboxPulls = 32
+
+// goneTombstoneRetention is how many ResultTTLs an expired agent's
+// registry tombstone outlives its result, covering stragglers that ask
+// about it long after expiry; minGoneTombstoneRetention floors it for
+// configs with very short ResultTTLs.
+const (
+	goneTombstoneRetention    = 4
+	minGoneTombstoneRetention = time.Minute
+)
+
 // pullMailboxFrom migrates a device's mailbox from the member it
-// previously talked to: pull the pending entries, adopt them locally
-// (re-sequenced, deduplicated by event id, the access token carried
-// along), then acknowledge so the source retires them. Best-effort —
-// on any failure the entries stay at the source and the next session
-// retries the pull.
+// previously talked to, with two layers of thundering-herd
+// protection: concurrent polls for the same device coalesce onto one
+// pull (per-device singleflight — duplicate pulls are harmless thanks
+// to import dedup, but a parked fleet re-polling would multiply load),
+// and pulls for distinct devices share a bounded semaphore so a storm
+// reaches the previous edge as a trickle, not a wave.
 func (g *Gateway) pullMailboxFrom(ctx context.Context, prev, device, tok string) {
+	g.mbPullMu.Lock()
+	if ch, inflight := g.mbPullInflight[device]; inflight {
+		g.mbPullMu.Unlock()
+		g.mbPullShared.Add(1)
+		// Ride the winner's pull: by the time it finishes, the entries
+		// are importable locally and this poll serves them.
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		return
+	}
+	ch := make(chan struct{})
+	g.mbPullInflight[device] = ch
+	g.mbPullMu.Unlock()
+	defer func() {
+		g.mbPullMu.Lock()
+		delete(g.mbPullInflight, device)
+		g.mbPullMu.Unlock()
+		close(ch)
+	}()
+	select {
+	case g.mbPullSem <- struct{}{}:
+		defer func() { <-g.mbPullSem }()
+	case <-ctx.Done():
+		return // the next session retries the pull
+	}
+	g.mbPullStarted.Add(1)
+	g.pullMailboxDirect(ctx, prev, device, tok)
+}
+
+// MailboxPullStats reports migration-pull counters: pulls actually
+// sent to a previous edge, and polls that coalesced onto another
+// in-flight pull for the same device (tests, metrics).
+func (g *Gateway) MailboxPullStats() (started, shared uint64) {
+	return g.mbPullStarted.Load(), g.mbPullShared.Load()
+}
+
+// pullMailboxDirect performs one pull: export the pending entries,
+// adopt them locally (re-sequenced, deduplicated by event id, the
+// access token carried along), then acknowledge so the source retires
+// them. Best-effort — on any failure the entries stay at the source
+// and the next session retries the pull.
+func (g *Gateway) pullMailboxDirect(ctx context.Context, prev, device, tok string) {
 	ctx, cancel := context.WithTimeout(ctx, mailboxPullTimeout)
 	defer cancel()
 	exp := &transport.Request{Path: "/cluster/mailbox/export"}

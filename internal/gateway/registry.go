@@ -42,6 +42,14 @@ type registryShard struct {
 	dispatch map[string]*agentMeta        // agent id -> meta
 	replay   map[string]*nonceWindow      // subKey -> recent dispatch nonces
 	watchers map[string][]chan struct{}   // agent id -> result watchers
+	// doneQ and goneQ are retention queues: agent ids in completion /
+	// tombstone order, so the TTL sweeps pop ripe entries from the
+	// front instead of scanning every dispatched agent the gateway has
+	// ever seen (stamps are taken under the shard lock, so each queue
+	// is monotone). Entries can go stale — the id re-completed, or was
+	// released first — and are re-checked against the meta when popped.
+	doneQ []string
+	goneQ []string
 }
 
 // NewRegistry returns a registry with the given shard count, rounded up
@@ -258,6 +266,10 @@ type agentMeta struct {
 	// doneAt stamps when the result became collectable (drives the
 	// result-document TTL sweep).
 	doneAt time.Time
+	// goneAt stamps when the agent turned terminal-without-result, so
+	// the tombstone itself can be reclaimed once no client can
+	// plausibly still ask about it.
+	goneAt time.Time
 	// origin, on a clustered home gateway, is the edge member that
 	// forwarded the dispatch; the result document is relayed there.
 	origin string
@@ -351,6 +363,12 @@ func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string
 		s.dispatch[id] = meta
 	}
 	wasLive := ok && !meta.done && !meta.gone && meta.homeGW == ""
+	if !meta.done {
+		// First completion (or resurrection after expiry): queue for the
+		// retention sweep. Re-completions of an already-done agent keep
+		// their original queue position.
+		s.doneQ = append(s.doneQ, id)
+	}
 	meta.done = true
 	meta.docID = docID
 	meta.lastWhy = why
@@ -387,25 +405,72 @@ type ExpiredResult struct {
 // "gone" state (result requests answer StatusGone with the reason) and
 // the document ids are returned so the caller can delete them from the
 // File Directory. Uncompleted and already-expired agents are untouched.
+// Cost is O(expired), not O(agents): each shard pops ripe entries from
+// the front of its completion queue and stops at the first unripe one,
+// so a sweep over a million-agent registry with nothing to reclaim
+// touches nothing.
 func (r *Registry) ExpireResults(cutoff time.Time) []ExpiredResult {
 	var out []ExpiredResult
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.Lock()
-		for id, meta := range s.dispatch {
-			if !meta.done || meta.doneAt.After(cutoff) {
-				continue
+		for len(s.doneQ) > 0 {
+			id := s.doneQ[0]
+			meta, ok := s.dispatch[id]
+			if ok && meta.done && meta.doneAt.After(cutoff) {
+				break // front not ripe; the queue is in doneAt order
+			}
+			s.doneQ = s.doneQ[1:]
+			if !ok || !meta.done {
+				continue // stale entry (released or pruned since queued)
 			}
 			out = append(out, ExpiredResult{AgentID: id, DocID: meta.docID, ReqDocID: meta.reqDocID})
 			meta.done = false
 			meta.gone = true
+			meta.goneAt = time.Now()
 			meta.docID = 0
 			meta.reqDocID = 0
 			meta.lastWhy = "result expired (retention TTL)"
+			s.goneQ = append(s.goneQ, id)
+		}
+		if len(s.doneQ) == 0 {
+			s.doneQ = nil // release the drained queue's backing array
 		}
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// PruneGone deletes terminal "gone" agents whose tombstone is older
+// than cutoff, returning how many were removed. Tombstones exist so a
+// late result request answers "expired" instead of "unknown"; once no
+// client can plausibly still ask, keeping them would grow the registry
+// by every agent ever dispatched. O(pruned) via the per-shard
+// tombstone queue.
+func (r *Registry) PruneGone(cutoff time.Time) int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for len(s.goneQ) > 0 {
+			id := s.goneQ[0]
+			meta, ok := s.dispatch[id]
+			if ok && meta.gone && meta.goneAt.After(cutoff) {
+				break // front not ripe; the queue is in goneAt order
+			}
+			s.goneQ = s.goneQ[1:]
+			if !ok || !meta.gone || meta.done {
+				continue // stale entry (resurrected by a late completion)
+			}
+			delete(s.dispatch, id)
+			n++
+		}
+		if len(s.goneQ) == 0 {
+			s.goneQ = nil
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Origin returns the routing metadata of one agent: the edge member
@@ -457,6 +522,10 @@ func (r *Registry) ReleaseAgent(id, why string) ([]chan struct{}, bool) {
 		return nil, false
 	}
 	wasLive := !meta.done && !meta.gone && meta.homeGW == ""
+	if !meta.gone {
+		meta.goneAt = time.Now()
+		s.goneQ = append(s.goneQ, id)
+	}
 	meta.gone = true
 	meta.lastWhy = why
 	watchers := s.watchers[id]

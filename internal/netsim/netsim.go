@@ -155,6 +155,116 @@ type Stats struct {
 	Lost       int
 	Blocked    int           // messages refused by a zone partition
 	OnlineTime time.Duration // total delay charged to journey clocks
+	// QueueTime is the total virtual time requests spent waiting for a
+	// free server at capacity-limited hosts (see SetHostCapacity), and
+	// ServiceTime the total virtual time those servers spent processing.
+	// Both are also included in OnlineTime.
+	QueueTime   time.Duration
+	ServiceTime time.Duration
+}
+
+// Capacity models a host's serving capacity for virtual-time load
+// experiments. Without it, a simulated host processes any number of
+// concurrent requests instantly — fine for functional tests, useless
+// for a reconnect storm, where the interesting number is how long the
+// 99.9th-percentile device waits behind 100k others. With a capacity
+// set, the host owns a shared virtual timeline holding Servers × time
+// of service budget: each request books its service time into that
+// timeline at its arrival instant (waiting for the first region with
+// spare budget), and the requester's journey clock is charged the wait
+// plus the service. Because every journey clock pushes against the
+// same budget, queueing delay emerges as in a k-server queue —
+// deterministically, with no real goroutines or sleeps (see hostQueue
+// for the slotting details).
+type Capacity struct {
+	// Servers is the number of parallel workers (<=0 means 1).
+	Servers int
+	// PerRequest is the fixed service cost of one request.
+	PerRequest time.Duration
+	// PerByte adds size-proportional service cost (request + response
+	// bytes), modelling parse/encode work.
+	PerByte time.Duration
+}
+
+// hostQueue is the service-budget timeline of one capacity-limited
+// host, bucketed into fixed-width virtual-time slots. Every slot holds
+// Servers × slot of service budget, and an admitted request charges
+// its service time into the slots at its own arrival time (at most one
+// server's worth per slot, since one request occupies one server).
+// Guarded by the network mutex.
+//
+// Booking time-indexed budget instead of a busy-until horizon makes
+// admission insensitive to the order requests are *processed* in,
+// which matters because nested journeys (a mailbox migration pull
+// inside a poll) admit out of arrival order. A busy-until model books
+// in processing order: one late-arriving request ratchets the horizon
+// forward, every earlier arrival processed after it waits for that
+// horizon, and those inflated waits push their own follow-up requests
+// even later — a feedback loop that diverges in clustered reconnect
+// storms (aggregate queue time grew superlinearly in fleet size while
+// offered load stayed far below capacity). With slots, a late arrival
+// consumes late budget only; waits appear exactly where a time region
+// is genuinely oversubscribed. The price is that ordering inside one
+// slot is lost, so a wait can be understated by at most a slot width.
+type hostQueue struct {
+	cap  Capacity
+	slot time.Duration           // slot width
+	used map[int64]time.Duration // slot index -> service time booked
+}
+
+// queueSlot picks the slot width for a capacity: the per-request
+// service time, clamped so microsecond services don't explode the slot
+// map and multi-second ones keep sub-second wait resolution.
+func queueSlot(c Capacity) time.Duration {
+	s := c.PerRequest
+	if s < time.Millisecond {
+		s = time.Millisecond
+	}
+	if s > time.Second {
+		s = time.Second
+	}
+	return s
+}
+
+func (q *hostQueue) service(size int) time.Duration {
+	return q.cap.PerRequest + time.Duration(size)*q.cap.PerByte
+}
+
+// admit books one request of the given total size arriving at virtual
+// time at, returning the queue wait and the service duration charged.
+// The request starts in the first slot at or after its arrival with
+// spare budget and spills across as many later slots as its service
+// time needs.
+func (q *hostQueue) admit(at time.Duration, size int) (wait, svc time.Duration) {
+	svc = q.service(size)
+	if svc <= 0 {
+		return 0, 0
+	}
+	budget := time.Duration(q.cap.Servers) * q.slot
+	start := time.Duration(-1)
+	s := int64(at / q.slot)
+	for rem := svc; rem > 0; s++ {
+		free := budget - q.used[s]
+		if free <= 0 {
+			continue
+		}
+		if start < 0 {
+			start = at
+			if slotStart := time.Duration(s) * q.slot; slotStart > start {
+				start = slotStart
+			}
+		}
+		take := rem
+		if take > free {
+			take = free
+		}
+		if take > q.slot {
+			take = q.slot // one server per request
+		}
+		q.used[s] += take
+		rem -= take
+	}
+	return start - at, svc
 }
 
 // Network is the simulated fabric. All methods are safe for concurrent
@@ -167,6 +277,7 @@ type Network struct {
 	links   map[[2]string]Link
 	parts   map[[2]string]bool // partitioned zone pairs (one direction each)
 	aliases map[string]string  // zone -> base zone it inherits from
+	queues  map[string]*hostQueue
 	def     Link
 	stats   Stats
 }
@@ -180,7 +291,29 @@ func New(seed int64) *Network {
 		links:   make(map[[2]string]Link),
 		parts:   make(map[[2]string]bool),
 		aliases: make(map[string]string),
+		queues:  make(map[string]*hostQueue),
 	}
+}
+
+// SetHostCapacity limits addr's serving capacity (see Capacity). The
+// worker timeline starts empty; setting a capacity again resets it.
+// Only requests carrying a journey clock are queued — capacity is a
+// virtual-time construct, and real-time callers (live daemons, -race
+// tests without clocks) pass through unqueued.
+func (n *Network) SetHostCapacity(addr string, c Capacity) {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.queues[addr] = &hostQueue{cap: c, slot: queueSlot(c), used: make(map[int64]time.Duration)}
+}
+
+// ClearHostCapacity removes addr's capacity limit.
+func (n *Network) ClearHostCapacity(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.queues, addr)
 }
 
 // AddHost registers a handler under addr in the given zone, replacing
@@ -419,6 +552,23 @@ func (t *simTransport) RoundTrip(ctx context.Context, addr string, req *transpor
 	resp := handler.Serve(ctx, req)
 	if resp == nil {
 		resp = transport.Errorf(transport.StatusServerError, "nil response from %s", addr)
+	}
+
+	// Capacity: requests on a journey clock queue against the host's
+	// shared worker timeline. The handler above ran inline (its virtual
+	// duration is the service time booked here); arrival is the clock
+	// after the uplink, so concurrent journeys contend realistically.
+	if clock != nil {
+		n.mu.Lock()
+		if q, ok := n.queues[addr]; ok {
+			wait, svc := q.admit(clock.Now(), req.Size()+resp.Size())
+			n.stats.QueueTime += wait
+			n.stats.ServiceTime += svc
+			n.mu.Unlock()
+			charge(wait + svc)
+		} else {
+			n.mu.Unlock()
+		}
 	}
 
 	downDelay := down.delay(resp.Size(), downJitter)

@@ -353,3 +353,90 @@ func TestQueueStep(t *testing.T) {
 		t.Fatalf("final order = %v", order)
 	}
 }
+
+// TestHostCapacityQueueing: with a 1-server capacity, back-to-back
+// requests from journeys arriving at the same virtual instant serialise
+// — the k-th requester waits behind k-1 service times, exactly a
+// 1-server queue.
+func TestHostCapacityQueueing(t *testing.T) {
+	n := New(1)
+	n.SetLinkBoth(ZoneWireless, ZoneWired, Link{}) // zero-latency links isolate queueing
+	n.AddHost("gw-1", ZoneWired, echoHandler())
+	n.SetHostCapacity("gw-1", Capacity{Servers: 1, PerRequest: 10 * time.Millisecond})
+	tr := n.Transport(ZoneWireless)
+
+	for k := 0; k < 3; k++ {
+		clock := NewClock() // all three journeys arrive at vtime 0
+		ctx := WithClock(context.Background(), clock)
+		if _, err := tr.RoundTrip(ctx, "gw-1", &transport.Request{Path: "/x"}); err != nil {
+			t.Fatal(err)
+		}
+		want := time.Duration(k+1) * 10 * time.Millisecond // wait k services + own
+		if clock.Now() != want {
+			t.Fatalf("journey %d finished at %v, want %v", k, clock.Now(), want)
+		}
+	}
+	st := n.Stats()
+	if st.ServiceTime != 30*time.Millisecond || st.QueueTime != 30*time.Millisecond {
+		t.Fatalf("stats service=%v queue=%v, want 30ms/30ms", st.ServiceTime, st.QueueTime)
+	}
+}
+
+// TestHostCapacityParallelServers: with k servers, k simultaneous
+// arrivals are all served without queueing; the k+1st waits.
+func TestHostCapacityParallelServers(t *testing.T) {
+	n := New(1)
+	n.SetLinkBoth(ZoneWireless, ZoneWired, Link{})
+	n.AddHost("gw-1", ZoneWired, echoHandler())
+	n.SetHostCapacity("gw-1", Capacity{Servers: 2, PerRequest: 10 * time.Millisecond})
+	tr := n.Transport(ZoneWireless)
+
+	for k, want := range []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		clock := NewClock()
+		ctx := WithClock(context.Background(), clock)
+		if _, err := tr.RoundTrip(ctx, "gw-1", &transport.Request{Path: "/x"}); err != nil {
+			t.Fatal(err)
+		}
+		if clock.Now() != want {
+			t.Fatalf("journey %d finished at %v, want %v", k, clock.Now(), want)
+		}
+	}
+}
+
+// TestHostCapacityPerByte: the service time scales with request +
+// response size, and clockless (real-time) callers bypass the queue.
+func TestHostCapacityPerByte(t *testing.T) {
+	n := New(1)
+	n.SetLinkBoth(ZoneWireless, ZoneWired, Link{})
+	n.AddHost("gw-1", ZoneWired, echoHandler())
+	n.SetHostCapacity("gw-1", Capacity{Servers: 1, PerByte: time.Millisecond})
+
+	// 10 request bytes echoed back = 20 chargeable bytes.
+	clock := NewClock()
+	ctx := WithClock(context.Background(), clock)
+	req := &transport.Request{Path: "/x", Body: make([]byte, 10)}
+	if _, err := n.Transport(ZoneWireless).RoundTrip(ctx, "gw-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if want := time.Duration(10+len(req.Body)+10) * time.Millisecond; clock.Now() < 20*time.Millisecond {
+		t.Fatalf("per-byte service not charged: clock %v (sanity floor %v)", clock.Now(), want)
+	}
+
+	// No clock: the queue is bypassed entirely.
+	before := n.Stats()
+	if _, err := n.Transport(ZoneWireless).RoundTrip(context.Background(), "gw-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.ServiceTime != before.ServiceTime || st.QueueTime != before.QueueTime {
+		t.Fatal("clockless request was queued")
+	}
+
+	n.ClearHostCapacity("gw-1")
+	clock2 := NewClock()
+	if _, err := n.Transport(ZoneWireless).RoundTrip(WithClock(context.Background(), clock2), "gw-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if clock2.Now() != 0 {
+		t.Fatalf("capacity still charged after ClearHostCapacity: %v", clock2.Now())
+	}
+}

@@ -1,0 +1,157 @@
+package push
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"pdagent/internal/rms"
+)
+
+var dedupEpoch = time.Unix(1_700_000_000, 0)
+
+// TestDedupTTLAgesAckedIDs: once an event's entry is acknowledged and
+// the TTL passes, its id leaves the dedup window — a very late replay
+// is accepted as a new event (the cursor protects the device, and
+// holding ids forever would grow the hub by every event ever sent).
+func TestDedupTTLAgesAckedIDs(t *testing.T) {
+	var vnow time.Duration
+	h := newTestHub(t, rms.NewMemStore("mb", 0), func(c *Config) {
+		c.DedupTTL = time.Minute
+		c.Clock = func() time.Time { return dedupEpoch.Add(vnow) }
+	})
+	seq := mustEnqueue(t, h, "d", KindResult, "ag-1", "result:ag-1", "<r/>")
+	if _, err := h.Ack("d", seq); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the TTL a replay is still suppressed.
+	vnow = 30 * time.Second
+	h.SweepExpired()
+	if _, dup, _ := h.Enqueue("d", KindResult, "ag-1", "result:ag-1", []byte("<r/>")); !dup {
+		t.Fatal("replay inside the dedup TTL was not suppressed")
+	}
+
+	// Past the TTL the id has aged out: the same event id is accepted.
+	vnow = 2 * time.Minute
+	h.SweepExpired()
+	if _, dup, err := h.Enqueue("d", KindResult, "ag-1", "result:ag-1", []byte("<r/>")); err != nil || dup {
+		t.Fatalf("enqueue after dedup aging: dup=%v err=%v, want accepted", dup, err)
+	}
+}
+
+// TestDedupUnackedNeverAges: an id whose entry is still pending keeps
+// its dedup protection forever — the retry of an undelivered result
+// must never produce a second copy, no matter how late it arrives.
+func TestDedupUnackedNeverAges(t *testing.T) {
+	var vnow time.Duration
+	h := newTestHub(t, rms.NewMemStore("mb", 0), func(c *Config) {
+		c.DedupTTL = time.Minute
+		c.Clock = func() time.Time { return dedupEpoch.Add(vnow) }
+	})
+	mustEnqueue(t, h, "d", KindResult, "ag-1", "result:ag-1", "<r/>")
+
+	vnow = 365 * 24 * time.Hour
+	h.SweepExpired()
+	if _, dup, _ := h.Enqueue("d", KindResult, "ag-1", "result:ag-1", []byte("<r/>")); !dup {
+		t.Fatal("replay of an unacknowledged entry was not suppressed")
+	}
+}
+
+// TestDedupTTLNegativeKeepsForever: DedupTTL < 0 opts out of aging —
+// ids stay for the full count-bounded window regardless of time.
+func TestDedupTTLNegativeKeepsForever(t *testing.T) {
+	var vnow time.Duration
+	h := newTestHub(t, rms.NewMemStore("mb", 0), func(c *Config) {
+		c.DedupTTL = -1
+		c.Clock = func() time.Time { return dedupEpoch.Add(vnow) }
+	})
+	seq := mustEnqueue(t, h, "d", KindResult, "ag-1", "result:ag-1", "<r/>")
+	if _, err := h.Ack("d", seq); err != nil {
+		t.Fatal(err)
+	}
+	vnow = 365 * 24 * time.Hour
+	h.SweepExpired()
+	if _, dup, _ := h.Enqueue("d", KindResult, "ag-1", "result:ag-1", []byte("<r/>")); !dup {
+		t.Fatal("replay was accepted despite DedupTTL < 0")
+	}
+}
+
+// TestDirtySetShrinksToZero: the sweep working set tracks only devices
+// with pending mail or dedup memory. A fleet that drains and ages out
+// leaves DirtyDevices at zero — with the mailboxes themselves intact —
+// so the periodic sweep over a million-device hub touches nothing.
+func TestDirtySetShrinksToZero(t *testing.T) {
+	var vnow time.Duration
+	h := newTestHub(t, rms.NewMemStore("mb", 0), func(c *Config) {
+		c.DedupTTL = time.Minute
+		c.Clock = func() time.Time { return dedupEpoch.Add(vnow) }
+	})
+
+	// Idle devices that never got mail are never dirty.
+	for d := 0; d < 50; d++ {
+		h.Touch("idle-" + strconv.Itoa(d))
+	}
+	if st := h.Stats(); st.DirtyDevices != 0 || st.Devices != 50 {
+		t.Fatalf("idle fleet: %d dirty of %d devices, want 0", st.DirtyDevices, st.Devices)
+	}
+
+	// Mail makes a device dirty; draining it keeps it dirty (dedup
+	// memory persists past the ack)...
+	const busy = 100
+	for d := 0; d < busy; d++ {
+		dev := "busy-" + strconv.Itoa(d)
+		seq := mustEnqueue(t, h, dev, KindResult, "ag", "e:"+dev, "<r/>")
+		if _, err := h.Ack(dev, seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.Stats(); st.DirtyDevices != busy || st.Pending != 0 {
+		t.Fatalf("drained fleet: %d dirty, %d pending; want %d, 0", st.DirtyDevices, st.Pending, busy)
+	}
+
+	// ...until the dedup TTL passes and the sweep retires the memory.
+	vnow = 2 * time.Minute
+	h.SweepExpired()
+	st := h.Stats()
+	if st.DirtyDevices != 0 {
+		t.Fatalf("after aging sweep: %d dirty devices, want 0", st.DirtyDevices)
+	}
+	if st.Devices != 50+busy {
+		t.Fatalf("sweep destroyed mailboxes: %d devices, want %d", st.Devices, 50+busy)
+	}
+}
+
+// TestReplayPersistsDedupAges: dedup timestamps ride the meta record,
+// so a hub restarted from its store ages ids from their original clock,
+// not from the moment of the crash.
+func TestReplayPersistsDedupAges(t *testing.T) {
+	var vnow time.Duration
+	store := rms.NewMemStore("mb", 0)
+	mkHub := func() *Hub {
+		return newTestHub(t, store, func(c *Config) {
+			c.DedupTTL = time.Minute
+			c.Clock = func() time.Time { return dedupEpoch.Add(vnow) }
+		})
+	}
+	h := mkHub()
+	seq := mustEnqueue(t, h, "d", KindResult, "ag-1", "result:ag-1", "<r/>")
+	if _, err := h.Ack("d", seq); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+
+	// Crash and replay: the persisted window still suppresses replays...
+	h2 := mkHub()
+	defer h2.Close()
+	if _, dup, _ := h2.Enqueue("d", KindResult, "ag-1", "result:ag-1", []byte("<r/>")); !dup {
+		t.Fatal("dedup window did not survive the crash")
+	}
+	// ...and ages from the original enqueue time: the TTL elapses even
+	// though this hub generation never saw the event fresh.
+	vnow = 2 * time.Minute
+	h2.SweepExpired()
+	if _, dup, err := h2.Enqueue("d", KindResult, "ag-1", "result:ag-1", []byte("<r/>")); err != nil || dup {
+		t.Fatalf("enqueue after post-replay aging: dup=%v err=%v, want accepted", dup, err)
+	}
+}

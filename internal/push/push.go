@@ -69,6 +69,16 @@ const DefaultQuota = 256
 // dedup memory and a retried relay would enqueue a second copy.
 const dedupWindow = 512
 
+// DefaultDedupTTL is how long a delivered entry's event id stays in
+// the dedup window when the config does not say otherwise. Retries
+// that need dedup — a crash-replayed journey, a re-sent cluster relay,
+// a re-pulled migration export — arrive within seconds to minutes of
+// the original; ids older than this are dead weight, and a fleet of
+// drained idle devices would otherwise retain its entire dedup
+// high-water mark forever (the churn harness measured ~8.9KB per idle
+// device of exactly this residue).
+const DefaultDedupTTL = 15 * time.Minute
+
 // Config configures a Hub.
 type Config struct {
 	// Store is the backing record store. A persistent store (e.g.
@@ -77,6 +87,12 @@ type Config struct {
 	// TTL expires entries that sat undelivered longer than this
 	// (0 = keep until acked or evicted by quota).
 	TTL time.Duration
+	// DedupTTL ages event ids out of the dedup window once every entry
+	// at or below their seq is acknowledged and no retry can plausibly
+	// still be in flight (0 = DefaultDedupTTL, negative = keep ids for
+	// the full count-bounded window forever). Ids for unacknowledged
+	// entries never age out, whatever the TTL.
+	DedupTTL time.Duration
 	// Quota bounds each device's pending entries (default DefaultQuota).
 	Quota int
 	// Clock overrides the time source (tests).
@@ -122,6 +138,11 @@ type Stats struct {
 	Connected int
 	// Pending is the total undelivered entries across devices.
 	Pending int
+	// DirtyDevices is the sweep working set: mailboxes currently
+	// holding pending entries or dedup memory. Sweeps and stats walk
+	// only these, so a million idle drained devices cost nothing to
+	// scan.
+	DirtyDevices int
 }
 
 // Hub manages every device mailbox over one backing store.
@@ -130,10 +151,17 @@ type Hub struct {
 	// dedupLimit is the effective per-device dedup window:
 	// max(dedupWindow, 2×quota).
 	dedupLimit int
+	// dedupTTL is the resolved Config.DedupTTL (0 = never age).
+	dedupTTL time.Duration
 
 	mu     sync.Mutex
 	boxes  map[string]*mailbox
 	closed bool
+	// dirty holds the mailboxes with pending entries or dedup memory —
+	// the only ones a sweep needs to visit. Guarded by mu; membership
+	// mirrors mailbox.dirty (transitions happen under mb.mu, which may
+	// take mu — never the reverse).
+	dirty map[string]*mailbox
 
 	enqueued  atomic.Uint64
 	delivered atomic.Uint64
@@ -141,6 +169,9 @@ type Hub struct {
 	evQuota   atomic.Uint64
 	evTTL     atomic.Uint64
 	connected atomic.Int64
+	// pending gauges total undelivered entries, so Stats never walks
+	// the fleet.
+	pending atomic.Int64
 }
 
 // mailbox is one device's state. Guarded by its own mutex so traffic
@@ -161,11 +192,22 @@ type mailbox struct {
 	// subscription can read or acknowledge (destroy) its mail.
 	token string
 
-	dedup      map[string]uint64 // event id -> seq
-	dedupOrder []string          // FIFO for the bounded window
+	// dedup maps event id -> seq; allocated on first use, released when
+	// the window fully ages out (a Go map never returns bucket memory,
+	// so an idle device must not keep an emptied one around).
+	dedup      map[string]uint64
+	dedupOrder []dedupRec // FIFO for the bounded, aging window
+	dirty      bool       // tracked in Hub.dirty (entries or dedup live)
 
 	signal chan struct{} // shared waiter channel, lazily created
 	conns  int           // active sessions (presence)
+}
+
+// dedupRec is one remembered event id with its enqueue time, so the
+// window ages by DedupTTL as well as by count.
+type dedupRec struct {
+	id string
+	at time.Time
 }
 
 // NewHub opens a hub over the store, replaying any mailboxes already in
@@ -182,9 +224,15 @@ func NewHub(cfg Config) (*Hub, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	h := &Hub{cfg: cfg, dedupLimit: dedupWindow, boxes: map[string]*mailbox{}}
+	h := &Hub{cfg: cfg, dedupLimit: dedupWindow, boxes: map[string]*mailbox{}, dirty: map[string]*mailbox{}}
 	if min := 2 * cfg.Quota; min > h.dedupLimit {
 		h.dedupLimit = min
+	}
+	switch {
+	case cfg.DedupTTL == 0:
+		h.dedupTTL = DefaultDedupTTL
+	case cfg.DedupTTL > 0:
+		h.dedupTTL = cfg.DedupTTL
 	}
 	if err := h.replay(); err != nil {
 		return nil, err
@@ -233,11 +281,17 @@ func (h *Hub) replay() error {
 			if meta.next > mb.nextSeq {
 				mb.nextSeq = meta.next
 			}
+			now := h.cfg.Clock()
 			for _, ev := range meta.dedup {
-				h.rememberLocked(mb, ev.id, ev.seq)
+				at := now
+				if ev.at != 0 {
+					at = time.Unix(0, ev.at)
+				}
+				h.rememberLocked(mb, ev.id, ev.seq, at)
 			}
 		}
 	}
+	var pending int64
 	for _, mb := range h.boxes {
 		sort.Slice(mb.entries, func(i, j int) bool { return mb.entries[i].Seq < mb.entries[j].Seq })
 		// Drop entries already acknowledged (crash between the meta
@@ -250,16 +304,22 @@ func (h *Hub) replay() error {
 				continue
 			}
 			kept = append(kept, e)
-			h.rememberLocked(mb, e.EventID, e.Seq)
+			h.rememberLocked(mb, e.EventID, e.Seq, e.Enqueued)
 			if e.Seq >= mb.nextSeq {
 				mb.nextSeq = e.Seq + 1
 			}
 		}
 		mb.entries = kept
+		pending += int64(len(kept))
 		if mb.nextSeq == 0 {
 			mb.nextSeq = mb.cursor + 1
 		}
+		if len(mb.entries) > 0 || len(mb.dedupOrder) > 0 {
+			mb.dirty = true
+			h.dirty[mb.device] = mb
+		}
 	}
+	h.pending.Store(pending)
 	return nil
 }
 
@@ -270,7 +330,9 @@ func (h *Hub) box(device string) *mailbox {
 	defer h.mu.Unlock()
 	mb, ok := h.boxes[device]
 	if !ok {
-		mb = &mailbox{device: device, nextSeq: 1, dedup: map[string]uint64{}}
+		// No dedup map yet: an idle device that never receives mail must
+		// cost a bare struct, not map buckets (fleets are mostly idle).
+		mb = &mailbox{device: device, nextSeq: 1}
 		h.boxes[device] = mb
 	}
 	return mb
@@ -286,19 +348,84 @@ func (h *Hub) lookup(device string) (*mailbox, bool) {
 
 // rememberLocked records an event id in the bounded dedup window.
 // Caller holds mb.mu (or has exclusive access during replay).
-func (h *Hub) rememberLocked(mb *mailbox, eventID string, seq uint64) {
+func (h *Hub) rememberLocked(mb *mailbox, eventID string, seq uint64, at time.Time) {
 	if eventID == "" {
 		return
 	}
 	if _, ok := mb.dedup[eventID]; ok {
 		return
 	}
+	if mb.dedup == nil {
+		mb.dedup = map[string]uint64{}
+	}
 	mb.dedup[eventID] = seq
-	mb.dedupOrder = append(mb.dedupOrder, eventID)
+	mb.dedupOrder = append(mb.dedupOrder, dedupRec{id: eventID, at: at})
 	for len(mb.dedupOrder) > h.dedupLimit {
-		delete(mb.dedup, mb.dedupOrder[0])
+		delete(mb.dedup, mb.dedupOrder[0].id)
 		mb.dedupOrder = mb.dedupOrder[1:]
 	}
+}
+
+// pruneDedupLocked ages event ids past DedupTTL out of the window and
+// reports whether anything changed. Ids whose entry is not yet
+// acknowledged never age: a relay retry for them must still hit dedup,
+// however late it arrives. Caller holds mb.mu.
+func (h *Hub) pruneDedupLocked(mb *mailbox, now time.Time) bool {
+	if h.dedupTTL <= 0 || len(mb.dedupOrder) == 0 {
+		return false
+	}
+	i := 0
+	for ; i < len(mb.dedupOrder); i++ {
+		rec := mb.dedupOrder[i]
+		if now.Sub(rec.at) <= h.dedupTTL {
+			break
+		}
+		if mb.dedup[rec.id] > mb.cursor {
+			break
+		}
+	}
+	if i == 0 {
+		return false
+	}
+	for _, rec := range mb.dedupOrder[:i] {
+		delete(mb.dedup, rec.id)
+	}
+	if len(mb.dedup) == 0 {
+		// Fully aged out: drop the map and slice wholesale. delete()
+		// alone keeps a Go map's bucket array at its high-water size, so
+		// an idle drained fleet would retain every byte of its busiest
+		// hour — the single largest per-device cost the churn harness
+		// found.
+		mb.dedup = nil
+		mb.dedupOrder = nil
+		return true
+	}
+	// Copy the survivors to an exact-size slice: re-slicing forward
+	// would keep the pruned ids' strings reachable via the shared
+	// backing array. Prunes fire once per TTL window, so this copy is
+	// not a hot path.
+	rest := make([]dedupRec, len(mb.dedupOrder)-i)
+	copy(rest, mb.dedupOrder[i:])
+	mb.dedupOrder = rest
+	return true
+}
+
+// updateDirtyLocked moves the mailbox in or out of the hub's sweep
+// working set when its state transitions. Caller holds mb.mu; takes
+// h.mu (that order is safe — nothing takes mb.mu under h.mu).
+func (h *Hub) updateDirtyLocked(mb *mailbox) {
+	want := len(mb.entries) > 0 || len(mb.dedupOrder) > 0
+	if want == mb.dirty {
+		return
+	}
+	mb.dirty = want
+	h.mu.Lock()
+	if want {
+		h.dirty[mb.device] = mb
+	} else {
+		delete(h.dirty, mb.device)
+	}
+	h.mu.Unlock()
 }
 
 // Enqueue appends an entry to a device's mailbox and wakes any parked
@@ -327,6 +454,7 @@ func (h *Hub) enqueueAt(device, kind, agentID, eventID string, body []byte, at t
 
 	now := h.cfg.Clock()
 	h.expireLocked(mb, now)
+	h.pruneDedupLocked(mb, now)
 	for len(mb.entries) >= h.cfg.Quota {
 		h.evictOneLocked(mb)
 	}
@@ -346,9 +474,11 @@ func (h *Hub) enqueueAt(device, kind, agentID, eventID string, body []byte, at t
 	e.recID = recID
 	mb.nextSeq++
 	mb.entries = append(mb.entries, e)
-	h.rememberLocked(mb, eventID, e.Seq)
+	h.rememberLocked(mb, eventID, e.Seq, now)
 	h.writeMetaLocked(mb)
 	h.enqueued.Add(1)
+	h.pending.Add(1)
+	h.updateDirtyLocked(mb)
 
 	// Wait-free fan-out: closing the shared signal channel wakes every
 	// parked long-poll for this device at once.
@@ -378,6 +508,7 @@ func (h *Hub) evictOneLocked(mb *mailbox) {
 	mb.entries = append(mb.entries[:victim], mb.entries[victim+1:]...)
 	mb.evicted++
 	h.evQuota.Add(1)
+	h.pending.Add(-1)
 	h.logf("push: mailbox %s over quota, evicted seq %d (%s %s)", mb.device, e.Seq, e.Kind, e.AgentID)
 }
 
@@ -392,6 +523,7 @@ func (h *Hub) expireLocked(mb *mailbox, now time.Time) {
 			_ = h.cfg.Store.Delete(e.recID)
 			mb.evicted++
 			h.evTTL.Add(1)
+			h.pending.Add(-1)
 			continue
 		}
 		kept = append(kept, e)
@@ -399,6 +531,7 @@ func (h *Hub) expireLocked(mb *mailbox, now time.Time) {
 	if len(kept) != len(mb.entries) {
 		mb.entries = kept
 		h.writeMetaLocked(mb)
+		h.updateDirtyLocked(mb)
 	}
 }
 
@@ -463,6 +596,8 @@ func (h *Hub) ackLocked(mb *mailbox, upTo uint64) int {
 	}
 	mb.entries = kept
 	h.delivered.Add(uint64(n))
+	h.pending.Add(int64(-n))
+	h.updateDirtyLocked(mb)
 	return n
 }
 
@@ -644,33 +779,41 @@ func (h *Hub) Pending(device string) int {
 	return pendingLocked(mb)
 }
 
-// SweepExpired drops every entry past the TTL across all devices and
-// returns how many were dropped. A no-op without a TTL.
+// SweepExpired drops every entry past the TTL and every dedup id past
+// DedupTTL, visiting only mailboxes that hold memory (the dirty set —
+// O(active), not O(devices)). Returns how many entries were dropped.
 func (h *Hub) SweepExpired() int {
-	if h.cfg.TTL <= 0 {
+	if h.cfg.TTL <= 0 && h.dedupTTL <= 0 {
 		return 0
 	}
 	before := h.evTTL.Load()
 	now := h.cfg.Clock()
-	for _, mb := range h.boxesSnapshot() {
+	for _, mb := range h.dirtySnapshot() {
 		mb.mu.Lock()
 		h.expireLocked(mb, now)
+		if h.pruneDedupLocked(mb, now) {
+			// Shrink the persisted meta too: the stored record otherwise
+			// keeps the full dedup tail alive in the backing store.
+			h.writeMetaLocked(mb)
+			h.updateDirtyLocked(mb)
+		}
 		mb.mu.Unlock()
 	}
 	return int(h.evTTL.Load() - before)
 }
 
-func (h *Hub) boxesSnapshot() []*mailbox {
+func (h *Hub) dirtySnapshot() []*mailbox {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make([]*mailbox, 0, len(h.boxes))
-	for _, mb := range h.boxes {
+	out := make([]*mailbox, 0, len(h.dirty))
+	for _, mb := range h.dirty {
 		out = append(out, mb)
 	}
 	return out
 }
 
-// Stats returns a counter snapshot.
+// Stats returns a counter snapshot. O(1) — a million-device hub is
+// polled for metrics without walking the fleet.
 func (h *Hub) Stats() Stats {
 	s := Stats{
 		Enqueued:     h.enqueued.Load(),
@@ -679,13 +822,12 @@ func (h *Hub) Stats() Stats {
 		EvictedQuota: h.evQuota.Load(),
 		EvictedTTL:   h.evTTL.Load(),
 		Connected:    int(h.connected.Load()),
+		Pending:      int(h.pending.Load()),
 	}
-	for _, mb := range h.boxesSnapshot() {
-		mb.mu.Lock()
-		s.Devices++
-		s.Pending += pendingLocked(mb)
-		mb.mu.Unlock()
-	}
+	h.mu.Lock()
+	s.Devices = len(h.boxes)
+	s.DirtyDevices = len(h.dirty)
+	h.mu.Unlock()
 	return s
 }
 

@@ -89,6 +89,7 @@ type metaState struct {
 type dedupEvent struct {
 	id  string
 	seq uint64
+	at  int64 // unix nanoseconds; 0 in records from before aging
 }
 
 // metaDedupPersist bounds how many dedup event ids the meta record
@@ -103,7 +104,19 @@ const metaDedupPersist = 64
 // It sits on the enqueue/ack path, so the document is built with
 // direct byte appends instead of a node tree. Caller holds mb.mu.
 func encodeMetaRecord(mb *mailbox) []byte {
-	b := make([]byte, 0, 160+metaDedupPersist*32)
+	order := mb.dedupOrder
+	if len(order) > metaDedupPersist {
+		order = order[len(order)-metaDedupPersist:]
+	}
+	// Size the buffer to this mailbox, not the worst case: the record is
+	// rewritten on every enqueue and ack, and the old fixed 2.2KB
+	// allocation dominated the per-delivery garbage for the common
+	// near-empty window.
+	size := 96 + len(mb.device) + len(mb.token)
+	for _, rec := range order {
+		size += len(rec.id) + 56 // <e seq="..." at="...">id</e>
+	}
+	b := make([]byte, 0, size)
 	b = append(b, `<mb-meta device="`...)
 	b = kxml.AppendEscapedAttr(b, mb.device)
 	b = append(b, `" next="`...)
@@ -115,15 +128,13 @@ func encodeMetaRecord(mb *mailbox) []byte {
 	b = append(b, `" token="`...)
 	b = kxml.AppendEscapedAttr(b, mb.token)
 	b = append(b, `">`...)
-	order := mb.dedupOrder
-	if len(order) > metaDedupPersist {
-		order = order[len(order)-metaDedupPersist:]
-	}
-	for _, id := range order {
+	for _, rec := range order {
 		b = append(b, `<e seq="`...)
-		b = strconv.AppendUint(b, mb.dedup[id], 10)
+		b = strconv.AppendUint(b, mb.dedup[rec.id], 10)
+		b = append(b, `" at="`...)
+		b = strconv.AppendInt(b, rec.at.UnixNano(), 10)
 		b = append(b, `">`...)
-		b = kxml.AppendEscapedText(b, id)
+		b = kxml.AppendEscapedText(b, rec.id)
 		b = append(b, `</e>`...)
 	}
 	b = append(b, `</mb-meta>`...)
@@ -153,7 +164,8 @@ func parseRecord(data []byte) (device string, e *Entry, meta *metaState, err err
 		m.token = root.AttrDefault("token", "")
 		for _, c := range root.FindAll("e") {
 			seq, _ := strconv.ParseUint(c.AttrDefault("seq", "0"), 10, 64)
-			m.dedup = append(m.dedup, dedupEvent{id: c.TextContent(), seq: seq})
+			at, _ := strconv.ParseInt(c.AttrDefault("at", "0"), 10, 64)
+			m.dedup = append(m.dedup, dedupEvent{id: c.TextContent(), seq: seq, at: at})
 		}
 		return device, nil, m, nil
 	default:
