@@ -11,6 +11,7 @@ package pdagent_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"pdagent/internal/compress"
 	"pdagent/internal/experiments"
 	"pdagent/internal/gateway"
+	"pdagent/internal/rms"
 )
 
 // E1 — Figure 12: Internet connection time vs. transactions.
@@ -463,6 +465,49 @@ func BenchmarkMailboxFanout(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		n := n
 		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) { benchkit.MailboxFanout(b, n) })
+	}
+}
+
+// G6 — storage engine (ISSUE 7): the group-commit WAL behind the
+// journaled dispatch path and the mailbox cycle. The wal/group vs
+// wal/always gap is the group-commit payoff (one fsync acks a whole
+// concurrent batch vs one fsync per op); wal/never shows the raw log
+// cost; file is the legacy FileStore (no write-path fsync at all —
+// process-crash durable only, so it races ahead of any honest policy).
+
+func journalStore(b *testing.B, kind string, pol rms.SyncPolicy) rms.Store {
+	b.Helper()
+	store, err := rms.OpenDurable(kind, filepath.Join(b.TempDir(), "journal."+kind), pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	return store
+}
+
+// BenchmarkJournaledDispatchE2E is DispatchE2E with every admission
+// committed to a durable agent journal — the end-to-end ops/s figure
+// the ≥5× group-vs-always acceptance gate reads.
+func BenchmarkJournaledDispatchE2E(b *testing.B) {
+	for _, pol := range []rms.SyncPolicy{rms.SyncGroup, rms.SyncAlways, rms.SyncNever} {
+		pol := pol
+		b.Run("wal/"+pol.String(), func(b *testing.B) {
+			benchkit.JournaledDispatchE2E(b, journalStore(b, "wal", pol))
+		})
+	}
+	b.Run("file", func(b *testing.B) {
+		benchkit.JournaledDispatchE2E(b, journalStore(b, "file", rms.SyncGroup))
+	})
+}
+
+// BenchmarkMailboxEnqueueDrainWAL runs the G4 store-and-forward cycle
+// on the durable engine with concurrent devices.
+func BenchmarkMailboxEnqueueDrainWAL(b *testing.B) {
+	for _, pol := range []rms.SyncPolicy{rms.SyncGroup, rms.SyncAlways, rms.SyncNever} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			benchkit.MailboxEnqueueDrainStore(b, journalStore(b, "wal", pol))
+		})
 	}
 }
 

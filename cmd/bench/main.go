@@ -1,25 +1,29 @@
 // Command bench is the machine-readable performance harness: it runs
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
 // fast path, G3 federation scaling, G4 mailbox delivery, G5 scale and
-// churn) through the exact drivers `go test -bench` uses
-// (internal/benchkit) and writes the results as JSON so the repo's
-// performance trajectory is tracked as data, not prose.
+// churn, G6 durable storage engine) through the exact drivers
+// `go test -bench` uses (internal/benchkit) and writes the results as
+// JSON so the repo's performance trajectory is tracked as data, not
+// prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_6.json
+//	bench                     # full run, writes BENCH_7.json
 //	bench -short              # CI run (shorter benchtime)
 //	bench -o out.json         # choose the output path
-//	bench -check BENCH_6.json # exit non-zero on regression vs the
+//	bench -check BENCH_7.json # exit non-zero on regression vs the
 //	                          # committed file
 //
 // The output carries the pre-PR baselines alongside the current
 // numbers, so each optimisation's before/after stays recorded next to
 // every fresh run. The -check gate compares only machine-portable
-// quantities — dispatch-E2E allocs/op, the 100k-storm virtual-time p99
-// drain latency (deterministic under its pinned seed), and
-// bytes-per-idle-device — never wall-clock, so it is safe on shared CI
-// runners.
+// quantities — dispatch-E2E and journaled-dispatch allocs/op, the
+// 100k-storm virtual-time p99 drain latency (deterministic under its
+// pinned seed), and bytes-per-idle-device — never wall-clock, so it is
+// safe on shared CI runners. The G6 group-commit payoff is recorded as
+// the speedup_vs_always metric on the fsync=group row (both sides
+// measured on the same machine in the same run, so the ratio travels
+// even though the ns/op do not).
 package main
 
 import (
@@ -27,12 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"pdagent/internal/benchkit"
 	"pdagent/internal/compress"
 	"pdagent/internal/gateway"
+	"pdagent/internal/rms"
 )
 
 // prePRBaseline is BenchmarkGatewayDispatchE2E at commit ccdba32 (the
@@ -71,7 +77,7 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_6.json schema.
+// Output is the BENCH_7.json schema.
 type Output struct {
 	Schema         string   `json:"schema"`
 	GoVersion      string   `json:"go_version"`
@@ -86,9 +92,11 @@ type Output struct {
 
 // The rows the -check gate compares (all machine-portable).
 const (
-	dispatchE2EName = "dispatch_e2e/cache=on"
-	churnStormName  = "churn_storm/devices=100000"
-	idleBytesName   = "mailbox_idle_bytes/devices=100000"
+	dispatchE2EName  = "dispatch_e2e/cache=on"
+	churnStormName   = "churn_storm/devices=100000"
+	idleBytesName    = "mailbox_idle_bytes/devices=100000"
+	journaledE2EName = "journaled_dispatch_e2e/store=wal,fsync=group"
+	journaledAlways  = "journaled_dispatch_e2e/store=wal,fsync=always"
 )
 
 func run(name string, fn func(b *testing.B)) Result {
@@ -112,8 +120,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_6.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_6.json to gate against (fail on dispatch-E2E allocs/op, storm p99 drain, or idle-device bytes drifting >20%)")
+	out := flag.String("o", "BENCH_7.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_7.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, or idle-device bytes drifting >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -126,7 +134,7 @@ func main() {
 	}
 
 	o := Output{
-		Schema:         "pdagent-bench/6",
+		Schema:         "pdagent-bench/7",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -180,6 +188,12 @@ func main() {
 		run("mailbox_fanout/devices=1000", func(b *testing.B) { benchkit.MailboxFanout(b, 1000) }),
 	)
 
+	// G6 — the durable storage engine: the dispatch pipeline with every
+	// admission committed to a journal, per fsync policy, plus the
+	// mailbox cycle on the same engine. The wal/group vs wal/always gap
+	// is the group-commit payoff the engine exists for.
+	o.Results = append(o.Results, g6Rows()...)
+
 	// G5 — scale and churn: the 100k-device reconnect storm on virtual
 	// time (drain percentiles are deterministic under the pinned seed,
 	// wall-clock is just the cost of simulating it), a smaller clustered
@@ -232,6 +246,95 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench: regression gate passed against %s\n", *check)
 	}
+}
+
+// g6Rows runs the G6 storage-engine scenarios. Every invocation of a
+// benchmark body opens a fresh store in a throwaway directory — the
+// framework re-runs the body while calibrating b.N, and a mailbox hub
+// rebuilt over a half-full store would trip its own dedup window.
+func g6Rows() []Result {
+	journaled := func(kind string, pol rms.SyncPolicy) func(b *testing.B) {
+		return func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "pdagent-bench-g6-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			store, err := rms.OpenDurable(kind, filepath.Join(dir, "journal."+kind), pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			benchkit.JournaledDispatchE2E(b, store)
+		}
+	}
+	mailbox := func(pol rms.SyncPolicy) func(b *testing.B) {
+		return func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "pdagent-bench-g6-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			store, err := rms.OpenWALStore(filepath.Join(dir, "mailbox.wal"), rms.WALOptions{Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			benchkit.MailboxEnqueueDrainStore(b, store)
+		}
+	}
+	// Min-of-3 per row: these are the only G-series rows bounded by
+	// disk fsync latency, which on virtualised storage has multi-
+	// millisecond jitter episodes lasting longer than one benchmark
+	// run. The minimum is the standard noise-robust estimator for
+	// "what does this code cost"; the gated quantity (allocs/op) is
+	// identical across repeats regardless.
+	best := func(name string, fn func(b *testing.B)) Result {
+		res := run(name, fn)
+		for i := 0; i < 2; i++ {
+			if r := run(name, fn); r.NsPerOp < res.NsPerOp {
+				res = r
+			}
+		}
+		return res
+	}
+	// The headline ratio — group-commit throughput over per-op fsync —
+	// is measured from PAIRED back-to-back runs: the jitter episodes
+	// above outlast a single benchmark run, so an episode covering one
+	// policy but not the other would skew an unpaired ratio either
+	// way. Each pair sees the same disk conditions; the recorded
+	// speedup is the best fair pair, and the rows keep the min ns/op.
+	var groupRes, alwaysRes Result
+	var speedup float64
+	for i := 0; i < 3; i++ {
+		g := run(journaledE2EName, journaled("wal", rms.SyncGroup))
+		a := run(journaledAlways, journaled("wal", rms.SyncAlways))
+		if i == 0 || g.NsPerOp < groupRes.NsPerOp {
+			groupRes = g
+		}
+		if i == 0 || a.NsPerOp < alwaysRes.NsPerOp {
+			alwaysRes = a
+		}
+		if g.NsPerOp > 0 {
+			if r := a.NsPerOp / g.NsPerOp; r > speedup {
+				speedup = r
+			}
+		}
+	}
+	if groupRes.Metrics == nil {
+		groupRes.Metrics = map[string]float64{}
+	}
+	groupRes.Metrics["speedup_vs_always"] = speedup
+	rows := []Result{
+		groupRes,
+		alwaysRes,
+		best("journaled_dispatch_e2e/store=wal,fsync=never", journaled("wal", rms.SyncNever)),
+		best("journaled_dispatch_e2e/store=file", journaled("file", rms.SyncGroup)),
+		best("mailbox_enqueue_drain/store=wal,fsync=group", mailbox(rms.SyncGroup)),
+		best("mailbox_enqueue_drain/store=wal,fsync=always", mailbox(rms.SyncAlways)),
+		best("mailbox_enqueue_drain/store=wal,fsync=never", mailbox(rms.SyncNever)),
+	}
+	return rows
 }
 
 // churnRows runs the G5 scenarios and memory probes. These are
@@ -337,14 +440,20 @@ func gate(path string, o Output) error {
 		return fmt.Errorf("parsing committed baseline: %w", err)
 	}
 
-	cur := find(o.Results, dispatchE2EName)
-	base := find(committed.Results, dispatchE2EName)
-	if cur == nil || base == nil {
-		return fmt.Errorf("missing %s result (current %v, committed %v)", dispatchE2EName, cur != nil, base != nil)
-	}
-	if limit := base.AllocsPerOp * 1.20; cur.AllocsPerOp > limit {
-		return fmt.Errorf("dispatch E2E allocs/op regressed: %.0f > %.0f (committed %.0f +20%%)",
-			cur.AllocsPerOp, limit, base.AllocsPerOp)
+	// Allocation gates (machine-portable): the bare dispatch fast path
+	// and the journaled dispatch path — the latter is how a WAL-side
+	// regression (a commit path that started allocating per op) shows
+	// up on any machine, where the fsync-bound ns/op would not.
+	for _, name := range []string{dispatchE2EName, journaledE2EName} {
+		cur := find(o.Results, name)
+		base := find(committed.Results, name)
+		if cur == nil || base == nil {
+			return fmt.Errorf("missing %s result (current %v, committed %v)", name, cur != nil, base != nil)
+		}
+		if limit := base.AllocsPerOp * 1.20; cur.AllocsPerOp > limit {
+			return fmt.Errorf("%s allocs/op regressed: %.0f > %.0f (committed %.0f +20%%)",
+				name, cur.AllocsPerOp, limit, base.AllocsPerOp)
+		}
 	}
 
 	checks := []struct{ row, metric string }{

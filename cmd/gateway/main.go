@@ -20,7 +20,11 @@
 // /pdagent/mailbox[/poll] when the device reconnects — intermittently
 // connected devices are first-class. -mailbox-ttl, -mailbox-quota and
 // -result-ttl bound retention; a background sweeper (-sweep-every)
-// enforces them.
+// enforces them. With -journal PATH the embedded MAS keeps a durable
+// agent journal (resident agents survive a crash). -store picks the
+// backend for both — wal (default: group-commit segmented log,
+// power-loss durable, DESIGN.md §9) or file (legacy single-file log)
+// — and -fsync the WAL's sync policy (group|always|never).
 //
 // On SIGTERM the gateway drains: it stops accepting dispatches,
 // deregisters from the cluster, waits (bounded by -drain-timeout) for
@@ -63,6 +67,9 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "cluster heartbeat interval")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for resident agents to drain")
 	mailboxDir := flag.String("mailbox-dir", "", "directory for the durable per-device mailbox store; empty disables the device-session mailbox subsystem")
+	journalPath := flag.String("journal", "", "agent journal path for the embedded MAS (agents resume on restart); a directory with -store=wal, a file with -store=file")
+	storeKind := flag.String("store", "wal", "durable store backend for the mailbox and journal: wal (group-commit segmented log) or file (legacy single-file log)")
+	fsyncPolicy := flag.String("fsync", "group", "wal fsync policy: group (one fsync acks a batch), always (per-op), never (no write-path fsync)")
 	mailboxTTL := flag.Duration("mailbox-ttl", 72*time.Hour, "expire undelivered mailbox entries after this long (0 keeps them until quota eviction)")
 	mailboxQuota := flag.Int("mailbox-quota", push.DefaultQuota, "max pending mailbox entries per device (oldest expendable evicted first)")
 	resultTTL := flag.Duration("result-ttl", 0, "expire stored result documents this long after completion (0 keeps them forever; requires -mailbox-dir)")
@@ -132,12 +139,20 @@ func main() {
 		})
 	}
 
+	fsync, err := rms.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	mailboxFile := "mailbox.wal"
+	if *storeKind == "file" {
+		mailboxFile = "mailbox.rms"
+	}
 	var mailbox *gateway.MailboxConfig
 	if *mailboxDir != "" {
 		if err := os.MkdirAll(*mailboxDir, 0o755); err != nil {
 			log.Fatalf("gateway: creating mailbox dir: %v", err)
 		}
-		store, err := rms.OpenFileStore(filepath.Join(*mailboxDir, "mailbox.rms"))
+		store, err := rms.OpenDurable(*storeKind, filepath.Join(*mailboxDir, mailboxFile), fsync)
 		if err != nil {
 			log.Fatalf("gateway: opening mailbox store: %v", err)
 		}
@@ -154,6 +169,14 @@ func main() {
 		log.Fatalf("gateway: -result-ttl requires -mailbox-dir")
 	}
 
+	var journal rms.Store
+	if *journalPath != "" {
+		journal, err = rms.OpenDurable(*storeKind, *journalPath, fsync)
+		if err != nil {
+			log.Fatalf("gateway: opening journal: %v", err)
+		}
+	}
+
 	kp, err := pisec.GenerateKeyPair(*keyBits)
 	if err != nil {
 		log.Fatalf("gateway: generating key pair: %v", err)
@@ -166,6 +189,7 @@ func main() {
 		Peers:           peerList,
 		Shards:          *shards,
 		Cluster:         node,
+		Journal:         journal,
 		Mailbox:         mailbox,
 		OutboundWorkers: *workers,
 		Logf:            log.Printf,
@@ -175,6 +199,13 @@ func main() {
 	}
 	if err := core.RegisterStandardApps(gw); err != nil {
 		log.Fatalf("gateway: %v", err)
+	}
+	if journal != nil {
+		n, err := gw.MAS().Resume(context.Background())
+		if err != nil {
+			log.Fatalf("gateway: resuming journaled agents: %v", err)
+		}
+		log.Printf("gateway %s: journal %s (%s), resumed %d agent(s)", public, *journalPath, *storeKind, n)
 	}
 	if node != nil {
 		node.Start(*heartbeat)
@@ -238,6 +269,18 @@ func main() {
 		shutCancel()
 		close(sweepDone)
 		gw.Close()
+		// Closing the stores ends with an fsync: everything enqueued or
+		// journaled is on disk before the process exits.
+		if mailbox != nil {
+			if err := mailbox.Store.Close(); err != nil {
+				log.Printf("gateway %s: closing mailbox store: %v", public, err)
+			}
+		}
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				log.Printf("gateway %s: closing journal: %v", public, err)
+			}
+		}
 	}
 }
 

@@ -5,10 +5,13 @@
 //
 //	masd -listen :9001 -addr localhost:9001 -flavour voyager -services bank,food,docs
 //
-// With -journal PATH the host keeps a write-ahead agent journal in an
-// rms.FileStore: resident agents survive a daemon crash (they are
-// resumed on the next start), and failed transfers park for periodic
-// retry instead of failing the journey.
+// With -journal PATH the host keeps a write-ahead agent journal:
+// resident agents survive a daemon crash (they are resumed on the
+// next start), and failed transfers park for periodic retry instead
+// of failing the journey. -store selects the journal backend — wal
+// (default: a group-commit segmented log directory, power-loss
+// durable) or file (the legacy single-file log) — and -fsync the
+// WAL's sync policy (group|always|never).
 package main
 
 import (
@@ -36,7 +39,9 @@ func main() {
 	addr := flag.String("addr", "", "public address agents use to reach this host (default: listen address)")
 	flavour := flag.String("flavour", "aglets", "MAS codec flavour (aglets|voyager)")
 	svcList := flag.String("services", "bank", "comma-separated services to host: bank,food,docs")
-	journalPath := flag.String("journal", "", "agent journal file (enables crash recovery; agents resume on restart)")
+	journalPath := flag.String("journal", "", "agent journal path (enables crash recovery; agents resume on restart); a directory with -store=wal, a file with -store=file")
+	storeKind := flag.String("store", "wal", "journal backend: wal (group-commit segmented log) or file (legacy single-file log)")
+	fsyncPolicy := flag.String("fsync", "group", "wal fsync policy: group (one fsync acks a batch), always (per-op), never (no write-path fsync)")
 	announceLocs := flag.Bool("announce-locations", true, "relay agent arrival/departure events to each agent's home gateway (/cluster/loc) for the federation's location directory")
 	clusterSecret := flag.String("cluster-secret", "", "shared cluster secret stamped on location relays (clustered home gateways refuse unauthenticated ones)")
 	retryEvery := flag.Duration("retry-interval", 30*time.Second, "how often parked transfers are retried (with -journal)")
@@ -94,11 +99,14 @@ func main() {
 			// and would silently never retry parked transfers.
 			log.Fatalf("masd: -retry-interval must be positive, got %v", *retryEvery)
 		}
-		fs, err := rms.OpenFileStore(*journalPath)
+		pol, err := rms.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("masd: %v", err)
+		}
+		journal, err = rms.OpenDurable(*storeKind, *journalPath, pol)
 		if err != nil {
 			log.Fatalf("masd: opening journal: %v", err)
 		}
-		journal = fs
 	}
 
 	rt := transport.NewPooledHTTPClient(0)
@@ -132,11 +140,13 @@ func main() {
 		}
 		log.Printf("masd %s: journal %s, resumed %d agent(s)", public, *journalPath, n)
 		go func() {
-			// The journal file is append-only; reclaim superseded bytes
-			// once they pass a threshold so long-running daemons stay
-			// bounded on disk, not just in live records.
+			// Journals are append-only; reclaim superseded bytes once they
+			// pass a threshold so long-running daemons stay bounded on
+			// disk, not just in live records. (The WAL also compacts
+			// itself at segment rotation; this ticker is the backstop for
+			// idle hosts and the only path for the legacy FileStore.)
 			const compactThreshold = 1 << 20
-			fs := journal.(*rms.FileStore)
+			m := journal.(rms.Maintainer)
 			t := time.NewTicker(*retryEvery)
 			defer t.Stop()
 			for {
@@ -148,8 +158,8 @@ func main() {
 				if n := srv.RetryParked(ctx); n > 0 {
 					log.Printf("masd %s: retrying %d parked transfer(s)", public, n)
 				}
-				if fs.Garbage() > compactThreshold {
-					if err := fs.Compact(); err != nil {
+				if m.Garbage() > compactThreshold {
+					if err := m.Compact(); err != nil {
 						log.Printf("masd %s: compacting journal: %v", public, err)
 					}
 				}
@@ -178,5 +188,12 @@ func main() {
 			log.Printf("masd %s: http shutdown: %v", public, err)
 		}
 		shutCancel()
+		if journal != nil {
+			// A clean close ends with an fsync: everything journaled is on
+			// disk before the process exits.
+			if err := journal.Close(); err != nil {
+				log.Printf("masd %s: closing journal: %v", public, err)
+			}
+		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"pdagent/internal/netsim"
 	"pdagent/internal/pisec"
 	"pdagent/internal/progcache"
+	"pdagent/internal/rms"
 	"pdagent/internal/transport"
 	"pdagent/internal/wire"
 )
@@ -66,6 +67,28 @@ func benchPI(key string) *wire.PackedInformation {
 // gateway side. Spawn is a no-op so agent execution stays out of the
 // measurement.
 func DispatchE2E(b *testing.B, useCache bool) {
+	dispatchE2E(b, useCache, nil)
+}
+
+// JournaledDispatchE2E is DispatchE2E with a durable agent journal
+// attached (G6): every admission writes and commits a journal entry,
+// so the measurement is dominated by the store's commit path — the
+// fsync policy comparison the group-commit WAL exists for. The caller
+// owns store and closes it after the run.
+//
+// Parallelism is forced well past GOMAXPROCS: group commit batches
+// concurrent committers, and a gateway under load has hundreds of
+// in-flight dispatches regardless of core count — a leader's fsync is
+// a blocking syscall, so waiting committers pile up even on one core.
+func JournaledDispatchE2E(b *testing.B, store rms.Store) {
+	b.SetParallelism(32)
+	dispatchE2E(b, true, store)
+	if c, ok := store.(interface{ Fsyncs() uint64 }); ok && b.N > 0 {
+		b.ReportMetric(float64(c.Fsyncs())/float64(b.N), "fsyncs/op")
+	}
+}
+
+func dispatchE2E(b *testing.B, useCache bool, journal rms.Store) {
 	kp, err := keyPair()
 	if err != nil {
 		b.Fatal(err)
@@ -76,6 +99,7 @@ func DispatchE2E(b *testing.B, useCache bool) {
 		Transport:      netsim.New(1).Transport(netsim.ZoneWired),
 		Spawn:          func(func()) {},
 		NoProgramCache: !useCache,
+		Journal:        journal,
 	})
 	if err != nil {
 		b.Fatal(err)

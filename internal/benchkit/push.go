@@ -3,6 +3,7 @@ package benchkit
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"pdagent/internal/push"
@@ -46,6 +47,49 @@ func MailboxEnqueueDrain(b *testing.B) {
 		}
 		cursors[d] = watermark
 	}
+	b.StopTimer()
+	st := hub.Stats()
+	if st.Enqueued != uint64(b.N) {
+		b.Fatalf("enqueued %d, want %d", st.Enqueued, b.N)
+	}
+}
+
+// MailboxEnqueueDrainStore is the G6 variant of MailboxEnqueueDrain:
+// the same store-and-forward cycle over a caller-supplied durable
+// store, with concurrent devices (RunParallel) so a group-commit
+// backend gets to batch commits the way a loaded gateway would. The
+// caller owns store and closes it after the run.
+func MailboxEnqueueDrainStore(b *testing.B, store rms.Store) {
+	hub, err := push.NewHub(push.Config{Store: store, Quota: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nextDev, nextEvent atomic.Uint64
+	// Well past GOMAXPROCS: a loaded gateway has many devices in flight
+	// per core, and group commit needs concurrent committers to batch.
+	b.SetParallelism(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// One device per worker goroutine: cursor state is private, all
+		// contention happens in the hub and the store's commit path.
+		dev := fmt.Sprintf("dev-%d", nextDev.Add(1))
+		var cursor uint64
+		for pb.Next() {
+			event := fmt.Sprintf("result:ag-%d", nextEvent.Add(1))
+			if _, dup, err := hub.Enqueue(dev, push.KindResult, "ag-bench", event, benchResultDoc); err != nil || dup {
+				b.Fatalf("enqueue: dup=%v err=%v", dup, err)
+			}
+			entries, watermark, _, err := hub.Poll(dev, cursor, 8)
+			if err != nil || len(entries) == 0 {
+				b.Fatalf("poll: %d entries, %v", len(entries), err)
+			}
+			cursor = watermark
+			if _, err := hub.Ack(dev, watermark); err != nil {
+				b.Fatalf("ack: %v", err)
+			}
+		}
+	})
 	b.StopTimer()
 	st := hub.Stats()
 	if st.Enqueued != uint64(b.N) {

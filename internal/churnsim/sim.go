@@ -402,6 +402,11 @@ type StormConfig struct {
 	PerByte    time.Duration
 	// Quota bounds each mailbox (default push.DefaultQuota).
 	Quota int
+	// NewStore, when set, supplies each member's mailbox store (e.g. a
+	// WALStore, to run the storm against the durable engine). Default:
+	// a fresh MemStore per member. The caller owns the stores and
+	// closes them after the storm returns.
+	NewStore func(member int) rms.Store
 	// Seed drives reconnect times and link jitter.
 	Seed int64
 	// Logf, when set, receives progress (the 100k run takes seconds).
@@ -506,12 +511,16 @@ func ReconnectStorm(cfg StormConfig) (*StormResult, error) {
 	}
 	gws := make([]*gateway.Gateway, cfg.Members)
 	for i, addr := range addrs {
+		store := rms.Store(rms.NewMemStore("mb-"+addr, 0))
+		if cfg.NewStore != nil {
+			store = cfg.NewStore(i)
+		}
 		gcfg := gateway.Config{
 			Addr:      addr,
 			KeyPair:   kp,
 			Transport: net.Transport(netsim.ZoneWired),
 			Spawn:     func(func()) {},
-			Mailbox:   &gateway.MailboxConfig{Store: rms.NewMemStore("mb-"+addr, 0), Quota: cfg.Quota},
+			Mailbox:   &gateway.MailboxConfig{Store: store, Quota: cfg.Quota},
 		}
 		if cfg.Members > 1 {
 			gcfg.Cluster = cluster.NewNode(cluster.Config{

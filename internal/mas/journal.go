@@ -145,14 +145,36 @@ func readU32(data []byte) (uint32, []byte, error) {
 // so a long-running daemon's journal does not grow without bound.
 const maxJournalTombstones = 4096
 
+// journalStripes is the per-agent lock-stripe count (power of two).
+const journalStripes = 64
+
 // journal maps agent ids to rms records over any rms.Store backend
-// (MemStore in simulated worlds, FileStore under cmd/masd -journal).
+// (MemStore in simulated worlds, a WALStore or FileStore under the
+// daemons' -journal flag).
+//
+// Locking: mu guards only the index maps and is never held across a
+// store call — on a group-commit WAL a write blocks until fsync, and
+// holding mu there would serialize every commit and reduce group
+// commit to per-op fsync. Per-agent stripes order operations on the
+// same agent id; operations on different agents run concurrently and
+// batch into shared fsyncs.
 type journal struct {
 	store rms.Store
 
 	mu    sync.Mutex
 	index map[string]int // agent id -> rms record id
 	tombs map[string]int // subset of index holding tombstones
+
+	stripes [journalStripes]sync.Mutex
+}
+
+// stripe returns the lock ordering operations on one agent id.
+func (j *journal) stripe(id string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &j.stripes[h&(journalStripes-1)]
 }
 
 // openJournal builds the id index over an existing store. Records that
@@ -201,9 +223,18 @@ func openJournal(store rms.Store) (*journal, error) {
 // tombstone that was just written.
 func (j *journal) put(e *journalEntry) (evicted string, err error) {
 	data := e.encode()
+	st := j.stripe(e.ID)
+	st.Lock()
+	defer st.Unlock()
+
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	recID, existed := j.index[e.ID]
+	j.mu.Unlock()
+
+	// Store writes happen here, outside j.mu: on a group-commit WAL
+	// each one parks until a shared fsync, and concurrent puts for
+	// other agents must be free to join the same batch. The stripe
+	// held above is what keeps two puts for *this* agent ordered.
 	switch {
 	case e.tombstone():
 		// Crash-safe replace, WAL-ordered: persist the tombstone FIRST,
@@ -218,7 +249,6 @@ func (j *journal) put(e *journalEntry) (evicted string, err error) {
 			_ = j.store.Delete(recID)
 		}
 		recID = newID
-		j.index[e.ID] = recID
 	case existed:
 		if err := j.store.Set(recID, data); err != nil {
 			return "", err
@@ -228,8 +258,11 @@ func (j *journal) put(e *journalEntry) (evicted string, err error) {
 		if err != nil {
 			return "", err
 		}
-		j.index[e.ID] = recID
 	}
+
+	evictRec := -1
+	j.mu.Lock()
+	j.index[e.ID] = recID
 	if e.tombstone() {
 		j.tombs[e.ID] = recID
 		if len(j.tombs) > maxJournalTombstones {
@@ -239,27 +272,49 @@ func (j *journal) put(e *journalEntry) (evicted string, err error) {
 					oldID, oldRec = id, rid
 				}
 			}
-			delete(j.tombs, oldID)
-			delete(j.index, oldID)
-			_ = j.store.Delete(oldRec)
-			evicted = oldID
+			// The victim's stripe must be held while its record dies,
+			// or a concurrent re-arrival's Set on that record would
+			// race the Delete. TryLock, because a blocking Lock here
+			// could deadlock against another evicting put; on failure
+			// skip this round — the cap is soft and the next tombstone
+			// retries.
+			vst := j.stripe(oldID)
+			held := vst == st // victim shares our stripe: already held
+			if !held && vst.TryLock() {
+				held = true
+				defer vst.Unlock()
+			}
+			if held {
+				delete(j.tombs, oldID)
+				delete(j.index, oldID)
+				evicted, evictRec = oldID, oldRec
+			}
 		}
 	} else {
 		delete(j.tombs, e.ID)
+	}
+	j.mu.Unlock()
+	if evictRec >= 0 {
+		_ = j.store.Delete(evictRec)
 	}
 	return evicted, nil
 }
 
 // drop removes the entry for an agent id (no-op if absent).
 func (j *journal) drop(id string) error {
+	st := j.stripe(id)
+	st.Lock()
+	defer st.Unlock()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	recID, ok := j.index[id]
+	if ok {
+		delete(j.index, id)
+		delete(j.tombs, id)
+	}
+	j.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	delete(j.index, id)
-	delete(j.tombs, id)
 	return j.store.Delete(recID)
 }
 

@@ -2,10 +2,8 @@ package rms
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -25,7 +23,13 @@ import (
 //
 // Replay stops cleanly at the first truncated or corrupt entry, which
 // gives crash tolerance: a torn final write loses only that write.
-// Compact rewrites the log with only live records.
+// Opening truncates any torn tail away so later appends land on a
+// replayable prefix. Compact rewrites the log with only live records.
+//
+// Appends are flushed to the OS on every call but not fsynced — a
+// FileStore survives process crashes, not machine crashes. For
+// fsync-durable storage use WALStore, which shares the entry format
+// and adds group-commit fsync batching.
 type FileStore struct {
 	mu      sync.Mutex
 	name    string
@@ -34,6 +38,17 @@ type FileStore struct {
 	w       *bufio.Writer
 	records map[int][]byte
 	nextID  int
+	// size is the length of the flushed, well-formed log prefix. After
+	// a failed append it is the offset the file must be truncated back
+	// to before the next entry may be written.
+	size int64
+	// tornTail records that an append failed part-way: bytes past
+	// size may be garbage on disk and must be truncated before the
+	// next append, or replay would stop at the tear forever.
+	tornTail bool
+	// scratch stages one encoded entry so the log never sees a
+	// partially encoded record from this process.
+	scratch []byte
 	// garbage counts superseded log bytes; Compact resets it.
 	garbage int
 	closed  bool
@@ -84,6 +99,7 @@ func OpenFileStore(path string) (*FileStore, error) {
 			f.Close()
 			return nil, err
 		}
+		s.size = int64(len(fileMagic))
 	}
 	return s, nil
 }
@@ -96,77 +112,94 @@ func (s *FileStore) load() error {
 	if err != nil {
 		return fmt.Errorf("rms: opening %s: %w", s.path, err)
 	}
-	defer f.Close()
 	r := bufio.NewReader(f)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		// Empty or truncated header: treat as a fresh store.
-		return nil
+		// Empty or truncated header: treat as a fresh store, dropping
+		// the torn header bytes so the next append starts clean.
+		f.Close()
+		return s.truncateTail(0)
 	}
 	if string(magic) != string(fileMagic) {
+		f.Close()
 		return fmt.Errorf("rms: %s is not a record store (bad magic)", s.path)
 	}
+	valid := int64(len(fileMagic))
 	for {
-		hdr := make([]byte, entryHeaderSize)
-		if _, err := io.ReadFull(r, hdr); err != nil {
-			return nil // clean EOF or torn header: stop replay
+		op, id, payload, n, ok := readLogEntry(r)
+		if !ok {
+			break // clean EOF, torn tail or corrupt entry: stop replay
 		}
-		op := hdr[0]
-		id := int(binary.BigEndian.Uint32(hdr[1:5]))
-		size := binary.BigEndian.Uint32(hdr[5:9])
-		sum := binary.BigEndian.Uint32(hdr[9:13])
-		if size > MaxRecordSize {
-			return nil // corrupt length: stop replay
+		s.applyEntry(op, id, payload)
+		valid += int64(n)
+	}
+	st, err := f.Stat()
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("rms: stat %s: %w", s.path, err)
+	}
+	if st.Size() > valid {
+		// A torn or corrupt tail survives on disk. Truncate it away:
+		// otherwise every later append lands *after* the tear and is
+		// silently unreachable on the next replay.
+		return s.truncateTail(valid)
+	}
+	s.size = st.Size()
+	return nil
+}
+
+// applyEntry folds one replayed log entry into the in-memory state.
+func (s *FileStore) applyEntry(op byte, id int, payload []byte) {
+	switch op {
+	case opAdd, opSet:
+		if old, ok := s.records[id]; ok {
+			s.garbage += entryHeaderSize + len(old)
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn payload: stop replay
+		s.records[id] = payload
+	case opDelete:
+		if old, ok := s.records[id]; ok {
+			s.garbage += 2*entryHeaderSize + len(old)
+			delete(s.records, id)
 		}
-		crc := crc32.NewIEEE()
-		crc.Write(hdr[:9])
-		crc.Write(payload)
-		if crc.Sum32() != sum {
-			return nil // corrupt entry: stop replay
-		}
-		switch op {
-		case opAdd, opSet:
-			if old, ok := s.records[id]; ok {
-				s.garbage += entryHeaderSize + len(old)
-			}
-			s.records[id] = payload
-			if id >= s.nextID {
-				s.nextID = id + 1
-			}
-		case opDelete:
-			if old, ok := s.records[id]; ok {
-				s.garbage += 2*entryHeaderSize + len(old)
-				delete(s.records, id)
-			}
-			if id >= s.nextID {
-				s.nextID = id + 1
-			}
-		default:
-			return nil // unknown op: stop replay
-		}
+	}
+	if id >= s.nextID {
+		s.nextID = id + 1
 	}
 }
 
+// truncateTail cuts the log back to its valid prefix during load.
+func (s *FileStore) truncateTail(valid int64) error {
+	if err := os.Truncate(s.path, valid); err != nil {
+		return fmt.Errorf("rms: truncating torn tail of %s: %w", s.path, err)
+	}
+	s.size = valid
+	return nil
+}
+
+// appendEntry stages the encoded entry in a scratch buffer and writes
+// it through as one unit. On failure the buffered writer is reset (so a
+// later successful append can never flush a torn prefix) and the file
+// is truncated back to the last good offset before the next write.
 func (s *FileStore) appendEntry(op byte, id int, payload []byte) error {
-	hdr := make([]byte, entryHeaderSize)
-	hdr[0] = op
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(id))
-	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
-	crc := crc32.NewIEEE()
-	crc.Write(hdr[:9])
-	crc.Write(payload)
-	binary.BigEndian.PutUint32(hdr[9:13], crc.Sum32())
-	if _, err := s.w.Write(hdr); err != nil {
+	if s.tornTail {
+		if err := s.f.Truncate(s.size); err != nil {
+			return fmt.Errorf("rms: truncating torn tail of %s: %w", s.path, err)
+		}
+		s.tornTail = false
+	}
+	s.scratch = appendLogEntry(s.scratch[:0], op, id, payload)
+	if _, err := s.w.Write(s.scratch); err != nil {
+		s.w.Reset(s.f)
+		s.tornTail = true
 		return fmt.Errorf("rms: appending to %s: %w", s.path, err)
 	}
-	if _, err := s.w.Write(payload); err != nil {
+	if err := s.w.Flush(); err != nil {
+		s.w.Reset(s.f)
+		s.tornTail = true
 		return fmt.Errorf("rms: appending to %s: %w", s.path, err)
 	}
-	return s.flushLocked()
+	s.size += int64(len(s.scratch))
+	return nil
 }
 
 func (s *FileStore) flushLocked() error {
@@ -311,26 +344,34 @@ func (s *FileStore) Garbage() int {
 }
 
 // Compact rewrites the log with only live records, preserving ids and
-// the next-id watermark. The rewrite goes to a temp file renamed over
-// the original, so a crash mid-compact leaves the old log intact.
+// the next-id watermark. The rewrite goes to a temp file that is
+// fsynced, renamed over the original, and sealed with a directory
+// fsync — so a crash at any point leaves either the old log or the
+// complete new one, never neither. The live handle is only swapped
+// after the rename succeeds: a failed compaction cleans up its temp
+// file and leaves the store fully operational on the old log.
 func (s *FileStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.flushLocked(); err != nil {
-		return err
-	}
 	tmpPath := s.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("rms: creating compact file: %w", err)
 	}
+	// Until the rename lands, every failure path must drop both the
+	// temp handle and the temp file.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	newSize := int64(len(fileMagic))
 	bw := bufio.NewWriter(tmp)
 	if _, err := bw.Write(fileMagic); err != nil {
-		tmp.Close()
-		return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+		return fail(fmt.Errorf("rms: compacting %s: %w", s.path, err))
 	}
 	ids := make([]int, 0, len(s.records))
 	for id := range s.records {
@@ -338,24 +379,14 @@ func (s *FileStore) Compact() error {
 	}
 	sort.Ints(ids)
 	writeEntry := func(op byte, id int, payload []byte) error {
-		hdr := make([]byte, entryHeaderSize)
-		hdr[0] = op
-		binary.BigEndian.PutUint32(hdr[1:5], uint32(id))
-		binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
-		crc := crc32.NewIEEE()
-		crc.Write(hdr[:9])
-		crc.Write(payload)
-		binary.BigEndian.PutUint32(hdr[9:13], crc.Sum32())
-		if _, err := bw.Write(hdr); err != nil {
-			return err
-		}
-		_, err := bw.Write(payload)
+		s.scratch = appendLogEntry(s.scratch[:0], op, id, payload)
+		_, err := bw.Write(s.scratch)
+		newSize += int64(len(s.scratch))
 		return err
 	}
 	for _, id := range ids {
 		if err := writeEntry(opAdd, id, s.records[id]); err != nil {
-			tmp.Close()
-			return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+			return fail(fmt.Errorf("rms: compacting %s: %w", s.path, err))
 		}
 	}
 	// Preserve the id watermark across reopen even if the top record was
@@ -363,39 +394,48 @@ func (s *FileStore) Compact() error {
 	if top := s.nextID - 1; top >= 1 {
 		if _, live := s.records[top]; !live {
 			if err := writeEntry(opDelete, top, nil); err != nil {
-				tmp.Close()
-				return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+				return fail(fmt.Errorf("rms: compacting %s: %w", s.path, err))
 			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("rms: compacting %s: %w", s.path, err)
+		return fail(fmt.Errorf("rms: compacting %s: %w", s.path, err))
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("rms: syncing compact file: %w", err)
+		return fail(fmt.Errorf("rms: syncing compact file: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
 		return fmt.Errorf("rms: closing compact file: %w", err)
 	}
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("rms: closing old log: %w", err)
-	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
 		return fmt.Errorf("rms: swapping compact file: %w", err)
+	}
+	// Make the swap itself durable: without the directory fsync a crash
+	// here can resurrect the old log — or lose the new one — on
+	// journalled filesystems that haven't persisted the dirent yet.
+	if err := syncDir(filepath.Dir(s.path)); err != nil {
+		return fmt.Errorf("rms: syncing directory after compact: %w", err)
 	}
 	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		// The rename landed but we cannot append any more. Keep the old
+		// handle (it points at the now-orphaned inode) so the store
+		// fails loudly on the next write instead of panicking on nil.
 		return fmt.Errorf("rms: reopening %s: %w", s.path, err)
 	}
+	s.f.Close()
 	s.f = f
 	s.w = bufio.NewWriter(f)
 	s.garbage = 0
+	s.size = newSize
+	s.tornTail = false
 	return nil
 }
 
-// Close implements Store.
+// Close implements Store. A clean shutdown fsyncs the log, so records
+// written before Close survive machine crashes, not just process exits.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -406,6 +446,10 @@ func (s *FileStore) Close() error {
 	if err := s.w.Flush(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("rms: flushing %s: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("rms: syncing %s: %w", s.path, err)
 	}
 	return s.f.Close()
 }

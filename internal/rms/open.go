@@ -1,0 +1,18 @@
+package rms
+
+import "fmt"
+
+// OpenDurable opens the persistent store selected by a daemon's
+// -store flag: "wal" (the default) is the group-commit WALStore and
+// treats path as a directory; "file" is the legacy single-file
+// FileStore, process-crash durable only. pol is the WAL's fsync
+// policy and is ignored for "file".
+func OpenDurable(kind, path string, pol SyncPolicy) (Store, error) {
+	switch kind {
+	case "wal", "":
+		return OpenWALStore(path, WALOptions{Sync: pol})
+	case "file":
+		return OpenFileStore(path)
+	}
+	return nil, fmt.Errorf("rms: unknown store backend %q (want wal or file)", kind)
+}

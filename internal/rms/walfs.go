@@ -1,0 +1,103 @@
+package rms
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// walFile is the writable-file surface the WAL uses. Every mutation of
+// durable state goes through this interface (and walFS below), so the
+// crash-recovery property suite can substitute a simulated filesystem
+// and take a crash image at every syscall boundary.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// walFS abstracts the directory operations the WAL performs. The
+// production implementation is osFS; crashsim_test.go provides a
+// simulated one with a durable/volatile split per file and dirent.
+type walFS interface {
+	// MkdirAll ensures dir exists.
+	MkdirAll(dir string) error
+	// Create opens path truncated for writing.
+	Create(path string) (walFile, error)
+	// OpenAppend opens path for appending, creating it if needed, and
+	// returns its current size.
+	OpenAppend(path string) (walFile, int64, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the sorted base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making renames, creates and
+	// removes inside it durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(path string) (walFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (walFile, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+func (osFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error               { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error { return syncDir(dir) }
+
+// syncDir fsyncs a directory so renames/creates/removes inside it are
+// durable (the fsync working-group discipline: file data first, then
+// the dirent).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("opening %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsync %s: %w", filepath.Base(dir), err)
+	}
+	return nil
+}
