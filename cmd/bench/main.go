@@ -1,17 +1,17 @@
 // Command bench is the machine-readable performance harness: it runs
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
 // fast path, G3 federation scaling, G4 mailbox delivery, G5 scale and
-// churn, G6 durable storage engine) through the exact drivers
-// `go test -bench` uses (internal/benchkit) and writes the results as
-// JSON so the repo's performance trajectory is tracked as data, not
-// prose.
+// churn, G6 durable storage engine, G7 recovery and failover) through
+// the exact drivers `go test -bench` uses (internal/benchkit) and
+// writes the results as JSON so the repo's performance trajectory is
+// tracked as data, not prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_7.json
+//	bench                     # full run, writes BENCH_8.json
 //	bench -short              # CI run (shorter benchtime)
 //	bench -o out.json         # choose the output path
-//	bench -check BENCH_7.json # exit non-zero on regression vs the
+//	bench -check BENCH_8.json # exit non-zero on regression vs the
 //	                          # committed file
 //
 // The output carries the pre-PR baselines alongside the current
@@ -19,11 +19,15 @@
 // every fresh run. The -check gate compares only machine-portable
 // quantities — dispatch-E2E and journaled-dispatch allocs/op, the
 // 100k-storm virtual-time p99 drain latency (deterministic under its
-// pinned seed), and bytes-per-idle-device — never wall-clock, so it is
+// pinned seed), bytes-per-idle-device, and the records/bytes a WAL
+// reopen replays at fixed journal sizes — never wall-clock, so it is
 // safe on shared CI runners. The G6 group-commit payoff is recorded as
 // the speedup_vs_always metric on the fsync=group row (both sides
 // measured on the same machine in the same run, so the ratio travels
-// even though the ns/op do not).
+// even though the ns/op do not); the G7 replay rows likewise keep the
+// reopen wall-clock as an informational metric next to the gated
+// deterministic quantities, and the failover drill rows carry the
+// ledger counts the chaos stage asserts.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"pdagent/internal/benchkit"
 	"pdagent/internal/compress"
 	"pdagent/internal/gateway"
+	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 )
 
@@ -77,7 +82,7 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_7.json schema.
+// Output is the BENCH_8.json schema.
 type Output struct {
 	Schema         string   `json:"schema"`
 	GoVersion      string   `json:"go_version"`
@@ -97,6 +102,8 @@ const (
 	idleBytesName    = "mailbox_idle_bytes/devices=100000"
 	journaledE2EName = "journaled_dispatch_e2e/store=wal,fsync=group"
 	journaledAlways  = "journaled_dispatch_e2e/store=wal,fsync=always"
+	walReplay10k     = "wal_replay/records=10000"
+	walReplay50k     = "wal_replay/records=50000"
 )
 
 func run(name string, fn func(b *testing.B)) Result {
@@ -120,8 +127,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_7.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_7.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, or idle-device bytes drifting >20%)")
+	out := flag.String("o", "BENCH_8.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_8.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, idle-device bytes, or WAL-replay records/bytes drifting >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -134,7 +141,7 @@ func main() {
 	}
 
 	o := Output{
-		Schema:         "pdagent-bench/7",
+		Schema:         "pdagent-bench/8",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -201,6 +208,17 @@ func main() {
 	// marginal per-device memory — the numbers the PR-6 idle-device
 	// fixes moved.
 	for _, row := range churnRows(*short) {
+		o.Results = append(o.Results, row)
+	}
+
+	// G7 — recovery and failover: WAL reopen/replay at fixed journal
+	// sizes (the time a restarting member is dark replaying its own
+	// log), and the §10 warm-standby chaos drill (the loss ledger when
+	// a member dies without its disk and the standby promotes). The
+	// replayed records/bytes and the drill's ledger counts are
+	// seed-pinned deterministic quantities; only the wall-clock is
+	// machine-relative.
+	for _, row := range recoveryRows() {
 		o.Results = append(o.Results, row)
 	}
 
@@ -416,6 +434,70 @@ func churnRows(short bool) []Result {
 	return out
 }
 
+// recoveryRows runs the G7 scenarios: reopen/replay at two fixed
+// journal shapes (every live record written once and overwritten once,
+// so replay processes two ops per record), and the failover chaos
+// drill in both ack modes. The drill itself asserts the exactly-once
+// invariants and the per-mode loss bound — a violation is a hard
+// error, not a drifted metric.
+func recoveryRows() []Result {
+	var out []Result
+	for _, records := range []int{10_000, 50_000} {
+		name := fmt.Sprintf("wal_replay/records=%d", records)
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
+		// Min-of-3 on the wall-clock: reopen is disk-bound and shares
+		// the G6 rows' jitter exposure. The deterministic quantities are
+		// identical across repeats.
+		var best *benchkit.WALReplayResult
+		for i := 0; i < 3; i++ {
+			res, err := benchkit.WALReplay(records, 256)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: wal replay: %v\n", err)
+				os.Exit(2)
+			}
+			if best == nil || res.Reopen < best.Reopen {
+				best = res
+			}
+		}
+		out = append(out, Result{
+			Name:    name,
+			NsPerOp: float64(best.Reopen.Nanoseconds()),
+			Metrics: map[string]float64{
+				"replayed_records": float64(best.Records),
+				"replayed_bytes":   float64(best.Bytes),
+				"replay_ms":        float64(best.Reopen.Nanoseconds()) / 1e6,
+			},
+		})
+	}
+	for _, mode := range []repl.Mode{repl.ModeSemiSync, repl.ModeAsync} {
+		name := fmt.Sprintf("failover_storm/devices=2000,mode=%s", mode)
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
+		seed := int64(71)
+		if mode == repl.ModeAsync {
+			seed = 73
+		}
+		res, err := benchkit.FailoverStorm(2_000, mode, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: failover storm: %v\n", err)
+			os.Exit(2)
+		}
+		out = append(out, Result{
+			Name:    name,
+			NsPerOp: float64(res.WallTime.Nanoseconds()),
+			Metrics: map[string]float64{
+				"enqueued":           float64(res.Enqueued),
+				"delivered":          float64(res.Delivered),
+				"lost":               float64(res.Lost),
+				"lost_window_ops":    float64(res.LostWindow),
+				"redelivered":        float64(res.Redelivered),
+				"promoted_mailboxes": float64(res.PromotedMailboxes),
+				"drain_vp99_ms":      float64(res.Drain.Quantile(0.99)) / 1e6,
+			},
+		})
+	}
+	return out
+}
+
 func find(rs []Result, name string) *Result {
 	for i := range rs {
 		if rs[i].Name == name {
@@ -459,6 +541,14 @@ func gate(path string, o Output) error {
 	checks := []struct{ row, metric string }{
 		{churnStormName, "drain_vp99_ms"},
 		{idleBytesName, "bytes_per_idle_device"},
+		// G7 replay: the live set a reopen recovers is deterministic at
+		// a fixed journal shape; drift means the WAL's per-op write
+		// pattern or its compaction policy changed. (replay_ms rides
+		// along informationally — wall-clock is never gated.)
+		{walReplay10k, "replayed_records"},
+		{walReplay10k, "replayed_bytes"},
+		{walReplay50k, "replayed_records"},
+		{walReplay50k, "replayed_bytes"},
 	}
 	for _, c := range checks {
 		cur := find(o.Results, c.row)

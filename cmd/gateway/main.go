@@ -26,6 +26,14 @@
 // power-loss durable, DESIGN.md §9) or file (legacy single-file log)
 // — and -fsync the WAL's sync policy (group|always|never).
 //
+// With -replicate (clustered members only) the journal and mailbox
+// stores stream their commits to the ring-successor standby
+// (DESIGN.md §10): if this member dies — even losing its disk — the
+// standby is fenced in, adopts the resident agents, and imports the
+// device mailboxes, exactly once. -repl-mode picks the ack discipline:
+// async bounds loss to the last heartbeat window, semi-sync makes each
+// commit wait for the standby.
+//
 // On SIGTERM the gateway drains: it stops accepting dispatches,
 // deregisters from the cluster, waits (bounded by -drain-timeout) for
 // resident agents to finish or ship out, then exits.
@@ -52,6 +60,7 @@ import (
 	"pdagent/internal/gateway"
 	"pdagent/internal/pisec"
 	"pdagent/internal/push"
+	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 	"pdagent/internal/transport"
 )
@@ -65,6 +74,9 @@ func main() {
 	clusterSeeds := flag.String("cluster-seeds", "", "comma-separated seed members; non-empty enables gateway federation (requires -cluster-secret)")
 	clusterSecret := flag.String("cluster-secret", "", "shared secret authenticating intra-cluster traffic; every member must use the same value")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "cluster heartbeat interval")
+	replicate := flag.Bool("replicate", false, "stream journal and mailbox commits to the ring-successor standby (DESIGN.md §10; requires -cluster-seeds)")
+	replMode := flag.String("repl-mode", string(repl.ModeAsync), "replication ack discipline: async (ship on the heartbeat tick) or semi-sync (each commit waits for the standby)")
+	startEpoch := flag.Uint64("epoch", 0, "fencing epoch this instance starts at; after a fenced member recovers, restart it at or above the fence the standby raised")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for resident agents to drain")
 	mailboxDir := flag.String("mailbox-dir", "", "directory for the durable per-device mailbox store; empty disables the device-session mailbox subsystem")
 	journalPath := flag.String("journal", "", "agent journal path for the embedded MAS (agents resume on restart); a directory with -store=wal, a file with -store=file")
@@ -115,7 +127,12 @@ func main() {
 	}
 
 	rt := transport.NewPooled(transport.NewPooledHTTPClient(*maxConns), *maxConns)
+	// Declared ahead of the node so the eviction hook (which only runs
+	// after everything is wired and heartbeats start) can close over
+	// them.
 	var node *cluster.Node
+	var peer *repl.Peer
+	var gw *gateway.Gateway
 	if *clusterSeeds != "" {
 		if *clusterSecret == "" {
 			// The /cluster/ endpoints share the public listener and
@@ -130,11 +147,60 @@ func main() {
 				seeds = append(seeds, s)
 			}
 		}
-		node = cluster.NewNode(cluster.Config{
+		nodeCfg := cluster.Config{
 			Self:      public,
 			Seeds:     seeds,
 			Transport: rt,
 			Secret:    *clusterSecret,
+			Epoch:     *startEpoch,
+			Logf:      log.Printf,
+		}
+		if *replicate {
+			// Warm-standby promotion (DESIGN.md §10): when the fleet
+			// evicts a member whose replica this one holds, fence the
+			// dead instance, take the replicas, and adopt its agents and
+			// mailboxes.
+			nodeCfg.OnEvict = func(dead string) {
+				if peer == nil || gw == nil || !peer.Has(dead) {
+					return
+				}
+				fence := node.RaiseFence(dead)
+				var journal, mailbox rms.Store
+				for role, r := range peer.Take(dead) {
+					switch role {
+					case repl.RoleJournal:
+						journal = r.NewStore("replica-journal-" + dead)
+					case repl.RoleMailbox:
+						mailbox = r.NewStore("replica-mailbox-" + dead)
+					}
+				}
+				if journal == nil && mailbox == nil {
+					return
+				}
+				log.Printf("gateway %s: promoting over evicted %s (fence epoch %d)", public, dead, fence)
+				if _, _, err := gw.PromoteFrom(context.Background(), dead, journal, mailbox); err != nil {
+					log.Printf("gateway %s: promoting over %s: %v", public, dead, err)
+				}
+			}
+		}
+		node = cluster.NewNode(nodeCfg)
+	}
+	if *replicate {
+		if node == nil {
+			log.Fatalf("gateway: -replicate requires -cluster-seeds (replication rides the cluster transport)")
+		}
+		mode, err := repl.ParseMode(*replMode)
+		if err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		peer = repl.NewPeer(repl.Config{
+			Self:      public,
+			Transport: rt,
+			Stamp:     node.StampIdentity,
+			Authorize: node.Authorized,
+			OriginOf:  cluster.Origin,
+			StandbyFn: func() string { return node.StandbyFor(public) },
+			Mode:      mode,
 			Logf:      log.Printf,
 		})
 	}
@@ -156,6 +222,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("gateway: opening mailbox store: %v", err)
 		}
+		if peer != nil {
+			// The WAL backend has a native commit tap; the legacy file
+			// backend gets a wrapper so replication works either way.
+			if _, ok := store.(rms.Tapped); !ok {
+				store = rms.NewTappedStore(store, nil)
+			}
+		}
 		mailbox = &gateway.MailboxConfig{
 			Store:     store,
 			TTL:       *mailboxTTL,
@@ -175,13 +248,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("gateway: opening journal: %v", err)
 		}
+		if peer != nil {
+			if _, ok := journal.(rms.Tapped); !ok {
+				journal = rms.NewTappedStore(journal, nil)
+			}
+		}
 	}
 
 	kp, err := pisec.GenerateKeyPair(*keyBits)
 	if err != nil {
 		log.Fatalf("gateway: generating key pair: %v", err)
 	}
-	gw, err := gateway.New(gateway.Config{
+	gw, err = gateway.New(gateway.Config{
 		Addr:            public,
 		KeyPair:         kp,
 		Transport:       rt,
@@ -189,6 +267,7 @@ func main() {
 		Peers:           peerList,
 		Shards:          *shards,
 		Cluster:         node,
+		Repl:            peer,
 		Journal:         journal,
 		Mailbox:         mailbox,
 		OutboundWorkers: *workers,
@@ -210,6 +289,26 @@ func main() {
 	if node != nil {
 		node.Start(*heartbeat)
 		log.Printf("gateway %s: clustered, %d seed(s), heartbeat %v", public, len(strings.Split(*clusterSeeds, ",")), *heartbeat)
+	}
+	replDone := make(chan struct{})
+	if peer != nil {
+		// The flush ticker is the async-mode shipper and, in semi-sync
+		// mode, the retry loop for anything a degraded stream buffered.
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-replDone:
+					return
+				case <-t.C:
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					peer.Flush(ctx)
+					cancel()
+				}
+			}
+		}()
+		log.Printf("gateway %s: replicating to ring-successor standby (%s mode)", public, *replMode)
 	}
 	sweepDone := make(chan struct{})
 	if mailbox != nil && (*mailboxTTL > 0 || *resultTTL > 0) {
@@ -259,6 +358,14 @@ func main() {
 			log.Printf("gateway %s: drained clean", public)
 		}
 		cancel()
+		close(replDone)
+		if peer != nil {
+			// One last flush so the standby holds everything the drain
+			// committed before this member goes away.
+			flushCtx, flushCancel := context.WithTimeout(context.Background(), 10*time.Second)
+			peer.Flush(flushCtx)
+			flushCancel()
+		}
 		// The HTTP shutdown gets its own deadline: after a drain
 		// timeout the drain context is already expired, and reusing it
 		// would abort in-flight device requests instantly.

@@ -12,6 +12,12 @@
 // (default: a group-commit segmented log directory, power-loss
 // durable) or file (the legacy single-file log) — and -fsync the
 // WAL's sync policy (group|always|never).
+//
+// With -replicate ADDR (plus -cluster-secret) the journal streams its
+// commits to a standby masd at ADDR (DESIGN.md §10); any masd started
+// with the same secret serves as a standby, holding a live replica
+// and answering /cluster/repl/fetch so a host that lost its disk can
+// be recovered from its standby.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"pdagent/internal/atp"
 	"pdagent/internal/cluster"
 	"pdagent/internal/mas"
+	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
@@ -45,6 +52,9 @@ func main() {
 	announceLocs := flag.Bool("announce-locations", true, "relay agent arrival/departure events to each agent's home gateway (/cluster/loc) for the federation's location directory")
 	clusterSecret := flag.String("cluster-secret", "", "shared cluster secret stamped on location relays (clustered home gateways refuse unauthenticated ones)")
 	retryEvery := flag.Duration("retry-interval", 30*time.Second, "how often parked transfers are retried (with -journal)")
+	replicateTo := flag.String("replicate", "", "standby address to stream journal commits to (DESIGN.md §10; requires -journal and -cluster-secret); the standby holds a live replica and serves it back on /cluster/repl/fetch")
+	replMode := flag.String("repl-mode", string(repl.ModeAsync), "replication ack discipline: async (ship on the flush tick) or semi-sync (each commit waits for the standby)")
+	replFlush := flag.Duration("repl-flush", 2*time.Second, "async replication flush interval")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables")
 	flag.Parse()
 
@@ -93,6 +103,7 @@ func main() {
 	}
 
 	var journal rms.Store
+	var maint rms.Maintainer
 	if *journalPath != "" {
 		if *retryEvery <= 0 {
 			// time.Tick on a non-positive interval returns a nil channel
@@ -107,9 +118,54 @@ func main() {
 		if err != nil {
 			log.Fatalf("masd: opening journal: %v", err)
 		}
+		// The compaction ticker works on the raw backend; the journal
+		// handed to the MAS may get a tap wrapper below.
+		maint = journal.(rms.Maintainer)
 	}
 
 	rt := transport.NewPooledHTTPClient(0)
+
+	// Journal replication (DESIGN.md §10): any masd with the cluster
+	// secret can stand by for another (the receiver endpoints ride the
+	// same listener); -replicate names this host's own standby and
+	// starts streaming journal commits to it. A masd is not a cluster
+	// member, so its identity is static — same token, no fencing
+	// epochs; recovery is by operator (fetch the replica back from the
+	// standby via /cluster/repl/fetch).
+	var peer *repl.Peer
+	if *clusterSecret != "" {
+		mode, err := repl.ParseMode(*replMode)
+		if err != nil {
+			log.Fatalf("masd: %v", err)
+		}
+		id := cluster.StaticIdentity{Self: public, Secret: *clusterSecret}
+		peer = repl.NewPeer(repl.Config{
+			Self:      public,
+			Transport: rt,
+			Stamp:     id.Stamp,
+			Authorize: id.Authorized,
+			OriginOf:  cluster.Origin,
+			StandbyFn: func() string { return *replicateTo },
+			Mode:      mode,
+			Logf:      log.Printf,
+		})
+	}
+	if *replicateTo != "" {
+		switch {
+		case peer == nil:
+			log.Fatalf("masd: -replicate requires -cluster-secret (streams are authenticated)")
+		case journal == nil:
+			log.Fatalf("masd: -replicate requires -journal (there is nothing else to replicate)")
+		case *replFlush <= 0:
+			log.Fatalf("masd: -repl-flush must be positive, got %v", *replFlush)
+		}
+		if _, ok := journal.(rms.Tapped); !ok {
+			// The WAL backend has a native commit tap; the legacy file
+			// backend gets a wrapper so replication works either way.
+			journal = rms.NewTappedStore(journal, nil)
+		}
+		peer.Replicate(repl.RoleJournal, journal.(rms.Tapped))
+	}
 	masCfg := mas.Config{
 		Addr:      public,
 		Codec:     codec,
@@ -146,7 +202,7 @@ func main() {
 			// itself at segment rotation; this ticker is the backstop for
 			// idle hosts and the only path for the legacy FileStore.)
 			const compactThreshold = 1 << 20
-			m := journal.(rms.Maintainer)
+			m := maint
 			t := time.NewTicker(*retryEvery)
 			defer t.Stop()
 			for {
@@ -166,10 +222,38 @@ func main() {
 			}
 		}()
 	}
+	if *replicateTo != "" {
+		// The flush ticker is the async-mode shipper and, in semi-sync
+		// mode, the retry loop for anything a degraded stream buffered.
+		go func() {
+			t := time.NewTicker(*replFlush)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+					peer.Flush(fctx)
+					fcancel()
+				}
+			}
+		}()
+		log.Printf("masd %s: replicating journal to %s (%s mode)", public, *replicateTo, *replMode)
+	}
 	log.Printf("masd %s: %s flavour, services %v, listening on %s",
 		public, *flavour, reg.Names(), *listen)
 
-	httpSrv := &http.Server{Addr: *listen, Handler: transport.NewHTTPHandler(srv.Handler())}
+	handler := srv.Handler()
+	if peer != nil {
+		// Replication endpoints share the listener; everything else
+		// falls through to the MAS.
+		m := transport.NewMux()
+		peer.Mount(m)
+		m.Handle("/", handler)
+		handler = m
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: transport.NewHTTPHandler(handler)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
@@ -183,6 +267,13 @@ func main() {
 		// recovers anything left on the next start).
 		log.Printf("masd %s: %v received, shutting down", public, s)
 		cancel()
+		if *replicateTo != "" {
+			// One last flush so the standby's replica is current before
+			// this host goes away.
+			fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+			peer.Flush(fctx)
+			fcancel()
+		}
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("masd %s: http shutdown: %v", public, err)

@@ -1,0 +1,104 @@
+package benchkit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pdagent/internal/churnsim"
+	"pdagent/internal/repl"
+	"pdagent/internal/rms"
+)
+
+// G7 — recovery (DESIGN.md §9-§10): how long a member is dark after a
+// crash. Two scenarios: replaying its own WAL on restart (the
+// shared-disk path), and the failover chaos drill where a standby
+// promotes over a member that died losing its disk entirely.
+
+// WALReplayResult is one reopen-and-replay measurement.
+type WALReplayResult struct {
+	// Records and Bytes are the live set the reopen recovered —
+	// deterministic for a given scenario, so CI can band them: drift
+	// means the recovery path (what the WAL writes per op, what
+	// compaction keeps) changed.
+	Records int
+	Bytes   int
+	// Reopen is the wall-clock open+replay time (machine-relative,
+	// informational).
+	Reopen time.Duration
+}
+
+// WALReplay builds a journal of `records` live records of `size` bytes
+// each — every record written once and overwritten once, so replay
+// processes two ops per live record, the shape a real agent journal
+// has after churn — closes it, and measures the reopen. The write side
+// runs with fsync disabled: setup cost must not pollute the replay
+// measurement, and recovery does not depend on how the log was synced.
+func WALReplay(records, size int) (*WALReplayResult, error) {
+	dir, err := os.MkdirTemp("", "pdagent-bench-replay-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "journal.wal")
+	store, err := rms.OpenWALStore(path, rms.WALOptions{Sync: rms.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	ids := make([]int, records)
+	for i := 0; i < records; i++ {
+		if ids[i], err = store.Add(payload); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		if err := store.Set(id, payload); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	reopened, err := rms.OpenWALStore(path, rms.WALOptions{})
+	reopen := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	defer reopened.Close()
+	n, err := reopened.NumRecords()
+	if err != nil {
+		return nil, err
+	}
+	bytes, err := reopened.Size()
+	if err != nil {
+		return nil, err
+	}
+	if n != records {
+		return nil, fmt.Errorf("replay recovered %d records, want %d", n, records)
+	}
+	return &WALReplayResult{Records: n, Bytes: bytes, Reopen: reopen}, nil
+}
+
+// FailoverStorm runs the §10 chaos drill at bench scale: a two-member
+// fleet, the member holding every mailbox killed mid-reconnect-storm
+// with its store gone, the standby promoted. The ledger counts are
+// seed-pinned and deterministic; the drill itself asserts the
+// exactly-once invariants and the mode's loss bound.
+func FailoverStorm(devices int, mode repl.Mode, seed int64) (*churnsim.CrashStormResult, error) {
+	return churnsim.CrashStorm(churnsim.CrashStormConfig{
+		Devices:          devices,
+		EntriesPerDevice: 2,
+		Window:           30 * time.Second,
+		Mode:             mode,
+		Seed:             seed,
+	})
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"pdagent/internal/transport"
@@ -21,6 +22,20 @@ const fwdHeader = "x-cluster-fwd"
 // the token is.
 const tokenHeader = "x-cluster-token"
 
+// originHeader names the member a request claims to come from, and
+// epochHeader the fencing epoch that instance of the member holds.
+// Neither is proof of identity on its own (headers are
+// client-settable) — they are meaningful only AFTER the token check,
+// as the fencing discriminator between a live member and a fenced
+// zombie of the same address (DESIGN.md §10).
+const (
+	originHeader = "x-cluster-origin"
+	epochHeader  = "x-cluster-epoch"
+	// fencedEpochHeader rides a Forbidden reply to tell a zombie the
+	// epoch it was fenced at.
+	fencedEpochHeader = "x-cluster-fenced-epoch"
+)
+
 // maxForwardHops bounds a forwarding chain even across disjoint views.
 const maxForwardHops = 4
 
@@ -32,15 +47,20 @@ var ErrForwardLoop = fmt.Errorf("cluster: forwarding loop")
 // transport, tagging each hop for loop protection and stamping the
 // shared cluster secret.
 type Forwarder struct {
-	self   string
-	rt     transport.RoundTripper
-	secret string
+	self    string
+	rt      transport.RoundTripper
+	secret  string
+	epochFn func() uint64 // nil: epoch 0
 }
 
 // NewForwarder builds a forwarder identifying itself as self.
 func NewForwarder(self string, rt transport.RoundTripper, secret string) *Forwarder {
 	return &Forwarder{self: self, rt: rt, secret: secret}
 }
+
+// SetEpochFn installs the fencing-epoch reporter stamped on every
+// forwarded request (Node wiring).
+func (f *Forwarder) SetEpochFn(fn func() uint64) { f.epochFn = fn }
 
 // Chain returns the members a request has already visited.
 func Chain(req *transport.Request) []string {
@@ -50,6 +70,11 @@ func Chain(req *transport.Request) []string {
 	}
 	return strings.Split(h, ",")
 }
+
+// Origin returns the member address a request claims to come from (""
+// if unstamped). Like the hop chain it is client-settable, so it is
+// meaningful only AFTER Node.Authorized accepted the request.
+func Origin(req *transport.Request) string { return req.GetHeader(originHeader) }
 
 // Forwarded reports whether req already crossed at least one member —
 // gateway endpoints use it to trust intra-cluster requests and to
@@ -80,5 +105,11 @@ func (f *Forwarder) Forward(ctx context.Context, addr string, req *transport.Req
 		fwd.SetHeader(fwdHeader, strings.Join(chain, ",")+","+f.self)
 	}
 	fwd.SetHeader(tokenHeader, f.secret)
+	fwd.SetHeader(originHeader, f.self)
+	epoch := uint64(0)
+	if f.epochFn != nil {
+		epoch = f.epochFn()
+	}
+	fwd.SetHeader(epochHeader, strconv.FormatUint(epoch, 10))
 	return f.rt.RoundTrip(ctx, addr, fwd)
 }

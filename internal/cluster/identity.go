@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"crypto/subtle"
+	"strconv"
+
+	"pdagent/internal/transport"
+)
+
+// StaticIdentity is a fixed cluster identity for hosts that speak the
+// authenticated intra-cluster protocol without being members — a masd
+// replicating its journal to a standby, for instance. It stamps the
+// same headers Node.StampIdentity does and vets incoming requests with
+// the same shared-secret check, but knows nothing about fencing: a
+// non-member never gossips fences, so Authorized admits any epoch.
+type StaticIdentity struct {
+	// Self is the address stamped as the request origin.
+	Self string
+	// Secret is the shared cluster secret (-cluster-secret).
+	Secret string
+	// Epoch is the fencing epoch stamped on outgoing requests (0 for a
+	// host that has never been promoted over).
+	Epoch uint64
+}
+
+// Stamp adds the cluster token, origin and epoch to an outgoing
+// request, mirroring Node.StampIdentity.
+func (id StaticIdentity) Stamp(req *transport.Request) {
+	req.SetHeader(tokenHeader, id.Secret)
+	req.SetHeader(originHeader, id.Self)
+	req.SetHeader(epochHeader, strconv.FormatUint(id.Epoch, 10))
+}
+
+// Authorized vets an incoming request by the shared secret alone.
+func (id StaticIdentity) Authorized(req *transport.Request) bool {
+	return subtle.ConstantTimeCompare([]byte(req.GetHeader(tokenHeader)), []byte(id.Secret)) == 1
+}

@@ -70,6 +70,20 @@ type MembershipConfig struct {
 	EvictAfter int
 	// LoadFn reports local load for outgoing heartbeats (nil: zero).
 	LoadFn func() Load
+	// EpochFn reports this member's fencing epoch, stamped on outgoing
+	// heartbeats so peers can refuse a fenced zombie (nil: epoch 0).
+	EpochFn func() uint64
+	// OnEvict fires (outside the membership lock) when suspicion
+	// transitions a member to StateLeft — the warm-standby promotion
+	// hook. It does NOT fire for graceful leaves or tombstones learned
+	// from gossip: only the member that aged the suspect out itself
+	// promotes, so a view that merely heard about the eviction does not
+	// double-promote.
+	OnEvict func(addr string)
+	// OnFenced fires (outside the lock) when this member learns its own
+	// address is fenced at an epoch above its own — it is a zombie that
+	// missed its eviction and must stop serving writes.
+	OnFenced func(epoch uint64)
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -95,6 +109,10 @@ type Membership struct {
 	selfLoad Load // cached at heartbeat time; see LoadOf
 	leaving  bool
 	version  uint64 // bumped whenever the placement-relevant view changes
+	// fences maps a member address to its fencing epoch: requests from
+	// that address carrying a lower epoch are refused everywhere. Raised
+	// by a promoted standby, spread by max-merge gossip, never lowered.
+	fences map[string]uint64
 
 	locs *Locations // piggyback source/sink; may be nil
 }
@@ -108,7 +126,7 @@ func NewMembership(cfg MembershipConfig) *Membership {
 	if cfg.EvictAfter <= cfg.SuspectAfter {
 		cfg.EvictAfter = cfg.SuspectAfter + 5
 	}
-	m := &Membership{cfg: cfg, members: map[string]*memberInfo{}, version: 1}
+	m := &Membership{cfg: cfg, members: map[string]*memberInfo{}, version: 1, fences: map[string]uint64{}}
 	for _, s := range cfg.Seeds {
 		if s == "" || s == cfg.Self {
 			continue
@@ -223,6 +241,7 @@ func (m *Membership) Tick(ctx context.Context) int {
 	m.mu.Lock()
 	m.tick++
 	now := m.tick
+	var evicted []string
 	// Failure suspicion: age out evidence.
 	for addr, e := range m.members {
 		age := now - e.lastSeen
@@ -234,6 +253,7 @@ func (m *Membership) Tick(ctx context.Context) int {
 		case e.state == StateSuspect && age > m.cfg.EvictAfter:
 			e.state = StateLeft
 			m.version++
+			evicted = append(evicted, addr)
 			m.logf("cluster %s: evicting %s", m.cfg.Self, addr)
 		case e.state == StateLeft && age > 3*m.cfg.EvictAfter:
 			delete(m.members, addr) // tombstone aged out
@@ -246,15 +266,24 @@ func (m *Membership) Tick(ctx context.Context) int {
 		}
 	}
 	m.mu.Unlock()
+	if m.cfg.OnEvict != nil {
+		sort.Strings(evicted)
+		for _, addr := range evicted {
+			m.cfg.OnEvict(addr)
+		}
+	}
 	sort.Strings(peers) // deterministic heartbeat order for simulated worlds
 
 	doc := m.viewDoc()
 	answered := 0
 	for _, addr := range peers {
 		req := &transport.Request{Path: "/cluster/heartbeat", Body: doc}
-		req.SetHeader(tokenHeader, m.cfg.Secret)
+		m.stampIdentity(req)
 		resp, err := m.cfg.Transport.RoundTrip(ctx, addr, req)
 		if err != nil || !resp.IsOK() {
+			if err == nil {
+				m.noteFencedReply(resp)
+			}
 			continue
 		}
 		answered++
@@ -264,6 +293,63 @@ func (m *Membership) Tick(ctx context.Context) int {
 		}
 	}
 	return answered
+}
+
+// stampIdentity adds the cluster token plus the sender's address and
+// fencing epoch to an outgoing intra-cluster request.
+func (m *Membership) stampIdentity(req *transport.Request) {
+	req.SetHeader(tokenHeader, m.cfg.Secret)
+	req.SetHeader(originHeader, m.cfg.Self)
+	req.SetHeader(epochHeader, strconv.FormatUint(m.epoch(), 10))
+}
+
+func (m *Membership) epoch() uint64 {
+	if m.cfg.EpochFn == nil {
+		return 0
+	}
+	return m.cfg.EpochFn()
+}
+
+// noteFencedReply inspects a refused heartbeat: a Forbidden reply
+// carrying the fenced-epoch header means a peer has fenced US — we are
+// a zombie that missed its own eviction, and a standby now owns our
+// state. Surface it so the embedder stops serving writes.
+func (m *Membership) noteFencedReply(resp *transport.Response) {
+	if resp == nil || resp.Status != transport.StatusForbidden {
+		return
+	}
+	h := resp.GetHeader(fencedEpochHeader)
+	if h == "" {
+		return
+	}
+	epoch, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return
+	}
+	if m.cfg.OnFenced != nil {
+		m.cfg.OnFenced(epoch)
+	}
+}
+
+// FenceOf returns addr's fencing epoch (0 if never fenced).
+func (m *Membership) FenceOf(addr string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fences[addr]
+}
+
+// RaiseFence bumps addr's fencing epoch past everything seen so far
+// and returns the new value. The caller (a promoting standby) gossips
+// it on its next heartbeats; any instance of addr presenting a lower
+// epoch is refused cluster writes from then on. A legitimately
+// restarted addr re-enters by adopting an epoch >= the fence.
+func (m *Membership) RaiseFence(addr string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.fences[addr] + 1
+	m.fences[addr] = f
+	m.version++
+	return f
 }
 
 // noteEvidence records direct proof of life for addr. A StateLeft
@@ -309,7 +395,7 @@ func (m *Membership) Leave(ctx context.Context) {
 	doc := m.viewDoc()
 	for _, addr := range peers {
 		req := &transport.Request{Path: "/cluster/heartbeat", Body: doc}
-		req.SetHeader(tokenHeader, m.cfg.Secret)
+		m.stampIdentity(req)
 		if _, err := m.cfg.Transport.RoundTrip(ctx, addr, req); err != nil {
 			m.logf("cluster %s: leave notification to %s: %v", m.cfg.Self, addr, err)
 		}
@@ -324,10 +410,32 @@ func (m *Membership) HandleHeartbeat(_ context.Context, req *transport.Request) 
 	if subtle.ConstantTimeCompare([]byte(req.GetHeader(tokenHeader)), []byte(m.cfg.Secret)) != 1 {
 		return transport.Errorf(transport.StatusForbidden, "cluster: missing or wrong cluster token")
 	}
+	// Epoch fencing: a zombie ex-primary (fenced after its standby
+	// promoted) is refused — and told so, with the fence epoch in the
+	// reply, so it learns its own death instead of gossiping stale
+	// state back into the view. Its entries must not be merged: a
+	// zombie's view still lists itself alive.
+	if origin := req.GetHeader(originHeader); origin != "" {
+		if fence := m.FenceOf(origin); fence > requestEpoch(req) {
+			resp := transport.Errorf(transport.StatusForbidden,
+				"cluster: %s fenced at epoch %d", origin, fence)
+			resp.SetHeader(fencedEpochHeader, strconv.FormatUint(fence, 10))
+			return resp
+		}
+	}
 	if err := m.Merge(req.Body); err != nil {
 		return transport.Errorf(transport.StatusBadRequest, "cluster view: %v", err)
 	}
 	return transport.OK(m.viewDoc())
+}
+
+// requestEpoch reads the fencing epoch a request claims (0 if absent).
+func requestEpoch(req *transport.Request) uint64 {
+	e, err := strconv.ParseUint(req.GetHeader(epochHeader), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return e
 }
 
 // viewDoc renders the local view (plus piggybacked location updates)
@@ -355,6 +463,10 @@ func (m *Membership) viewDoc() []byte {
 	for addr, e := range m.members {
 		rows = append(rows, row{addr, e.state, e.inc, e.load, now - e.lastSeen})
 	}
+	fences := make(map[string]uint64, len(m.fences))
+	for addr, f := range m.fences {
+		fences[addr] = f
+	}
 	m.mu.Unlock()
 
 	// Load is read outside the lock: LoadFn reaches into gateway state.
@@ -373,6 +485,16 @@ func (m *Membership) viewDoc() []byte {
 		e.SetAttr("queue", strconv.Itoa(r.load.QueueDepth))
 		e.SetAttr("inflight", strconv.Itoa(r.load.InFlight))
 		e.SetAttr("age", strconv.Itoa(r.age))
+	}
+	fenceAddrs := make([]string, 0, len(fences))
+	for addr := range fences {
+		fenceAddrs = append(fenceAddrs, addr)
+	}
+	sort.Strings(fenceAddrs)
+	for _, addr := range fenceAddrs {
+		e := root.AddElement("fence")
+		e.SetAttr("addr", addr)
+		e.SetAttr("epoch", strconv.FormatUint(fences[addr], 10))
 	}
 	if m.locs != nil {
 		m.locs.appendRecent(root)
@@ -410,8 +532,26 @@ func (m *Membership) Merge(doc []byte) error {
 		return errNotView
 	}
 	from := root.AttrDefault("from", "")
+	selfFencedAt := uint64(0)
 	m.mu.Lock()
 	for _, child := range root.Children {
+		if child.Name == "fence" {
+			// Fencing epochs max-merge: once raised anywhere, a fence
+			// spreads everywhere and never lowers.
+			addr := child.AttrDefault("addr", "")
+			epoch, err := strconv.ParseUint(child.AttrDefault("epoch", "0"), 10, 64)
+			if addr == "" || err != nil {
+				continue
+			}
+			if epoch > m.fences[addr] {
+				m.fences[addr] = epoch
+				m.version++
+			}
+			if addr == m.cfg.Self && m.fences[addr] > m.epoch() {
+				selfFencedAt = m.fences[addr]
+			}
+			continue
+		}
 		if child.Name != "member" {
 			continue
 		}
@@ -469,6 +609,9 @@ func (m *Membership) Merge(doc []byte) error {
 		}
 	}
 	m.mu.Unlock()
+	if selfFencedAt > 0 && m.cfg.OnFenced != nil {
+		m.cfg.OnFenced(selfFencedAt)
+	}
 	if m.locs != nil {
 		m.locs.mergeFrom(root)
 	}

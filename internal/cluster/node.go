@@ -3,7 +3,10 @@ package cluster
 import (
 	"context"
 	"crypto/subtle"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdagent/internal/kxml"
@@ -48,6 +51,14 @@ type Config struct {
 	LoadFn func() Load
 	// MaxLocations bounds the location table (0: default).
 	MaxLocations int
+	// Epoch is this member's starting fencing epoch (DESIGN.md §10). A
+	// fresh member starts at 0; a member restarting after its standby
+	// promoted (and fenced the old instance) must start at or above the
+	// fence to be re-admitted to cluster writes.
+	Epoch uint64
+	// OnEvict fires when local suspicion evicts a member — the
+	// warm-standby promotion hook (see MembershipConfig.OnEvict).
+	OnEvict func(addr string)
 	// NoLocationPush disables the synchronous per-event push of
 	// location updates to peers; replicas then converge only through
 	// heartbeat piggyback. Status chases fall back to the home member's
@@ -69,6 +80,12 @@ type Node struct {
 	fwd  *Forwarder
 	mux  *transport.Mux
 
+	// epoch is this instance's fencing epoch; selfFenced latches once
+	// the node learns a peer fenced it (it is a zombie).
+	epoch      atomic.Uint64
+	selfFenced atomic.Bool
+	fencedOnce sync.Once
+
 	ringMu  sync.Mutex
 	ring    *Ring
 	ringVer uint64
@@ -88,6 +105,8 @@ func NewNode(cfg Config) *Node {
 		locs: NewLocations(cfg.MaxLocations),
 		fwd:  NewForwarder(cfg.Self, cfg.Transport, cfg.Secret),
 	}
+	n.epoch.Store(cfg.Epoch)
+	n.fwd.SetEpochFn(n.Epoch)
 	n.mem = NewMembership(MembershipConfig{
 		Self:         cfg.Self,
 		Seeds:        cfg.Seeds,
@@ -96,6 +115,9 @@ func NewNode(cfg Config) *Node {
 		SuspectAfter: cfg.SuspectAfter,
 		EvictAfter:   cfg.EvictAfter,
 		LoadFn:       cfg.LoadFn,
+		EpochFn:      n.Epoch,
+		OnEvict:      cfg.OnEvict,
+		OnFenced:     n.noteFenced,
 		Logf:         cfg.Logf,
 	})
 	n.mem.locs = n.locs
@@ -124,10 +146,107 @@ func (n *Node) Forwarder() *Forwarder { return n.fwd }
 // Authorized reports whether req carries the shared cluster secret —
 // the ONLY acceptable proof that a request on a /cluster/ endpoint
 // came from a peer member (the hop-chain header is client-settable
-// and must never be trusted on its own).
+// and must never be trusted on its own) — AND, when the request names
+// its origin member, that the origin's claimed fencing epoch is not
+// below the fence raised for that address. The fence check is what
+// stops a zombie ex-primary (dead to the cluster, standby promoted in
+// its place) from double-delivering through /cluster/* writes.
 func (n *Node) Authorized(req *transport.Request) bool {
 	token := req.GetHeader(tokenHeader)
-	return subtle.ConstantTimeCompare([]byte(token), []byte(n.cfg.Secret)) == 1
+	if subtle.ConstantTimeCompare([]byte(token), []byte(n.cfg.Secret)) != 1 {
+		return false
+	}
+	if origin := req.GetHeader(originHeader); origin != "" {
+		if n.mem.FenceOf(origin) > requestEpoch(req) {
+			return false
+		}
+	}
+	return true
+}
+
+// Epoch returns this instance's fencing epoch.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// StampIdentity adds the cluster token plus this member's address and
+// fencing epoch to an outgoing intra-cluster request — the same
+// identity heartbeats carry, so replication streams are subject to the
+// same zombie fencing.
+func (n *Node) StampIdentity(req *transport.Request) {
+	req.SetHeader(tokenHeader, n.cfg.Secret)
+	req.SetHeader(originHeader, n.cfg.Self)
+	req.SetHeader(epochHeader, strconv.FormatUint(n.Epoch(), 10))
+}
+
+// AdoptEpoch raises this instance's epoch to at least e — how a
+// restarted member re-admits itself past the fence its standby raised.
+func (n *Node) AdoptEpoch(e uint64) {
+	for {
+		cur := n.epoch.Load()
+		if cur >= e || n.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Fenced reports whether this node has learned it is a fenced zombie:
+// a peer refused its heartbeat with a fence epoch above its own, or
+// gossip delivered a fence row for its address. A fenced gateway must
+// refuse dispatches (it no longer owns its state — the standby does).
+func (n *Node) Fenced() bool { return n.selfFenced.Load() }
+
+func (n *Node) noteFenced(epoch uint64) {
+	if n.epoch.Load() >= epoch {
+		return // we already adopted past the fence (legitimate restart)
+	}
+	n.selfFenced.Store(true)
+	n.fencedOnce.Do(func() {
+		if n.cfg.Logf != nil {
+			n.cfg.Logf("cluster %s: fenced at epoch %d — a standby owns this member's state; refusing writes", n.cfg.Self, epoch)
+		}
+	})
+}
+
+// RaiseFence fences addr at a new, higher epoch and returns it. The
+// promoting standby calls it before adopting the dead member's
+// replica; gossip spreads the fence fleet-wide.
+func (n *Node) RaiseFence(addr string) uint64 { return n.mem.RaiseFence(addr) }
+
+// FenceOf returns addr's current fence epoch (0 if never fenced).
+func (n *Node) FenceOf(addr string) uint64 { return n.mem.FenceOf(addr) }
+
+// StandbyFor returns the warm-standby member for addr: the cyclic
+// successor of addr in the sorted list of live members (addr itself
+// included whether or not it is still alive, so the assignment is
+// stable across its death). Returns "" when no other member is alive.
+// Every member computes the same answer from a converged view, so
+// exactly one live member considers itself the standby of each other
+// member.
+func (n *Node) StandbyFor(addr string) string {
+	members := n.mem.AliveAddrs()
+	set := make(map[string]bool, len(members)+1)
+	for _, a := range members {
+		set[a] = true
+	}
+	set[addr] = true
+	sorted := make([]string, 0, len(set))
+	for a := range set {
+		sorted = append(sorted, a)
+	}
+	sort.Strings(sorted)
+	idx := -1
+	for i, a := range sorted {
+		if a == addr {
+			idx = i
+			break
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		cand := sorted[(idx+i)%len(sorted)]
+		if cand != addr && set[cand] && cand != "" && n.mem.Alive(cand) {
+			return cand
+		}
+	}
+	return ""
 }
 
 // Handler serves the node's /cluster/ endpoints; the gateway mounts it

@@ -28,6 +28,7 @@ import (
 	"pdagent/internal/mas"
 	"pdagent/internal/netsim"
 	"pdagent/internal/pisec"
+	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
@@ -94,6 +95,25 @@ type SimConfig struct {
 	// ResultTTL expires stored result documents (0 keeps them forever);
 	// enforced by Gateway.Sweep. Requires Mailbox.
 	ResultTTL time.Duration
+	// Replicate enables warm-standby replication (DESIGN.md §10) on
+	// clustered worlds: every gateway streams its journal and mailbox
+	// commits to its ring successor, and on SWIM eviction the standby
+	// fences the dead member and promotes — adopted agents resume,
+	// mailboxes import, the location directory re-points. Drive it with
+	// TickCluster; destroy a member completely with
+	// CrashGatewayLosingDisk. Requires Cluster (and typically Journal
+	// and/or Mailbox — an empty stream replicates nothing).
+	Replicate bool
+	// ReplMode is the replication ack discipline (default
+	// repl.ModeAsync; repl.ModeSemiSync acks each commit on two members).
+	ReplMode repl.Mode
+}
+
+// Promotion records one completed §10 failover: By adopted Dead's
+// replicated state after its eviction.
+type Promotion struct {
+	Dead, By          string
+	Agents, Mailboxes int
 }
 
 // SimWorld is a fully wired simulated deployment.
@@ -116,6 +136,9 @@ type SimWorld struct {
 	// SimConfig.Mailbox is set; they survive CrashGateway /
 	// RestartGateway like the journals do.
 	Mailboxes map[string]rms.Store
+	// Repls are the gateways' replication peers, aligned with Gateways
+	// (nil entries when SimConfig.Replicate is off).
+	Repls []*repl.Peer
 
 	cfg         SimConfig
 	keyBits     int
@@ -124,6 +147,8 @@ type SimWorld struct {
 	crashedGW   map[string]bool           // members whose process is down
 	clusterKey  string                    // shared cluster secret (Cluster worlds)
 	deviceZones map[string]string         // device owner -> private aliased zone
+	evictions   []string                  // evicted addrs pending the promotion check
+	promotions  []Promotion               // completed failovers, in order
 }
 
 // CentralAddr is the simulated central server's address.
@@ -197,13 +222,14 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 			return nil, err
 		}
 		w.gwKeys[addr] = kp
-		gw, node, err := w.buildGateway(i, addr, kp, journalFor(addr))
+		gw, node, peer, err := w.buildGateway(i, addr, kp, journalFor(addr), 0)
 		if err != nil {
 			return nil, err
 		}
 		w.Net.AddHost(addr, netsim.ZoneWired, gw.Handler())
 		w.Gateways = append(w.Gateways, gw)
 		w.Nodes = append(w.Nodes, node)
+		w.Repls = append(w.Repls, peer)
 	}
 
 	// Network hosts.
@@ -226,9 +252,12 @@ func NewSimWorld(cfg SimConfig) (*SimWorld, error) {
 	return w, nil
 }
 
-// buildGateway assembles one gateway (and its cluster node when the
-// world is clustered); index i orders it among cfg.GatewayAddrs.
-func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal rms.Store) (*gateway.Gateway, *cluster.Node, error) {
+// buildGateway assembles one gateway (and its cluster node and
+// replication peer when the world is clustered); index i orders it
+// among cfg.GatewayAddrs. epoch is the member's starting fencing epoch
+// (non-zero when a restarted member re-admits itself past its own
+// fence).
+func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal rms.Store, epoch uint64) (*gateway.Gateway, *cluster.Node, *repl.Peer, error) {
 	var peers []string
 	for j, a := range w.cfg.GatewayAddrs {
 		if j != i {
@@ -237,12 +266,36 @@ func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal r
 	}
 	var node *cluster.Node
 	if w.cfg.Cluster {
-		node = cluster.NewNode(cluster.Config{
+		nodeCfg := cluster.Config{
 			Self:           addr,
 			Seeds:          w.cfg.GatewayAddrs,
 			Transport:      w.Net.Transport(netsim.ZoneWired),
 			Secret:         w.clusterKey,
 			SpillThreshold: w.cfg.ClusterSpillThreshold,
+			Epoch:          epoch,
+		}
+		if w.cfg.Replicate {
+			// Evictions queue for TickCluster (which holds the journey
+			// context) rather than promoting inline mid-Tick.
+			nodeCfg.OnEvict = func(dead string) {
+				w.evictions = append(w.evictions, dead)
+			}
+		}
+		node = cluster.NewNode(nodeCfg)
+	}
+	var peer *repl.Peer
+	if node != nil && w.cfg.Replicate {
+		if journal != nil {
+			journal = rms.NewTappedStore(journal, nil)
+		}
+		peer = repl.NewPeer(repl.Config{
+			Self:      addr,
+			Transport: w.Net.Transport(netsim.ZoneWired),
+			Stamp:     node.StampIdentity,
+			Authorize: node.Authorized,
+			OriginOf:  cluster.Origin,
+			StandbyFn: func() string { return node.StandbyFor(addr) },
+			Mode:      w.cfg.ReplMode,
 		})
 	}
 	gwCfg := gateway.Config{
@@ -253,6 +306,7 @@ func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal r
 		Peers:     peers,
 		Journal:   journal,
 		Cluster:   node,
+		Repl:      peer,
 	}
 	if w.cfg.Mailbox {
 		// The mailbox store outlives the gateway process (like the
@@ -263,8 +317,12 @@ func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal r
 			store = rms.NewMemStore("mailbox-"+addr, 0)
 			w.Mailboxes[addr] = store
 		}
+		var mbStore rms.Store = store
+		if peer != nil {
+			mbStore = rms.NewTappedStore(store, nil)
+		}
 		gwCfg.Mailbox = &gateway.MailboxConfig{
-			Store:     store,
+			Store:     mbStore,
 			TTL:       w.cfg.MailboxTTL,
 			Quota:     w.cfg.MailboxQuota,
 			ResultTTL: w.cfg.ResultTTL,
@@ -272,14 +330,14 @@ func (w *SimWorld) buildGateway(i int, addr string, kp *pisec.KeyPair, journal r
 	}
 	gw, err := gateway.New(gwCfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if !w.cfg.SkipStandardApps {
 		if err := RegisterStandardApps(gw); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return gw, node, nil
+	return gw, node, peer, nil
 }
 
 // liveGatewayView serves the central directory in clustered worlds:
@@ -402,7 +460,67 @@ func (w *SimWorld) TickCluster(ctx context.Context) int {
 		}
 		total += w.Nodes[i].Tick(ctx)
 	}
+	// Promote over freshly evicted members (replicated worlds): the
+	// member holding the dead member's replica fences it and adopts.
+	for len(w.evictions) > 0 {
+		dead := w.evictions[0]
+		w.evictions = w.evictions[1:]
+		w.promoteOver(ctx, dead)
+	}
+	// Ship buffered commits (the async-mode driver; also retries
+	// whatever a degraded semi-sync stream buffered).
+	for i, p := range w.Repls {
+		if p == nil || w.crashedGW[w.Gateways[i].Addr()] {
+			continue
+		}
+		p.Flush(ctx)
+	}
 	return total
+}
+
+// promoteOver runs the §10 failover on one observed eviction. The
+// eviction may be aged out by any member, but only the one actually
+// holding dead's replica promotes (the ring successor that was its
+// standby) — and Take consumes the replica, so repeated observations
+// of the same eviction yield exactly one adoption.
+func (w *SimWorld) promoteOver(ctx context.Context, dead string) {
+	i := -1
+	for j, p := range w.Repls {
+		if p != nil && !w.crashedGW[w.Gateways[j].Addr()] && p.Has(dead) {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return
+	}
+	// Fence first: from this heartbeat on, the ex-primary's streams and
+	// dispatches are refused fleet-wide, so adoption cannot race a
+	// zombie still answering requests.
+	w.Nodes[i].RaiseFence(dead)
+	replicas := w.Repls[i].Take(dead)
+	var journal, mailbox rms.Store
+	if r := replicas[repl.RoleJournal]; r != nil {
+		journal = r.NewStore("replica-journal-" + dead)
+	}
+	if r := replicas[repl.RoleMailbox]; r != nil {
+		mailbox = r.NewStore("replica-mailbox-" + dead)
+	}
+	agents, mailboxes, err := w.Gateways[i].PromoteFrom(ctx, dead, journal, mailbox)
+	if err != nil {
+		// Keep the world running: a failed adoption leaves the replica
+		// consumed but the fence up, which is still safer than a
+		// half-fenced split brain.
+		return
+	}
+	w.promotions = append(w.promotions, Promotion{
+		Dead: dead, By: w.Gateways[i].Addr(), Agents: agents, Mailboxes: mailboxes,
+	})
+}
+
+// Promotions lists completed §10 failovers in order.
+func (w *SimWorld) Promotions() []Promotion {
+	return append([]Promotion(nil), w.promotions...)
 }
 
 // CrashGateway simulates a gateway process crash: the embedded MAS
@@ -420,6 +538,21 @@ func (w *SimWorld) CrashGateway(addr string) error {
 	return w.Net.KillHost(addr)
 }
 
+// CrashGatewayLosingDisk is CrashGateway plus total disk loss: the
+// member's journal and mailbox stores are destroyed, so nothing
+// local survives — only the standby's replica (and the fencing epoch
+// gossiped after eviction) can carry its agents and mailboxes forward.
+// This is the failure warm-standby replication exists for; a later
+// RestartGateway brings the member back blank.
+func (w *SimWorld) CrashGatewayLosingDisk(addr string) error {
+	if err := w.CrashGateway(addr); err != nil {
+		return err
+	}
+	delete(w.Journals, addr)
+	delete(w.Mailboxes, addr)
+	return nil
+}
+
 // RestartGateway replaces a crashed gateway with a fresh instance over
 // the same key pair and journal, rejoins it to the cluster (a fresh
 // node re-bootstraps from the seed list) and resumes journaled agent
@@ -431,7 +564,20 @@ func (w *SimWorld) RestartGateway(ctx context.Context, addr string) (int, error)
 	if i < 0 {
 		return 0, fmt.Errorf("core: no gateway %q to restart", addr)
 	}
-	gw, node, err := w.buildGateway(i, addr, w.gwKeys[addr], w.Journals[addr])
+	// A member that was fenced after eviction re-admits itself by
+	// adopting the fleet's fence for its address as its own epoch —
+	// the legitimate-restart half of the fencing rule (epoch >= fence
+	// passes; only the zombie still claiming the old epoch is refused).
+	var epoch uint64
+	for j, n := range w.Nodes {
+		if n == nil || w.Gateways[j].Addr() == addr || w.crashedGW[w.Gateways[j].Addr()] {
+			continue
+		}
+		if f := n.FenceOf(addr); f > epoch {
+			epoch = f
+		}
+	}
+	gw, node, peer, err := w.buildGateway(i, addr, w.gwKeys[addr], w.Journals[addr], epoch)
 	if err != nil {
 		return 0, err
 	}
@@ -441,6 +587,7 @@ func (w *SimWorld) RestartGateway(ctx context.Context, addr string) (int, error)
 	}
 	w.Gateways[i] = gw
 	w.Nodes[i] = node
+	w.Repls[i] = peer
 	delete(w.crashedGW, addr)
 	if w.Journals[addr] == nil {
 		return 0, nil

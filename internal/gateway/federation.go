@@ -148,6 +148,9 @@ func (g *Gateway) handleClusterDispatch(ctx context.Context, req *transport.Requ
 	if g.draining.Load() {
 		return transport.Errorf(transport.StatusUnavailable, "gateway %s is draining", g.cfg.Addr)
 	}
+	if why := g.unhealthy(); why != "" {
+		return transport.Errorf(transport.StatusUnavailable, "gateway %s refusing dispatches: %s", g.cfg.Addr, why)
+	}
 	pi, err := wire.ParsePackedInformation(req.Body)
 	if err != nil {
 		return transport.Errorf(transport.StatusBadRequest, "forwarded packed information: %v", err)

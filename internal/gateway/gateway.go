@@ -44,6 +44,7 @@ import (
 	"pdagent/internal/pisec"
 	"pdagent/internal/progcache"
 	"pdagent/internal/push"
+	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
@@ -109,6 +110,16 @@ type Config struct {
 	// embedder builds the node (over the same transport) and drives its
 	// heartbeats — Node.Start in daemons, manual Tick in simulations.
 	Cluster *cluster.Node
+	// Repl, when set alongside Cluster, is this member's warm-standby
+	// replication peer (DESIGN.md §10): the gateway mounts its
+	// /cluster/repl/* endpoints and attaches commit taps to every
+	// durable store that supports one (the agent journal and the
+	// mailbox store, when they implement rms.Tapped), so a ring
+	// successor holds a live replica and can be promoted via
+	// PromoteFrom when this member dies. The embedder builds the peer
+	// wired to the same cluster node (identity stamping, fencing) and
+	// drives its Flush from the heartbeat loop in async mode.
+	Repl *repl.Peer
 	// Mailbox, when set, enables the disconnection-tolerant device
 	// sessions of DESIGN.md §7: every device gets a durable,
 	// quota-bounded mailbox into which result documents, status changes
@@ -138,8 +149,13 @@ type Gateway struct {
 	pool  *workerPool
 	progs *progcache.Cache // nil when Config.NoProgramCache
 	hub   *push.Hub        // nil when Config.Mailbox is unset
+	// mailboxStore backs the hub; kept for the health probe.
+	mailboxStore rms.Store
 	// draining refuses new dispatches during graceful shutdown.
 	draining atomic.Bool
+	// wedgeLogged makes the store-wedge refusal log once, not per
+	// refused dispatch.
+	wedgeLogged atomic.Bool
 	// resultsSwept counts result documents reclaimed by the TTL sweep.
 	resultsSwept atomic.Uint64
 	// Migration-pull herd protection (see pullMailboxFrom): per-device
@@ -209,6 +225,7 @@ func New(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("gateway: opening mailbox store: %w", err)
 		}
 		g.hub = hub
+		g.mailboxStore = store
 		g.mbPullInflight = map[string]chan struct{}{}
 		g.mbPullSem = make(chan struct{}, maxConcurrentMailboxPulls)
 	}
@@ -263,9 +280,23 @@ func New(cfg Config) (*Gateway, error) {
 			m.HandleFunc("/cluster/mailbox/export", g.handleClusterMailboxExport)
 			m.HandleFunc("/cluster/mailbox/ack", g.handleClusterMailboxAck)
 		}
+		if cfg.Repl != nil {
+			cfg.Repl.Mount(m)
+		}
 		m.Handle("/cluster/", cfg.Cluster.Handler())
 	}
 	g.mux = m
+	if cfg.Repl != nil {
+		// Attach commit taps to every durable store that supports one;
+		// stores without a tap (plain MemStore, FileStore) simply are
+		// not replicated.
+		if t, ok := cfg.Journal.(rms.Tapped); ok {
+			cfg.Repl.Replicate(repl.RoleJournal, t)
+		}
+		if t, ok := g.mailboxStore.(rms.Tapped); ok {
+			cfg.Repl.Replicate(repl.RoleMailbox, t)
+		}
+	}
 	return g, nil
 }
 
@@ -347,6 +378,37 @@ func (g *Gateway) logf(format string, args ...any) {
 	if g.cfg.Logf != nil {
 		g.cfg.Logf(format, args...)
 	}
+}
+
+// unhealthy reports why this gateway must refuse new dispatches (""
+// while healthy). Two conditions flip it:
+//
+//   - a wedged durable store (fsync failure permanently failed the
+//     agent journal or the mailbox store): admitting an agent whose
+//     journal write is guaranteed to fail would strand the journey,
+//     so the member sheds load with a retryable 503 and lets the
+//     fleet route around it — the fsyncgate stance: fail the node,
+//     not the write;
+//   - a fencing epoch above our own (a standby promoted over this
+//     member's state): any admission here could double-deliver.
+//
+// The wedge is logged once, not per refused request.
+func (g *Gateway) unhealthy() string {
+	if g.cfg.Cluster != nil && g.cfg.Cluster.Fenced() {
+		return "member is fenced (a promoted standby owns its state)"
+	}
+	for _, s := range []rms.Store{g.cfg.Journal, g.mailboxStore} {
+		if s == nil {
+			continue
+		}
+		if err := rms.StoreErr(s); err != nil {
+			if g.wedgeLogged.CompareAndSwap(false, true) {
+				g.logf("gateway %s: durable store wedged, refusing dispatches until restart: %v", g.cfg.Addr, err)
+			}
+			return "durable store wedged: " + err.Error()
+		}
+	}
+	return ""
 }
 
 // --- result intake (the agent coming home, §3.3) -----------------------
@@ -449,6 +511,9 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 		// Graceful shutdown: refuse new work with a retryable status so
 		// devices (and forwarding peers) go elsewhere.
 		return transport.Errorf(transport.StatusUnavailable, "gateway %s is draining", g.cfg.Addr)
+	}
+	if why := g.unhealthy(); why != "" {
+		return transport.Errorf(transport.StatusUnavailable, "gateway %s refusing dispatches: %s", g.cfg.Addr, why)
 	}
 	// Step 1-2: security check and decryption (Figure 7), then
 	// decompression and XML parsing (the XML Writer).

@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+
+	"pdagent/internal/cluster"
+	"pdagent/internal/push"
+	"pdagent/internal/rms"
+)
+
+// This file is the warm-standby promotion path (DESIGN.md §10). The
+// embedder — core.SimWorld in simulations, the daemons' OnEvict hook
+// in production — detects the primary's death (SWIM eviction), fences
+// the dead instance (cluster.Node.RaiseFence), takes the replicas
+// from its repl.Peer, materialises them as stores, and hands them
+// here. PromoteFrom then makes this gateway answer for the dead
+// member: its journaled agents resume their journeys from the replica
+// (exactly-once — the journal's dedup watermarks ride along), the
+// location directory re-points at this member, and the dead member's
+// device mailboxes are imported (event-id dedup keeps entries the
+// devices already fetched from double-delivering).
+
+// PromoteFrom adopts a dead member's replicated state. journal and
+// mailbox are the materialised replica stores (either may be nil when
+// that subsystem was not replicated). Returns the number of agents
+// set in motion and mailboxes imported.
+func (g *Gateway) PromoteFrom(ctx context.Context, from string, journal, mailbox rms.Store) (agents, mailboxes int, err error) {
+	if g.cfg.Cluster == nil {
+		return 0, 0, fmt.Errorf("gateway %s: promotion requires a cluster", g.cfg.Addr)
+	}
+	var adopted []string
+	if journal != nil {
+		adopted, err = g.mas.AdoptJournal(ctx, from, journal)
+		if err != nil {
+			return 0, 0, fmt.Errorf("gateway %s: adopting %s's journal: %w", g.cfg.Addr, from, err)
+		}
+		// Re-point the location directory: every adopted agent now lives
+		// (and is homed) here. The promotion update must outrank whatever
+		// the dead member last published for the agent, so it advances
+		// that entry's sequence rather than deriving one from hop counts.
+		for _, id := range adopted {
+			seq := 1
+			if loc, ok := g.cfg.Cluster.Locations().Get(id); ok {
+				seq = loc.Seq + 1
+			}
+			g.cfg.Cluster.PublishLocation(ctx, cluster.Location{
+				AgentID: id, Addr: g.cfg.Addr, HomeGW: g.cfg.Addr, Seq: seq,
+			})
+		}
+	}
+	if mailbox != nil && g.hub != nil {
+		mailboxes, err = g.importMailboxes(from, mailbox)
+		if err != nil {
+			return len(adopted), mailboxes, err
+		}
+	}
+	g.logf("gateway %s: promoted over %s: %d agent(s) adopted, %d mailbox(es) imported",
+		g.cfg.Addr, from, len(adopted), mailboxes)
+	return len(adopted), mailboxes, nil
+}
+
+// importMailboxes folds a dead member's mailbox replica into the local
+// hub. A throwaway hub is opened over the replica store (reusing the
+// hub's own recovery scan), then each device's pending entries are
+// imported — re-sequenced, deduplicated by event id, the device's
+// access token carried along, exactly like a live migration pull.
+func (g *Gateway) importMailboxes(from string, store rms.Store) (int, error) {
+	tmp, err := push.NewHub(push.Config{Store: store, Logf: g.cfg.Logf})
+	if err != nil {
+		return 0, fmt.Errorf("gateway %s: opening %s's mailbox replica: %w", g.cfg.Addr, from, err)
+	}
+	defer tmp.Close()
+	imported := 0
+	for _, device := range tmp.Devices() {
+		if entries := tmp.Export(device); len(entries) > 0 {
+			if _, err := g.hub.Import(device, entries); err != nil {
+				g.logf("gateway %s: importing %s's mailbox of %s: %v", g.cfg.Addr, from, device, err)
+				continue
+			}
+		}
+		// The device keeps authenticating with the token the dead member
+		// minted (AdoptToken is a no-op if we already issued our own).
+		if tok := tmp.TokenOf(device); tok != "" {
+			g.hub.AdoptToken(device, tok)
+		}
+		imported++
+	}
+	return imported, nil
+}

@@ -1280,69 +1280,10 @@ func (s *Server) Resume(ctx context.Context) (int, error) {
 		if e.tombstone() {
 			// Dedup bookkeeping only: restore the watermark so retried
 			// handoffs the dead server had accepted stay idempotent.
-			if e.Watermark >= 0 {
-				s.mu.Lock()
-				if wm, ok := s.accepted[e.ID]; !ok || e.Watermark > wm {
-					s.accepted[e.ID] = e.Watermark
-				}
-				s.mu.Unlock()
-			}
+			s.mergeWatermark(e.ID, e.Watermark)
 			continue
 		}
-		prog, err := s.unmarshalProgram(e.Program)
-		if err != nil {
-			s.logf("mas %s: journal entry %s: bad program: %v", s.cfg.Addr, e.ID, err)
-			continue
-		}
-		vm, err := mavm.UnmarshalState(prog, e.VMState)
-		if err != nil || vm.AgentID != e.ID {
-			s.logf("mas %s: journal entry %s: bad state: %v", s.cfg.Addr, e.ID, err)
-			continue
-		}
-		rec := &record{
-			id: e.ID, home: e.Home, codeID: e.CodeID, owner: e.Owner,
-			vm: vm, state: e.State, lastErr: e.LastErr,
-		}
-		s.mu.Lock()
-		if _, exists := s.agents[e.ID]; exists {
-			s.mu.Unlock()
-			continue
-		}
-		s.agents[e.ID] = rec
-		if e.Watermark >= 0 {
-			if wm, ok := s.accepted[e.ID]; !ok || e.Watermark > wm {
-				s.accepted[e.ID] = e.Watermark
-			}
-		}
-		s.mu.Unlock()
-
-		switch {
-		case e.Target != "":
-			// A transfer was in flight (or parked) when the server died:
-			// finish the handoff. The receiver dedups if the old server's
-			// send had actually landed.
-			rec.state = StateRunning
-			target, kind := e.Target, e.Kind
-			if kind == "" {
-				kind = KindMigrate
-			}
-			s.spawn(func() { s.shipAgent(ctx, rec, target, kind) })
-			resumed++
-		case vm.Status() == mavm.StatusMigrating:
-			rec.state = StateRunning
-			s.spawn(func() { s.shipAgent(ctx, rec, vm.MigrateTarget(), KindMigrate) })
-			resumed++
-		case vm.Status() == mavm.StatusDone:
-			rec.state = StateRunning
-			s.spawn(func() { s.finishAgent(ctx, rec, KindDone) })
-			resumed++
-		case vm.Status() == mavm.StatusFailed:
-			rec.state = StateRunning
-			s.spawn(func() { s.finishAgent(ctx, rec, KindFailed) })
-			resumed++
-		default: // mavm.StatusReady: mid-itinerary, re-enter the loop
-			rec.state = StateRunning
-			s.startLoop(ctx, rec)
+		if s.resumeEntry(ctx, e) {
 			resumed++
 		}
 	}
@@ -1350,6 +1291,142 @@ func (s *Server) Resume(ctx context.Context) (int, error) {
 		s.logf("mas %s: resumed %d journaled agent(s)", s.cfg.Addr, resumed)
 	}
 	return resumed, nil
+}
+
+// mergeWatermark raises the receiver-side dedup watermark for an agent
+// id (no-op if the known watermark is already at least wm).
+func (s *Server) mergeWatermark(id string, wm int) {
+	if wm < 0 {
+		return
+	}
+	s.mu.Lock()
+	if cur, ok := s.accepted[id]; !ok || wm > cur {
+		s.accepted[id] = wm
+	}
+	s.mu.Unlock()
+}
+
+// resumeEntry re-hydrates one non-tombstone journal entry and sets its
+// journey moving again; ctx must already be detached from cancellation.
+// Returns false when the entry is skipped (undecodable, or the agent is
+// already resident — it arrived by transfer while we were recovering).
+func (s *Server) resumeEntry(ctx context.Context, e *journalEntry) bool {
+	prog, err := s.unmarshalProgram(e.Program)
+	if err != nil {
+		s.logf("mas %s: journal entry %s: bad program: %v", s.cfg.Addr, e.ID, err)
+		return false
+	}
+	vm, err := mavm.UnmarshalState(prog, e.VMState)
+	if err != nil || vm.AgentID != e.ID {
+		s.logf("mas %s: journal entry %s: bad state: %v", s.cfg.Addr, e.ID, err)
+		return false
+	}
+	rec := &record{
+		id: e.ID, home: e.Home, codeID: e.CodeID, owner: e.Owner,
+		vm: vm, state: e.State, lastErr: e.LastErr,
+	}
+	s.mu.Lock()
+	if _, exists := s.agents[e.ID]; exists {
+		s.mu.Unlock()
+		return false
+	}
+	s.agents[e.ID] = rec
+	if e.Watermark >= 0 {
+		if wm, ok := s.accepted[e.ID]; !ok || e.Watermark > wm {
+			s.accepted[e.ID] = e.Watermark
+		}
+	}
+	s.mu.Unlock()
+
+	switch {
+	case e.Target != "":
+		// A transfer was in flight (or parked) when the server died:
+		// finish the handoff. The receiver dedups if the old server's
+		// send had actually landed.
+		rec.state = StateRunning
+		target, kind := e.Target, e.Kind
+		if kind == "" {
+			kind = KindMigrate
+		}
+		s.spawn(func() { s.shipAgent(ctx, rec, target, kind) })
+	case vm.Status() == mavm.StatusMigrating:
+		rec.state = StateRunning
+		s.spawn(func() { s.shipAgent(ctx, rec, vm.MigrateTarget(), KindMigrate) })
+	case vm.Status() == mavm.StatusDone:
+		rec.state = StateRunning
+		s.spawn(func() { s.finishAgent(ctx, rec, KindDone) })
+	case vm.Status() == mavm.StatusFailed:
+		rec.state = StateRunning
+		s.spawn(func() { s.finishAgent(ctx, rec, KindFailed) })
+	default: // mavm.StatusReady: mid-itinerary, re-enter the loop
+		rec.state = StateRunning
+		s.startLoop(ctx, rec)
+	}
+	return true
+}
+
+// AdoptJournal folds a dead member's replicated agent journal into
+// this server — the warm-standby promotion path (DESIGN.md §10).
+// Entries homed at the dead member are re-homed here (the standby now
+// answers for it), dedup watermarks merge by max so handoffs the dead
+// member had accepted stay idempotent when senders re-route their
+// retries, and live agents resume their journeys exactly as a restart
+// over the dead member's own store would. Agents already resident
+// locally (they migrated here before the crash) are left untouched.
+// Adopted entries are persisted to this server's own journal first, so
+// a crash of the standby mid-promotion loses nothing that had been
+// replicated. Returns the ids of the agents set in motion, for the
+// location-directory re-point.
+func (s *Server) AdoptJournal(ctx context.Context, from string, store rms.Store) ([]string, error) {
+	jr, err := openJournal(store)
+	if err != nil {
+		return nil, fmt.Errorf("mas: opening %s's journal replica: %w", from, err)
+	}
+	entries, err := jr.loadAll()
+	if err != nil {
+		return nil, fmt.Errorf("mas: reading %s's journal replica: %w", from, err)
+	}
+	ctx = context.WithoutCancel(ctx)
+	var adopted []string
+	for _, e := range entries {
+		if e.Home == from {
+			e.Home = s.cfg.Addr
+		}
+		s.mu.Lock()
+		_, resident := s.agents[e.ID]
+		s.mu.Unlock()
+		if e.tombstone() {
+			s.mergeWatermark(e.ID, e.Watermark)
+			// Persist the acceptance evidence unless a live local entry
+			// would be clobbered by it.
+			if !resident && s.jr != nil {
+				if evicted, err := s.jr.put(e); err != nil {
+					s.logf("mas %s: adopting tombstone %s from %s: %v", s.cfg.Addr, e.ID, from, err)
+				} else if evicted != "" {
+					s.forgetHandoff(evicted)
+				}
+			}
+			continue
+		}
+		if resident {
+			s.mergeWatermark(e.ID, e.Watermark)
+			continue
+		}
+		if s.jr != nil {
+			if _, err := s.jr.put(e); err != nil {
+				// Our own journal is failing; adopt in memory anyway —
+				// a running copy beats a stranded journey.
+				s.logf("mas %s: journaling adopted agent %s: %v", s.cfg.Addr, e.ID, err)
+			}
+		}
+		if s.resumeEntry(ctx, e) {
+			adopted = append(adopted, e.ID)
+		}
+	}
+	if len(adopted) > 0 {
+		s.logf("mas %s: adopted %d agent(s) from %s", s.cfg.Addr, len(adopted), from)
+	}
+	return adopted, nil
 }
 
 // ResidentCount returns the number of agents currently held by this

@@ -1,0 +1,189 @@
+package rms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// collectSink gathers every op a tap emits, guarding against the
+// concurrent sink leaders of the WAL tap.
+type collectSink struct {
+	mu  sync.Mutex
+	ops []CommitOp
+}
+
+func (c *collectSink) sink(ops []CommitOp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, op := range ops {
+		cp := op
+		cp.Data = append([]byte(nil), op.Data...)
+		c.ops = append(c.ops, cp)
+	}
+}
+
+func (c *collectSink) snapshot() []CommitOp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CommitOp(nil), c.ops...)
+}
+
+// replay applies the collected ops to a fresh MemStore — what a
+// standby replica does with the stream.
+func (c *collectSink) replay(t *testing.T) *MemStore {
+	t.Helper()
+	replica := NewMemStore("replica", 0)
+	for _, op := range c.snapshot() {
+		var err error
+		switch op.Op {
+		case OpAdd:
+			_, err = replica.Add(op.Data)
+		case OpSet:
+			err = replica.Set(op.ID, op.Data)
+		case OpDelete:
+			err = replica.Delete(op.ID)
+		}
+		if err != nil {
+			t.Fatalf("replaying %d on %d: %v", op.Op, op.ID, err)
+		}
+	}
+	return replica
+}
+
+func TestWALStoreCommitTapOrdersAndCovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWALStore(dir, WALOptions{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := &collectSink{}
+	s.SetCommitSink(c.sink)
+
+	// Concurrent committers: the tap must emit every op exactly once,
+	// and in an order that replays to the same live set.
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id, err := s.Add([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				if i%5 == 0 {
+					if err := s.Set(id, []byte("updated")); err != nil {
+						t.Errorf("set: %v", err)
+					}
+				}
+				if i%7 == 0 {
+					if err := s.Delete(id); err != nil {
+						t.Errorf("delete: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	replica := c.replay(t)
+	wantIDs, _ := s.IDs()
+	gotIDs, _ := replica.IDs()
+	if len(wantIDs) != len(gotIDs) {
+		t.Fatalf("replica has %d records, primary %d", len(gotIDs), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if gotIDs[i] != id {
+			t.Fatalf("replica id set diverges at %d: %d vs %d", i, gotIDs[i], id)
+		}
+		want, _ := s.Get(id)
+		got, _ := replica.Get(id)
+		if string(want) != string(got) {
+			t.Fatalf("record %d: replica %q, primary %q", id, got, want)
+		}
+	}
+}
+
+func TestWALStoreTapSkipsPreAttachOps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWALStore(dir, WALOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Add([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	c := &collectSink{}
+	s.SetCommitSink(c.sink)
+	if _, err := s.Add([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	ops := c.snapshot()
+	if len(ops) != 1 || string(ops[0].Data) != "after" {
+		t.Fatalf("tap saw %d ops (want just the post-attach add): %+v", len(ops), ops)
+	}
+}
+
+func TestTappedStoreEmitsInOrder(t *testing.T) {
+	c := &collectSink{}
+	s := NewTappedStore(NewMemStore("t", 0), c.sink)
+	id, err := s.Add([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(id, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s.Add([]byte("c"))
+	if err := s.Delete(id2); err != nil {
+		t.Fatal(err)
+	}
+	ops := c.snapshot()
+	wantOps := []byte{OpAdd, OpSet, OpAdd, OpDelete}
+	if len(ops) != len(wantOps) {
+		t.Fatalf("got %d ops, want %d", len(ops), len(wantOps))
+	}
+	for i, op := range ops {
+		if op.Op != wantOps[i] {
+			t.Fatalf("op %d is %d, want %d", i, op.Op, wantOps[i])
+		}
+	}
+}
+
+func TestNewMemStoreFromRaisesNextID(t *testing.T) {
+	s := NewMemStoreFrom("m", 2, map[int][]byte{5: []byte("x"), 2: []byte("y")})
+	next, _ := s.NextID()
+	if next != 6 {
+		t.Fatalf("NextID %d, want 6 (past highest record)", next)
+	}
+	got, err := s.Get(5)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("Get(5) = %q, %v", got, err)
+	}
+}
+
+func TestWALStoreErrSurfacesWedge(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWALStore(dir, WALOptions{Sync: SyncAlways, fs: &errSyncFS{walFS: osFS{}, fuse: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatalf("healthy store reports %v", s.Err())
+	}
+	if _, err := s.Add([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add([]byte("x")); err == nil {
+		t.Fatal("Add after fsync failure should error")
+	}
+	if err := s.Err(); !errors.Is(err, ErrWedged) {
+		t.Fatalf("Err() = %v, want ErrWedged", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"path/filepath"
@@ -72,6 +73,15 @@ type WALStore struct {
 	lsn     uint64 // sequence of the last appended entry
 	synced  uint64 // highest lsn covered by an fsync
 	syncing bool   // a group-commit leader's fsync is in flight
+
+	// Commit tap (replication, DESIGN.md §10): mutations buffer in
+	// tapBuf at append time and a sink leader drains everything fsync
+	// has covered, in order, after the commit that made them durable.
+	sink    CommitSink
+	tapBuf  []tapOp
+	sunk    uint64      // highest lsn emitted to the sink
+	sinking bool        // a sink leader's drain is in flight
+	tapped  atomic.Bool // fast-path check: is a sink attached?
 
 	fsyncs  atomic.Uint64
 	scratch []byte
@@ -435,11 +445,17 @@ func (s *WALStore) loadSnapshot(seq uint64) error {
 	return nil
 }
 
+// ErrWedged marks the sticky failure state a write or fsync error
+// leaves a WALStore in; errors.Is(err, ErrWedged) identifies it from
+// any operation's return. A wedged store never heals in-process — the
+// embedder should surface the condition (health 503) and fail over.
+var ErrWedged = errors.New("rms: wal store wedged")
+
 // wedgeLocked records a permanent failure and wakes every parked
 // writer. Called with mu held.
 func (s *WALStore) wedgeLocked(err error) error {
 	if s.fail == nil {
-		s.fail = fmt.Errorf("rms: wal %s wedged: %w", s.name, err)
+		s.fail = fmt.Errorf("%w: %s: %v", ErrWedged, s.name, err)
 	}
 	s.commit.Broadcast()
 	return s.fail
@@ -460,6 +476,9 @@ func (s *WALStore) appendLocked(op byte, id int, payload []byte) (uint64, error)
 	}
 	s.segOff += int64(len(s.scratch))
 	s.lsn++
+	if s.sink != nil {
+		s.tapBuf = append(s.tapBuf, tapOp{lsn: s.lsn, op: CommitOp{Op: op, ID: id, Data: clone(payload)}})
+	}
 	return s.lsn, nil
 }
 
@@ -757,6 +776,9 @@ func (s *WALStore) Add(data []byte) (int, error) {
 	if err := s.commitWait(lsn); err != nil {
 		return 0, err
 	}
+	if s.tapped.Load() {
+		s.sinkWait(lsn)
+	}
 	return id, nil
 }
 
@@ -789,7 +811,13 @@ func (s *WALStore) Set(id int, data []byte) error {
 	s.garbage += entryHeaderSize + len(old)
 	s.records[id] = clone(data)
 	s.mu.Unlock()
-	return s.commitWait(lsn)
+	if err := s.commitWait(lsn); err != nil {
+		return err
+	}
+	if s.tapped.Load() {
+		s.sinkWait(lsn)
+	}
+	return nil
 }
 
 // Delete implements Store.
@@ -817,7 +845,13 @@ func (s *WALStore) Delete(id int) error {
 	s.garbage += 2*entryHeaderSize + len(old)
 	delete(s.records, id)
 	s.mu.Unlock()
-	return s.commitWait(lsn)
+	if err := s.commitWait(lsn); err != nil {
+		return err
+	}
+	if s.tapped.Load() {
+		s.sinkWait(lsn)
+	}
+	return nil
 }
 
 // Get implements Store.
