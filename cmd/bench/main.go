@@ -1,17 +1,18 @@
 // Command bench is the machine-readable performance harness: it runs
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
 // fast path, G3 federation scaling, G4 mailbox delivery, G5 scale and
-// churn, G6 durable storage engine, G7 recovery and failover) through
+// churn, G6 durable storage engine, G7 recovery and failover, G8
+// overload shedding) through
 // the exact drivers `go test -bench` uses (internal/benchkit) and
 // writes the results as JSON so the repo's performance trajectory is
 // tracked as data, not prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_8.json
+//	bench                     # full run, writes BENCH_9.json
 //	bench -short              # CI run (shorter benchtime)
 //	bench -o out.json         # choose the output path
-//	bench -check BENCH_8.json # exit non-zero on regression vs the
+//	bench -check BENCH_9.json # exit non-zero on regression vs the
 //	                          # committed file
 //
 // The output carries the pre-PR baselines alongside the current
@@ -38,6 +39,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"pdagent/internal/benchkit"
 	"pdagent/internal/compress"
@@ -82,7 +84,7 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_8.json schema.
+// Output is the BENCH_9.json schema.
 type Output struct {
 	Schema         string   `json:"schema"`
 	GoVersion      string   `json:"go_version"`
@@ -104,6 +106,8 @@ const (
 	journaledAlways  = "journaled_dispatch_e2e/store=wal,fsync=always"
 	walReplay10k     = "wal_replay/records=10000"
 	walReplay50k     = "wal_replay/records=50000"
+	overloadShedOn   = "overload/shed=on"
+	overloadShedOff  = "overload/shed=off"
 )
 
 func run(name string, fn func(b *testing.B)) Result {
@@ -127,8 +131,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_8.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_8.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, idle-device bytes, or WAL-replay records/bytes drifting >20%)")
+	out := flag.String("o", "BENCH_9.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_9.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, idle-device bytes, or WAL-replay records/bytes drifting >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -141,7 +145,7 @@ func main() {
 	}
 
 	o := Output{
-		Schema:         "pdagent-bench/8",
+		Schema:         "pdagent-bench/9",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -219,6 +223,16 @@ func main() {
 	// seed-pinned deterministic quantities; only the wall-clock is
 	// machine-relative.
 	for _, row := range recoveryRows() {
+		o.Results = append(o.Results, row)
+	}
+
+	// G8 — overload shedding: the same storm driven past saturation
+	// with admission control on and off (DESIGN.md §11). Everything in
+	// these rows is virtual-time deterministic — the 503 counts, the
+	// sojourn percentiles and the within-SLO goodput are identical on
+	// every machine — so the gate compares shed=on goodput exactly like
+	// the churn-storm percentiles.
+	for _, row := range overloadRows() {
 		o.Results = append(o.Results, row)
 	}
 
@@ -512,6 +526,49 @@ func find(rs []Result, name string) *Result {
 // p99 drain latency / bytes-per-idle-device outside ±20%. The storm
 // percentiles are virtual-time quantities from a pinned seed, so drift
 // means the delivery path changed, not that the runner was slow.
+// overloadRows runs the G8 overload pair: arrivals at twice the
+// service rate (D/D/1 pushed to ρ=2), a 20ms delivery SLO, and a
+// 16-agent in-flight watermark on the shed=on side. The driver runs
+// real dispatches on a virtual clock, so counts and percentiles are
+// exact (see benchkit.Overload).
+func overloadRows() []Result {
+	cfg := benchkit.OverloadConfig{
+		Offered:      2000,
+		ArrivalEvery: 500 * time.Microsecond,
+		ServiceEvery: time.Millisecond,
+		SLO:          20 * time.Millisecond,
+	}
+	rows := make([]Result, 0, 2)
+	for _, on := range []bool{true, false} {
+		c := cfg
+		name := overloadShedOff
+		if on {
+			c.MaxInFlight = 16
+			name = overloadShedOn
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", name)
+		pt, err := benchkit.Overload(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
+			os.Exit(2)
+		}
+		rows = append(rows, Result{
+			Name: name,
+			Metrics: map[string]float64{
+				"offered":    float64(pt.Offered),
+				"admitted":   float64(pt.Admitted),
+				"shed":       float64(pt.Shed),
+				"delivered":  float64(pt.Delivered),
+				"within_slo": float64(pt.WithinSLO),
+				"p50_us":     float64(pt.P50US),
+				"p99_us":     float64(pt.P99US),
+				"max_us":     float64(pt.MaxUS),
+			},
+		})
+	}
+	return rows
+}
+
 func gate(path string, o Output) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -549,6 +606,12 @@ func gate(path string, o Output) error {
 		{walReplay10k, "replayed_bytes"},
 		{walReplay50k, "replayed_records"},
 		{walReplay50k, "replayed_bytes"},
+		// G8: the shed=on goodput is the row this PR exists for — a
+		// watermark or admission-path change that erodes delivered
+		// throughput inside the SLO fails here. Virtual-time exact, so
+		// the 20% band is pure headroom.
+		{overloadShedOn, "within_slo"},
+		{overloadShedOn, "p99_us"},
 	}
 	for _, c := range checks {
 		cur := find(o.Results, c.row)

@@ -24,14 +24,14 @@ import (
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster,push")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster,push,overload")
 	seed := flag.Int64("seed", 1, "base seed for the simulated network")
 	maxN := flag.Int("n", experiments.DefaultMaxN, "maximum number of transactions")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster", "push"} {
+		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster", "push", "overload"} {
 			want[k] = true
 		}
 	} else {
@@ -152,6 +152,13 @@ func main() {
 			log.Fatalf("figures: E8: %v", err)
 		}
 		emit(experiments.E8Table(rows))
+	}
+	if want["overload"] {
+		rows, err := experiments.OverloadCurve()
+		if err != nil {
+			log.Fatalf("figures: G8: %v", err)
+		}
+		emit(experiments.G8Table(rows))
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "figures: nothing selected")

@@ -91,6 +91,10 @@ func main() {
 	workers := flag.Int("outbound-workers", 32, "bounded worker pool size for outbound calls (status chasing, management)")
 	maxConns := flag.Int("max-conns-per-host", transport.DefaultMaxPerDest, "outbound connection and in-flight limit per destination")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	shedInFlight := flag.Int("shed-inflight", 0, "shed device dispatches (503 + Retry-After) while this many agents are in flight; 0 disables")
+	shedQueue := flag.Int("shed-queue", 0, "shed device dispatches while the outbound worker queue is this deep; 0 disables")
+	shedFsyncStall := flag.Duration("shed-fsync-stall", 0, "shed device dispatches while the journal's last fsync took at least this long (requires -journal with -store=wal); 0 disables")
+	shedRetryAfter := flag.Duration("shed-retry-after", time.Second, "Retry-After hint on shed responses")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -259,6 +263,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("gateway: generating key pair: %v", err)
 	}
+	var shed *gateway.ShedConfig
+	if *shedInFlight > 0 || *shedQueue > 0 || *shedFsyncStall > 0 {
+		shed = &gateway.ShedConfig{
+			MaxInFlight:   *shedInFlight,
+			MaxQueueDepth: *shedQueue,
+			MaxFsyncStall: *shedFsyncStall,
+			RetryAfter:    *shedRetryAfter,
+		}
+		log.Printf("gateway %s: admission control on (inflight>=%d queue>=%d fsync-stall>=%v)",
+			public, *shedInFlight, *shedQueue, *shedFsyncStall)
+	}
 	gw, err = gateway.New(gateway.Config{
 		Addr:            public,
 		KeyPair:         kp,
@@ -271,6 +286,7 @@ func main() {
 		Journal:         journal,
 		Mailbox:         mailbox,
 		OutboundWorkers: *workers,
+		Shed:            shed,
 		Logf:            log.Printf,
 	})
 	if err != nil {

@@ -184,6 +184,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("masd: %v", err)
 	}
+	// The MAS built its own registry (served on /metrics); fold the
+	// host-level durability and replication signals into the same
+	// scrape.
+	if w := rms.WALOf(journal); w != nil {
+		w.RegisterMetrics(srv.Metrics(), "pdagent_wal", "agent journal")
+	}
+	if peer != nil {
+		m := srv.Metrics()
+		m.GaugeFunc("pdagent_repl_streams",
+			"Stores replicated to the standby.",
+			func() float64 { return float64(peer.Stats().Streams) })
+		m.GaugeFunc("pdagent_repl_degraded",
+			"Replication streams latched degraded (standby unreachable).",
+			func() float64 { return float64(peer.Stats().Degraded) })
+		m.GaugeFunc("pdagent_repl_pending_ops",
+			"Buffered-but-unreplicated ops across streams (replication lag).",
+			func() float64 { return float64(peer.Stats().PendingOps) })
+	}
 	// Background work (parked-transfer retries, journal compaction)
 	// runs under a context cancelled on SIGTERM, so a shutdown never
 	// races a half-finished retry round.

@@ -29,7 +29,11 @@ import (
 // Image is a complete mobile agent in transit: its identity plus the
 // serialised program and VM state.
 type Image struct {
-	// AgentID is the globally unique agent identifier.
+	// AgentID is the globally unique agent identifier. It doubles as
+	// the journey's trace id (DESIGN.md §11): minted once at dispatch,
+	// it already rides every transfer image, result document and
+	// mailbox event on the itinerary, so tracing adds no identifier to
+	// the wire protocol.
 	AgentID string
 	// Home is the gateway address the agent returns results to.
 	Home string

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pdagent/internal/kxml"
+	"pdagent/internal/metrics"
 	"pdagent/internal/transport"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	NoLocationPush bool
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
+	// Log, when set, routes node diagnostics through the shared
+	// leveled logger (component-tagged, keyed once-latches) instead of
+	// ad-hoc sync.Once sites.
+	Log *metrics.Logger
 }
 
 // Node is one gateway's cluster runtime: membership + placement ring +
@@ -84,7 +89,7 @@ type Node struct {
 	// the node learns a peer fenced it (it is a zombie).
 	epoch      atomic.Uint64
 	selfFenced atomic.Bool
-	fencedOnce sync.Once
+	log        *metrics.Logger
 
 	ringMu  sync.Mutex
 	ring    *Ring
@@ -104,6 +109,17 @@ func NewNode(cfg Config) *Node {
 		cfg:  cfg,
 		locs: NewLocations(cfg.MaxLocations),
 		fwd:  NewForwarder(cfg.Self, cfg.Transport, cfg.Secret),
+		log:  cfg.Log,
+	}
+	if n.log == nil {
+		// A private logger keeps the Oncef latch without requiring
+		// every caller to build one; it writes to cfg.Logf (or nowhere
+		// — quiet simulated nodes stay quiet).
+		sink := cfg.Logf
+		if sink == nil {
+			sink = func(string, ...any) {}
+		}
+		n.log = metrics.NewLogger("cluster", sink)
 	}
 	n.epoch.Store(cfg.Epoch)
 	n.fwd.SetEpochFn(n.Epoch)
@@ -199,11 +215,7 @@ func (n *Node) noteFenced(epoch uint64) {
 		return // we already adopted past the fence (legitimate restart)
 	}
 	n.selfFenced.Store(true)
-	n.fencedOnce.Do(func() {
-		if n.cfg.Logf != nil {
-			n.cfg.Logf("cluster %s: fenced at epoch %d — a standby owns this member's state; refusing writes", n.cfg.Self, epoch)
-		}
-	})
+	n.log.Oncef("fenced", "cluster %s: fenced at epoch %d — a standby owns this member's state; refusing writes", n.cfg.Self, epoch)
 }
 
 // RaiseFence fences addr at a new, higher epoch and returns it. The

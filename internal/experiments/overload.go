@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pdagent/internal/benchkit"
+)
+
+// G8Row is one point on the overload curve: the same offered load
+// driven through a gateway with admission control off and on
+// (DESIGN.md §11). Load is expressed as ρ — offered arrival rate over
+// service rate — so ρ>1 is past saturation. All quantities are
+// virtual-time deterministic (see benchkit.Overload).
+type G8Row struct {
+	Rho     float64 // offered/service rate ratio
+	Offered int     // arrivals driven
+
+	// Admission control off: everything is admitted, the backlog and
+	// the tail sojourn grow without bound past ρ=1.
+	OffWithinSLO int   // deliveries inside the SLO
+	OffP99US     int64 // p99 virtual sojourn, µs
+
+	// Admission control on (in-flight watermark): excess arrivals are
+	// refused retryably at the front door, admitted work finishes in
+	// bounded time.
+	OnWithinSLO int   // deliveries inside the SLO
+	OnShed      int   // dispatches refused 503
+	OnP99US     int64 // p99 virtual sojourn, µs
+}
+
+// OverloadCurve sweeps offered load across saturation (ρ from well
+// under 1 to 3×) and measures delivered-within-SLO throughput with
+// shedding off and on. The claim the curve carries: below saturation
+// the two configurations are identical (the watermark never trips);
+// past saturation the unshed gateway collapses — near-zero goodput,
+// unbounded p99 — while the shed gateway holds goodput at the service
+// capacity and keeps p99 bounded by the watermark depth.
+func OverloadCurve() ([]G8Row, error) {
+	const (
+		offered      = 2000
+		serviceEvery = time.Millisecond
+		slo          = 20 * time.Millisecond
+		watermark    = 16
+	)
+	rhos := []float64{0.5, 0.9, 1.2, 1.5, 2.0, 3.0}
+	rows := make([]G8Row, 0, len(rhos))
+	for _, rho := range rhos {
+		arrivalEvery := time.Duration(float64(serviceEvery) / rho)
+		base := benchkit.OverloadConfig{
+			Offered:      offered,
+			ArrivalEvery: arrivalEvery,
+			ServiceEvery: serviceEvery,
+			SLO:          slo,
+		}
+		off, err := benchkit.Overload(base)
+		if err != nil {
+			return nil, fmt.Errorf("overload ρ=%.1f shed=off: %w", rho, err)
+		}
+		withShed := base
+		withShed.MaxInFlight = watermark
+		on, err := benchkit.Overload(withShed)
+		if err != nil {
+			return nil, fmt.Errorf("overload ρ=%.1f shed=on: %w", rho, err)
+		}
+		rows = append(rows, G8Row{
+			Rho:          rho,
+			Offered:      offered,
+			OffWithinSLO: off.WithinSLO,
+			OffP99US:     off.P99US,
+			OnWithinSLO:  on.WithinSLO,
+			OnShed:       on.Shed,
+			OnP99US:      on.P99US,
+		})
+	}
+	return rows, nil
+}
+
+// G8Table renders the overload curve.
+func G8Table(rows []G8Row) *Table {
+	t := &Table{
+		Title:   "G8 — overload: delivered-within-SLO throughput, shedding off vs on",
+		Columns: []string{"rho", "offered", "goodput(off)", "p99_ms(off)", "goodput(on)", "shed(on)", "p99_ms(on)"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.1f", r.Rho),
+			fmt.Sprintf("%d", r.Offered),
+			fmt.Sprintf("%d", r.OffWithinSLO),
+			fmt.Sprintf("%.1f", float64(r.OffP99US)/1000),
+			fmt.Sprintf("%d", r.OnWithinSLO),
+			fmt.Sprintf("%d", r.OnShed),
+			fmt.Sprintf("%.1f", float64(r.OnP99US)/1000),
+		)
+	}
+	return t
+}

@@ -82,6 +82,8 @@ func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation)
 				// so a device retry of this upload answers idempotently.
 				g.reg.CreateRoutedAgent(agentID, pi.CodeID, pi.Owner, "", home)
 				g.reg.BindNonce(pi.CodeID, pi.Owner, pi.Nonce, agentID)
+				g.mForwarded.Inc()
+				g.trace.Record(agentID, "forward", home)
 				g.logf("gateway %s: dispatch %s homed on %s (agent %s)", g.cfg.Addr, pi.CodeID, home, agentID)
 			} else {
 				// The home refused the admission outright: release the
@@ -195,7 +197,10 @@ func (g *Gateway) relayResult(ctx context.Context, origin string, rd *wire.Resul
 	}
 	if !resp.IsOK() {
 		g.logf("gateway %s: relaying result of %s to %s: %s", g.cfg.Addr, rd.AgentID, origin, resp.Text())
+		return
 	}
+	g.mRelayed.Inc()
+	g.trace.Record(rd.AgentID, "relay-result", origin)
 }
 
 // handleClusterResult receives a relayed result document from the home
@@ -233,6 +238,8 @@ func (g *Gateway) adoptResult(rd *wire.ResultDocument, doc []byte) error {
 	// This member is the edge the device talks to: the result lands in
 	// its mailbox here, ready for the next (re)connection.
 	g.enqueueResult(rd, doc)
+	g.mAdopted.Inc()
+	g.trace.Record(rd.AgentID, "adopt-result", rd.Status)
 	g.logf("gateway %s: adopted result for agent %s", g.cfg.Addr, rd.AgentID)
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pdagent/internal/atp"
 	"pdagent/internal/cluster"
@@ -41,6 +42,7 @@ import (
 	"pdagent/internal/mas"
 	"pdagent/internal/mascript"
 	"pdagent/internal/mavm"
+	"pdagent/internal/metrics"
 	"pdagent/internal/pisec"
 	"pdagent/internal/progcache"
 	"pdagent/internal/push"
@@ -134,6 +136,18 @@ type Config struct {
 	OutboundWorkers int
 	// Logf, when set, receives diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, when set, is the registry behind /metrics (default: a
+	// fresh one). The embedded MAS registers its transfer metrics on
+	// the same registry, so one scrape covers the whole member.
+	Metrics *metrics.Registry
+	// Trace, when set, is the span ring behind /pdagent/trace/{id}
+	// (default: a fresh ring of metrics.DefaultTraceCap spans). Shared
+	// with the embedded MAS so a journey's dispatch, transfer and
+	// delivery hops land in one ring.
+	Trace *metrics.TraceRing
+	// Shed, when set, enables watermark admission control on device
+	// dispatches (see ShedConfig). Nil means never shed.
+	Shed *ShedConfig
 }
 
 // defaultOutboundWorkers bounds outbound concurrency when the config
@@ -153,9 +167,6 @@ type Gateway struct {
 	mailboxStore rms.Store
 	// draining refuses new dispatches during graceful shutdown.
 	draining atomic.Bool
-	// wedgeLogged makes the store-wedge refusal log once, not per
-	// refused dispatch.
-	wedgeLogged atomic.Bool
 	// resultsSwept counts result documents reclaimed by the TTL sweep.
 	resultsSwept atomic.Uint64
 	// Migration-pull herd protection (see pullMailboxFrom): per-device
@@ -165,6 +176,23 @@ type Gateway struct {
 	mbPullSem      chan struct{}
 	mbPullStarted  atomic.Uint64
 	mbPullShared   atomic.Uint64
+	// Observability (observe.go). Counter and histogram handles live
+	// here so hot paths touch only atomics; gauges are registered as
+	// functions and cost nothing between scrapes.
+	metrics        *metrics.Registry
+	trace          *metrics.TraceRing
+	log            *metrics.Logger
+	walStall       func() time.Duration // nil without a WAL journal
+	shedRetryAfter string
+	mDispatchUs    *metrics.Histogram
+	mMailboxUs     *metrics.Histogram
+	mDispatched    *metrics.Counter
+	mDispatchErr   *metrics.Counter
+	mShed          *metrics.Counter
+	mForwarded     *metrics.Counter
+	mResults       *metrics.Counter
+	mRelayed       *metrics.Counter
+	mAdopted       *metrics.Counter
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -229,6 +257,9 @@ func New(cfg Config) (*Gateway, error) {
 		g.mbPullInflight = map[string]chan struct{}{}
 		g.mbPullSem = make(chan struct{}, maxConcurrentMailboxPulls)
 	}
+	g.metrics = cfg.Metrics
+	g.trace = cfg.Trace
+	g.initObserve()
 	masCfg := mas.Config{
 		Addr:           cfg.Addr,
 		Codec:          codec,
@@ -241,6 +272,10 @@ func New(cfg Config) (*Gateway, error) {
 		NoProgramCache: cfg.NoProgramCache,
 		OnAgentHome:    g.onAgentHome,
 		Logf:           cfg.Logf,
+		// The embedded MAS shares the gateway's registry and span
+		// ring: one scrape, one itinerary.
+		Metrics: g.metrics,
+		Trace:   g.trace,
 	}
 	if cfg.Cluster != nil {
 		masCfg.OnAgentMove = g.onAgentMove
@@ -266,6 +301,8 @@ func New(cfg Config) (*Gateway, error) {
 	m.HandleFunc("/pdagent/manage/retract", g.handleRetract)
 	m.HandleFunc("/pdagent/manage/dispose", g.handleDispose)
 	m.HandleFunc("/pdagent/manage/clone", g.handleClone)
+	m.Handle("/metrics", g.metrics.Handler())
+	m.HandleFunc("/pdagent/trace/", g.handleTrace)
 	if g.hub != nil {
 		m.HandleFunc("/pdagent/mailbox", g.handleMailbox)
 		m.HandleFunc("/pdagent/mailbox/poll", g.handleMailboxPoll)
@@ -276,6 +313,7 @@ func New(cfg Config) (*Gateway, error) {
 		// /cluster/ (heartbeat, location gossip) goes to the node.
 		m.HandleFunc("/cluster/dispatch", g.handleClusterDispatch)
 		m.HandleFunc("/cluster/result", g.handleClusterResult)
+		m.HandleFunc("/cluster/trace", g.handleClusterTrace)
 		if g.hub != nil {
 			m.HandleFunc("/cluster/mailbox/export", g.handleClusterMailboxExport)
 			m.HandleFunc("/cluster/mailbox/ack", g.handleClusterMailboxAck)
@@ -308,6 +346,12 @@ func (g *Gateway) Handler() transport.Handler { return g.mux }
 
 // MAS exposes the embedded home mobile-agent server (tests, tooling).
 func (g *Gateway) MAS() *mas.Server { return g.mas }
+
+// Metrics exposes the member's metric registry (tests, tooling).
+func (g *Gateway) Metrics() *metrics.Registry { return g.metrics }
+
+// TraceRing exposes the member's span ring (tests, tooling).
+func (g *Gateway) TraceRing() *metrics.TraceRing { return g.trace }
 
 // Registry exposes the gateway's state registry (tests, benchmarks).
 func (g *Gateway) Registry() *Registry { return g.reg }
@@ -402,9 +446,8 @@ func (g *Gateway) unhealthy() string {
 			continue
 		}
 		if err := rms.StoreErr(s); err != nil {
-			if g.wedgeLogged.CompareAndSwap(false, true) {
-				g.logf("gateway %s: durable store wedged, refusing dispatches until restart: %v", g.cfg.Addr, err)
-			}
+			g.log.Oncef("store-wedge",
+				"gateway %s: durable store wedged, refusing dispatches until restart: %v", g.cfg.Addr, err)
 			return "durable store wedged: " + err.Error()
 		}
 	}
@@ -449,6 +492,8 @@ func (g *Gateway) onAgentHome(ctx context.Context, a *mas.Arrival) {
 	for _, ch := range g.reg.CompleteAgent(rd.AgentID, rd.CodeID, rd.Owner, docID, rd.Error) {
 		close(ch)
 	}
+	g.mResults.Inc()
+	g.trace.Record(rd.AgentID, "result", status)
 	// Federation: a forwarded dispatch's device talks to the edge
 	// member it uploaded through — relay the result document there so
 	// collection needs no extra cross-member hop. The device's mailbox
@@ -502,11 +547,30 @@ func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *tr
 	return transport.OK(doc)
 }
 
-// handleDispatch is the Agent Dispatch Handler of Figure 6. Every
+// handleDispatch wraps the Agent Dispatch Handler with the dispatch
+// latency histogram, outcome counters and the journey's first trace
+// span. The instrumentation is two atomic bumps and one ring append —
+// no allocations — so the dispatch-E2E allocation budget is untouched.
+func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *transport.Response {
+	start := time.Now()
+	resp := g.dispatchDevice(ctx, req)
+	g.mDispatchUs.Observe(time.Since(start))
+	g.mDispatched.Inc()
+	if resp.IsOK() {
+		if id := resp.GetHeader("agent"); id != "" {
+			g.trace.Record(id, "dispatch", "")
+		}
+	} else {
+		g.mDispatchErr.Inc()
+	}
+	return resp
+}
+
+// dispatchDevice is the Agent Dispatch Handler of Figure 6. Every
 // registry access below locks only the shard of the key in hand, so
 // dispatches for unrelated subscriptions and agents proceed in
 // parallel.
-func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *transport.Response {
+func (g *Gateway) dispatchDevice(ctx context.Context, req *transport.Request) *transport.Response {
 	if g.draining.Load() {
 		// Graceful shutdown: refuse new work with a retryable status so
 		// devices (and forwarding peers) go elsewhere.
@@ -514,6 +578,21 @@ func (g *Gateway) handleDispatch(ctx context.Context, req *transport.Request) *t
 	}
 	if why := g.unhealthy(); why != "" {
 		return transport.Errorf(transport.StatusUnavailable, "gateway %s refusing dispatches: %s", g.cfg.Addr, why)
+	}
+	// Admission control (DESIGN.md §11): when a configured watermark
+	// is crossed, refuse retryably before spending any decryption or
+	// parsing work on a request the member cannot absorb. Forwarded
+	// cluster dispatches do not pass through here — the edge already
+	// admitted them.
+	if g.cfg.Shed != nil {
+		if why := g.shedReason(); why != "" {
+			g.mShed.Inc()
+			g.trace.Record(shedTrace, "shed", why)
+			resp := transport.Errorf(transport.StatusUnavailable,
+				"gateway %s shedding load: %s", g.cfg.Addr, why)
+			resp.SetHeader("retry-after", g.shedRetryAfter)
+			return resp
+		}
 	}
 	// Step 1-2: security check and decryption (Figure 7), then
 	// decompression and XML parsing (the XML Writer).
@@ -653,6 +732,7 @@ func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation,
 	// upload (lost response, crash before recording) gets the same
 	// agent id back instead of a replay refusal.
 	g.reg.BindNonce(pi.CodeID, pi.Owner, pi.Nonce, agentID)
+	g.trace.Record(agentID, "admit", pi.CodeID)
 	g.logf("gateway %s: dispatched agent %s (code %s, owner %s)", g.cfg.Addr, agentID, pi.CodeID, pi.Owner)
 
 	resp := transport.OKText(agentID)

@@ -104,6 +104,8 @@ func (g *Gateway) enqueueResult(rd *wire.ResultDocument, doc []byte) {
 		g.logf("gateway %s: mailbox enqueue for %s: %v", g.cfg.Addr, rd.AgentID, err)
 	} else if dup {
 		g.logf("gateway %s: mailbox already holds result of %s", g.cfg.Addr, rd.AgentID)
+	} else {
+		g.trace.Record(rd.AgentID, "mailbox", rd.Owner)
 	}
 }
 
@@ -136,11 +138,20 @@ const defaultPollBatch = 32
 const maxLongPoll = 2 * time.Minute
 
 func (g *Gateway) handleMailbox(ctx context.Context, req *transport.Request) *transport.Response {
-	return g.serveMailbox(ctx, req, false)
+	start := time.Now()
+	resp := g.serveMailbox(ctx, req, false)
+	g.mMailboxUs.Observe(time.Since(start))
+	return resp
 }
 
 func (g *Gateway) handleMailboxPoll(ctx context.Context, req *transport.Request) *transport.Response {
-	return g.serveMailbox(ctx, req, true)
+	// Long-poll cycles include parked wait time by design: the p99 of
+	// this histogram tracks the configured wait ceiling, while p50
+	// shows how often devices find entries already pending.
+	start := time.Now()
+	resp := g.serveMailbox(ctx, req, true)
+	g.mMailboxUs.Observe(time.Since(start))
+	return resp
 }
 
 // serveMailbox implements fetch+ack, with optional long-poll parking.

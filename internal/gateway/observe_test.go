@@ -1,0 +1,141 @@
+package gateway
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pdagent/internal/pisec"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// TestShedInFlightWatermark drives the admission-control loop: with a
+// one-agent in-flight watermark and agent execution held back, the
+// second dispatch must bounce with StatusUnavailable + Retry-After,
+// the shed counter and the _shed trace must record it, and draining
+// the backlog must reopen the front door.
+func TestShedInFlightWatermark(t *testing.T) {
+	f := newFixtureCfg(t, func(cfg *Config) {
+		cfg.Shed = &ShedConfig{MaxInFlight: 1}
+	})
+	f.addEcho(t)
+	sub := f.subscribe(t, "echo", "dev-1")
+	pi := func(nonce string) *wire.PackedInformation {
+		return &wire.PackedInformation{
+			CodeID:      "echo",
+			DispatchKey: pisec.DispatchKey("echo", sub.Secret),
+			Owner:       "dev-1",
+			Nonce:       nonce,
+			Source:      echoSrc,
+		}
+	}
+
+	// First dispatch admits; its agent loop sits in the serial queue,
+	// so the in-flight gauge stays at the watermark.
+	if resp := f.dispatchPI(t, pi("n-1"), false); !resp.IsOK() {
+		t.Fatalf("first dispatch: %d %s", resp.Status, resp.Text())
+	}
+	if n := f.gw.Registry().InFlight(); n != 1 {
+		t.Fatalf("in-flight = %d, want 1", n)
+	}
+
+	resp := f.dispatchPI(t, pi("n-2"), false)
+	if resp.Status != transport.StatusUnavailable {
+		t.Fatalf("watermarked dispatch: %d %s, want %d", resp.Status, resp.Text(), transport.StatusUnavailable)
+	}
+	if ra := resp.GetHeader("retry-after"); ra != "1" {
+		t.Fatalf("retry-after = %q, want \"1\"", ra)
+	}
+	if n := f.gw.mShed.Value(); n != 1 {
+		t.Fatalf("shed counter = %d, want 1", n)
+	}
+	spans := f.gw.TraceRing().Spans(shedTrace)
+	if len(spans) != 1 || spans[0].Op != "shed" || spans[0].Detail != shedInFlight {
+		t.Fatalf("shed spans = %+v, want one %q/%q", spans, "shed", shedInFlight)
+	}
+
+	// Run the backlog: the agent completes, in-flight drops, and the
+	// next dispatch is admitted again.
+	f.queue.Drain()
+	if n := f.gw.Registry().InFlight(); n != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", n)
+	}
+	if resp := f.dispatchPI(t, pi("n-3"), false); !resp.IsOK() {
+		t.Fatalf("post-drain dispatch: %d %s", resp.Status, resp.Text())
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after a journey and checks the
+// Prometheus text is well-formed: every series under a TYPE line,
+// names unique, no NaN/Inf, and the PR's headline series present.
+func TestMetricsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	f.addEcho(t)
+	sub := f.subscribe(t, "echo", "dev-1")
+	resp := f.dispatchPI(t, &wire.PackedInformation{
+		CodeID:      "echo",
+		DispatchKey: pisec.DispatchKey("echo", sub.Secret),
+		Owner:       "dev-1",
+		Source:      echoSrc,
+	}, true)
+	if !resp.IsOK() {
+		t.Fatalf("dispatch: %d %s", resp.Status, resp.Text())
+	}
+	f.queue.Drain()
+
+	mresp := f.gw.Handler().Serve(context.Background(), &transport.Request{Path: "/metrics"})
+	if !mresp.IsOK() {
+		t.Fatalf("/metrics: %d %s", mresp.Status, mresp.Text())
+	}
+	if ct := mresp.GetHeader("content-type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := string(mresp.Body)
+	if strings.Contains(body, "NaN") || strings.Contains(body, "Inf") {
+		t.Fatalf("scrape contains NaN/Inf:\n%s", body)
+	}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 4 {
+			t.Fatalf("malformed TYPE line: %q", line)
+		}
+		if typed[parts[2]] {
+			t.Fatalf("duplicate TYPE for %s", parts[2])
+		}
+		typed[parts[2]] = true
+	}
+	for _, name := range []string{
+		"pdagent_dispatch_us", "pdagent_dispatch_total", "pdagent_dispatch_shed_total",
+		"pdagent_inflight", "pdagent_outbound_queue_depth", "pdagent_residents",
+		"pdagent_deliver_total", "pdagent_trace_spans",
+	} {
+		if !typed[name] {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
+
+	// The journey's itinerary is served back as a trace document.
+	agentID := resp.GetHeader("agent")
+	tresp := f.gw.Handler().Serve(context.Background(), &transport.Request{Path: "/pdagent/trace/" + agentID})
+	if !tresp.IsOK() {
+		t.Fatalf("trace: %d %s", tresp.Status, tresp.Text())
+	}
+	td, err := wire.ParseTrace(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]bool{}
+	for _, sp := range td.Spans {
+		ops[sp.Op] = true
+	}
+	for _, op := range []string{"dispatch", "admit", "deliver", "result"} {
+		if !ops[op] {
+			t.Errorf("local journey trace missing op %q (have %v)", op, ops)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // errPoolClosed is returned for work submitted after Gateway.Close.
@@ -27,7 +28,16 @@ type workerPool struct {
 	start  sync.Once
 	wg     sync.WaitGroup
 	logf   func(format string, args ...any)
+	busy   atomic.Int64
 }
+
+// QueueDepth is the number of jobs enqueued but not yet picked up by a
+// worker. One channel length read — cheap enough for the per-dispatch
+// admission check and for gauge scrapes.
+func (p *workerPool) QueueDepth() int { return len(p.jobs) }
+
+// Busy is the number of workers currently executing a job.
+func (p *workerPool) Busy() int { return int(p.busy.Load()) }
 
 type poolJob struct {
 	ctx  context.Context
@@ -84,6 +94,8 @@ func (p *workerPool) worker() {
 }
 
 func (p *workerPool) exec(j *poolJob) {
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
 	defer close(j.done)
 	defer func() {
 		if r := recover(); r != nil {

@@ -37,16 +37,20 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pdagent/internal/atp"
 	"pdagent/internal/kxml"
 	"pdagent/internal/mavm"
+	"pdagent/internal/metrics"
 	"pdagent/internal/progcache"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
 	"pdagent/internal/transport"
+	"pdagent/internal/wire"
 )
 
 // Transfer kinds carried in the "kind" header of /atp/transfer.
@@ -150,6 +154,16 @@ type Config struct {
 	OnAgentMove func(ctx context.Context, mv AgentMove)
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, when set, is the registry the server's transfer and
+	// delivery instruments register in (DESIGN.md §11) — a gateway
+	// shares its own with the embedded MAS so one scrape covers both;
+	// standalone servers default to a private registry served on
+	// /metrics.
+	Metrics *metrics.Registry
+	// Trace, when set, is the span ring agent journeys are recorded
+	// in; /pdagent/trace/{id} serves this member's spans. Defaults to
+	// a private ring named after Addr.
+	Trace *metrics.TraceRing
 }
 
 // record tracks one agent known to this server.
@@ -185,6 +199,15 @@ type Server struct {
 	mux  *transport.Mux
 	jr   *journal    // nil when cfg.Journal is unset
 	dead atomic.Bool // set by Kill: the simulated process crash
+
+	// §11 instruments, registered once at construction so the agent
+	// paths only touch atomics.
+	mTransferUs   *metrics.Histogram
+	mTransferOut  *metrics.Counter
+	mTransferIn   *metrics.Counter
+	mTransferFail *metrics.Counter
+	mParked       *metrics.Counter
+	mDeliver      *metrics.Counter
 
 	mu       sync.Mutex
 	agents   map[string]*record
@@ -237,6 +260,12 @@ func NewServer(cfg Config) (*Server, error) {
 	} else if cfg.Programs == nil {
 		cfg.Programs = progcache.New(0)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = metrics.NewTraceRing(cfg.Addr, 0)
+	}
 	s := &Server{
 		cfg:      cfg,
 		agents:   make(map[string]*record),
@@ -251,7 +280,17 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		s.jr = jr
 	}
+	s.mTransferUs = cfg.Metrics.Histogram("pdagent_transfer_us", "Outbound ATP transfer latency (codec adapt, wire, ack), microseconds.")
+	s.mTransferOut = cfg.Metrics.Counter("pdagent_transfer_out_total", "Agent images shipped to another host.")
+	s.mTransferIn = cfg.Metrics.Counter("pdagent_transfer_in_total", "Agent images accepted from another host.")
+	s.mTransferFail = cfg.Metrics.Counter("pdagent_transfer_failed_total", "Outbound transfers that exhausted their retries.")
+	s.mParked = cfg.Metrics.Counter("pdagent_transfer_parked_total", "Agents parked for retry after a failed departure.")
+	s.mDeliver = cfg.Metrics.Counter("pdagent_deliver_total", "Terminal deliveries at the agent's home.")
+	cfg.Metrics.GaugeFunc("pdagent_residents", "Agents currently resident on this server (scrape-time walk).",
+		func() float64 { return float64(s.ResidentCount()) })
 	m := transport.NewMux()
+	m.Handle("/metrics", cfg.Metrics.Handler())
+	m.HandleFunc("/pdagent/trace/", s.handleTrace)
 	m.HandleFunc("/atp/hello", s.handleHello)
 	m.HandleFunc("/atp/ping", s.handlePing)
 	m.HandleFunc("/atp/transfer", s.handleTransfer)
@@ -267,6 +306,33 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Addr returns the server's address.
 func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Metrics returns the server's instrument registry (the one served on
+// /metrics).
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Trace returns the server's span ring.
+func (s *Server) Trace() *metrics.TraceRing { return s.cfg.Trace }
+
+// span records one itinerary hop in the member's trace ring.
+func (s *Server) span(trace, op, detail string) { s.cfg.Trace.Record(trace, op, detail) }
+
+// handleTrace serves this member's spans for one trace id as a wire
+// trace document — the local leaf a gateway's reconstruction queries
+// (MAS hosts are not cluster members, so the gateway chases them by
+// the addresses its collected spans name).
+func (s *Server) handleTrace(_ context.Context, req *transport.Request) *transport.Response {
+	id := strings.TrimPrefix(req.Path, "/pdagent/trace/")
+	if id == "" {
+		return transport.Errorf(transport.StatusBadRequest, "mas %s: trace id missing", s.cfg.Addr)
+	}
+	spans := s.cfg.Trace.Spans(id)
+	td := &wire.TraceDoc{TraceID: id, Spans: make([]wire.TraceSpan, len(spans))}
+	for i, sp := range spans {
+		td.Spans[i] = wire.TraceSpan{Member: sp.Member, Op: sp.Op, Detail: sp.Detail, At: sp.At, Seq: sp.Seq}
+	}
+	return transport.OK(td.EncodeXML())
+}
 
 // Flavour returns the server's native codec name.
 func (s *Server) Flavour() string { return s.cfg.Codec.Name() }
@@ -458,6 +524,8 @@ func (s *Server) deliverLocal(ctx context.Context, rec *record, kind string) {
 		}
 	}
 	s.setState(rec, StateDelivered, "")
+	s.mDeliver.Inc()
+	s.span(rec.id, "deliver", kind)
 	s.journalFinish(rec, StateDelivered)
 	s.notifyMove(ctx, AgentMove{
 		AgentID: rec.id, Addr: s.cfg.Addr, Home: rec.home,
@@ -558,6 +626,7 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		rec.state = StateParked
 		rec.parkTarget, rec.parkKind = target, kind
 		s.mu.Unlock()
+		s.mParked.Inc()
 		return
 	}
 	// Mark the departure BEFORE the image leaves. Once the receiver
@@ -569,7 +638,9 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 	// path below overwrites the state (parked / failed home / local
 	// delivery / stranded), so a failed send never stays "departed".
 	s.setState(rec, StateDeparted, target)
+	shipStart := time.Now()
 	if err := s.transferImage(ctx, im, target, kind); err != nil {
+		s.mTransferFail.Inc()
 		s.logf("mas %s: transfer of %s to %s failed: %v", s.cfg.Addr, rec.id, target, err)
 		s.setErr(rec, fmt.Sprintf("transfer to %s: %v", target, err))
 		if s.jr != nil {
@@ -580,6 +651,7 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 			rec.state = StateParked
 			rec.parkTarget, rec.parkKind = target, kind
 			s.mu.Unlock()
+			s.mParked.Inc()
 			s.logf("mas %s: parked agent %s (%s -> %s)", s.cfg.Addr, rec.id, kind, target)
 			return
 		}
@@ -598,6 +670,9 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		s.setState(rec, StateStranded, "")
 		return
 	}
+	s.mTransferUs.Observe(time.Since(shipStart))
+	s.mTransferOut.Inc()
+	s.span(rec.id, "transfer-out", target)
 	// Publish the forwarding pointer (seq 2h+1 sorts after our arrival
 	// at 2h and before the destination's arrival at 2h+2, so a racing
 	// re-arrival here can never be overwritten by this stale event).
@@ -832,6 +907,8 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 			return transport.Errorf(transport.StatusUnavailable, "journaling agent %s: %v", rec.id, err)
 		}
 		s.commitHandoff(rec.id)
+		s.mTransferIn.Inc()
+		s.span(rec.id, "transfer-in", kind)
 		// ClearMigration counted the hop, so this arrival's seq (2h+2
 		// relative to the sender's h) supersedes the sender's departure
 		// pointer (2h+1).
@@ -867,6 +944,8 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 			}
 		}
 		s.commitHandoff(rec.id)
+		s.mDeliver.Inc()
+		s.span(rec.id, "deliver", kind)
 		// Tombstone after the callback took the results: it is the
 		// durable dedup marker. A crash before this write makes the
 		// sender's retry redeliver (the gateway's result intake is

@@ -143,6 +143,12 @@ type Stats struct {
 	// only these, so a million idle drained devices cost nothing to
 	// scan.
 	DirtyDevices int
+	// DedupWindow is the effective per-device dedup window
+	// (max(dedupWindow, 2×quota)); DedupIDs the event ids currently
+	// remembered across dirty mailboxes — together they bound and
+	// report the hub's dedup memory (§8's per-device budget).
+	DedupWindow int
+	DedupIDs    int
 }
 
 // Hub manages every device mailbox over one backing store.
@@ -824,10 +830,22 @@ func (h *Hub) Stats() Stats {
 		Connected:    int(h.connected.Load()),
 		Pending:      int(h.pending.Load()),
 	}
+	s.DedupWindow = h.dedupLimit
 	h.mu.Lock()
 	s.Devices = len(h.boxes)
 	s.DirtyDevices = len(h.dirty)
+	dirty := make([]*mailbox, 0, len(h.dirty))
+	for _, mb := range h.dirty {
+		dirty = append(dirty, mb)
+	}
 	h.mu.Unlock()
+	// Dedup memory lives only on dirty mailboxes; count it outside the
+	// hub lock (per-box locks order under hub like everywhere else).
+	for _, mb := range dirty {
+		mb.mu.Lock()
+		s.DedupIDs += len(mb.dedupOrder)
+		mb.mu.Unlock()
+	}
 	return s
 }
 

@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"pdagent/internal/metrics"
 	"pdagent/internal/rms"
 	"pdagent/internal/transport"
 )
@@ -132,6 +133,10 @@ type Config struct {
 	Mode Mode
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
+	// Log, when set, routes diagnostics through the shared leveled
+	// logger instead of Logf (degraded/recovered transitions log at
+	// warn level, tagged with the repl component).
+	Log *metrics.Logger
 }
 
 // stream is the sender-side state of one replicated store.
@@ -201,6 +206,10 @@ func NewPeer(cfg Config) *Peer {
 }
 
 func (p *Peer) logf(format string, args ...any) {
+	if p.cfg.Log != nil {
+		p.cfg.Log.Warnf(format, args...)
+		return
+	}
 	if p.cfg.Logf != nil {
 		p.cfg.Logf(format, args...)
 	}
@@ -275,6 +284,42 @@ func (p *Peer) PendingOps() int {
 		st.mu.Unlock()
 	}
 	return n
+}
+
+// Stats is a snapshot of the sender side's replication health, for
+// the `/metrics` gauges (DESIGN.md §11).
+type Stats struct {
+	// Mode is the configured ack discipline.
+	Mode Mode
+	// Streams is the number of replicated stores.
+	Streams int
+	// Degraded counts streams latched degraded (standby unreachable,
+	// commits buffering).
+	Degraded int
+	// PendingOps is the buffered-but-unreplicated op count across
+	// streams — the replication lag, and the at-most loss bound if
+	// this member dies right now.
+	PendingOps int
+}
+
+// Stats returns a snapshot of the sender streams.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	streams := make([]*stream, 0, len(p.streams))
+	for _, st := range p.streams {
+		streams = append(streams, st)
+	}
+	p.mu.Unlock()
+	s := Stats{Mode: p.cfg.Mode, Streams: len(streams)}
+	for _, st := range streams {
+		st.mu.Lock()
+		s.PendingOps += len(st.pending)
+		if st.degraded {
+			s.Degraded++
+		}
+		st.mu.Unlock()
+	}
+	return s
 }
 
 // flushLocked pushes st.pending to the current standby; st.mu held.

@@ -14,6 +14,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pdagent/internal/metrics"
 )
 
 // WALStore is the fsync-durable record store: a segmented write-ahead
@@ -83,9 +86,29 @@ type WALStore struct {
 	sinking bool        // a sink leader's drain is in flight
 	tapped  atomic.Bool // fast-path check: is a sink attached?
 
-	fsyncs  atomic.Uint64
+	// Observability (DESIGN.md §11): all atomics, so Stats() and the
+	// gateway's per-dispatch shed check read them without taking mu.
+	fsyncs     atomic.Uint64
+	lastFsync  atomic.Int64  // duration of the most recent fsync, ns
+	maxFsync   atomic.Int64  // slowest fsync since open, ns
+	groupedOps atomic.Uint64 // entries acked by group-commit fsyncs
+	segs       atomic.Uint64 // mirror of segSeq
+	snaps      atomic.Uint64 // snapshots written since open
+
 	scratch []byte
 	snapErr error // last auto-snapshot failure (surfaced by Compact)
+}
+
+// noteFsync records one completed fsync and how long it stalled.
+func (s *WALStore) noteFsync(d time.Duration) {
+	s.fsyncs.Add(1)
+	s.lastFsync.Store(int64(d))
+	for {
+		cur := s.maxFsync.Load()
+		if int64(d) <= cur || s.maxFsync.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
 }
 
 // SyncPolicy selects the WAL's fsync discipline.
@@ -325,6 +348,7 @@ func (s *WALStore) recover() error {
 		}
 	}
 	s.segSeq = active
+	s.segs.Store(active)
 	f, size, err := s.fs.OpenAppend(s.segPath(active))
 	if err != nil {
 		return fmt.Errorf("rms: opening wal segment: %w", err)
@@ -496,10 +520,11 @@ func (s *WALStore) rotateLocked() error {
 	if err := s.w.Flush(); err != nil {
 		return s.wedgeLocked(err)
 	}
+	syncStart := time.Now()
 	if err := s.seg.Sync(); err != nil {
 		return s.wedgeLocked(err)
 	}
-	s.fsyncs.Add(1)
+	s.noteFsync(time.Since(syncStart))
 	if s.synced < s.lsn {
 		s.synced = s.lsn
 	}
@@ -508,6 +533,7 @@ func (s *WALStore) rotateLocked() error {
 		return s.wedgeLocked(err)
 	}
 	s.segSeq++
+	s.segs.Store(s.segSeq)
 	f, err := s.fs.Create(s.segPath(s.segSeq))
 	if err != nil {
 		return s.wedgeLocked(err)
@@ -615,6 +641,7 @@ func (s *WALStore) snapshotLocked() error {
 	}
 	s.garbage = 0
 	s.snapErr = nil
+	s.snaps.Add(1)
 	return nil
 }
 
@@ -652,9 +679,11 @@ func (s *WALStore) commitWait(lsn uint64) error {
 		seg := s.seg
 		s.mu.Unlock()
 		var serr error
+		syncStart := time.Now()
 		if err == nil {
 			serr = seg.Sync()
 		}
+		stall := time.Since(syncStart)
 		s.mu.Lock()
 		s.syncing = false
 		switch {
@@ -663,7 +692,7 @@ func (s *WALStore) commitWait(lsn uint64) error {
 		case serr != nil:
 			err = s.wedgeLocked(serr)
 		default:
-			s.fsyncs.Add(1)
+			s.noteFsync(stall)
 			if target > s.synced {
 				s.synced = target
 			}
@@ -722,9 +751,11 @@ func (s *WALStore) commitWait(lsn uint64) error {
 			seg := s.seg
 			s.mu.Unlock()
 			var serr error
+			syncStart := time.Now()
 			if err == nil {
 				serr = seg.Sync()
 			}
+			stall := time.Since(syncStart)
 			s.mu.Lock()
 			s.syncing = false
 			switch {
@@ -733,8 +764,11 @@ func (s *WALStore) commitWait(lsn uint64) error {
 			case serr != nil:
 				s.wedgeLocked(serr)
 			default:
-				s.fsyncs.Add(1)
+				s.noteFsync(stall)
 				if target > s.synced {
+					// The whole batch rides this one fsync — its size is
+					// what the group-commit gauges report.
+					s.groupedOps.Add(target - s.synced)
 					s.synced = target
 				}
 			}
@@ -946,6 +980,86 @@ func (s *WALStore) Compact() error {
 // Fsyncs returns the number of fsyncs the store has issued — the
 // quantity group commit exists to minimise.
 func (s *WALStore) Fsyncs() uint64 { return s.fsyncs.Load() }
+
+// WALStats is a snapshot of the WAL's observability counters
+// (DESIGN.md §11): how often and how slowly fsync runs, how well
+// group commit batches, and how bounded the on-disk log is.
+type WALStats struct {
+	// Fsyncs counts completed write-path fsyncs.
+	Fsyncs uint64
+	// GroupedOps counts entries acked by group-commit fsyncs; divided
+	// by Fsyncs it is the mean batch size.
+	GroupedOps uint64
+	// Segments is the active segment's sequence number (segments
+	// rotated + 1).
+	Segments uint64
+	// Snapshots counts compaction snapshots written since open.
+	Snapshots uint64
+	// LastFsync is how long the most recent fsync took; MaxFsync the
+	// slowest since open. A growing LastFsync is the earliest signal
+	// of a drowning disk — the gateway's shed watermark reads it.
+	LastFsync time.Duration
+	MaxFsync  time.Duration
+}
+
+// Stats returns a lock-free snapshot of the WAL's counters.
+func (s *WALStore) Stats() WALStats {
+	return WALStats{
+		Fsyncs:     s.fsyncs.Load(),
+		GroupedOps: s.groupedOps.Load(),
+		Segments:   s.segs.Load(),
+		Snapshots:  s.snaps.Load(),
+		LastFsync:  time.Duration(s.lastFsync.Load()),
+		MaxFsync:   time.Duration(s.maxFsync.Load()),
+	}
+}
+
+// LastFsyncStall returns the duration of the most recent fsync — a
+// single atomic load, cheap enough for a per-dispatch admission check.
+func (s *WALStore) LastFsyncStall() time.Duration {
+	return time.Duration(s.lastFsync.Load())
+}
+
+// RegisterMetrics exposes the WAL's durability counters on a metrics
+// registry as lazily-evaluated gauges under prefix (e.g.
+// "pdagent_wal"); what names the store in help text (e.g. "agent
+// journal"). Shared by the gateway's and masd's scrape surfaces.
+func (s *WALStore) RegisterMetrics(m *metrics.Registry, prefix, what string) {
+	m.GaugeFunc(prefix+"_fsyncs",
+		"Fsync calls issued by the "+what+" WAL.",
+		func() float64 { return float64(s.Stats().Fsyncs) })
+	m.GaugeFunc(prefix+"_grouped_ops",
+		"Ops that rode another op's fsync in the "+what+" WAL (group commit).",
+		func() float64 { return float64(s.Stats().GroupedOps) })
+	m.GaugeFunc(prefix+"_segments",
+		"Active segment sequence number of the "+what+" WAL.",
+		func() float64 { return float64(s.Stats().Segments) })
+	m.GaugeFunc(prefix+"_snapshots",
+		"Compaction snapshots written by the "+what+" WAL.",
+		func() float64 { return float64(s.Stats().Snapshots) })
+	m.GaugeFunc(prefix+"_last_fsync_us",
+		"Duration of the "+what+" WAL's most recent fsync, microseconds.",
+		func() float64 { return float64(s.Stats().LastFsync.Microseconds()) })
+	m.GaugeFunc(prefix+"_max_fsync_us",
+		"Longest fsync the "+what+" WAL has seen, microseconds.",
+		func() float64 { return float64(s.Stats().MaxFsync.Microseconds()) })
+}
+
+// WALOf unwraps layered stores (e.g. a replication tap) down to the
+// *WALStore underneath, or nil if the chain does not end in one.
+func WALOf(st Store) *WALStore {
+	for st != nil {
+		if w, ok := st.(*WALStore); ok {
+			return w
+		}
+		u, ok := st.(interface{ Unwrap() Store })
+		if !ok {
+			return nil
+		}
+		st = u.Unwrap()
+	}
+	return nil
+}
 
 // Close implements Store: flush, a final fsync (all policies — a clean
 // shutdown is on disk), and release.
