@@ -2,18 +2,18 @@
 // the G-series gateway benchmarks (G1 registry scaling, G2 dispatch
 // fast path, G3 federation scaling, G4 mailbox delivery, G5 scale and
 // churn, G6 durable storage engine, G7 recovery and failover, G8
-// overload shedding) through
+// overload shedding, G9 multi-tenant fairness) through
 // the exact drivers `go test -bench` uses (internal/benchkit) and
 // writes the results as JSON so the repo's performance trajectory is
 // tracked as data, not prose.
 //
 // Usage:
 //
-//	bench                     # full run, writes BENCH_9.json
-//	bench -short              # CI run (shorter benchtime)
-//	bench -o out.json         # choose the output path
-//	bench -check BENCH_9.json # exit non-zero on regression vs the
-//	                          # committed file
+//	bench                      # full run, writes BENCH_10.json
+//	bench -short               # CI run (shorter benchtime)
+//	bench -o out.json          # choose the output path
+//	bench -check BENCH_10.json # exit non-zero on regression vs the
+//	                           # committed file
 //
 // The output carries the pre-PR baselines alongside the current
 // numbers, so each optimisation's before/after stays recorded next to
@@ -84,7 +84,7 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the BENCH_9.json schema.
+// Output is the BENCH_10.json schema.
 type Output struct {
 	Schema         string   `json:"schema"`
 	GoVersion      string   `json:"go_version"`
@@ -108,6 +108,9 @@ const (
 	walReplay50k     = "wal_replay/records=50000"
 	overloadShedOn   = "overload/shed=on"
 	overloadShedOff  = "overload/shed=off"
+	fairnessFair     = "fairness/mode=fair"
+	fairnessFIFO     = "fairness/mode=fifo"
+	fairnessSolo     = "fairness/mode=solo"
 )
 
 func run(name string, fn func(b *testing.B)) Result {
@@ -131,8 +134,8 @@ func run(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	short := flag.Bool("short", false, "CI mode: shorter benchtime")
-	out := flag.String("o", "BENCH_9.json", "output JSON path")
-	check := flag.String("check", "", "committed BENCH_9.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, idle-device bytes, or WAL-replay records/bytes drifting >20%)")
+	out := flag.String("o", "BENCH_10.json", "output JSON path")
+	check := flag.String("check", "", "committed BENCH_10.json to gate against (fail on dispatch-E2E or journaled-dispatch allocs/op, storm p99 drain, idle-device bytes, WAL-replay records/bytes, or fairness goodput/p99 drifting >20%)")
 	testing.Init()
 	flag.Parse()
 	benchtime := "1s"
@@ -145,7 +148,7 @@ func main() {
 	}
 
 	o := Output{
-		Schema:         "pdagent-bench/9",
+		Schema:         "pdagent-bench/10",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -235,6 +238,19 @@ func main() {
 	for _, row := range overloadRows() {
 		o.Results = append(o.Results, row)
 	}
+
+	// G9 — multi-tenant fairness (DESIGN.md §12): the same virtual-time
+	// discipline, but with an adversarial tenant flooding past its
+	// share while a well-behaved one trickles. The run itself asserts
+	// the §12 SLO promise (meek p99 within 2x its solo p99 under the
+	// fair control plane) before any rows are written; the committed
+	// gate then holds the exact counts.
+	fairRows, err := fairnessRows()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	o.Results = append(o.Results, fairRows...)
 
 	// Zero-DOM evidence as data: a representative PI decode must
 	// allocate no kxml nodes.
@@ -569,6 +585,71 @@ func overloadRows() []Result {
 	return rows
 }
 
+// fairnessRows runs the G9 noisy-neighbour triple: the meek tenant
+// solo (its SLO baseline), then hog+meek under the §12 fair control
+// plane and under the pre-§12 flat FIFO watermark. The hog offers 4x
+// service capacity; the meek tenant offers 10% of it at weight 4.
+// Virtual-time exact on every machine. The fair-mode SLO promise —
+// adversarial tenant capped, meek p99 within 2x its solo p99 — is
+// asserted here, not just gated against the committed file.
+func fairnessRows() ([]Result, error) {
+	base := benchkit.FairnessConfig{
+		HogOffered: 8000, HogEvery: 250 * time.Microsecond,
+		MeekOffered: 200, MeekEvery: 10 * time.Millisecond,
+		ServiceEvery: time.Millisecond,
+		SLO:          20 * time.Millisecond,
+		MaxInFlight:  32,
+		HogWeight:    1, MeekWeight: 4,
+	}
+	variants := []struct {
+		name string
+		mut  func(*benchkit.FairnessConfig)
+	}{
+		{fairnessSolo, func(c *benchkit.FairnessConfig) { c.HogOffered = 0; c.Fair = true }},
+		{fairnessFair, func(c *benchkit.FairnessConfig) { c.Fair = true }},
+		{fairnessFIFO, func(c *benchkit.FairnessConfig) { c.Fair = false }},
+	}
+	rows := make([]Result, 0, len(variants))
+	points := map[string]benchkit.FairnessPoint{}
+	for _, v := range variants {
+		c := base
+		v.mut(&c)
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", v.name)
+		pt, err := benchkit.Fairness(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		points[v.name] = pt
+		rows = append(rows, Result{
+			Name: v.name,
+			Metrics: map[string]float64{
+				"hog_offered":     float64(pt.Hog.Offered),
+				"hog_admitted":    float64(pt.Hog.Admitted),
+				"hog_shed":        float64(pt.Hog.Shed),
+				"hog_within_slo":  float64(pt.Hog.WithinSLO),
+				"hog_p99_us":      float64(pt.Hog.P99US),
+				"meek_offered":    float64(pt.Meek.Offered),
+				"meek_admitted":   float64(pt.Meek.Admitted),
+				"meek_shed":       float64(pt.Meek.Shed),
+				"meek_within_slo": float64(pt.Meek.WithinSLO),
+				"meek_p50_us":     float64(pt.Meek.P50US),
+				"meek_p99_us":     float64(pt.Meek.P99US),
+			},
+		})
+	}
+	solo, fair := points[fairnessSolo], points[fairnessFair]
+	if fair.Meek.P99US > 2*solo.Meek.P99US {
+		return nil, fmt.Errorf("FAIL: fair-mode meek p99 %dus exceeds 2x solo p99 %dus", fair.Meek.P99US, solo.Meek.P99US)
+	}
+	if fair.Meek.WithinSLO != fair.Meek.Offered {
+		return nil, fmt.Errorf("FAIL: fair mode dropped the meek tenant out of SLO: %d/%d", fair.Meek.WithinSLO, fair.Meek.Offered)
+	}
+	if fair.Hog.Shed == 0 {
+		return nil, fmt.Errorf("FAIL: fair mode never capped the adversarial tenant")
+	}
+	return rows, nil
+}
+
 func gate(path string, o Output) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -612,6 +693,13 @@ func gate(path string, o Output) error {
 		// the 20% band is pure headroom.
 		{overloadShedOn, "within_slo"},
 		{overloadShedOn, "p99_us"},
+		// G9: fairness under a noisy neighbour is the §12 promise —
+		// the meek tenant keeps its goodput and latency while the hog
+		// is capped. Virtual-time exact; drift means admission, WFQ or
+		// fair-shed policy changed.
+		{fairnessFair, "meek_within_slo"},
+		{fairnessFair, "meek_p99_us"},
+		{fairnessFair, "hog_shed"},
 	}
 	for _, c := range checks {
 		cur := find(o.Results, c.row)

@@ -8,7 +8,7 @@
 //
 //	figures            # all experiments, ASCII tables
 //	figures -csv       # CSV output
-//	figures -only fig12,fig13,claims,select,ablations,faults,cluster,push
+//	figures -only fig12,fig13,claims,select,ablations,faults,cluster,push,overload,fairness
 package main
 
 import (
@@ -24,14 +24,14 @@ import (
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster,push,overload")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,claims,select,ablations,faults,cluster,push,overload,fairness")
 	seed := flag.Int64("seed", 1, "base seed for the simulated network")
 	maxN := flag.Int("n", experiments.DefaultMaxN, "maximum number of transactions")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster", "push", "overload"} {
+		for _, k := range []string{"fig12", "fig13", "claims", "select", "ablations", "faults", "cluster", "push", "overload", "fairness"} {
 			want[k] = true
 		}
 	} else {
@@ -159,6 +159,13 @@ func main() {
 			log.Fatalf("figures: G8: %v", err)
 		}
 		emit(experiments.G8Table(rows))
+	}
+	if want["fairness"] {
+		rows, err := experiments.FairnessCurve()
+		if err != nil {
+			log.Fatalf("figures: E9: %v", err)
+		}
+		emit(experiments.E9Table(rows))
 	}
 	if len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "figures: nothing selected")

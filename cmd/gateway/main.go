@@ -62,6 +62,7 @@ import (
 	"pdagent/internal/push"
 	"pdagent/internal/repl"
 	"pdagent/internal/rms"
+	"pdagent/internal/tenant"
 	"pdagent/internal/transport"
 )
 
@@ -95,6 +96,7 @@ func main() {
 	shedQueue := flag.Int("shed-queue", 0, "shed device dispatches while the outbound worker queue is this deep; 0 disables")
 	shedFsyncStall := flag.Duration("shed-fsync-stall", 0, "shed device dispatches while the journal's last fsync took at least this long (requires -journal with -store=wal); 0 disables")
 	shedRetryAfter := flag.Duration("shed-retry-after", time.Second, "Retry-After hint on shed responses")
+	tenantsFile := flag.String("tenants", "", "tenant accounts config file (DESIGN.md §12): per-tenant rate limits, quotas and weighted-fair admission on device dispatch. Empty runs single-tenant (every subscription bills to the default account)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -274,6 +276,15 @@ func main() {
 		log.Printf("gateway %s: admission control on (inflight>=%d queue>=%d fsync-stall>=%v)",
 			public, *shedInFlight, *shedQueue, *shedFsyncStall)
 	}
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		tenants, err = tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			log.Fatalf("gateway: %v", err)
+		}
+		log.Printf("gateway %s: multi-tenant control plane on (%d account(s) from %s)",
+			public, tenants.Len(), *tenantsFile)
+	}
 	gw, err = gateway.New(gateway.Config{
 		Addr:            public,
 		KeyPair:         kp,
@@ -287,6 +298,7 @@ func main() {
 		Mailbox:         mailbox,
 		OutboundWorkers: *workers,
 		Shed:            shed,
+		Tenants:         tenants,
 		Logf:            log.Printf,
 	})
 	if err != nil {

@@ -38,6 +38,7 @@ import (
 	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
+	"pdagent/internal/tenant"
 	"pdagent/internal/transport"
 )
 
@@ -56,6 +57,7 @@ func main() {
 	replMode := flag.String("repl-mode", string(repl.ModeAsync), "replication ack discipline: async (ship on the flush tick) or semi-sync (each commit waits for the standby)")
 	replFlush := flag.Duration("repl-flush", 2*time.Second, "async replication flush interval")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables")
+	tenantsFile := flag.String("tenants", "", "tenant accounts config file (DESIGN.md §12); enables per-tenant residency/journal gauges on /metrics. Empty runs single-tenant")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -201,6 +203,37 @@ func main() {
 		m.GaugeFunc("pdagent_repl_pending_ops",
 			"Buffered-but-unreplicated ops across streams (replication lag).",
 			func() float64 { return float64(peer.Stats().PendingOps) })
+	}
+	if *tenantsFile != "" {
+		// Admission runs at the gateways (they resolve the account from
+		// the subscription table); a standalone MAS host learns tenants
+		// from the authenticated transfer headers and only needs the
+		// registry to validate the fleet's shared config and break its
+		// /metrics down per account.
+		treg, err := tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			log.Fatalf("masd: %v", err)
+		}
+		m := srv.Metrics()
+		m.GaugeVecFunc("pdagent_tenant_residents",
+			"Resident agents by tenant account.", "tenant",
+			func() map[string]float64 {
+				out := map[string]float64{tenant.DefaultLabel: 0}
+				for label, n := range srv.ResidentsByTenant() {
+					out[label] = float64(n)
+				}
+				return out
+			})
+		m.GaugeVecFunc("pdagent_tenant_journal_bytes",
+			"Journaled agent bytes by tenant account.", "tenant",
+			func() map[string]float64 {
+				out := map[string]float64{tenant.DefaultLabel: 0}
+				for label, b := range srv.JournalBytesByTenant() {
+					out[label] = float64(b)
+				}
+				return out
+			})
+		log.Printf("masd %s: multi-tenant metrics on (%d account(s) from %s)", public, treg.Len(), *tenantsFile)
 	}
 	// Background work (parked-transfer retries, journal compaction)
 	// runs under a context cancelled on SIGTERM, so a shutdown never

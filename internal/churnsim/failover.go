@@ -307,7 +307,7 @@ func CrashStorm(cfg CrashStormConfig) (*CrashStormResult, error) {
 		if !resp.IsOK() {
 			return nil, fmt.Errorf("churnsim: crash storm poll %s: %d %s", dev, resp.Status, resp.Text())
 		}
-		_, entries, watermark, _, _, err := push.ParseEntries(resp.Body)
+		_, entries, watermark, _, _, _, err := push.ParseEntries(resp.Body)
 		if err != nil {
 			return nil, fmt.Errorf("churnsim: crash storm poll %s: %w", dev, err)
 		}

@@ -78,6 +78,7 @@ func RunMigration(cfg MigrationConfig) error {
 				return 0, err
 			}
 			dst.AdoptToken(dev, src.TokenOf(dev))
+			dst.SetTenant(dev, src.TenantOf(dev))
 			if len(entries) == 0 {
 				return 0, nil
 			}

@@ -622,7 +622,7 @@ func ReconnectStorm(cfg StormConfig) (*StormResult, error) {
 		if !resp.IsOK() {
 			return nil, fmt.Errorf("churnsim: storm poll %s: %d %s", dev, resp.Status, resp.Text())
 		}
-		_, entries, watermark, _, _, err := push.ParseEntries(resp.Body)
+		_, entries, watermark, _, _, _, err := push.ParseEntries(resp.Body)
 		if err != nil {
 			return nil, fmt.Errorf("churnsim: storm poll %s: %w", dev, err)
 		}

@@ -160,7 +160,7 @@ func TestStormRace10k(t *testing.T) {
 				errs <- err
 				return
 			}
-			_, entries, watermark, _, _, err := push.ParseEntries(resp.Body)
+			_, entries, watermark, _, _, _, err := push.ParseEntries(resp.Body)
 			if err != nil {
 				errs <- err
 				return
@@ -251,6 +251,6 @@ func raceMailboxPoll(ctx context.Context, tr transport.RoundTripper, edge, dev, 
 	if !resp.IsOK() {
 		return nil, 0, fmt.Errorf("%s: poll %d %s", dev, resp.Status, resp.Text())
 	}
-	_, entries, watermark, _, _, err := push.ParseEntries(resp.Body)
+	_, entries, watermark, _, _, _, err := push.ParseEntries(resp.Body)
 	return entries, watermark, err
 }

@@ -302,6 +302,64 @@ func TestClusterEndpointsRequireToken(t *testing.T) {
 	}
 }
 
+// TestTenantUsageGossipConvergence: each member reports its own
+// per-tenant usage; after a gossip round every member's remote sum
+// covers the rest of the cluster, and a member's updated tallies
+// replace (not accumulate with) its previous rows.
+func TestTenantUsageGossipConvergence(t *testing.T) {
+	f := newFleet(t, 3)
+	ctx := context.Background()
+	for i, n := range f.nodes {
+		i := i
+		n.SetTenantUsageFunc(func() []TenantUsage {
+			return []TenantUsage{
+				{Tenant: "acme", InFlight: int64(i + 1), MailboxBytes: 100},
+				{Tenant: "default", Residents: 10},
+			}
+		})
+	}
+	f.tickAll(ctx)
+	f.tickAll(ctx)
+	for i, n := range f.nodes {
+		got := n.RemoteTenantUsage()
+		// Remote sum excludes self: acme in-flight = 1+2+3 minus own.
+		wantAcme := int64(6 - (i + 1))
+		if got["acme"].InFlight != wantAcme {
+			t.Fatalf("node %s remote acme in-flight = %d, want %d", n.Self(), got["acme"].InFlight, wantAcme)
+		}
+		if got["acme"].MailboxBytes != 200 {
+			t.Fatalf("node %s remote acme mailbox bytes = %d, want 200", n.Self(), got["acme"].MailboxBytes)
+		}
+		if got["default"].Residents != 20 {
+			t.Fatalf("node %s remote default residents = %d, want 20", n.Self(), got["default"].Residents)
+		}
+	}
+	// Updated tallies replace the old rows on the next heartbeat.
+	f.nodes[2].SetTenantUsageFunc(func() []TenantUsage {
+		return []TenantUsage{{Tenant: "acme", InFlight: 50}}
+	})
+	f.tickAll(ctx)
+	got := f.nodes[0].RemoteTenantUsage()
+	if got["acme"].InFlight != 2+50 {
+		t.Fatalf("remote acme in-flight after update = %d, want 52", got["acme"].InFlight)
+	}
+	if got["default"].Residents != 10 {
+		t.Fatalf("gw-2's dropped default row still counted: residents = %d, want 10", got["default"].Residents)
+	}
+	// An evicted member's usage stops counting toward cluster totals.
+	if err := f.net.KillHost("gw-2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f.nodes[0].Tick(ctx)
+		f.nodes[1].Tick(ctx)
+	}
+	got = f.nodes[0].RemoteTenantUsage()
+	if got["acme"].InFlight != 2 {
+		t.Fatalf("evicted member still counted: acme in-flight = %d, want 2", got["acme"].InFlight)
+	}
+}
+
 // TestConcurrentGossip exercises membership, placement and the
 // location table under -race: concurrent ticks, publishes and reads.
 func TestConcurrentGossip(t *testing.T) {
@@ -322,6 +380,10 @@ func TestConcurrentGossip(t *testing.T) {
 				})
 				_ = n.Home(SubscriptionKey("app.echo", fmt.Sprintf("dev-%d", r)))
 				_ = n.Membership().AliveAddrs()
+				n.SetTenantUsageFunc(func() []TenantUsage {
+					return []TenantUsage{{Tenant: "acme", InFlight: int64(r)}}
+				})
+				_ = n.RemoteTenantUsage()
 			}
 		}(i, n)
 	}

@@ -38,6 +38,24 @@ type Load struct {
 	InFlight int
 }
 
+// TenantUsage is one tenant's resource tally on one member, carried
+// on heartbeats so per-tenant quotas hold cluster-wide (DESIGN.md
+// §12). Each member gossips only its own rows; receivers store them
+// under the sender and sum across members on demand.
+type TenantUsage struct {
+	// Tenant is the account label ("default" for the implicit account).
+	Tenant string
+	// InFlight is the member's dispatched-but-unfinished agents for
+	// this tenant.
+	InFlight int64
+	// Residents is the tenant's agents resident on the member's MAS.
+	Residents int64
+	// MailboxBytes is the tenant's pending mailbox payload bytes there.
+	MailboxBytes int64
+	// JournalBytes is the tenant's journaled agent bytes there.
+	JournalBytes int64
+}
+
 // Member is a snapshot of one cluster member as seen locally.
 type Member struct {
 	Addr        string
@@ -70,6 +88,9 @@ type MembershipConfig struct {
 	EvictAfter int
 	// LoadFn reports local load for outgoing heartbeats (nil: zero).
 	LoadFn func() Load
+	// TenantUsageFn reports this member's per-tenant usage rows for
+	// outgoing heartbeats (nil: none gossiped).
+	TenantUsageFn func() []TenantUsage
 	// EpochFn reports this member's fencing epoch, stamped on outgoing
 	// heartbeats so peers can refuse a fenced zombie (nil: epoch 0).
 	EpochFn func() uint64
@@ -93,7 +114,8 @@ type memberInfo struct {
 	state    MemberState
 	inc      int
 	load     Load
-	lastSeen int // local tick of last evidence
+	usage    []TenantUsage // the member's own gossiped per-tenant rows
+	lastSeen int           // local tick of last evidence
 }
 
 // Membership is the gossiping failure detector. Drive it with Tick —
@@ -206,6 +228,41 @@ func (m *Membership) SetLoadFunc(fn func() Load) {
 	m.mu.Lock()
 	m.cfg.LoadFn = fn
 	m.mu.Unlock()
+}
+
+// SetTenantUsageFunc installs the local per-tenant usage reporter;
+// the gateway wires its tenant ledger here after construction.
+func (m *Membership) SetTenantUsageFunc(fn func() []TenantUsage) {
+	m.mu.Lock()
+	m.cfg.TenantUsageFn = fn
+	m.mu.Unlock()
+}
+
+// RemoteTenantUsage sums the per-tenant usage last gossiped by every
+// live or suspect member (self excluded — the caller's own ledger is
+// authoritative locally), keyed by tenant label. Freshness is
+// heartbeat-granularity: a quota can overshoot by what the cluster
+// admitted inside one gossip round, which is the documented §12
+// trade-off for keeping admission off the cluster's critical path.
+func (m *Membership) RemoteTenantUsage() map[string]TenantUsage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]TenantUsage{}
+	for _, e := range m.members {
+		if e.state == StateLeft {
+			continue
+		}
+		for _, u := range e.usage {
+			sum := out[u.Tenant]
+			sum.Tenant = u.Tenant
+			sum.InFlight += u.InFlight
+			sum.Residents += u.Residents
+			sum.MailboxBytes += u.MailboxBytes
+			sum.JournalBytes += u.JournalBytes
+			out[u.Tenant] = sum
+		}
+	}
+	return out
 }
 
 // LoadOf returns the last known load of addr. Self answers from the
@@ -451,6 +508,7 @@ func (m *Membership) viewDoc() []byte {
 	}
 	var selfLoad Load
 	loadFn := m.cfg.LoadFn
+	usageFn := m.cfg.TenantUsageFn
 	now := m.tick
 	type row struct {
 		addr  string
@@ -485,6 +543,18 @@ func (m *Membership) viewDoc() []byte {
 		e.SetAttr("queue", strconv.Itoa(r.load.QueueDepth))
 		e.SetAttr("inflight", strconv.Itoa(r.load.InFlight))
 		e.SetAttr("age", strconv.Itoa(r.age))
+	}
+	// Per-tenant usage rows: only our own — each member vouches for its
+	// own tallies, receivers sum across senders (RemoteTenantUsage).
+	if usageFn != nil {
+		for _, u := range usageFn() {
+			e := root.AddElement("usage")
+			e.SetAttr("tenant", u.Tenant)
+			e.SetAttr("inflight", strconv.FormatInt(u.InFlight, 10))
+			e.SetAttr("residents", strconv.FormatInt(u.Residents, 10))
+			e.SetAttr("mbbytes", strconv.FormatInt(u.MailboxBytes, 10))
+			e.SetAttr("jbytes", strconv.FormatInt(u.JournalBytes, 10))
+		}
 	}
 	fenceAddrs := make([]string, 0, len(fences))
 	for addr := range fences {
@@ -533,8 +603,25 @@ func (m *Membership) Merge(doc []byte) error {
 	}
 	from := root.AttrDefault("from", "")
 	selfFencedAt := uint64(0)
+	usageRows := []TenantUsage{}
 	m.mu.Lock()
 	for _, child := range root.Children {
+		if child.Name == "usage" {
+			// Usage rows are the sender's own tallies; collected here and
+			// attached to the sender's entry below.
+			t := child.AttrDefault("tenant", "")
+			if t == "" {
+				continue
+			}
+			usageRows = append(usageRows, TenantUsage{
+				Tenant:       t,
+				InFlight:     atoi64Default(child.AttrDefault("inflight", "0")),
+				Residents:    atoi64Default(child.AttrDefault("residents", "0")),
+				MailboxBytes: atoi64Default(child.AttrDefault("mbbytes", "0")),
+				JournalBytes: atoi64Default(child.AttrDefault("jbytes", "0")),
+			})
+			continue
+		}
 		if child.Name == "fence" {
 			// Fencing epochs max-merge: once raised anywhere, a fence
 			// spreads everywhere and never lowers.
@@ -608,6 +695,13 @@ func (m *Membership) Merge(doc []byte) error {
 			}
 		}
 	}
+	// The sender vouches for its own usage: replace its rows wholesale
+	// (an empty heartbeat clears stale tallies).
+	if from != "" && from != m.cfg.Self {
+		if e, ok := m.members[from]; ok {
+			e.usage = usageRows
+		}
+	}
 	m.mu.Unlock()
 	if selfFencedAt > 0 && m.cfg.OnFenced != nil {
 		m.cfg.OnFenced(selfFencedAt)
@@ -632,6 +726,14 @@ func rank(s MemberState) int {
 
 func atoiDefault(s string) int {
 	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func atoi64Default(s string) int64 {
+	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		return 0
 	}

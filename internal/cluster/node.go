@@ -150,6 +150,14 @@ func (n *Node) Self() string { return n.cfg.Self }
 // SetLoadFunc installs the local load reporter (gateway wiring).
 func (n *Node) SetLoadFunc(fn func() Load) { n.mem.SetLoadFunc(fn) }
 
+// SetTenantUsageFunc installs the per-tenant usage reporter gossiped
+// on heartbeats.
+func (n *Node) SetTenantUsageFunc(fn func() []TenantUsage) { n.mem.SetTenantUsageFunc(fn) }
+
+// RemoteTenantUsage sums the per-tenant usage last gossiped by the
+// rest of the cluster, keyed by tenant label.
+func (n *Node) RemoteTenantUsage() map[string]TenantUsage { return n.mem.RemoteTenantUsage() }
+
 // Membership exposes the failure detector (directory endpoint, tests).
 func (n *Node) Membership() *Membership { return n.mem }
 

@@ -354,7 +354,7 @@ func TestMailboxPullRefusesNonMembers(t *testing.T) {
 		t.Fatalf("gateway contacted the attacker host %d time(s) — cluster secret exfiltrated", n)
 	}
 	// The poll itself still served the device's mail.
-	_, entries, _, _, _, perr := push.ParseEntries(resp.Body)
+	_, entries, _, _, _, _, perr := push.ParseEntries(resp.Body)
 	if perr != nil || len(entries) != 1 {
 		t.Fatalf("poll served %d entries (%v), want 1", len(entries), perr)
 	}

@@ -111,7 +111,10 @@ func (p *Platform) QueuedDispatches() []string {
 // probably still flaky and the rest stay queued for the next session.
 // A permanent rejection (4xx: bad code, rotated subscription, refused
 // key) DROPS the entry and reports it, so one poison dispatch can
-// never block the queue behind it forever.
+// never block the queue behind it forever. 429 is the one 4xx that is
+// NOT permanent — the gateway is telling this tenant to back off
+// (DESIGN.md §12), not that the dispatch is poison — so it halts the
+// drain like a 5xx and the queue retries next session.
 func (p *Platform) drainQueued(ctx context.Context) (dispatched []string, rejected []Delivery, err error) {
 	for {
 		p.mu.Lock()
@@ -126,7 +129,8 @@ func (p *Platform) drainQueued(ctx context.Context) (dispatched []string, reject
 		agentID, uerr := p.uploadPI(ctx, q.pi)
 		if uerr != nil {
 			var se *transport.StatusError
-			if errors.As(uerr, &se) && se.Status >= 400 && se.Status < 500 {
+			if errors.As(uerr, &se) && se.Status >= 400 && se.Status < 500 &&
+				se.Status != transport.StatusTooManyRequests {
 				p.logf("device %s: queued dispatch %s permanently rejected: %v", p.cfg.Owner, qid, uerr)
 				rejected = append(rejected, Delivery{
 					Kind: push.KindStatus,
@@ -299,7 +303,7 @@ func (p *Platform) fetchMailbox(ctx context.Context, gw, prevEdge string, cursor
 	if !resp.IsOK() {
 		return nil, 0, 0, fmt.Errorf("device: mailbox at %s: %w", gw, resp.Err())
 	}
-	_, entries, watermark, evicted, _, err := push.ParseEntries(resp.Body)
+	_, entries, watermark, evicted, _, _, err := push.ParseEntries(resp.Body)
 	return entries, watermark, evicted, err
 }
 

@@ -436,3 +436,51 @@ func TestPoisonQueuedDispatchDoesNotBlockQueue(t *testing.T) {
 func mavmParams(k int64) map[string]mavm.Value {
 	return map[string]mavm.Value{"k": mavm.Int(k)}
 }
+
+// TestRateLimited429KeepsQueue: a 429 (tenant over rate/quota,
+// DESIGN.md §12) is a back-off signal, not a poison verdict — the
+// queued dispatch must survive for the next session instead of being
+// dropped like the other 4xx rejections.
+func TestRateLimited429KeepsQueue(t *testing.T) {
+	f := newSessionFixture(t, nil)
+	ctx := context.Background()
+	if err := f.plat.Subscribe(ctx, "gw-d", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.plat.QueueDispatch("echo", mavmParams(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interpose on the gateway: refuse dispatches with 429 until the
+	// operator (the test) lifts the limit.
+	limited := true
+	inner := f.gw.Handler()
+	f.net.AddHost("gw-d", netsim.ZoneWired, transport.HandlerFunc(
+		func(ctx context.Context, req *transport.Request) *transport.Response {
+			if limited && req.Path == "/pdagent/dispatch" {
+				resp := transport.Errorf(transport.StatusTooManyRequests, "tenant over quota")
+				resp.SetHeader("retry-after", "1")
+				return resp
+			}
+			return inner.Serve(ctx, req)
+		}))
+
+	s, err := f.plat.OpenSession(ctx)
+	if err == nil {
+		t.Fatalf("session drained through a 429: %+v", s)
+	}
+	if got := f.plat.QueuedDispatches(); len(got) != 1 {
+		t.Fatalf("429 dropped the queued dispatch: %v", got)
+	}
+
+	// Once the account is back under its limits the same entry drains.
+	limited = false
+	s, err = f.plat.OpenSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dispatched) != 1 || len(f.plat.QueuedDispatches()) != 0 {
+		t.Fatalf("post-backoff drain = %+v", s)
+	}
+	f.queue.Drain()
+}

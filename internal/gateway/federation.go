@@ -61,7 +61,7 @@ func (g *Gateway) chaseStart(agentID string, st AgentStatus) (start, fallback st
 // cluster is degenerate, or every forward target failed and local
 // admission is the fallback of last resort — the edge always can,
 // it holds the compiled source).
-func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation) (*transport.Response, bool) {
+func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation, tenantID string) (*transport.Response, bool) {
 	node := g.cfg.Cluster
 	key := cluster.SubscriptionKey(pi.CodeID, pi.Owner)
 	home := node.Home(key)
@@ -70,7 +70,7 @@ func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation)
 	}
 	tried := map[string]bool{}
 	for attempt := 0; attempt < 3; attempt++ {
-		resp, err := g.forwardDispatch(ctx, home, pi)
+		resp, err := g.forwardDispatch(ctx, home, pi, tenantID)
 		if err == nil && resp.Status != transport.StatusUnavailable {
 			if resp.IsOK() {
 				agentID := resp.GetHeader("agent")
@@ -80,7 +80,7 @@ func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation)
 				// Track the remote agent so result/status requests from
 				// the device route to its home member, and bind the nonce
 				// so a device retry of this upload answers idempotently.
-				g.reg.CreateRoutedAgent(agentID, pi.CodeID, pi.Owner, "", home)
+				g.reg.CreateOwnedAgent(agentID, pi.CodeID, pi.Owner, tenantID, "", home)
 				g.reg.BindNonce(pi.CodeID, pi.Owner, pi.Nonce, agentID)
 				g.mForwarded.Inc()
 				g.trace.Record(agentID, "forward", home)
@@ -122,14 +122,20 @@ func (g *Gateway) routeDispatch(ctx context.Context, pi *wire.PackedInformation)
 // forwardDispatch hands an authenticated PI to its home member. The
 // body is the plain PI document: the device's Figure-7 envelope was
 // already opened at the edge (it is sealed to the edge's key), and the
-// middle-tier backbone is the trusted side of the paper's model.
-func (g *Gateway) forwardDispatch(ctx context.Context, home string, pi *wire.PackedInformation) (*transport.Response, error) {
+// middle-tier backbone is the trusted side of the paper's model. The
+// tenant resolved from the edge's subscription table rides as a header
+// (only the authenticated cluster hop may set it — devices cannot),
+// so the home member bills the journey to the right account.
+func (g *Gateway) forwardDispatch(ctx context.Context, home string, pi *wire.PackedInformation, tenantID string) (*transport.Response, error) {
 	doc, err := pi.EncodeXML()
 	if err != nil {
 		return nil, err
 	}
 	req := &transport.Request{Path: "/cluster/dispatch", Body: doc}
 	req.SetHeader("origin", g.cfg.Addr)
+	if tenantID != "" {
+		req.SetHeader("tenant", tenantID)
+	}
 	return g.cfg.Cluster.Forwarder().Forward(ctx, home, req)
 }
 
@@ -161,6 +167,10 @@ func (g *Gateway) handleClusterDispatch(ctx context.Context, req *transport.Requ
 	if origin == "" {
 		origin = cluster.Chain(req)[0]
 	}
+	// The edge resolved the tenant from its subscription table and
+	// forwarded it; this endpoint is cluster-token-gated, so the header
+	// is trusted the way the PI itself is.
+	tenantID := req.GetHeader("tenant")
 	if pi.Nonce != "" && !g.reg.RememberNonce(pi.CodeID, pi.Owner, pi.Nonce) {
 		// An edge retrying a forward whose ack was lost: if the earlier
 		// admission completed, answer with the original agent id so the
@@ -173,7 +183,7 @@ func (g *Gateway) handleClusterDispatch(ctx context.Context, req *transport.Requ
 		return transport.Errorf(transport.StatusConflict,
 			"replayed packed information (nonce already used)")
 	}
-	return g.admitDispatch(ctx, pi, origin)
+	return g.admitDispatch(ctx, pi, origin, tenantID)
 }
 
 // resultRelayTimeout bounds one best-effort result relay; a missed

@@ -49,6 +49,7 @@ import (
 	"pdagent/internal/repl"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
+	"pdagent/internal/tenant"
 	"pdagent/internal/transport"
 	"pdagent/internal/wire"
 )
@@ -148,6 +149,17 @@ type Config struct {
 	// Shed, when set, enables watermark admission control on device
 	// dispatches (see ShedConfig). Nil means never shed.
 	Shed *ShedConfig
+	// Tenants, when set, turns on the multi-tenant control plane
+	// (DESIGN.md §12): subscriptions bind to tenant accounts, device
+	// dispatches pass per-tenant rate/quota admission (refusals answer
+	// 429 with a Retry-After, distinct from the 503 the overload
+	// shedder uses), watermark shedding becomes weighted-fair (tenants
+	// under their fair share of the in-flight budget survive a shed),
+	// and per-tenant usage is gossiped on cluster heartbeats so quotas
+	// hold cluster-wide. Nil is the single-tenant deployment: every
+	// subscription belongs to the implicit default account and the
+	// dispatch path is untouched.
+	Tenants *tenant.Registry
 }
 
 // defaultOutboundWorkers bounds outbound concurrency when the config
@@ -176,6 +188,12 @@ type Gateway struct {
 	mbPullSem      chan struct{}
 	mbPullStarted  atomic.Uint64
 	mbPullShared   atomic.Uint64
+	// Multi-tenant control plane (nil in single-tenant deployments):
+	// the account registry, this member's usage ledger, and the
+	// rate/quota/weighted-fair admission layer over both.
+	tenants   *tenant.Registry
+	tledger   *tenant.Ledger
+	admission *tenant.Admission
 	// Observability (observe.go). Counter and histogram handles live
 	// here so hot paths touch only atomics; gauges are registered as
 	// functions and cost nothing between scrapes.
@@ -193,6 +211,10 @@ type Gateway struct {
 	mResults       *metrics.Counter
 	mRelayed       *metrics.Counter
 	mAdopted       *metrics.Counter
+	// Per-tenant counter families (nil in single-tenant deployments).
+	mTenantDispatch *metrics.CounterVec
+	mTenantShed     *metrics.CounterVec
+	mTenantQuota    *metrics.CounterVec
 }
 
 // New creates a gateway and its embedded home MAS.
@@ -257,6 +279,16 @@ func New(cfg Config) (*Gateway, error) {
 		g.mbPullInflight = map[string]chan struct{}{}
 		g.mbPullSem = make(chan struct{}, maxConcurrentMailboxPulls)
 	}
+	if cfg.Tenants != nil {
+		// Multi-tenant mode: the ledger mirrors the registry's in-flight
+		// deltas per tenant, and the admission layer fronts the dispatch
+		// path. Single-tenant gateways skip all of it — the registry
+		// never touches a ledger and dispatch stays byte-identical.
+		g.tenants = cfg.Tenants
+		g.tledger = tenant.NewLedger()
+		g.admission = tenant.NewAdmission(cfg.Tenants, g.tledger)
+		g.reg.SetLedger(g.tledger)
+	}
 	g.metrics = cfg.Metrics
 	g.trace = cfg.Trace
 	g.initObserve()
@@ -286,6 +318,19 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	g.mas = masSrv
+	if g.admission != nil {
+		// The slow usage halves live in the MAS (table walks) and the
+		// mailbox hub; the admission layer consults them only for
+		// tenants that actually configured those quotas.
+		g.admission.Slow = g.slowUsage
+		if cfg.Cluster != nil {
+			// Quotas hold cluster-wide: heartbeats gossip this member's
+			// per-tenant rows, and admission sums what the rest of the
+			// fleet last reported.
+			cfg.Cluster.SetTenantUsageFunc(g.tenantUsage)
+			g.admission.Remote = g.remoteUsage
+		}
+	}
 
 	m := transport.NewMux()
 	// The embedded MAS handles agent transfers addressed to this
@@ -529,11 +574,29 @@ func (g *Gateway) handleSubscribe(_ context.Context, req *transport.Request) *tr
 	if !ok {
 		return transport.Errorf(transport.StatusNotFound, "no code package %q", codeID)
 	}
+	// Multi-tenant binding (§12): a subscribe carrying tenant +
+	// tenant-secret headers binds the subscription to that account —
+	// every later dispatch against it is admitted and billed there.
+	// The tenant secret gates the binding; otherwise anyone could park
+	// their traffic on a victim's quota. Without the headers (or on a
+	// single-tenant gateway, which ignores them) the subscription
+	// belongs to the implicit default account, exactly as before.
+	tenantID := tenant.DefaultID
+	if g.tenants != nil {
+		if id := req.GetHeader("tenant"); id != "" {
+			t, known := g.tenants.Get(id)
+			if !known || !g.tenants.Registered(id) || t.Secret != req.GetHeader("tenant-secret") {
+				return transport.Errorf(transport.StatusUnauthorized,
+					"unknown tenant %q or bad tenant secret", id)
+			}
+			tenantID = id
+		}
+	}
 	secret, err := pisec.NewSubscriptionSecret()
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "issuing secret: %v", err)
 	}
-	g.reg.SetSecret(codeID, owner, secret)
+	g.reg.SetTenantSecret(codeID, owner, secret, tenantID)
 
 	pubKey, err := g.cfg.KeyPair.Public().Marshal()
 	if err != nil {
@@ -583,8 +646,10 @@ func (g *Gateway) dispatchDevice(ctx context.Context, req *transport.Request) *t
 	// is crossed, refuse retryably before spending any decryption or
 	// parsing work on a request the member cannot absorb. Forwarded
 	// cluster dispatches do not pass through here — the edge already
-	// admitted them.
-	if g.cfg.Shed != nil {
+	// admitted them. Multi-tenant members defer the shed until the
+	// dispatch key has been verified (admitTenant): the tenant is only
+	// known post-auth, and weighted-fair shedding needs the tenant.
+	if g.cfg.Shed != nil && g.admission == nil {
 		if why := g.shedReason(); why != "" {
 			g.mShed.Inc()
 			g.trace.Record(shedTrace, "shed", why)
@@ -601,8 +666,21 @@ func (g *Gateway) dispatchDevice(ctx context.Context, req *transport.Request) *t
 		return transport.Errorf(transport.StatusBadRequest, "unpacking packed information: %v", err)
 	}
 
-	// Step 3: the Agent Creator validates the supplied unique key.
-	secret, subscribed := g.reg.Secret(pi.CodeID, pi.Owner)
+	// Step 3: the Agent Creator validates the supplied unique key. In
+	// multi-tenant mode the same shard lookup also resolves the tenant
+	// account the subscription was bound to at subscribe time — the
+	// tenant is never read from the request, so a device cannot bill
+	// its traffic to someone else's account.
+	var (
+		secret     []byte
+		tenantID   string
+		subscribed bool
+	)
+	if g.admission != nil {
+		secret, tenantID, subscribed = g.reg.SecretOwner(pi.CodeID, pi.Owner)
+	} else {
+		secret, subscribed = g.reg.Secret(pi.CodeID, pi.Owner)
+	}
 	if !subscribed {
 		return transport.Errorf(transport.StatusUnauthorized,
 			"no subscription for code %q by %q", pi.CodeID, pi.Owner)
@@ -610,6 +688,15 @@ func (g *Gateway) dispatchDevice(ctx context.Context, req *transport.Request) *t
 	if !pisec.VerifyDispatchKey(pi.CodeID, secret, pi.DispatchKey) {
 		return transport.Errorf(transport.StatusUnauthorized,
 			"invalid dispatch key for code %q", pi.CodeID)
+	}
+	// Tenant admission (DESIGN.md §12): weighted-fair shed, then the
+	// tenant's own rate and quota limits. Runs before the mailbox is
+	// touched and before the nonce is consumed, so a refused dispatch
+	// neither grows hub state nor wedges the device's retry.
+	if g.admission != nil {
+		if resp := g.admitTenant(tenantID); resp != nil {
+			return resp
+		}
 	}
 	// The device just proved a subscription (dispatch key verified):
 	// open its mailbox here — this is the member it talks to — so its
@@ -619,6 +706,11 @@ func (g *Gateway) dispatchDevice(ctx context.Context, req *transport.Request) *t
 	mailboxToken := ""
 	if g.hub != nil {
 		mailboxToken = g.hub.Touch(pi.Owner)
+		if tenantID != "" {
+			// Bind the mailbox to the subscription's account, so pending
+			// mail bills against the tenant's mailbox-byte quota.
+			g.hub.SetTenant(pi.Owner, tenantID)
+		}
 	}
 	stamped := func(resp *transport.Response) *transport.Response {
 		if mailboxToken != "" && resp.IsOK() {
@@ -659,22 +751,24 @@ func (g *Gateway) dispatchDevice(ctx context.Context, req *transport.Request) *t
 	// consistent-hash ring homes this subscription on another member,
 	// hand the authenticated PI over and track the agent remotely.
 	if g.cfg.Cluster != nil {
-		if resp, routed := g.routeDispatch(ctx, pi); routed {
+		if resp, routed := g.routeDispatch(ctx, pi, tenantID); routed {
 			return stamped(resp)
 		}
 	}
-	return stamped(g.admitDispatch(ctx, pi, ""))
+	return stamped(g.admitDispatch(ctx, pi, "", tenantID))
 }
 
 // admitDispatch is steps 4–6 of the Agent Dispatch Handler: compile,
 // materialise the request document, create and admit the agent. origin
 // is the edge member that forwarded the dispatch ("" for direct ones);
-// the result document will be relayed back to it. Every failure path
-// releases the PI's nonce: it was consumed by the replay check before
-// admission, and keeping it burned would turn each retry of this
-// upload into a 409 forever (the exact wedge the idempotent-retry
-// machinery exists to prevent).
-func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation, origin string) *transport.Response {
+// the result document will be relayed back to it. tenantID is the
+// account the journey bills to ("" = default) — it threads into the
+// registry entry (in-flight ledger) and the MAS record (journal and
+// transfer accounting). Every failure path releases the PI's nonce: it
+// was consumed by the replay check before admission, and keeping it
+// burned would turn each retry of this upload into a 409 forever (the
+// exact wedge the idempotent-retry machinery exists to prevent).
+func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation, origin, tenantID string) *transport.Response {
 	fail := func(resp *transport.Response) *transport.Response {
 		g.reg.ForgetNonce(pi.CodeID, pi.Owner, pi.Nonce)
 		return resp
@@ -716,9 +810,9 @@ func (g *Gateway) admitDispatch(ctx context.Context, pi *wire.PackedInformation,
 	if err != nil {
 		return fail(transport.Errorf(transport.StatusServerError, "creating agent: %v", err))
 	}
-	g.reg.CreateRoutedAgent(agentID, pi.CodeID, pi.Owner, origin, "")
+	g.reg.CreateOwnedAgent(agentID, pi.CodeID, pi.Owner, tenantID, origin, "")
 	g.reg.SetRequestDoc(agentID, reqDocID)
-	if err := g.mas.AdmitAgent(ctx, vm, pi.CodeID, pi.Owner, g.cfg.Addr); err != nil {
+	if err := g.mas.AdmitAgentOwned(ctx, vm, pi.CodeID, pi.Owner, tenantID, g.cfg.Addr); err != nil {
 		// Retire the tracking entry so a failed admission does not
 		// inflate the in-flight load gauge forever (which would make
 		// the cluster spill this member's keys for no reason).

@@ -349,7 +349,7 @@ func (g *Gateway) pullMailboxDirect(ctx context.Context, prev, device, tok strin
 		g.logf("gateway %s: mailbox pull for %s from %s: %v", g.cfg.Addr, device, prev, err)
 		return
 	}
-	_, entries, watermark, _, token, err := push.ParseEntries(resp.Body)
+	_, entries, watermark, _, token, tenantID, err := push.ParseEntries(resp.Body)
 	if err != nil {
 		g.logf("gateway %s: mailbox pull for %s from %s: %v", g.cfg.Addr, device, prev, err)
 		return
@@ -363,8 +363,9 @@ func (g *Gateway) pullMailboxDirect(ctx context.Context, prev, device, tok strin
 		return
 	}
 	// The device keeps authenticating with the token its original edge
-	// minted.
+	// minted, and keeps billing to the account it was bound to there.
 	g.hub.AdoptToken(device, token)
+	g.hub.SetTenant(device, tenantID)
 	ack := &transport.Request{Path: "/cluster/mailbox/ack"}
 	ack.SetHeader("device", device)
 	ack.SetHeader("upto", strconv.FormatUint(watermark, 10))
@@ -391,7 +392,7 @@ func (g *Gateway) handleClusterMailboxExport(_ context.Context, req *transport.R
 		return transport.Errorf(transport.StatusBadRequest, "mailbox export needs a device header")
 	}
 	if !g.hub.Known(device) {
-		return transport.OK(push.EncodeExport(device, nil, 0, ""))
+		return transport.OK(push.EncodeExport(device, nil, 0, "", ""))
 	}
 	// The pulling member relays the device's own token; without it the
 	// mailbox stays here (a member can be coaxed into *asking* by an
@@ -405,7 +406,7 @@ func (g *Gateway) handleClusterMailboxExport(_ context.Context, req *transport.R
 	if len(entries) > 0 {
 		watermark = entries[len(entries)-1].Seq
 	}
-	return transport.OK(push.EncodeExport(device, entries, watermark, g.hub.TokenOf(device)))
+	return transport.OK(push.EncodeExport(device, entries, watermark, g.hub.TokenOf(device), g.hub.TenantOf(device)))
 }
 
 // handleClusterMailboxAck retires entries a peer pulled (they are now

@@ -37,7 +37,7 @@ func pollMailbox(t *testing.T, f *fixture, device string, ack uint64) (entries [
 	if !resp.IsOK() {
 		t.Fatalf("mailbox poll: %d %s", resp.Status, resp.Text())
 	}
-	_, entries, watermark, evicted, _, err = push.ParseEntries(resp.Body)
+	_, entries, watermark, evicted, _, _, err = push.ParseEntries(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestMailboxLongPollWakes(t *testing.T) {
 			done <- pollResult{err: err}
 			return
 		}
-		_, entries, _, _, _, err := push.ParseEntries(resp.Body)
+		_, entries, _, _, _, _, err := push.ParseEntries(resp.Body)
 		done <- pollResult{entries: entries, err: err}
 	}()
 

@@ -241,6 +241,13 @@ func (g *Gateway) initObserve() {
 			})
 	}
 
+	if g.admission != nil {
+		// The gauge closures read g.mas lazily at scrape time; the MAS
+		// is built right after initObserve returns, long before the
+		// first scrape.
+		g.initTenantObserve(m)
+	}
+
 	if node := g.cfg.Cluster; node != nil {
 		m.GaugeFunc("pdagent_cluster_view_version",
 			"Membership view version (increments on every churn event).",

@@ -80,10 +80,13 @@ func (g *Gateway) importMailboxes(from string, store rms.Store) (int, error) {
 			}
 		}
 		// The device keeps authenticating with the token the dead member
-		// minted (AdoptToken is a no-op if we already issued our own).
+		// minted (AdoptToken is a no-op if we already issued our own),
+		// and keeps billing to the account the dead member bound
+		// (SetTenant likewise keeps any existing binding).
 		if tok := tmp.TokenOf(device); tok != "" {
 			g.hub.AdoptToken(device, tok)
 		}
+		g.hub.SetTenant(device, tmp.TenantOf(device))
 		imported++
 	}
 	return imported, nil

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdagent/internal/tenant"
 	"pdagent/internal/wire"
 )
 
@@ -33,12 +34,24 @@ type Registry struct {
 	// under the shard lock so no watcher can register after its shard
 	// was swept.
 	closed atomic.Bool
+	// ledger, when set, receives per-tenant in-flight deltas alongside
+	// the inFlight gauge (nil in single-tenant deployments: the hot
+	// path pays nothing).
+	ledger *tenant.Ledger
+}
+
+// subEntry binds one subscription's dispatch secret to the tenant it
+// was claimed under; agents dispatched against the subscription are
+// accounted to that tenant.
+type subEntry struct {
+	key    []byte
+	tenant string
 }
 
 type registryShard struct {
 	mu       sync.RWMutex
 	catalog  map[string]*wire.CodePackage // code id -> package
-	secrets  map[string][]byte            // subKey -> subscription secret
+	secrets  map[string]subEntry          // subKey -> secret + owning tenant
 	dispatch map[string]*agentMeta        // agent id -> meta
 	replay   map[string]*nonceWindow      // subKey -> recent dispatch nonces
 	watchers map[string][]chan struct{}   // agent id -> result watchers
@@ -64,7 +77,7 @@ func NewRegistry(shards int) *Registry {
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.catalog = map[string]*wire.CodePackage{}
-		s.secrets = map[string][]byte{}
+		s.secrets = map[string]subEntry{}
 		s.dispatch = map[string]*agentMeta{}
 		s.replay = map[string]*nonceWindow{}
 		s.watchers = map[string][]chan struct{}{}
@@ -134,12 +147,20 @@ func (r *Registry) Packages() []*wire.CodePackage {
 
 // --- subscriptions ------------------------------------------------------
 
-// SetSecret records the subscription secret for (codeID, owner).
+// SetSecret records the subscription secret for (codeID, owner) under
+// the default tenant.
 func (r *Registry) SetSecret(codeID, owner string, secret []byte) {
+	r.SetTenantSecret(codeID, owner, secret, tenant.DefaultID)
+}
+
+// SetTenantSecret records the subscription secret for (codeID, owner)
+// and binds the subscription to a tenant: every dispatch against it is
+// admitted and accounted under that tenant from then on.
+func (r *Registry) SetTenantSecret(codeID, owner string, secret []byte, tenantID string) {
 	k := subKey(codeID, owner)
 	s := r.shardFor(k)
 	s.mu.Lock()
-	s.secrets[k] = secret
+	s.secrets[k] = subEntry{key: secret, tenant: tenantID}
 	s.mu.Unlock()
 }
 
@@ -148,10 +169,27 @@ func (r *Registry) Secret(codeID, owner string) ([]byte, bool) {
 	k := subKey(codeID, owner)
 	s := r.shardFor(k)
 	s.mu.RLock()
-	sec, ok := s.secrets[k]
+	e, ok := s.secrets[k]
 	s.mu.RUnlock()
-	return sec, ok
+	return e.key, ok
 }
+
+// SecretOwner returns the subscription secret for (codeID, owner)
+// together with the tenant the subscription is bound to — one shard
+// lookup, so the multi-tenant dispatch path resolves both at the cost
+// single-tenant dispatch pays for the secret alone.
+func (r *Registry) SecretOwner(codeID, owner string) ([]byte, string, bool) {
+	k := subKey(codeID, owner)
+	s := r.shardFor(k)
+	s.mu.RLock()
+	e, ok := s.secrets[k]
+	s.mu.RUnlock()
+	return e.key, e.tenant, ok
+}
+
+// SetLedger installs the per-tenant usage ledger that in-flight
+// deltas are mirrored into (nil disables mirroring).
+func (r *Registry) SetLedger(l *tenant.Ledger) { r.ledger = l }
 
 // RememberNonce records a dispatch nonce in the subscription's replay
 // window, reporting false if the nonce was already seen (a replayed
@@ -254,8 +292,12 @@ func (w *nonceWindow) remember(nonce string) bool {
 // agentMeta tracks one dispatched agent for status and result lookup.
 // Fields are guarded by the owning shard's lock.
 type agentMeta struct {
-	codeID  string
-	owner   string
+	codeID string
+	owner  string
+	// tenant is the account the dispatching subscription was bound to
+	// ("" = default); in-flight accounting and shed protection key on
+	// it.
+	tenant  string
 	done    bool
 	gone    bool // terminal without a result (disposed by owner)
 	docID   int  // record id of the result document in Documents
@@ -282,6 +324,7 @@ type agentMeta struct {
 type AgentStatus struct {
 	CodeID  string
 	Owner   string
+	Tenant  string
 	Done    bool
 	Gone    bool
 	DocID   int
@@ -320,6 +363,12 @@ func (r *Registry) CreateAgent(id, codeID, owner string) {
 // counts the real work, and double-counting would make pass-through
 // edges spill spuriously.
 func (r *Registry) CreateRoutedAgent(id, codeID, owner, origin, homeGW string) {
+	r.CreateOwnedAgent(id, codeID, owner, tenant.DefaultID, origin, homeGW)
+}
+
+// CreateOwnedAgent is CreateRoutedAgent with an explicit tenant: the
+// agent's in-flight accounting lands on that tenant's ledger row.
+func (r *Registry) CreateOwnedAgent(id, codeID, owner, tenantID, origin, homeGW string) {
 	s := r.shardFor(id)
 	s.mu.Lock()
 	if meta, exists := s.dispatch[id]; exists {
@@ -329,13 +378,19 @@ func (r *Registry) CreateRoutedAgent(id, codeID, owner, origin, homeGW string) {
 		if meta.homeGW == "" {
 			meta.homeGW = homeGW
 		}
+		if meta.tenant == "" {
+			meta.tenant = tenantID
+		}
 		s.mu.Unlock()
 		return
 	}
-	s.dispatch[id] = &agentMeta{codeID: codeID, owner: owner, origin: origin, homeGW: homeGW}
+	s.dispatch[id] = &agentMeta{codeID: codeID, owner: owner, tenant: tenantID, origin: origin, homeGW: homeGW}
 	s.mu.Unlock()
 	if homeGW == "" {
 		r.inFlight.Add(1)
+		if r.ledger != nil {
+			r.ledger.AddInFlight(tenantID, 1)
+		}
 	}
 }
 
@@ -363,6 +418,7 @@ func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string
 		s.dispatch[id] = meta
 	}
 	wasLive := ok && !meta.done && !meta.gone && meta.homeGW == ""
+	tenantID := meta.tenant
 	if !meta.done {
 		// First completion (or resurrection after expiry): queue for the
 		// retention sweep. Re-completions of an already-done agent keep
@@ -378,6 +434,9 @@ func (r *Registry) CompleteAgent(id, codeID, owner string, docID int, why string
 	s.mu.Unlock()
 	if wasLive {
 		r.inFlight.Add(-1)
+		if r.ledger != nil {
+			r.ledger.AddInFlight(tenantID, -1)
+		}
 	}
 	return watchers
 }
@@ -493,8 +552,8 @@ func (r *Registry) Agent(id string) (AgentStatus, bool) {
 	meta, ok := s.dispatch[id]
 	var st AgentStatus
 	if ok {
-		st = AgentStatus{CodeID: meta.codeID, Owner: meta.owner, Done: meta.done, Gone: meta.gone,
-			DocID: meta.docID, LastWhy: meta.lastWhy, Origin: meta.origin, HomeGW: meta.homeGW}
+		st = AgentStatus{CodeID: meta.codeID, Owner: meta.owner, Tenant: meta.tenant, Done: meta.done,
+			Gone: meta.gone, DocID: meta.docID, LastWhy: meta.lastWhy, Origin: meta.origin, HomeGW: meta.homeGW}
 	}
 	s.mu.RUnlock()
 	return st, ok
@@ -522,6 +581,7 @@ func (r *Registry) ReleaseAgent(id, why string) ([]chan struct{}, bool) {
 		return nil, false
 	}
 	wasLive := !meta.done && !meta.gone && meta.homeGW == ""
+	tenantID := meta.tenant
 	if !meta.gone {
 		meta.goneAt = time.Now()
 		s.goneQ = append(s.goneQ, id)
@@ -533,6 +593,9 @@ func (r *Registry) ReleaseAgent(id, why string) ([]chan struct{}, bool) {
 	s.mu.Unlock()
 	if wasLive {
 		r.inFlight.Add(-1)
+		if r.ledger != nil {
+			r.ledger.AddInFlight(tenantID, -1)
+		}
 	}
 	return watchers, true
 }
@@ -551,11 +614,16 @@ func (r *Registry) AdoptClone(srcID, cloneID string) bool {
 	s.mu.Lock()
 	_, exists := s.dispatch[cloneID]
 	if !exists {
-		s.dispatch[cloneID] = &agentMeta{codeID: st.CodeID, owner: st.Owner}
+		// The clone inherits the source agent's tenant: cloning must not
+		// launder resource consumption into the default account.
+		s.dispatch[cloneID] = &agentMeta{codeID: st.CodeID, owner: st.Owner, tenant: st.Tenant}
 	}
 	s.mu.Unlock()
 	if !exists {
 		r.inFlight.Add(1)
+		if r.ledger != nil {
+			r.ledger.AddInFlight(st.Tenant, 1)
+		}
 	}
 	return true
 }

@@ -1,0 +1,198 @@
+package gateway
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pdagent/internal/mavm"
+	"pdagent/internal/pisec"
+	"pdagent/internal/tenant"
+	"pdagent/internal/transport"
+	"pdagent/internal/wire"
+)
+
+// newTenantFixture builds a multi-tenant gateway with the given
+// accounts registered.
+func newTenantFixture(t *testing.T, mut func(*Config), tenants ...*tenant.Tenant) *fixture {
+	t.Helper()
+	reg := tenant.NewRegistry()
+	for _, tn := range tenants {
+		if err := reg.Put(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return newFixtureCfg(t, func(c *Config) {
+		c.Tenants = reg
+		if mut != nil {
+			mut(c)
+		}
+	})
+}
+
+// subscribeTenant is fixture.subscribe with the §12 tenant binding
+// headers attached.
+func (f *fixture) subscribeTenant(t *testing.T, codeID, owner, tenantID, secret string) (*wire.Subscription, *transport.Response) {
+	t.Helper()
+	req := &transport.Request{Path: "/pdagent/subscribe"}
+	req.SetHeader("code-id", codeID)
+	req.SetHeader("owner", owner)
+	req.SetHeader("tenant", tenantID)
+	req.SetHeader("tenant-secret", secret)
+	resp, err := f.tr.RoundTrip(context.Background(), "gw-t", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.IsOK() {
+		return nil, resp
+	}
+	sub, err := wire.ParseSubscription(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub, resp
+}
+
+func (f *fixture) echoPI(sub *wire.Subscription, owner string) *wire.PackedInformation {
+	return &wire.PackedInformation{
+		CodeID:      "echo",
+		DispatchKey: pisec.DispatchKey("echo", sub.Secret),
+		Owner:       owner,
+		Source:      sub.Package.Source,
+		Params:      map[string]mavm.Value{"greeting": mavm.Str("hi")},
+	}
+}
+
+func TestTenantSubscribeBinding(t *testing.T) {
+	f := newTenantFixture(t, nil, &tenant.Tenant{ID: "acme", Secret: "s3"})
+	f.addEcho(t)
+
+	// A bad tenant secret must not bind — otherwise anyone could park
+	// their devices on someone else's account.
+	if _, resp := f.subscribeTenant(t, "echo", "dev-1", "acme", "wrong"); resp.Status != transport.StatusUnauthorized {
+		t.Fatalf("bad tenant secret: %d, want 401", resp.Status)
+	}
+	if _, resp := f.subscribeTenant(t, "echo", "dev-1", "nobody", "s3"); resp.Status != transport.StatusUnauthorized {
+		t.Fatalf("unknown tenant: %d, want 401", resp.Status)
+	}
+
+	sub, _ := f.subscribeTenant(t, "echo", "dev-1", "acme", "s3")
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+	resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true)
+	if !resp.IsOK() {
+		t.Fatalf("dispatch: %d %s", resp.Status, resp.Text())
+	}
+	// The in-flight agent bills to acme, and the billing drains when
+	// the journey completes.
+	if got := f.gw.TenantLedger().InFlight("acme"); got != 1 {
+		t.Fatalf("in-flight = %d, want 1", got)
+	}
+	f.queue.Drain()
+	if got := f.gw.TenantLedger().InFlight("acme"); got != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", got)
+	}
+
+	// Subscriptions without tenant headers still work: they bill to
+	// the default account.
+	sub2 := f.subscribe(t, "echo", "dev-2")
+	if resp := f.dispatchPI(t, f.echoPI(sub2, "dev-2"), true); !resp.IsOK() {
+		t.Fatalf("default-account dispatch: %d %s", resp.Status, resp.Text())
+	}
+	f.queue.Drain()
+}
+
+func TestTenantRateLimit429(t *testing.T) {
+	f := newTenantFixture(t, nil,
+		&tenant.Tenant{ID: "acme", Secret: "s3", Limits: tenant.Limits{RatePerSec: 0.0001, Burst: 1}})
+	f.addEcho(t)
+	sub, _ := f.subscribeTenant(t, "echo", "dev-1", "acme", "s3")
+
+	if resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true); !resp.IsOK() {
+		t.Fatalf("first dispatch: %d %s", resp.Status, resp.Text())
+	}
+	resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true)
+	if resp.Status != transport.StatusTooManyRequests {
+		t.Fatalf("over-rate dispatch: %d, want 429", resp.Status)
+	}
+	if resp.GetHeader("retry-after") == "" {
+		t.Fatal("429 missing Retry-After hint")
+	}
+}
+
+func TestTenantMaxInFlight429(t *testing.T) {
+	f := newTenantFixture(t, nil,
+		&tenant.Tenant{ID: "acme", Secret: "s3", Limits: tenant.Limits{MaxInFlight: 1}})
+	f.addEcho(t)
+	sub, _ := f.subscribeTenant(t, "echo", "dev-1", "acme", "s3")
+
+	if resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true); !resp.IsOK() {
+		t.Fatalf("first dispatch: %d %s", resp.Status, resp.Text())
+	}
+	// The first journey has not completed (serial queue undrained), so
+	// the account is at its in-flight cap: quota refusal, not a shed.
+	resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true)
+	if resp.Status != transport.StatusTooManyRequests {
+		t.Fatalf("over-quota dispatch: %d, want 429", resp.Status)
+	}
+	f.queue.Drain()
+	if resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true); !resp.IsOK() {
+		t.Fatalf("post-drain dispatch: %d %s", resp.Status, resp.Text())
+	}
+	f.queue.Drain()
+}
+
+func TestWeightedFairShed503(t *testing.T) {
+	f := newTenantFixture(t, func(c *Config) {
+		c.Shed = &ShedConfig{MaxInFlight: 1}
+	},
+		&tenant.Tenant{ID: "hog", Secret: "sh"},
+		&tenant.Tenant{ID: "meek", Secret: "sm"})
+	f.addEcho(t)
+	hogSub, _ := f.subscribeTenant(t, "echo", "dev-h", "hog", "sh")
+	meekSub, _ := f.subscribeTenant(t, "echo", "dev-m", "meek", "sm")
+
+	if resp := f.dispatchPI(t, f.echoPI(hogSub, "dev-h"), true); !resp.IsOK() {
+		t.Fatalf("first dispatch: %d %s", resp.Status, resp.Text())
+	}
+	// The watermark is tripped and hog holds the in-flight budget: its
+	// next dispatch is shed (503 — member overloaded), while meek is
+	// under its fair share and stays admitted.
+	resp := f.dispatchPI(t, f.echoPI(hogSub, "dev-h"), true)
+	if resp.Status != transport.StatusUnavailable {
+		t.Fatalf("over-share dispatch: %d, want 503", resp.Status)
+	}
+	if resp.GetHeader("retry-after") == "" {
+		t.Fatal("503 missing Retry-After hint")
+	}
+	if resp := f.dispatchPI(t, f.echoPI(meekSub, "dev-m"), true); !resp.IsOK() {
+		t.Fatalf("protected tenant shed too: %d %s", resp.Status, resp.Text())
+	}
+	f.queue.Drain()
+}
+
+func TestTenantMetricsLabelled(t *testing.T) {
+	f := newTenantFixture(t, nil, &tenant.Tenant{ID: "acme", Secret: "s3"})
+	f.addEcho(t)
+	sub, _ := f.subscribeTenant(t, "echo", "dev-1", "acme", "s3")
+	if resp := f.dispatchPI(t, f.echoPI(sub, "dev-1"), true); !resp.IsOK() {
+		t.Fatalf("dispatch: %d %s", resp.Status, resp.Text())
+	}
+	f.queue.Drain()
+
+	resp, err := f.tr.RoundTrip(context.Background(), "gw-t", &transport.Request{Path: "/metrics"})
+	if err != nil || !resp.IsOK() {
+		t.Fatalf("metrics: %v %v", resp, err)
+	}
+	body := resp.Text()
+	for _, want := range []string{
+		`pdagent_tenant_dispatch_total{tenant="acme"} 1`,
+		`pdagent_tenant_dispatch_total{tenant="default"} 0`,
+		`pdagent_tenant_inflight{tenant="acme"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

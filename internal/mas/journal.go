@@ -16,11 +16,15 @@ import (
 //
 // Entry encoding (one rms record per agent):
 //
-//	magic     "MASJ1"
+//	magic     "MASJ2"
 //	watermark uint32  (accepted-hop dedup watermark + 1; 0 = none)
-//	fields    10 × (uint32 length + bytes):
+//	fields    11 × (uint32 length + bytes):
 //	          id, home, code-id, owner, state, target, kind, last-err,
-//	          program, vm-state
+//	          tenant, program, vm-state
+//
+// The previous magic "MASJ1" (the same layout minus the tenant field)
+// is still accepted on read: a journal written before the multi-tenant
+// control plane re-hydrates with every agent in the default account.
 //
 // target/kind are non-empty only while a transfer is pending (the
 // agent suspended at migrate, or parked after a failed transfer); they
@@ -39,8 +43,12 @@ import (
 // arrive on RetryParked/restart timescales, so the window a watermark
 // must actually cover is short.
 
-// journalMagic versions the journal entry encoding.
-var journalMagic = []byte("MASJ1")
+// journalMagic versions the journal entry encoding; journalMagicV1 is
+// the pre-tenant layout, read-compatible but never written anew.
+var (
+	journalMagic   = []byte("MASJ2")
+	journalMagicV1 = []byte("MASJ1")
+)
 
 // journalEntry is one agent's durable snapshot.
 type journalEntry struct {
@@ -52,6 +60,8 @@ type journalEntry struct {
 	Target  string // pending transfer destination ("" = none)
 	Kind    string // pending transfer kind ("" = none)
 	LastErr string
+	// Tenant is the account the agent is billed to ("" = default).
+	Tenant string
 	// Watermark is the highest sent-hop counter accepted over
 	// /atp/transfer for this agent (-1 when it was admitted locally).
 	Watermark int
@@ -67,7 +77,7 @@ func (e *journalEntry) encode() []byte {
 	for _, f := range [][]byte{
 		[]byte(e.ID), []byte(e.Home), []byte(e.CodeID), []byte(e.Owner),
 		[]byte(e.State), []byte(e.Target), []byte(e.Kind), []byte(e.LastErr),
-		e.Program, e.VMState,
+		[]byte(e.Tenant), e.Program, e.VMState,
 	} {
 		writeU32(&b, uint32(len(f)))
 		b.Write(f)
@@ -76,7 +86,12 @@ func (e *journalEntry) encode() []byte {
 }
 
 func decodeJournalEntry(data []byte) (*journalEntry, error) {
-	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic) {
+	nFields := 11
+	switch {
+	case len(data) >= len(journalMagic) && bytes.Equal(data[:len(journalMagic)], journalMagic):
+	case len(data) >= len(journalMagicV1) && bytes.Equal(data[:len(journalMagicV1)], journalMagicV1):
+		nFields = 10 // pre-tenant layout: no tenant field
+	default:
 		return nil, fmt.Errorf("mas: journal entry has bad magic")
 	}
 	rest := data[len(journalMagic):]
@@ -84,7 +99,7 @@ func decodeJournalEntry(data []byte) (*journalEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mas: journal entry watermark: %w", err)
 	}
-	fields := make([][]byte, 10)
+	fields := make([][]byte, nFields)
 	for i := range fields {
 		var n uint32
 		n, rest, err = readU32(rest)
@@ -100,6 +115,9 @@ func decodeJournalEntry(data []byte) (*journalEntry, error) {
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("mas: journal entry has %d trailing bytes", len(rest))
 	}
+	// The v1 layout has no tenant field: program/vm-state slide up one
+	// slot and the agent bills to the default account.
+	snap := fields[len(fields)-2:]
 	e := &journalEntry{
 		ID:        string(fields[0]),
 		Home:      string(fields[1]),
@@ -110,8 +128,11 @@ func decodeJournalEntry(data []byte) (*journalEntry, error) {
 		Kind:      string(fields[6]),
 		LastErr:   string(fields[7]),
 		Watermark: int(wm) - 1,
-		Program:   append([]byte(nil), fields[8]...),
-		VMState:   append([]byte(nil), fields[9]...),
+		Program:   append([]byte(nil), snap[0]...),
+		VMState:   append([]byte(nil), snap[1]...),
+	}
+	if nFields == 11 {
+		e.Tenant = string(fields[8])
 	}
 	if e.ID == "" {
 		return nil, fmt.Errorf("mas: journal entry missing agent id")
@@ -165,7 +186,51 @@ type journal struct {
 	index map[string]int // agent id -> rms record id
 	tombs map[string]int // subset of index holding tombstones
 
+	// Per-tenant quota accounting, maintained in lock-step with index:
+	// sizes/owners track each record's stored size and billed account,
+	// sums the running per-tenant byte totals (tombstones included —
+	// acceptance evidence occupies the store like anything else).
+	sizes  map[string]int    // agent id -> stored entry size
+	owners map[string]string // agent id -> tenant id
+	sums   map[string]int64  // tenant id -> journaled bytes
+
 	stripes [journalStripes]sync.Mutex
+}
+
+// accountLocked (j.mu held) re-bills an agent's journal footprint:
+// size < 0 forgets the record, otherwise the delta against the prior
+// size moves between tenant sums.
+func (j *journal) accountLocked(id, tenantID string, size int) {
+	if old, ok := j.sizes[id]; ok {
+		j.chargeLocked(j.owners[id], -int64(old))
+	}
+	if size < 0 {
+		delete(j.sizes, id)
+		delete(j.owners, id)
+		return
+	}
+	j.sizes[id] = size
+	j.owners[id] = tenantID
+	j.chargeLocked(tenantID, int64(size))
+}
+
+func (j *journal) chargeLocked(tenantID string, delta int64) {
+	if s := j.sums[tenantID] + delta; s > 0 {
+		j.sums[tenantID] = s
+	} else {
+		delete(j.sums, tenantID)
+	}
+}
+
+// bytesByTenant snapshots the per-tenant journal footprint.
+func (j *journal) bytesByTenant() map[string]int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]int64, len(j.sums))
+	for t, n := range j.sums {
+		out[t] = n
+	}
+	return out
 }
 
 // stripe returns the lock ordering operations on one agent id.
@@ -182,7 +247,10 @@ func (j *journal) stripe(id string) *sync.Mutex {
 // resurrected); when two records carry the same agent id the later one
 // wins and the stale one is deleted.
 func openJournal(store rms.Store) (*journal, error) {
-	j := &journal{store: store, index: map[string]int{}, tombs: map[string]int{}}
+	j := &journal{
+		store: store, index: map[string]int{}, tombs: map[string]int{},
+		sizes: map[string]int{}, owners: map[string]string{}, sums: map[string]int64{},
+	}
 	ids, err := store.IDs()
 	if err != nil {
 		return nil, fmt.Errorf("mas: scanning journal: %w", err)
@@ -202,6 +270,7 @@ func openJournal(store rms.Store) (*journal, error) {
 			_ = store.Delete(old)
 		}
 		j.index[e.ID] = recID
+		j.accountLocked(e.ID, e.Tenant, len(data))
 		if e.tombstone() {
 			j.tombs[e.ID] = recID
 		} else {
@@ -263,6 +332,7 @@ func (j *journal) put(e *journalEntry) (evicted string, err error) {
 	evictRec := -1
 	j.mu.Lock()
 	j.index[e.ID] = recID
+	j.accountLocked(e.ID, e.Tenant, len(data))
 	if e.tombstone() {
 		j.tombs[e.ID] = recID
 		if len(j.tombs) > maxJournalTombstones {
@@ -287,6 +357,7 @@ func (j *journal) put(e *journalEntry) (evicted string, err error) {
 			if held {
 				delete(j.tombs, oldID)
 				delete(j.index, oldID)
+				j.accountLocked(oldID, "", -1)
 				evicted, evictRec = oldID, oldRec
 			}
 		}
@@ -310,6 +381,7 @@ func (j *journal) drop(id string) error {
 	if ok {
 		delete(j.index, id)
 		delete(j.tombs, id)
+		j.accountLocked(id, "", -1)
 	}
 	j.mu.Unlock()
 	if !ok {

@@ -49,6 +49,7 @@ import (
 	"pdagent/internal/progcache"
 	"pdagent/internal/rms"
 	"pdagent/internal/services"
+	"pdagent/internal/tenant"
 	"pdagent/internal/transport"
 	"pdagent/internal/wire"
 )
@@ -172,6 +173,7 @@ type record struct {
 	home    string
 	codeID  string
 	owner   string
+	tenant  string // billing account ("" = default)
 	vm      *mavm.VM
 	state   AgentState
 	movedTo string
@@ -409,14 +411,22 @@ func (h hostAPI) Log(agentID, msg string) {
 // --- agent admission and execution ---------------------------------------
 
 // AdmitAgent registers a fresh agent (created locally, e.g. by the
-// gateway's Agent Creator) and starts executing it. ctx carries the
-// journey clock in simulated worlds.
+// gateway's Agent Creator) and starts executing it, billed to the
+// default tenant. ctx carries the journey clock in simulated worlds.
 func (s *Server) AdmitAgent(ctx context.Context, vm *mavm.VM, codeID, owner, home string) error {
+	return s.AdmitAgentOwned(ctx, vm, codeID, owner, "", home)
+}
+
+// AdmitAgentOwned is AdmitAgent with an explicit tenant account: the
+// agent's journal footprint and residency bill to tenantID, and every
+// onward transfer carries the account so remote hosts bill it too.
+func (s *Server) AdmitAgentOwned(ctx context.Context, vm *mavm.VM, codeID, owner, tenantID, home string) error {
 	rec := &record{
 		id:     vm.AgentID,
 		home:   home,
 		codeID: codeID,
 		owner:  owner,
+		tenant: tenantID,
 		vm:     vm,
 		state:  StateRunning,
 	}
@@ -639,7 +649,7 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 	// delivery / stranded), so a failed send never stays "departed".
 	s.setState(rec, StateDeparted, target)
 	shipStart := time.Now()
-	if err := s.transferImage(ctx, im, target, kind); err != nil {
+	if err := s.transferImage(ctx, im, target, kind, rec.tenant); err != nil {
 		s.mTransferFail.Inc()
 		s.logf("mas %s: transfer of %s to %s failed: %v", s.cfg.Addr, rec.id, target, err)
 		s.setErr(rec, fmt.Sprintf("transfer to %s: %v", target, err))
@@ -657,7 +667,7 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 		}
 		if kind == KindMigrate && rec.home != s.cfg.Addr && target != rec.home {
 			// Return the failed journey home so the user learns about it.
-			if err2 := s.transferImage(ctx, im, rec.home, KindFailed); err2 == nil {
+			if err2 := s.transferImage(ctx, im, rec.home, KindFailed, rec.tenant); err2 == nil {
 				s.setState(rec, StateDeparted, rec.home)
 				return
 			}
@@ -710,8 +720,13 @@ func (s *Server) shipAgent(ctx context.Context, rec *record, target, kind string
 }
 
 // transferImage sends an encoded image to target with flavour
-// adaptation and bounded retries.
-func (s *Server) transferImage(ctx context.Context, im *atp.Image, target, kind string) error {
+// adaptation and bounded retries. The tenant account rides as a
+// transport header rather than inside the image: the ATP codecs
+// (aglets binary, voyager XML) have a fixed field set that foreign
+// hosts parse strictly, so the envelope cannot grow without breaking
+// wire compatibility — and a header is exactly the out-of-band routing
+// metadata layer this belongs to.
+func (s *Server) transferImage(ctx context.Context, im *atp.Image, target, kind, tenantID string) error {
 	codec, err := s.codecFor(ctx, target)
 	if err != nil {
 		return err
@@ -723,6 +738,9 @@ func (s *Server) transferImage(ctx context.Context, im *atp.Image, target, kind 
 	req := &transport.Request{Path: "/atp/transfer", Body: body}
 	req.SetHeader("kind", kind)
 	req.SetHeader("agent", im.AgentID)
+	if tenantID != "" {
+		req.SetHeader("tenant", tenantID)
+	}
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.TransferAttempts; attempt++ {
 		resp, err := s.cfg.Transport.RoundTrip(ctx, target, req)
@@ -844,6 +862,9 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 	if kind == "" {
 		kind = KindMigrate
 	}
+	// Billing account travels out-of-band (see transferImage); an absent
+	// header is the single-tenant default.
+	tenantID := req.GetHeader("tenant")
 	// The hop counter as serialised by the sender is the dedup key of
 	// the two-phase handoff: a sender that never saw our OK retries the
 	// same (agent id, hop) pair, and the watermark turns the retry into
@@ -868,7 +889,7 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 			vm.ForceFail(fmt.Sprintf("mas: hop limit %d exceeded at %s", s.cfg.MaxHops, s.cfg.Addr))
 			rec := &record{
 				id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
-				vm: vm, state: StateRunning,
+				tenant: tenantID, vm: vm, state: StateRunning,
 				lastErr: vm.FailMsg(),
 			}
 			if resp := s.reserveHandoff(rec, sentHop, false); resp != nil {
@@ -895,7 +916,7 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 		vm.ClearMigration()
 		rec := &record{
 			id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
-			vm: vm, state: StateRunning,
+			tenant: tenantID, vm: vm, state: StateRunning,
 		}
 		if resp := s.reserveHandoff(rec, sentHop, true); resp != nil {
 			return resp
@@ -925,7 +946,7 @@ func (s *Server) handleTransfer(ctx context.Context, req *transport.Request) *tr
 		}
 		rec := &record{
 			id: im.AgentID, home: im.Home, codeID: im.CodeID, owner: im.Owner,
-			vm: vm, state: StateDelivered, lastErr: vm.FailMsg(),
+			tenant: tenantID, vm: vm, state: StateDelivered, lastErr: vm.FailMsg(),
 		}
 		if resp := s.reserveHandoff(rec, sentHop, false); resp != nil {
 			return resp
@@ -1097,9 +1118,11 @@ func (s *Server) handleClone(ctx context.Context, req *transport.Request) *trans
 	if err != nil {
 		return transport.Errorf(transport.StatusServerError, "cloning %q: %v", id, err)
 	}
+	// A clone bills to its parent's account — cloning must not launder
+	// resource consumption into the default tenant.
 	cloneRec := &record{
 		id: newID, home: rec.home, codeID: rec.codeID, owner: rec.owner,
-		vm: cloneVM, state: StateRunning,
+		tenant: rec.tenant, vm: cloneVM, state: StateRunning,
 	}
 	s.mu.Lock()
 	s.agents[newID] = cloneRec
@@ -1245,7 +1268,7 @@ func (s *Server) journalPut(rec *record, target, kind string) error {
 	e := &journalEntry{
 		ID: rec.id, Home: rec.home, CodeID: rec.codeID, Owner: rec.owner,
 		State: rec.state, Target: target, Kind: kind, LastErr: rec.lastErr,
-		Watermark: wm, Program: prog, VMState: state,
+		Tenant: rec.tenant, Watermark: wm, Program: prog, VMState: state,
 	}
 	s.mu.Unlock()
 	_, err = s.jr.put(e) // full entries never trigger tombstone eviction
@@ -1283,7 +1306,7 @@ func (s *Server) journalFinish(rec *record, st AgentState) {
 	}
 	e := &journalEntry{
 		ID: rec.id, Home: rec.home, CodeID: rec.codeID, Owner: rec.owner,
-		State: st, Watermark: wm,
+		Tenant: rec.tenant, State: st, Watermark: wm,
 	}
 	evicted, err := s.jr.put(e)
 	if err != nil {
@@ -1402,7 +1425,7 @@ func (s *Server) resumeEntry(ctx context.Context, e *journalEntry) bool {
 	}
 	rec := &record{
 		id: e.ID, home: e.Home, codeID: e.CodeID, owner: e.Owner,
-		vm: vm, state: e.State, lastErr: e.LastErr,
+		tenant: e.Tenant, vm: vm, state: e.State, lastErr: e.LastErr,
 	}
 	s.mu.Lock()
 	if _, exists := s.agents[e.ID]; exists {
@@ -1521,6 +1544,38 @@ func (s *Server) ResidentCount() int {
 		}
 	}
 	return n
+}
+
+// ResidentsByTenant breaks ResidentCount down by tenant label (the
+// default account renders as tenant.DefaultLabel) — the residency half
+// of the per-tenant quota signal gossiped on cluster heartbeats. It
+// walks the agent table under s.mu, so callers poll it at scrape or
+// heartbeat granularity, not on the dispatch path.
+func (s *Server) ResidentsByTenant() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64)
+	for _, rec := range s.agents {
+		if rec.state == StateRunning || rec.state == StateParked {
+			out[tenant.Label(rec.tenant)]++
+		}
+	}
+	return out
+}
+
+// JournalBytesByTenant breaks the journal's stored bytes down by
+// tenant label — the durable-footprint half of the per-tenant quota
+// signal. Nil without a journal.
+func (s *Server) JournalBytesByTenant() map[string]int64 {
+	if s.jr == nil {
+		return nil
+	}
+	sums := s.jr.bytesByTenant()
+	out := make(map[string]int64, len(sums))
+	for t, n := range sums {
+		out[tenant.Label(t)] += n
+	}
+	return out
 }
 
 // AgentStates returns a snapshot of known agent ids to states, for

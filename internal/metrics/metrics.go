@@ -49,6 +49,48 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// CounterVec is a family of counters split by one label (e.g. a
+// per-tenant dispatch count). With resolves a label value to its
+// counter once; hot paths cache the returned *Counter handle so the
+// per-operation cost is the same single atomic as an unlabeled
+// counter.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for one label value, creating it if
+// needed. Cache the handle on hot paths.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[value]; c == nil {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// snapshot returns the label values sorted, for a stable scrape.
+func (v *CounterVec) snapshot() ([]string, map[string]*Counter) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.m))
+	m := make(map[string]*Counter, len(v.m))
+	for k, c := range v.m {
+		keys = append(keys, k)
+		m[k] = c
+	}
+	sort.Strings(keys)
+	return keys, m
+}
+
 // metricKind discriminates what a registered name renders as.
 type metricKind uint8
 
@@ -57,13 +99,15 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindCounterVec
+	kindGaugeVecFunc
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterVec:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVecFunc:
 		return "gauge"
 	default:
 		return "summary"
@@ -79,6 +123,9 @@ type metric struct {
 	gauge   *Gauge
 	fn      func() float64
 	hist    *Histogram
+	cvec    *CounterVec
+	vecFn   func() map[string]float64
+	label   string
 }
 
 // Registry holds named metrics and renders them as Prometheus text.
@@ -139,6 +186,34 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	})
 	r.mu.Lock()
 	m.fn = fn
+	r.mu.Unlock()
+}
+
+// CounterVec returns the one-label counter family registered under
+// name, creating it if needed. All registrations of a name must use
+// the same label key.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	m := r.lookup(name, kindCounterVec, func() *metric {
+		return &metric{name: name, help: help, kind: kindCounterVec, label: label, cvec: &CounterVec{m: map[string]*Counter{}}}
+	})
+	if m.label != label {
+		panic("metrics: " + name + " registered with labels " + m.label + " and " + label)
+	}
+	return m.cvec
+}
+
+// GaugeVecFunc registers a one-label gauge family computed by fn at
+// scrape time: fn returns label value -> gauge value. Like GaugeFunc,
+// re-registering replaces the callback.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	m := r.lookup(name, kindGaugeVecFunc, func() *metric {
+		return &metric{name: name, help: help, kind: kindGaugeVecFunc, label: label}
+	})
+	if m.label != label {
+		panic("metrics: " + name + " registered with labels " + m.label + " and " + label)
+	}
+	r.mu.Lock()
+	m.vecFn = fn
 	r.mu.Unlock()
 }
 
@@ -213,6 +288,35 @@ func (r *Registry) AppendPrometheus(dst []byte) []byte {
 			dst = append(dst, ' ')
 			dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
 			dst = append(dst, '\n')
+		case kindCounterVec:
+			keys, vals := m.cvec.snapshot()
+			for _, k := range keys {
+				dst = appendLabeled(dst, m.name, m.label, k)
+				dst = strconv.AppendUint(dst, vals[k].Value(), 10)
+				dst = append(dst, '\n')
+			}
+		case kindGaugeVecFunc:
+			r.mu.Lock()
+			fn := m.vecFn
+			r.mu.Unlock()
+			if fn == nil {
+				break
+			}
+			vals := fn()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				v := vals[k]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				dst = appendLabeled(dst, m.name, m.label, k)
+				dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+				dst = append(dst, '\n')
+			}
 		case kindHistogram:
 			count, sum := m.hist.Count(), m.hist.SumUS()
 			for _, sq := range summaryQuantiles {
@@ -233,6 +337,29 @@ func (r *Registry) AppendPrometheus(dst []byte) []byte {
 			dst = append(dst, '\n')
 		}
 	}
+	return dst
+}
+
+// appendLabeled writes `name{label="value"} ` with the label value
+// escaped per the exposition format (backslash, quote, newline).
+func appendLabeled(dst []byte, name, label, value string) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, '{')
+	dst = append(dst, label...)
+	dst = append(dst, `="`...)
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\\':
+			dst = append(dst, `\\`...)
+		case '"':
+			dst = append(dst, `\"`...)
+		case '\n':
+			dst = append(dst, `\n`...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	dst = append(dst, `"} `...)
 	return dst
 }
 

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -141,6 +142,79 @@ func TestPrometheusFormat(t *testing.T) {
 	if strings.Count(out, "# TYPE pdagent_b_total") != 1 {
 		t.Errorf("duplicate TYPE lines")
 	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("pdagent_tenant_dispatch_total", "per-tenant dispatches", "tenant")
+	vec.With("default").Add(5)
+	vec.With("acme").Inc()
+	// Re-registration returns the same family; handles stay live.
+	if r.CounterVec("pdagent_tenant_dispatch_total", "per-tenant dispatches", "tenant").With("acme") != vec.With("acme") {
+		t.Fatal("re-registration built a new family")
+	}
+	r.GaugeVecFunc("pdagent_tenant_inflight", "per-tenant in-flight", "tenant", func() map[string]float64 {
+		return map[string]float64{"acme": 2, "esc\"ape\\me": math.NaN()}
+	})
+	out := string(r.AppendPrometheus(nil))
+
+	for _, want := range []string{
+		"# TYPE pdagent_tenant_dispatch_total counter\n",
+		"pdagent_tenant_dispatch_total{tenant=\"acme\"} 1\n",
+		"pdagent_tenant_dispatch_total{tenant=\"default\"} 5\n",
+		"# TYPE pdagent_tenant_inflight gauge\n",
+		"pdagent_tenant_inflight{tenant=\"acme\"} 2\n",
+		`pdagent_tenant_inflight{tenant="esc\"ape\\me"} 0` + "\n", // NaN renders 0, value escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE per family, label rows sorted under it.
+	if strings.Count(out, "# TYPE pdagent_tenant_dispatch_total") != 1 {
+		t.Errorf("duplicate TYPE lines for labeled family:\n%s", out)
+	}
+	if strings.Index(out, `{tenant="acme"} 1`) > strings.Index(out, `{tenant="default"} 5`) {
+		t.Errorf("label rows not sorted:\n%s", out)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("pdagent_vec_total", "vec", "tenant")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := vec.With("t" + strconv.Itoa(w%2))
+			for i := 0; i < 1000; i++ {
+				h.Inc()
+				vec.With("t2").Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		_ = r.AppendPrometheus(nil)
+	}
+	wg.Wait()
+	if got := vec.With("t2").Value(); got != 8000 {
+		t.Fatalf("t2 = %d, want 8000", got)
+	}
+	if got := vec.With("t0").Value() + vec.With("t1").Value(); got != 8000 {
+		t.Fatalf("t0+t1 = %d, want 8000", got)
+	}
+}
+
+func TestVecLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("pdagent_y", "y", "tenant")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a vec with a different label did not panic")
+		}
+	}()
+	r.CounterVec("pdagent_y", "y", "member")
 }
 
 func TestKindMismatchPanics(t *testing.T) {

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"pdagent/internal/rms"
+	"pdagent/internal/tenant"
 )
 
 // Entry kinds.
@@ -168,6 +169,10 @@ type Hub struct {
 	// mirrors mailbox.dirty (transitions happen under mb.mu, which may
 	// take mu — never the reverse).
 	dirty map[string]*mailbox
+	// tbytes tallies pending payload bytes per tenant label (DESIGN.md
+	// §12 mailbox quotas). Guarded by mu; charged and discharged under
+	// the owning mb.mu at the same points mailbox.bytes moves.
+	tbytes map[string]int64
 
 	enqueued  atomic.Uint64
 	delivered atomic.Uint64
@@ -197,6 +202,14 @@ type mailbox struct {
 	// along by mailbox migration — so only the device that proved a
 	// subscription can read or acknowledge (destroy) its mail.
 	token string
+	// tenant is the account the mailbox bills to ("" = default). Bound
+	// on the authenticated dispatch path like the token (first non-empty
+	// binding wins), persisted with the meta record, carried by
+	// migration exports.
+	tenant string
+	// bytes is the sum of pending entry payload sizes — the device's
+	// contribution to its tenant's tbytes row.
+	bytes int64
 
 	// dedup maps event id -> seq; allocated on first use, released when
 	// the window fully ages out (a Go map never returns bucket memory,
@@ -230,7 +243,8 @@ func NewHub(cfg Config) (*Hub, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	h := &Hub{cfg: cfg, dedupLimit: dedupWindow, boxes: map[string]*mailbox{}, dirty: map[string]*mailbox{}}
+	h := &Hub{cfg: cfg, dedupLimit: dedupWindow, boxes: map[string]*mailbox{},
+		dirty: map[string]*mailbox{}, tbytes: map[string]int64{}}
 	if min := 2 * cfg.Quota; min > h.dedupLimit {
 		h.dedupLimit = min
 	}
@@ -284,6 +298,7 @@ func (h *Hub) replay() error {
 			mb.cursor = meta.cursor
 			mb.evicted = meta.evicted
 			mb.token = meta.token
+			mb.tenant = meta.tenant
 			if meta.next > mb.nextSeq {
 				mb.nextSeq = meta.next
 			}
@@ -311,12 +326,16 @@ func (h *Hub) replay() error {
 			}
 			kept = append(kept, e)
 			h.rememberLocked(mb, e.EventID, e.Seq, e.Enqueued)
+			mb.bytes += int64(len(e.Body))
 			if e.Seq >= mb.nextSeq {
 				mb.nextSeq = e.Seq + 1
 			}
 		}
 		mb.entries = kept
 		pending += int64(len(kept))
+		if mb.bytes > 0 {
+			h.tbytes[tenant.Label(mb.tenant)] += mb.bytes
+		}
 		if mb.nextSeq == 0 {
 			mb.nextSeq = mb.cursor + 1
 		}
@@ -416,6 +435,36 @@ func (h *Hub) pruneDedupLocked(mb *mailbox, now time.Time) bool {
 	return true
 }
 
+// chargeTenant moves a mailbox's pending-byte delta onto its tenant's
+// tally. Caller holds mb.mu; takes h.mu briefly (that order is safe —
+// same as updateDirtyLocked). Rows at zero are deleted so the tally
+// map stays O(active tenants), not O(tenants ever seen).
+func (h *Hub) chargeTenant(tenantID string, delta int64) {
+	if delta == 0 {
+		return
+	}
+	label := tenant.Label(tenantID)
+	h.mu.Lock()
+	if n := h.tbytes[label] + delta; n <= 0 {
+		delete(h.tbytes, label)
+	} else {
+		h.tbytes[label] = n
+	}
+	h.mu.Unlock()
+}
+
+// BytesByTenant snapshots pending mailbox payload bytes per tenant
+// label — the hub's contribution to §12 quota checks and usage gossip.
+func (h *Hub) BytesByTenant() map[string]int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]int64, len(h.tbytes))
+	for k, v := range h.tbytes {
+		out[k] = v
+	}
+	return out
+}
+
 // updateDirtyLocked moves the mailbox in or out of the hub's sweep
 // working set when its state transitions. Caller holds mb.mu; takes
 // h.mu (that order is safe — nothing takes mb.mu under h.mu).
@@ -480,6 +529,8 @@ func (h *Hub) enqueueAt(device, kind, agentID, eventID string, body []byte, at t
 	e.recID = recID
 	mb.nextSeq++
 	mb.entries = append(mb.entries, e)
+	mb.bytes += int64(len(e.Body))
+	h.chargeTenant(mb.tenant, int64(len(e.Body)))
 	h.rememberLocked(mb, eventID, e.Seq, now)
 	h.writeMetaLocked(mb)
 	h.enqueued.Add(1)
@@ -512,6 +563,8 @@ func (h *Hub) evictOneLocked(mb *mailbox) {
 	e := mb.entries[victim]
 	_ = h.cfg.Store.Delete(e.recID)
 	mb.entries = append(mb.entries[:victim], mb.entries[victim+1:]...)
+	mb.bytes -= int64(len(e.Body))
+	h.chargeTenant(mb.tenant, -int64(len(e.Body)))
 	mb.evicted++
 	h.evQuota.Add(1)
 	h.pending.Add(-1)
@@ -527,6 +580,8 @@ func (h *Hub) expireLocked(mb *mailbox, now time.Time) {
 	for _, e := range mb.entries {
 		if now.Sub(e.Enqueued) > h.cfg.TTL {
 			_ = h.cfg.Store.Delete(e.recID)
+			mb.bytes -= int64(len(e.Body))
+			h.chargeTenant(mb.tenant, -int64(len(e.Body)))
 			mb.evicted++
 			h.evTTL.Add(1)
 			h.pending.Add(-1)
@@ -595,6 +650,8 @@ func (h *Hub) ackLocked(mb *mailbox, upTo uint64) int {
 	for _, e := range mb.entries {
 		if e.Seq <= upTo {
 			_ = h.cfg.Store.Delete(e.recID)
+			mb.bytes -= int64(len(e.Body))
+			h.chargeTenant(mb.tenant, -int64(len(e.Body)))
 			n++
 			continue
 		}
@@ -772,6 +829,41 @@ func (h *Hub) TokenOf(device string) string {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	return mb.token
+}
+
+// SetTenant binds a device's mailbox to a tenant account. Like the
+// token, the binding comes from the authenticated dispatch path (the
+// tenant was resolved from the subscription table, never from the
+// device) or from a migration adopt; the first non-empty binding wins
+// and is persisted with the meta record, so the account survives
+// restarts and follows the mailbox across members. Bytes already
+// pending under the default account move to the bound one.
+func (h *Hub) SetTenant(device, tenantID string) {
+	if tenantID == "" {
+		return
+	}
+	mb := h.box(device)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.tenant != "" {
+		return
+	}
+	h.chargeTenant(mb.tenant, -mb.bytes)
+	mb.tenant = tenantID
+	h.chargeTenant(mb.tenant, mb.bytes)
+	h.writeMetaLocked(mb)
+}
+
+// TenantOf returns the device's bound tenant account ("" = default) —
+// for the migration export.
+func (h *Hub) TenantOf(device string) string {
+	mb, ok := h.lookup(device)
+	if !ok {
+		return ""
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.tenant
 }
 
 // Pending returns the device's undelivered entry count.

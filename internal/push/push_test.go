@@ -314,7 +314,7 @@ func TestEntriesWireRoundTrip(t *testing.T) {
 		{Seq: 5, Kind: KindStatus, AgentID: "ag-2", EventID: "status:ag-2", Body: []byte("disposed & gone")},
 	}
 	doc := EncodeEntries("alice", in, 5, 7)
-	dev, out, watermark, evicted, token, err := ParseEntries(doc)
+	dev, out, watermark, evicted, token, _, err := ParseEntries(doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestEntriesWireRoundTrip(t *testing.T) {
 		t.Fatalf("decoded dev %q wm %d ev %d n %d tok %q", dev, watermark, evicted, len(out), token)
 	}
 	// Export documents additionally carry the access token.
-	_, _, _, _, token, err = ParseEntries(EncodeExport("alice", in, 5, "tok-1"))
+	_, _, _, _, token, _, err = ParseEntries(EncodeExport("alice", in, 5, "tok-1", ""))
 	if err != nil || token != "tok-1" {
 		t.Fatalf("export token = %q, %v", token, err)
 	}

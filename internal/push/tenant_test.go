@@ -1,0 +1,151 @@
+package push
+
+import (
+	"sync"
+	"testing"
+
+	"pdagent/internal/rms"
+	"pdagent/internal/tenant"
+)
+
+func TestSetTenantFirstBindingWinsAndMovesBytes(t *testing.T) {
+	h := newTestHub(t, rms.NewMemStore("mb", 0), nil)
+	mustEnqueue(t, h, "alice", KindResult, "ag-1", "result:ag-1", "12345678")
+
+	// Before any binding the bytes bill to the default account.
+	if got := h.BytesByTenant()[tenant.DefaultLabel]; got != 8 {
+		t.Fatalf("default bytes = %d, want 8", got)
+	}
+	h.SetTenant("alice", "acme")
+	by := h.BytesByTenant()
+	if by[tenant.DefaultLabel] != 0 || by["acme"] != 8 {
+		t.Fatalf("after bind: %v, want 8 under acme", by)
+	}
+	if h.TenantOf("alice") != "acme" {
+		t.Fatalf("TenantOf = %q, want acme", h.TenantOf("alice"))
+	}
+
+	// First non-empty binding wins; later bindings (a stale migration
+	// adopt, say) must not rebill the mailbox.
+	h.SetTenant("alice", "rival")
+	if h.TenantOf("alice") != "acme" {
+		t.Fatalf("rebind took: TenantOf = %q", h.TenantOf("alice"))
+	}
+	h.SetTenant("bob", "")
+	if h.TenantOf("bob") != "" {
+		t.Fatalf("empty bind took: %q", h.TenantOf("bob"))
+	}
+}
+
+func TestTenantBytesFollowAckEvictExpiry(t *testing.T) {
+	h := newTestHub(t, rms.NewMemStore("mb", 0), func(c *Config) { c.Quota = 2 })
+	h.SetTenant("alice", "acme")
+	mustEnqueue(t, h, "alice", KindResult, "ag-1", "e1", "aaaa")
+	mustEnqueue(t, h, "alice", KindStatus, "ag-2", "e2", "bb")
+	if got := h.BytesByTenant()["acme"]; got != 6 {
+		t.Fatalf("bytes = %d, want 6", got)
+	}
+
+	// Over-quota enqueue evicts the oldest expendable entry (e2, the
+	// status note): its bytes must come off the tally.
+	mustEnqueue(t, h, "alice", KindResult, "ag-3", "e3", "ccc")
+	if got := h.BytesByTenant()["acme"]; got != 7 {
+		t.Fatalf("bytes after evict = %d, want 7 (4+3)", got)
+	}
+
+	// Acking everything drains the tally and deletes the row.
+	if _, err := h.Ack("alice", 3); err != nil {
+		t.Fatal(err)
+	}
+	if by := h.BytesByTenant(); len(by) != 0 {
+		t.Fatalf("tally not empty after full ack: %v", by)
+	}
+}
+
+func TestTenantBindingSurvivesRestart(t *testing.T) {
+	store := rms.NewMemStore("mb", 0)
+	h := newTestHub(t, store, nil)
+	mustEnqueue(t, h, "alice", KindResult, "ag-1", "e1", "payload")
+	h.SetTenant("alice", "acme")
+	mustEnqueue(t, h, "bob", KindResult, "ag-2", "e2", "xy")
+	h.Close()
+
+	h2 := newTestHub(t, store, nil)
+	defer h2.Close()
+	if h2.TenantOf("alice") != "acme" {
+		t.Fatalf("tenant lost across restart: %q", h2.TenantOf("alice"))
+	}
+	by := h2.BytesByTenant()
+	if by["acme"] != 7 || by[tenant.DefaultLabel] != 2 {
+		t.Fatalf("replayed tally = %v, want acme:7 default:2", by)
+	}
+}
+
+func TestExportImportCarriesTenant(t *testing.T) {
+	src := newTestHub(t, rms.NewMemStore("src", 0), nil)
+	dst := newTestHub(t, rms.NewMemStore("dst", 0), nil)
+	defer src.Close()
+	defer dst.Close()
+	mustEnqueue(t, src, "alice", KindResult, "ag-1", "e1", "hello")
+	src.SetTenant("alice", "acme")
+
+	// The wire document carries the binding...
+	doc := EncodeExport("alice", src.Export("alice"), 1, src.TokenOf("alice"), src.TenantOf("alice"))
+	_, entries, _, _, _, ten, err := ParseEntries(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten != "acme" {
+		t.Fatalf("export tenant = %q, want acme", ten)
+	}
+	// ...and the importing edge bills the adopted mail to it.
+	if _, err := dst.Import("alice", entries); err != nil {
+		t.Fatal(err)
+	}
+	dst.SetTenant("alice", ten)
+	if got := dst.BytesByTenant()["acme"]; got != 5 {
+		t.Fatalf("imported bytes = %d, want 5", got)
+	}
+}
+
+func TestConcurrentEnqueueAckSetTenant(t *testing.T) {
+	h := newTestHub(t, rms.NewMemStore("mb", 0), nil)
+	defer h.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				dev := []string{"alice", "bob"}[i%2]
+				if _, _, err := h.Enqueue(dev, KindStatus, "ag", "", []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+				h.SetTenant(dev, "acme")
+				if i%5 == 0 {
+					if _, err := h.Ack(dev, uint64(i)); err != nil {
+						t.Error(err)
+						return
+					}
+					h.BytesByTenant()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Whatever interleaving happened, the tally must equal the bytes
+	// still pending — conservation, not a particular number.
+	var want int64
+	for _, dev := range []string{"alice", "bob"} {
+		want += int64(h.Pending(dev)) // 1 byte per entry
+	}
+	var got int64
+	for _, v := range h.BytesByTenant() {
+		got += v
+	}
+	if got != want {
+		t.Fatalf("tally %d != pending bytes %d", got, want)
+	}
+}

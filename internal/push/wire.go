@@ -83,6 +83,7 @@ type metaState struct {
 	cursor  uint64
 	evicted uint64
 	token   string
+	tenant  string
 	dedup   []dedupEvent
 }
 
@@ -112,7 +113,7 @@ func encodeMetaRecord(mb *mailbox) []byte {
 	// rewritten on every enqueue and ack, and the old fixed 2.2KB
 	// allocation dominated the per-delivery garbage for the common
 	// near-empty window.
-	size := 96 + len(mb.device) + len(mb.token)
+	size := 96 + len(mb.device) + len(mb.token) + len(mb.tenant)
 	for _, rec := range order {
 		size += len(rec.id) + 56 // <e seq="..." at="...">id</e>
 	}
@@ -127,6 +128,12 @@ func encodeMetaRecord(mb *mailbox) []byte {
 	b = strconv.AppendUint(b, mb.evicted, 10)
 	b = append(b, `" token="`...)
 	b = kxml.AppendEscapedAttr(b, mb.token)
+	// Omitted for the default account, so single-tenant records stay
+	// byte-identical to the pre-§12 format.
+	if mb.tenant != "" {
+		b = append(b, `" tenant="`...)
+		b = kxml.AppendEscapedAttr(b, mb.tenant)
+	}
 	b = append(b, `">`...)
 	for _, rec := range order {
 		b = append(b, `<e seq="`...)
@@ -162,6 +169,7 @@ func parseRecord(data []byte) (device string, e *Entry, meta *metaState, err err
 		m.cursor, _ = strconv.ParseUint(root.AttrDefault("cursor", "0"), 10, 64)
 		m.evicted, _ = strconv.ParseUint(root.AttrDefault("evicted", "0"), 10, 64)
 		m.token = root.AttrDefault("token", "")
+		m.tenant = root.AttrDefault("tenant", "")
 		for _, c := range root.FindAll("e") {
 			seq, _ := strconv.ParseUint(c.AttrDefault("seq", "0"), 10, 64)
 			at, _ := strconv.ParseInt(c.AttrDefault("at", "0"), 10, 64)
@@ -177,19 +185,20 @@ func parseRecord(data []byte) (device string, e *Entry, meta *metaState, err err
 // polling device: the pending entries, the watermark the reader should
 // ack once processed, and the device's lifetime eviction count.
 func EncodeEntries(device string, entries []*Entry, watermark, evicted uint64) []byte {
-	return encodeMailboxDoc(device, entries, watermark, evicted, "")
+	return encodeMailboxDoc(device, entries, watermark, evicted, "", "")
 }
 
 // EncodeExport renders the migration document one gateway serves to a
 // peer pulling a device's mailbox: EncodeEntries plus the device's
-// access token, so the device keeps authenticating at its new edge.
-// Export documents travel only on the secret-authenticated /cluster/
-// channel — never to devices.
-func EncodeExport(device string, entries []*Entry, watermark uint64, token string) []byte {
-	return encodeMailboxDoc(device, entries, watermark, 0, token)
+// access token (so the device keeps authenticating at its new edge)
+// and its tenant binding (so the new edge bills the mailbox to the
+// same account). Export documents travel only on the
+// secret-authenticated /cluster/ channel — never to devices.
+func EncodeExport(device string, entries []*Entry, watermark uint64, token, tenant string) []byte {
+	return encodeMailboxDoc(device, entries, watermark, 0, token, tenant)
 }
 
-func encodeMailboxDoc(device string, entries []*Entry, watermark, evicted uint64, token string) []byte {
+func encodeMailboxDoc(device string, entries []*Entry, watermark, evicted uint64, token, tenant string) []byte {
 	n := kxml.NewElement("mailbox")
 	n.SetAttr("device", device)
 	n.SetAttr("next", strconv.FormatUint(watermark, 10))
@@ -197,32 +206,36 @@ func encodeMailboxDoc(device string, entries []*Entry, watermark, evicted uint64
 	if token != "" {
 		n.SetAttr("token", token)
 	}
+	if tenant != "" {
+		n.SetAttr("tenant", tenant)
+	}
 	for _, e := range entries {
 		fillEntry(n.AddElement("entry"), e)
 	}
 	return n.EncodeDocument()
 }
 
-// ParseEntries decodes a mailbox document. token is only present on
-// migration exports.
-func ParseEntries(doc []byte) (device string, entries []*Entry, watermark, evicted uint64, token string, err error) {
+// ParseEntries decodes a mailbox document. token and tenant are only
+// present on migration exports.
+func ParseEntries(doc []byte) (device string, entries []*Entry, watermark, evicted uint64, token, tenant string, err error) {
 	root, err := kxml.ParseBytes(doc)
 	if err != nil {
-		return "", nil, 0, 0, "", err
+		return "", nil, 0, 0, "", "", err
 	}
 	if root.Name != "mailbox" {
-		return "", nil, 0, 0, "", fmt.Errorf("push: expected mailbox document, got %q", root.Name)
+		return "", nil, 0, 0, "", "", fmt.Errorf("push: expected mailbox document, got %q", root.Name)
 	}
 	device = root.AttrDefault("device", "")
 	watermark, _ = strconv.ParseUint(root.AttrDefault("next", "0"), 10, 64)
 	evicted, _ = strconv.ParseUint(root.AttrDefault("evicted", "0"), 10, 64)
 	token = root.AttrDefault("token", "")
+	tenant = root.AttrDefault("tenant", "")
 	for _, c := range root.FindAll("entry") {
 		e, err := entryFrom(c)
 		if err != nil {
-			return "", nil, 0, 0, "", err
+			return "", nil, 0, 0, "", "", err
 		}
 		entries = append(entries, e)
 	}
-	return device, entries, watermark, evicted, token, nil
+	return device, entries, watermark, evicted, token, tenant, nil
 }

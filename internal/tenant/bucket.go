@@ -1,0 +1,82 @@
+package tenant
+
+import "sync"
+
+// Bucket is a token bucket on an injectable nanosecond clock: the
+// daemons feed it time.Now().UnixNano(), the benches and experiments
+// their virtual clock, so refill behaviour is identical (and
+// deterministic) in both worlds.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64 // bucket depth
+	tokens float64
+	lastNs int64
+	primed bool
+}
+
+// NewBucket builds a bucket refilling at ratePerSec with the given
+// depth (burst <= 0 defaults to max(1, ratePerSec)). A nil return
+// means no limit at all.
+func NewBucket(ratePerSec float64, burst int) *Bucket {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	depth := float64(burst)
+	if depth <= 0 {
+		depth = ratePerSec
+		if depth < 1 {
+			depth = 1
+		}
+	}
+	return &Bucket{rate: ratePerSec, burst: depth, tokens: depth}
+}
+
+// Take consumes one token at nowNs, reporting whether one was
+// available. A nil bucket always admits.
+func (b *Bucket) Take(nowNs int64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(nowNs)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// RetryAfterNs reports how long after nowNs the next token arrives
+// (0 when one is already available).
+func (b *Bucket) RetryAfterNs(nowNs int64) int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(nowNs)
+	if b.tokens >= 1 {
+		return 0
+	}
+	need := 1 - b.tokens
+	return int64(need / b.rate * 1e9)
+}
+
+// refillLocked credits tokens for the time elapsed since the last
+// observation. Clocks that step backwards (a restarted virtual clock)
+// simply re-prime instead of crediting a negative interval.
+func (b *Bucket) refillLocked(nowNs int64) {
+	if !b.primed || nowNs < b.lastNs {
+		b.lastNs = nowNs
+		b.primed = true
+		return
+	}
+	elapsed := nowNs - b.lastNs
+	b.lastNs = nowNs
+	b.tokens += float64(elapsed) / 1e9 * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

@@ -1,0 +1,127 @@
+package tenant
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Usage is one tenant's resource consumption snapshot — the quantity
+// gossiped on cluster heartbeats and compared against Limits.
+type Usage struct {
+	Tenant       string // label form ("" is rendered as "default")
+	InFlight     int64  // dispatched-but-unfinished agents
+	Residents    int64  // agents resident on this member's MAS
+	MailboxBytes int64  // pending mailbox payload bytes
+	JournalBytes int64  // journaled agent bytes
+}
+
+// Add accumulates another snapshot (used when summing cluster-wide
+// usage across members).
+func (u *Usage) Add(o Usage) {
+	u.InFlight += o.InFlight
+	u.Residents += o.Residents
+	u.MailboxBytes += o.MailboxBytes
+	u.JournalBytes += o.JournalBytes
+}
+
+// counters is one tenant's live tally. The hot-path fields are
+// atomics: the registry bumps InFlight on every dispatch/complete,
+// the hub MailboxBytes on every enqueue/ack, the journal
+// JournalBytes on every put/drop.
+type counters struct {
+	inFlight     atomic.Int64
+	residents    atomic.Int64
+	mailboxBytes atomic.Int64
+	journalBytes atomic.Int64
+}
+
+// Ledger is the per-tenant usage table for one member. The empty
+// tenant id is the default account; a get-or-create map guarded by a
+// RWMutex keeps lookups cheap (read lock + atomic bump on the hot
+// path).
+type Ledger struct {
+	mu sync.RWMutex
+	m  map[string]*counters
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{m: map[string]*counters{}} }
+
+func (l *Ledger) get(id string) *counters {
+	l.mu.RLock()
+	c := l.m[id]
+	l.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c = l.m[id]; c == nil {
+		c = &counters{}
+		l.m[id] = c
+	}
+	return c
+}
+
+// AddInFlight adjusts a tenant's in-flight agent count.
+func (l *Ledger) AddInFlight(id string, delta int64) { l.get(id).inFlight.Add(delta) }
+
+// InFlight reads a tenant's in-flight agent count.
+func (l *Ledger) InFlight(id string) int64 {
+	n := l.get(id).inFlight.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// AddResidents adjusts a tenant's resident-agent count.
+func (l *Ledger) AddResidents(id string, delta int64) { l.get(id).residents.Add(delta) }
+
+// SetResidents overwrites a tenant's resident-agent count (used by
+// embedders that derive it from a scrape-time walk).
+func (l *Ledger) SetResidents(id string, n int64) { l.get(id).residents.Store(n) }
+
+// AddMailboxBytes adjusts a tenant's pending mailbox byte tally.
+func (l *Ledger) AddMailboxBytes(id string, delta int64) { l.get(id).mailboxBytes.Add(delta) }
+
+// AddJournalBytes adjusts a tenant's journaled byte tally.
+func (l *Ledger) AddJournalBytes(id string, delta int64) { l.get(id).journalBytes.Add(delta) }
+
+// UsageOf snapshots one tenant (negative tallies clamp to zero — a
+// release racing an admission must not turn a quota check negative).
+func (l *Ledger) UsageOf(id string) Usage {
+	c := l.get(id)
+	return Usage{
+		Tenant:       Label(id),
+		InFlight:     clamp(c.inFlight.Load()),
+		Residents:    clamp(c.residents.Load()),
+		MailboxBytes: clamp(c.mailboxBytes.Load()),
+		JournalBytes: clamp(c.journalBytes.Load()),
+	}
+}
+
+func clamp(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Snapshot returns every tenant's usage sorted by label — the rows a
+// cluster heartbeat gossips.
+func (l *Ledger) Snapshot() []Usage {
+	l.mu.RLock()
+	ids := make([]string, 0, len(l.m))
+	for id := range l.m {
+		ids = append(ids, id)
+	}
+	l.mu.RUnlock()
+	out := make([]Usage, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, l.UsageOf(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,307 @@
+// Package tenant is the multi-tenant control plane (DESIGN.md §12):
+// tenant accounts with shared secrets and resource limits, a registry
+// persisted over any rms.Store (so it rides the WAL and replication
+// tiers like the agent journal does), per-tenant token-bucket rate
+// limits, weighted-fair admission, and a usage ledger whose snapshots
+// are gossiped on cluster heartbeats so quotas hold cluster-wide.
+//
+// The zero value of everything here is the single-tenant deployment:
+// a gateway without an Admission layer behaves exactly as before, and
+// the empty tenant id ("") names the default account every
+// unclaimed subscription belongs to.
+package tenant
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"pdagent/internal/kxml"
+	"pdagent/internal/rms"
+)
+
+// DefaultID is the account unclaimed subscriptions belong to. It is
+// rendered as "default" in metric labels (metric label values must be
+// non-empty) but stored as "" so single-tenant deployments never pay
+// a map lookup keyed on a constant string.
+const DefaultID = ""
+
+// DefaultLabel is how the default tenant appears in metric labels and
+// gossip rows.
+const DefaultLabel = "default"
+
+// Label renders a tenant id for metrics and wire rows.
+func Label(id string) string {
+	if id == DefaultID {
+		return DefaultLabel
+	}
+	return id
+}
+
+// Limits bounds one tenant's resource consumption. Zero fields mean
+// unlimited — the default tenant of a single-tenant deployment has no
+// limits at all.
+type Limits struct {
+	// Weight is the tenant's share under weighted-fair admission
+	// (default 1). A weight-4 tenant is protected up to 4× the
+	// in-flight share of a weight-1 tenant when the shed watermark
+	// trips.
+	Weight int
+	// RatePerSec refills the tenant's dispatch token bucket; 0 means
+	// no rate limit.
+	RatePerSec float64
+	// Burst is the bucket depth (defaults to max(1, RatePerSec)).
+	Burst int
+	// MaxInFlight caps dispatched-but-unfinished agents, cluster-wide.
+	MaxInFlight int64
+	// MaxResidents caps agents resident on MAS servers, cluster-wide.
+	MaxResidents int64
+	// MaxMailboxBytes caps pending mailbox payload bytes, cluster-wide.
+	MaxMailboxBytes int64
+	// MaxJournalBytes caps journaled agent bytes, cluster-wide.
+	MaxJournalBytes int64
+}
+
+// EffectiveWeight is the WFQ weight with the default applied.
+func (l Limits) EffectiveWeight() int {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return l.Weight
+}
+
+// Tenant is one account: who may subscribe under it, and how much of
+// the cluster it may consume.
+type Tenant struct {
+	ID     string
+	Secret string
+	Limits Limits
+}
+
+// Registry is the tenant account table. When opened over an rms.Store
+// every Put is persisted as one record per tenant, so the table rides
+// whatever durability tier the store provides (MemStore in simulated
+// worlds, the group-commit WAL — and with it §10 replication — in the
+// daemons).
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	store   rms.Store      // nil for a memory-only registry
+	recs    map[string]int // tenant id -> store record id
+}
+
+// NewRegistry returns an empty, memory-only registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: map[string]*Tenant{}, recs: map[string]int{}}
+}
+
+// OpenRegistry builds a registry over a store, loading every persisted
+// tenant record. Records that do not decode are dropped rather than
+// resurrected half-written.
+func OpenRegistry(store rms.Store) (*Registry, error) {
+	r := NewRegistry()
+	r.store = store
+	ids, err := store.IDs()
+	if err != nil {
+		return nil, fmt.Errorf("tenant: scanning registry store: %w", err)
+	}
+	for _, recID := range ids {
+		data, err := store.Get(recID)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: reading record %d: %w", recID, err)
+		}
+		t, err := decodeTenant(data)
+		if err != nil {
+			_ = store.Delete(recID)
+			continue
+		}
+		if old, ok := r.recs[t.ID]; ok {
+			_ = store.Delete(old)
+		}
+		r.tenants[t.ID] = t
+		r.recs[t.ID] = recID
+	}
+	return r, nil
+}
+
+// Put inserts or replaces a tenant, persisting it when the registry is
+// store-backed.
+func (r *Registry) Put(t *Tenant) error {
+	if t.ID == "" {
+		return fmt.Errorf("tenant: tenant needs an id")
+	}
+	cp := *t
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tenants[cp.ID] = &cp
+	if r.store == nil {
+		return nil
+	}
+	data := encodeTenant(&cp)
+	if recID, ok := r.recs[cp.ID]; ok {
+		return r.store.Set(recID, data)
+	}
+	recID, err := r.store.Add(data)
+	if err != nil {
+		return err
+	}
+	r.recs[cp.ID] = recID
+	return nil
+}
+
+// Get looks a tenant up by id. The default id ("") always resolves to
+// an unlimited account, so single-tenant traffic needs no registration.
+func (r *Registry) Get(id string) (*Tenant, bool) {
+	if id == DefaultID {
+		return &Tenant{ID: DefaultID}, true
+	}
+	r.mu.RLock()
+	t, ok := r.tenants[id]
+	r.mu.RUnlock()
+	return t, ok
+}
+
+// Registered reports whether the id names an explicitly registered
+// tenant (false for the implicit default account).
+func (r *Registry) Registered(id string) bool {
+	r.mu.RLock()
+	_, ok := r.tenants[id]
+	r.mu.RUnlock()
+	return ok
+}
+
+// Len reports how many tenants are registered (the default account is
+// not counted).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
+
+// All returns the registered tenants sorted by id.
+func (r *Registry) All() []*Tenant {
+	r.mu.RLock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// --- wire encoding -------------------------------------------------------
+
+// encodeTenant renders one tenant as an XML record:
+//
+//	<tenant id="acme" secret="s" weight="4" rate="100" burst="200"
+//	        max-inflight="500" max-residents="1000"
+//	        max-mailbox-bytes="1048576" max-journal-bytes="1048576"/>
+func encodeTenant(t *Tenant) []byte {
+	n := kxml.NewElement("tenant")
+	n.SetAttr("id", t.ID)
+	n.SetAttr("secret", t.Secret)
+	l := t.Limits
+	if l.Weight > 0 {
+		n.SetAttr("weight", strconv.Itoa(l.Weight))
+	}
+	if l.RatePerSec > 0 {
+		n.SetAttr("rate", strconv.FormatFloat(l.RatePerSec, 'g', -1, 64))
+	}
+	if l.Burst > 0 {
+		n.SetAttr("burst", strconv.Itoa(l.Burst))
+	}
+	if l.MaxInFlight > 0 {
+		n.SetAttr("max-inflight", strconv.FormatInt(l.MaxInFlight, 10))
+	}
+	if l.MaxResidents > 0 {
+		n.SetAttr("max-residents", strconv.FormatInt(l.MaxResidents, 10))
+	}
+	if l.MaxMailboxBytes > 0 {
+		n.SetAttr("max-mailbox-bytes", strconv.FormatInt(l.MaxMailboxBytes, 10))
+	}
+	if l.MaxJournalBytes > 0 {
+		n.SetAttr("max-journal-bytes", strconv.FormatInt(l.MaxJournalBytes, 10))
+	}
+	return n.EncodeDocument()
+}
+
+func decodeTenant(data []byte) (*Tenant, error) {
+	root, err := kxml.ParseBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	return tenantFromNode(root)
+}
+
+func tenantFromNode(n *kxml.Node) (*Tenant, error) {
+	if n.Name != "tenant" {
+		return nil, fmt.Errorf("tenant: record root is %q, want tenant", n.Name)
+	}
+	id := n.AttrDefault("id", "")
+	if id == "" {
+		return nil, fmt.Errorf("tenant: record missing id")
+	}
+	t := &Tenant{ID: id, Secret: n.AttrDefault("secret", "")}
+	t.Limits = Limits{
+		Weight:          atoi(n.AttrDefault("weight", "")),
+		RatePerSec:      atof(n.AttrDefault("rate", "")),
+		Burst:           atoi(n.AttrDefault("burst", "")),
+		MaxInFlight:     atoi64(n.AttrDefault("max-inflight", "")),
+		MaxResidents:    atoi64(n.AttrDefault("max-residents", "")),
+		MaxMailboxBytes: atoi64(n.AttrDefault("max-mailbox-bytes", "")),
+		MaxJournalBytes: atoi64(n.AttrDefault("max-journal-bytes", "")),
+	}
+	return t, nil
+}
+
+func atoi(s string) int     { n, _ := strconv.Atoi(s); return n }
+func atoi64(s string) int64 { n, _ := strconv.ParseInt(s, 10, 64); return n }
+func atof(s string) float64 { f, _ := strconv.ParseFloat(s, 64); return f }
+
+// ParseConfig parses a tenants config document — the payload of the
+// daemons' -tenants flag:
+//
+//	<tenants>
+//	  <tenant id="acme" secret="s3" weight="4" rate="100" .../>
+//	  <tenant id="hog"  secret="s7" weight="1" rate="20"  burst="5"/>
+//	</tenants>
+func ParseConfig(doc []byte) ([]*Tenant, error) {
+	root, err := kxml.ParseBytes(doc)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: parsing config: %w", err)
+	}
+	if root.Name != "tenants" {
+		return nil, fmt.Errorf("tenant: config root is %q, want tenants", root.Name)
+	}
+	var out []*Tenant
+	for _, child := range root.FindAll("tenant") {
+		t, err := tenantFromNode(child)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// LoadFile reads a -tenants config file into a memory registry.
+func LoadFile(path string) (*Registry, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := ParseConfig(doc)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	r := NewRegistry()
+	for _, t := range ts {
+		if err := r.Put(t); err != nil {
+			return nil, fmt.Errorf("tenant: %s: %w", path, err)
+		}
+	}
+	return r, nil
+}

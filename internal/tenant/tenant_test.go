@@ -1,0 +1,378 @@
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pdagent/internal/rms"
+)
+
+func TestRegistryStoreRoundTrip(t *testing.T) {
+	store := rms.NewMemStore("tenants", 0)
+	reg, err := OpenRegistry(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Tenant{ID: "acme", Secret: "s3", Limits: Limits{
+		Weight: 4, RatePerSec: 100, Burst: 200,
+		MaxInFlight: 500, MaxResidents: 1000,
+		MaxMailboxBytes: 1 << 20, MaxJournalBytes: 2 << 20,
+	}}
+	if err := reg.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(&Tenant{ID: "hog", Secret: "s7", Limits: Limits{RatePerSec: 20, Burst: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Replace acme in place: the record must be overwritten, not doubled.
+	want.Limits.Weight = 8
+	if err := reg.Put(want); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenRegistry(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened registry has %d tenants, want 2", re.Len())
+	}
+	got, ok := re.Get("acme")
+	if !ok {
+		t.Fatal("acme missing after reopen")
+	}
+	if *got != *want {
+		t.Fatalf("acme round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, ok := re.Get("hog"); !ok {
+		t.Fatal("hog missing after reopen")
+	}
+	// The default account always resolves, unlimited.
+	def, ok := re.Get(DefaultID)
+	if !ok || def.Limits != (Limits{}) {
+		t.Fatalf("default tenant = %+v, %v; want unlimited", def, ok)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	doc := []byte(`<tenants>
+  <tenant id="acme" secret="a" weight="4" rate="100"/>
+  <tenant id="hog" secret="b" rate="20" burst="5" max-inflight="16"/>
+</tenants>`)
+	ts, err := ParseConfig(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d tenants, want 2", len(ts))
+	}
+	if ts[0].ID != "acme" || ts[0].Limits.Weight != 4 || ts[0].Limits.RatePerSec != 100 {
+		t.Fatalf("acme parsed as %+v", ts[0])
+	}
+	if ts[1].Limits.MaxInFlight != 16 || ts[1].Limits.Burst != 5 {
+		t.Fatalf("hog parsed as %+v", ts[1])
+	}
+	if _, err := ParseConfig([]byte(`<nope/>`)); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+	if _, err := ParseConfig([]byte(`<tenants><tenant secret="x"/></tenants>`)); err == nil {
+		t.Fatal("tenant without id accepted")
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	b := NewBucket(10, 2) // 10 tokens/s, depth 2
+	now := int64(0)
+	if !b.Take(now) || !b.Take(now) {
+		t.Fatal("burst of 2 refused")
+	}
+	if b.Take(now) {
+		t.Fatal("third token granted from an empty bucket")
+	}
+	if ra := b.RetryAfterNs(now); ra <= 0 || ra > int64(100*time.Millisecond) {
+		t.Fatalf("retry-after %dns, want (0, 100ms]", ra)
+	}
+	now += int64(100 * time.Millisecond) // one token refilled
+	if !b.Take(now) {
+		t.Fatal("refilled token refused")
+	}
+	if b.Take(now) {
+		t.Fatal("token granted beyond refill")
+	}
+	// A long idle period credits at most the burst depth.
+	now += int64(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.Take(now) {
+			t.Fatalf("token %d refused after idle", i)
+		}
+	}
+	if b.Take(now) {
+		t.Fatal("burst depth exceeded after idle")
+	}
+}
+
+// TestBucketConcurrent hammers one bucket from many goroutines under
+// -race: exactly burst+refill tokens may be granted, never more.
+func TestBucketConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		tries   = 1000
+	)
+	b := NewBucket(1000, 100) // depth 100
+	var granted sync.Map
+	var wg sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < tries; i++ {
+				// Frozen clock: no refill, so grants are bounded by depth.
+				if b.Take(0) {
+					mu.Lock()
+					count++
+					mu.Unlock()
+					granted.Store(fmt.Sprintf("%d-%d", w, i), true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if count != 100 {
+		t.Fatalf("granted %d tokens from a depth-100 bucket on a frozen clock", count)
+	}
+}
+
+func TestWFQWeightedOrdering(t *testing.T) {
+	q := NewWFQ()
+	// Backlog both tenants, then drain: heavy (weight 3) must receive
+	// ~3 services for every light one.
+	for i := 0; i < 30; i++ {
+		q.Enqueue("heavy", 3, fmt.Sprintf("h%d", i))
+	}
+	for i := 0; i < 30; i++ {
+		q.Enqueue("light", 1, fmt.Sprintf("l%d", i))
+	}
+	heavyFirst12 := 0
+	var order []string
+	for {
+		tenant, _, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, tenant)
+		if len(order) <= 12 && tenant == "heavy" {
+			heavyFirst12++
+		}
+	}
+	if len(order) != 60 {
+		t.Fatalf("drained %d items, want 60", len(order))
+	}
+	// In the first 12 services a 3:1 split means ~9 heavy.
+	if heavyFirst12 < 8 || heavyFirst12 > 10 {
+		t.Fatalf("heavy got %d of the first 12 services, want ~9 (3:1 weights)", heavyFirst12)
+	}
+	// Per-tenant FIFO: heavy's own items must drain in order.
+	q2 := NewWFQ()
+	q2.Enqueue("a", 1, 1)
+	q2.Enqueue("a", 1, 2)
+	q2.Enqueue("a", 1, 3)
+	for want := 1; want <= 3; want++ {
+		_, p, ok := q2.Dequeue()
+		if !ok || p.(int) != want {
+			t.Fatalf("tenant-local order broken: got %v want %d", p, want)
+		}
+	}
+}
+
+// TestWFQConcurrent exercises enqueue/dequeue races under -race and
+// checks conservation.
+func TestWFQConcurrent(t *testing.T) {
+	q := NewWFQ()
+	const n = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				q.Enqueue(fmt.Sprintf("t%d", w), w+1, i)
+			}
+		}(w)
+	}
+	var got int64
+	var mu sync.Mutex
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, _, ok := q.Dequeue()
+				if !ok {
+					mu.Lock()
+					done := got
+					mu.Unlock()
+					if done == 4*n {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				got++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if got != 4*n {
+		t.Fatalf("dequeued %d items, want %d", got, 4*n)
+	}
+}
+
+func TestAdmissionRateAndQuota(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(&Tenant{ID: "hog", Secret: "s", Limits: Limits{RatePerSec: 10, Burst: 2, MaxInFlight: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	led := NewLedger()
+	now := int64(0)
+	ad := NewAdmission(reg, led)
+	ad.Now = func() int64 { return now }
+
+	// Burst admits, then the bucket refuses with a Retry-After hint.
+	for i := 0; i < 2; i++ {
+		if d := ad.Admit("hog"); !d.OK {
+			t.Fatalf("burst dispatch %d refused: %s", i, d.Reason)
+		}
+	}
+	d := ad.Admit("hog")
+	if d.OK {
+		t.Fatal("over-rate dispatch admitted")
+	}
+	if d.RetryAfterNs <= 0 {
+		t.Fatalf("over-rate refusal missing Retry-After: %+v", d)
+	}
+	// Refill one token, then hit the in-flight quota instead.
+	now += int64(100 * time.Millisecond)
+	led.AddInFlight("hog", 3)
+	d = ad.Admit("hog")
+	if d.OK {
+		t.Fatal("over-quota dispatch admitted")
+	}
+	led.AddInFlight("hog", -1)
+	now += int64(100 * time.Millisecond)
+	if d := ad.Admit("hog"); !d.OK {
+		t.Fatalf("in-quota dispatch refused: %s", d.Reason)
+	}
+	// Unknown tenants are refused outright.
+	if d := ad.Admit("ghost"); d.OK {
+		t.Fatal("unknown tenant admitted")
+	}
+	// The default account is unlimited.
+	if d := ad.Admit(DefaultID); !d.OK {
+		t.Fatalf("default tenant refused: %s", d.Reason)
+	}
+}
+
+func TestAdmissionClusterWideQuota(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(&Tenant{ID: "acme", Secret: "s", Limits: Limits{MaxInFlight: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	led := NewLedger()
+	ad := NewAdmission(reg, led)
+	remote := map[string]Usage{}
+	ad.Remote = func() map[string]Usage { return remote }
+
+	led.AddInFlight("acme", 4)
+	if d := ad.Admit("acme"); !d.OK {
+		t.Fatalf("local 4/10 refused: %s", d.Reason)
+	}
+	// The rest of the cluster reports 6 more: the quota is now full.
+	remote["acme"] = Usage{Tenant: "acme", InFlight: 6}
+	if d := ad.Admit("acme"); d.OK {
+		t.Fatal("cluster-wide 10/10 admitted")
+	}
+}
+
+func TestAdmissionSlowUsageSupplier(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(&Tenant{ID: "acme", Secret: "s", Limits: Limits{MaxResidents: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(&Tenant{ID: "beta", Secret: "s", Limits: Limits{MaxInFlight: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	ad := NewAdmission(reg, NewLedger())
+	slowCalls := 0
+	ad.Slow = func(id string) Usage {
+		slowCalls++
+		return Usage{Tenant: Label(id), Residents: 5}
+	}
+	// acme has a residents quota: the slow walk runs and refuses.
+	if d := ad.Admit("acme"); d.OK {
+		t.Fatal("acme admitted at residents quota")
+	}
+	if slowCalls != 1 {
+		t.Fatalf("slow supplier called %d times, want 1", slowCalls)
+	}
+	// beta has only an in-flight quota: no walk, and the slow-side
+	// residents count must not block it.
+	if d := ad.Admit("beta"); !d.OK {
+		t.Fatalf("beta refused: %s", d.Reason)
+	}
+	if slowCalls != 1 {
+		t.Fatalf("slow supplier called %d times for quota-free check", slowCalls)
+	}
+}
+
+func TestProtectedFairShare(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(&Tenant{ID: "calm", Secret: "a", Limits: Limits{Weight: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(&Tenant{ID: "noisy", Secret: "b", Limits: Limits{Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	led := NewLedger()
+	ad := NewAdmission(reg, led)
+	// Watermark 16, weights 3:1 → shares 12 and 4.
+	led.AddInFlight("noisy", 10)
+	led.AddInFlight("calm", 2)
+	if ad.Protected("noisy", 16) {
+		t.Fatal("noisy (10 >= share 4) protected")
+	}
+	if !ad.Protected("calm", 16) {
+		t.Fatal("calm (2 < share 12) not protected")
+	}
+	// Nobody is protected without a watermark.
+	if ad.Protected("calm", 0) {
+		t.Fatal("protected with no watermark")
+	}
+}
+
+func TestLedgerSnapshot(t *testing.T) {
+	led := NewLedger()
+	led.AddInFlight("b", 2)
+	led.AddMailboxBytes("a", 100)
+	led.AddJournalBytes("", 50)
+	snap := led.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d rows, want 3", len(snap))
+	}
+	// Sorted by label; "" renders as "default".
+	if snap[0].Tenant != "a" || snap[1].Tenant != "b" || snap[2].Tenant != "default" {
+		t.Fatalf("snapshot order %v", []string{snap[0].Tenant, snap[1].Tenant, snap[2].Tenant})
+	}
+	if snap[2].JournalBytes != 50 {
+		t.Fatalf("default journal bytes = %d, want 50", snap[2].JournalBytes)
+	}
+	// Negative tallies clamp.
+	led.AddInFlight("b", -5)
+	if got := led.UsageOf("b").InFlight; got != 0 {
+		t.Fatalf("negative in-flight surfaced as %d", got)
+	}
+}

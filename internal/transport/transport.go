@@ -53,8 +53,13 @@ const (
 	StatusNotFound     = 404
 	StatusConflict     = 409
 	StatusGone         = 410
-	StatusServerError  = 500
-	StatusUnavailable  = 503
+	// StatusTooManyRequests signals a per-tenant rate or quota
+	// refusal: unlike StatusUnavailable (the member is overloaded),
+	// the condition is the caller's own doing, so device sessions
+	// treat it as transient and back off per the retry-after header.
+	StatusTooManyRequests = 429
+	StatusServerError     = 500
+	StatusUnavailable     = 503
 )
 
 // Handler processes requests addressed to one host.
